@@ -1,0 +1,181 @@
+/// \file bench_kernels.cpp
+/// \brief EXP-B1 -- google-benchmark microbenchmarks of the hot kernels:
+/// eigensolver, Householder reduction, GEMM, Hamiltonian assembly,
+/// neighbor-list build, Hellmann-Feynman forces, Tersoff step, sparse
+/// multiply, Slater-Koster block evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/linalg/blas.hpp"
+#include "src/linalg/eigen_sym.hpp"
+#include "src/neighbor/neighbor_list.hpp"
+#include "src/onx/on_calculator.hpp"
+#include "src/onx/sparse.hpp"
+#include "src/potentials/tersoff.hpp"
+#include "src/structures/builders.hpp"
+#include "src/tb/density_matrix.hpp"
+#include "src/tb/forces.hpp"
+#include "src/tb/hamiltonian.hpp"
+#include "src/tb/occupations.hpp"
+#include "src/tb/slater_koster.hpp"
+#include "src/tb/tb_calculator.hpp"
+#include "src/util/random.hpp"
+
+namespace {
+
+using namespace tbmd;
+
+linalg::Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.uniform(-1, 1);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+void BM_Eigh(benchmark::State& state) {
+  const auto a = random_symmetric(state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigh(a));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Eigh)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNCubed);
+
+void BM_Eigvalsh(benchmark::State& state) {
+  const auto a = random_symmetric(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigvalsh(a));
+  }
+}
+BENCHMARK(BM_Eigvalsh)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto a = random_symmetric(state.range(0), 3);
+  const auto b = random_symmetric(state.range(0), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::matmul(a, b));
+  }
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildHamiltonian(benchmark::State& state) {
+  const int nx = state.range(0);
+  System s = structures::diamond(Element::C, 3.567, nx, nx, nx);
+  const tb::TbModel m = tb::xwch_carbon();
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb::build_hamiltonian(m, s, list));
+  }
+  state.counters["atoms"] = static_cast<double>(s.size());
+}
+BENCHMARK(BM_BuildHamiltonian)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NeighborBuild(benchmark::State& state) {
+  System s = structures::random_gas(Element::Ar, state.range(0), 0.02, 1.5, 5);
+  NeighborList list;
+  for (auto _ : state) {
+    list.build(s.positions(), s.cell(), {3.0, 0.3});
+    benchmark::DoNotOptimize(list.half_pairs().size());
+  }
+}
+BENCHMARK(BM_NeighborBuild)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BandForces(benchmark::State& state) {
+  const int nx = state.range(0);
+  System s = structures::diamond(Element::C, 3.567, nx, nx, nx);
+  structures::perturb(s, 0.02, 7);
+  const tb::TbModel m = tb::xwch_carbon();
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  const auto h = tb::build_hamiltonian(m, s, list);
+  const auto eig = linalg::eigh(h);
+  const auto occ = tb::occupy(eig.values, s.total_valence_electrons(), 0.0);
+  const auto rho = tb::density_matrix(eig.vectors, occ.weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb::band_forces(m, s, list, rho));
+  }
+  state.counters["atoms"] = static_cast<double>(s.size());
+}
+BENCHMARK(BM_BandForces)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_DensityMatrix(benchmark::State& state) {
+  const int nx = state.range(0);
+  System s = structures::diamond(Element::C, 3.567, nx, nx, nx);
+  const tb::TbModel m = tb::xwch_carbon();
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  const auto eig = linalg::eigh(tb::build_hamiltonian(m, s, list));
+  const auto occ = tb::occupy(eig.values, s.total_valence_electrons(), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb::density_matrix(eig.vectors, occ.weights));
+  }
+}
+BENCHMARK(BM_DensityMatrix)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_TersoffForceCall(benchmark::State& state) {
+  const int nx = state.range(0);
+  System s = structures::diamond(Element::Si, 5.431, nx, nx, nx);
+  structures::perturb(s, 0.05, 9);
+  potentials::TersoffCalculator calc(potentials::tersoff_silicon());
+  (void)calc.compute(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.compute(s).energy);
+  }
+  state.counters["atoms"] = static_cast<double>(s.size());
+}
+BENCHMARK(BM_TersoffForceCall)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparseMultiply(benchmark::State& state) {
+  const int nx = state.range(0);
+  System s = structures::diamond(Element::C, 3.567, nx, nx, nx);
+  const tb::TbModel m = tb::xwch_carbon();
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  const auto h = onx::build_sparse_hamiltonian(m, s, list);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.multiply(h, 1e-8).nnz());
+  }
+}
+BENCHMARK(BM_SparseMultiply)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SkBlockWithDerivative(benchmark::State& state) {
+  const tb::TbModel m = tb::xwch_carbon();
+  const Vec3 bond{0.8, 0.9, 0.7};
+  tb::SkBlock block;
+  tb::SkBlockDerivative deriv;
+  for (auto _ : state) {
+    tb::sk_block_with_derivative(m, bond, block, deriv);
+    benchmark::DoNotOptimize(deriv.d[2][3][3]);
+  }
+}
+BENCHMARK(BM_SkBlockWithDerivative);
+
+void BM_TbFullStep(benchmark::State& state) {
+  const int nx = state.range(0);
+  System s = structures::diamond(Element::C, 3.567, nx, nx, 2);
+  structures::perturb(s, 0.02, 11);
+  tb::TightBindingCalculator calc(tb::xwch_carbon());
+  (void)calc.compute(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.compute(s).energy);
+  }
+  state.counters["atoms"] = static_cast<double>(s.size());
+}
+BENCHMARK(BM_TbFullStep)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+/// \file exp_f1_step_scaling.cpp
+/// \brief EXP-F1 -- Figure 1: wall-clock time per MD force evaluation vs
+/// system size (log-log) for the three engines:
+///   * TBMD with exact diagonalization  -- O(N^3)
+///   * TBMD with O(N) purification      -- ~O(N) for gapped systems
+///   * classical Tersoff                -- O(N)
+///
+/// The headline figure of the paper: the O(N^3) wall, where the O(N)
+/// method crosses it, and how far below both the classical baseline sits.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/io/table.hpp"
+#include "src/onx/on_calculator.hpp"
+#include "src/potentials/tersoff.hpp"
+#include "src/structures/builders.hpp"
+#include "src/tb/tb_calculator.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace tbmd;
+
+double time_force_call(Calculator& calc, System& s, int repeats) {
+  (void)calc.compute(s);  // warm the neighbor list
+  WallTimer t;
+  for (int q = 0; q < repeats; ++q) (void)calc.compute(s);
+  return t.seconds() * 1000.0 / repeats;
+}
+
+double loglog_slope(const std::vector<double>& n,
+                    const std::vector<double>& t) {
+  // least-squares slope of log t vs log n
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double m = static_cast<double>(n.size());
+  for (std::size_t q = 0; q < n.size(); ++q) {
+    const double x = std::log(n[q]);
+    const double y = std::log(t[q]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (m * sxy - sx * sy) / (m * sxx - sx * sx);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-F1: time per force evaluation vs N (log-log series)\n\n");
+
+  io::Table table({"N_atoms", "tb_exact_ms", "tb_on_ms", "tersoff_ms"});
+  std::vector<double> ns, t_exact, t_on, t_ters;
+
+  struct Spec {
+    int nx, ny, nz;
+    bool run_exact;
+    bool run_on;
+  };
+  // Exact diagonalization is capped at 288 atoms and O(N) purification at
+  // 512 so the harness completes in minutes on a laptop-class machine; the
+  // Tersoff baseline runs to 1024 to anchor the O(N) classical floor.
+  const std::vector<Spec> specs{
+      {2, 2, 2, true, true},  {2, 2, 4, true, true},
+      {3, 3, 3, true, true},  {3, 3, 4, true, true},
+      {4, 4, 4, false, true}, {4, 4, 8, false, false}};
+
+  std::vector<double> n_on;
+  for (const Spec& sp : specs) {
+    System s = structures::diamond(Element::C, 3.567, sp.nx, sp.ny, sp.nz);
+    structures::perturb(s, 0.02, 3);
+    const double n = static_cast<double>(s.size());
+
+    double ms_exact = -1.0;
+    if (sp.run_exact) {
+      tb::TightBindingCalculator exact(tb::xwch_carbon());
+      ms_exact = time_force_call(exact, s, 1);
+      ns.push_back(n);
+      t_exact.push_back(ms_exact);
+    }
+
+    double ms_on = -1.0;
+    if (sp.run_on) {
+      onx::OrderNOptions oopt;
+      oopt.purification.drop_tolerance = 1e-6;
+      onx::OrderNCalculator on(tb::xwch_carbon(), oopt);
+      ms_on = time_force_call(on, s, 1);
+      n_on.push_back(n);
+      t_on.push_back(ms_on);
+    }
+
+    potentials::TersoffCalculator tersoff(potentials::tersoff_carbon());
+    const double ms_ters = time_force_call(tersoff, s, 5);
+    t_ters.push_back(ms_ters);
+
+    table.add_numeric_row({n, ms_exact, ms_on, ms_ters}, 4);
+    std::printf("  measured N = %.0f\n", n);
+  }
+
+  std::printf("\n");
+  table.print(std::cout);
+  table.write_csv("exp_f1_step_scaling.csv");
+
+  std::vector<double> n_all;
+  for (const Spec& sp : specs) {
+    n_all.push_back(8.0 * sp.nx * sp.ny * sp.nz);
+  }
+  std::printf("\nfitted log-log slopes (expected: exact ~2.5-3, on ~1-1.5,"
+              " tersoff ~1):\n");
+  std::printf("  tb-exact : %.2f\n", loglog_slope(ns, t_exact));
+  std::printf("  tb-on    : %.2f\n", loglog_slope(n_on, t_on));
+  std::printf("  tersoff  : %.2f\n", loglog_slope(n_all, t_ters));
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// \file exp_f4_rdf_melt.cpp
+/// \brief EXP-F4 -- Figure 4: melting of silicon seen in the radial
+/// distribution function.
+///
+/// Heats crystalline Si64 from 300 K to 3500 K with the Nose-Hoover ramp
+/// protocol and compares g(r) of the solid and the hot liquid: discrete
+/// crystal shells vs a broad liquid first peak with a filled-in minimum.
+/// Also tracks the mean-square displacement to flag the onset of
+/// diffusion.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "src/analysis/msd.hpp"
+#include "src/analysis/rdf.hpp"
+#include "src/io/table.hpp"
+#include "src/md/md_driver.hpp"
+#include "src/md/thermostat.hpp"
+#include "src/md/velocities.hpp"
+#include "src/structures/builders.hpp"
+#include "src/tb/tb_calculator.hpp"
+
+namespace {
+
+using namespace tbmd;
+
+void print_g(const char* label, const analysis::RdfAccumulator& acc,
+             io::Table& table) {
+  const auto r = acc.r_values();
+  const auto g = acc.g_of_r();
+  for (std::size_t b = 0; b < r.size(); ++b) {
+    table.add_row({label, std::to_string(r[b]), std::to_string(g[b])});
+  }
+  std::printf("\n g(r) %s:\n", label);
+  for (std::size_t b = 0; b < r.size(); b += 3) {
+    const int stars = static_cast<int>(g[b] * 4.0);
+    std::printf("  %4.2f | %s\n", r[b],
+                std::string(std::min(stars, 70), '*').c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-F4: solid vs liquid g(r) of TBMD silicon\n");
+
+  System s = structures::diamond(Element::Si, 5.431, 2, 2, 2);
+  md::maxwell_boltzmann_velocities(s, 300.0, 31);
+  tb::TightBindingCalculator calc(tb::gsp_silicon());
+  md::MdOptions opt;
+  opt.dt = 1.5;
+  // Stiff coupling (tau = 20 fs): the 300 -> 3500 K ramp must drag the
+  // system along within the simulated ps.
+  opt.thermostat = std::make_unique<md::NoseHooverThermostat>(300.0, 20.0, 2);
+  md::MdDriver driver(s, calc, std::move(opt));
+
+  io::Table table({"phase", "r_A", "g"});
+
+  // Solid sampling at 300 K.
+  analysis::RdfAccumulator solid(5.4, 45);
+  driver.run(150, [&](const md::MdDriver& d, long step) {
+    if (step % 15 == 0) solid.add_frame(d.system());
+  });
+  print_g("solid 300 K", solid, table);
+
+  // Ramp to 3500 K (about 10 K/fs here to stay affordable) then hold.
+  analysis::MsdTracker msd(s);
+  driver.ramp_temperature(3500.0, 200);
+  driver.run(100);  // equilibrate the liquid
+  std::printf("\nafter ramp: T = %.0f K, MSD since solid = %.2f A^2\n",
+              s.temperature(), msd.msd(s));
+
+  analysis::RdfAccumulator liquid(5.4, 45);
+  analysis::MsdTracker diffusion(s);
+  driver.run(200, [&](const md::MdDriver& d, long step) {
+    if (step % 15 == 0) liquid.add_frame(d.system());
+  });
+  print_g("liquid 3500 K", liquid, table);
+  std::printf("\nliquid-phase MSD over %.0f fs: %.2f A^2 (diffusive if >> "
+              "thermal wiggle)\n",
+              200 * 1.5, diffusion.msd(s));
+
+  table.write_csv("exp_f4_rdf.csv");
+  std::printf("\nExpected shape: solid shows discrete shells at 2.35 and "
+              "3.84 A with an\nempty gap; liquid shows one broad first peak "
+              "near ~2.4-2.5 A, a filled\nminimum, and large MSD.\n");
+  return 0;
+}

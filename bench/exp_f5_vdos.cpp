@@ -1,0 +1,104 @@
+/// \file exp_f5_vdos.cpp
+/// \brief EXP-F5 -- Figure 5: vibrational spectra from the velocity
+/// autocorrelation function.
+///
+/// (a) The C2 dimer stretch: excite the bond, run NVE, Fourier-transform
+///     the VACF and compare the peak against the experimental C2 stretch
+///     (~1855 cm^-1).
+/// (b) Bulk Si64 vibrational DOS at 300 K: the optical peak should land
+///     near the experimental TO frequency (~15.5 THz).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/analysis/vacf.hpp"
+#include "src/io/table.hpp"
+#include "src/md/md_driver.hpp"
+#include "src/md/velocities.hpp"
+#include "src/relax/relax.hpp"
+#include "src/structures/builders.hpp"
+#include "src/tb/tb_calculator.hpp"
+#include "src/util/units.hpp"
+
+namespace {
+
+using namespace tbmd;
+
+std::size_t argmax(const std::vector<double>& v) {
+  return std::max_element(v.begin(), v.end()) - v.begin();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-F5: vibrational spectra from the VACF\n\n");
+
+  // --- (a) C2 dimer stretch -------------------------------------------
+  {
+    tb::TightBindingCalculator calc(tb::xwch_carbon());
+    System dimer = structures::dimer(Element::C, 1.31);
+    relax::RelaxOptions ropt;
+    ropt.force_tolerance = 1e-5;
+    (void)relax::fire_relax(dimer, calc, ropt);
+    const double req = dimer.distance(0, 1);
+
+    // Stretch by 2% and release (pure stretch mode).
+    const Vec3 axis = normalized(dimer.displacement(0, 1));
+    dimer.positions()[1] += 0.02 * req * axis;
+
+    md::MdDriver driver(dimer, calc, {0.25, nullptr});
+    analysis::VacfAccumulator vacf(0.25);
+    driver.run(1600, [&](const md::MdDriver& d, long) {
+      vacf.add_frame(d.system());
+    });
+
+    std::vector<double> freqs;  // 1/fs
+    for (int q = 1; q <= 240; ++q) freqs.push_back(0.0005 * q);
+    const auto spec = vacf.spectrum(freqs, 800);
+    const double f_peak = freqs[argmax(spec)];
+    std::printf("(a) C2 dimer: r_eq = %.3f A, stretch peak = %.1f cm^-1 "
+                "(exp. C2: ~1855 cm^-1)\n",
+                req, units::per_fs_to_inv_cm(f_peak));
+  }
+
+  // --- (b) bulk silicon VDOS -------------------------------------------
+  {
+    System si = structures::diamond(Element::Si, 5.431, 2, 2, 2);
+    md::maxwell_boltzmann_velocities(si, 300.0, 41);
+    tb::TightBindingCalculator calc(tb::gsp_silicon());
+    md::MdDriver driver(si, calc, {2.0, nullptr});
+    driver.run(50);  // microcanonical equilibration
+
+    analysis::VacfAccumulator vacf(2.0);
+    driver.run(500, [&](const md::MdDriver& d, long) {
+      vacf.add_frame(d.system());
+    });
+
+    std::vector<double> freqs;
+    for (int q = 1; q <= 120; ++q) freqs.push_back(0.00025 * q);  // to 30 THz
+    const auto spec = vacf.spectrum(freqs, 250);
+
+    io::Table table({"f_THz", "vdos"});
+    std::printf("\n(b) Si64 vibrational DOS at 300 K:\n");
+    for (std::size_t q = 0; q < freqs.size(); q += 2) {
+      const double thz = units::per_fs_to_thz(freqs[q]);
+      table.add_numeric_row({thz, spec[q]}, 5);
+      const int stars = std::max(0, static_cast<int>(spec[q] * 8.0));
+      std::printf("  %5.1f THz | %s\n", thz,
+                  std::string(std::min(stars, 70), '*').c_str());
+    }
+    table.write_csv("exp_f5_vdos.csv");
+
+    const double peak_thz = units::per_fs_to_thz(freqs[argmax(spec)]);
+    std::printf("\n  dominant peak: %.1f THz (exp. Si TO ~ 15.5 THz, "
+                "acoustic band below ~12 THz)\n", peak_thz);
+  }
+
+  std::printf("\nExpected shape: dimer stretch within ~20%% of 1855 cm^-1;\n"
+              "Si spectrum spans 0-18 THz with acoustic and optical "
+              "features.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// \file exp_f6_edos.cpp
+/// \brief EXP-F6 -- Figure 6: electronic structure validation.
+///
+/// Electronic DOS of graphene, diamond and C60 from the TB spectrum, and
+/// the HOMO-LUMO gap as a function of system/cluster, demonstrating the
+/// insulating diamond gap vs the near-gapless graphene pi system.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/analysis/edos.hpp"
+#include "src/io/table.hpp"
+#include "src/structures/builders.hpp"
+#include "src/structures/fullerene.hpp"
+#include "src/structures/nanotube.hpp"
+#include "src/tb/tb_calculator.hpp"
+
+namespace {
+
+using namespace tbmd;
+
+void dos_series(const char* label, const System& system, io::Table& gaps,
+                io::Table& dos_table) {
+  tb::TightBindingCalculator calc(tb::xwch_carbon());
+  const ForceResult r = calc.compute(system);
+  const int ne = system.total_valence_electrons();
+  const double gap = analysis::homo_lumo_gap(r.eigenvalues, ne);
+  gaps.add_row({label, std::to_string(system.size()), std::to_string(gap),
+                std::to_string(r.fermi_level)});
+
+  const auto dos = analysis::electronic_dos(r.eigenvalues, 0.3, 160);
+  for (std::size_t q = 0; q < dos.energies.size(); ++q) {
+    dos_table.add_row({label, std::to_string(dos.energies[q] - r.fermi_level),
+                       std::to_string(dos.dos[q])});
+  }
+
+  std::printf("\n%s (N = %zu, gap = %.2f eV): DOS vs E - E_F\n", label,
+              system.size(), gap);
+  for (std::size_t q = 0; q < dos.energies.size(); q += 8) {
+    const double e = dos.energies[q] - r.fermi_level;
+    if (e < -10.0 || e > 10.0) continue;
+    const int stars = static_cast<int>(dos.dos[q] * 1.5);
+    std::printf("  %+5.1f | %s\n", e,
+                std::string(std::min(stars, 70), '*').c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-F6: electronic DOS and HOMO-LUMO gaps (XWCH carbon)\n");
+
+  io::Table gaps({"system", "atoms", "gap_eV", "mu_eV"});
+  io::Table dos_table({"system", "E_minus_Ef_eV", "dos"});
+
+  dos_series("graphene_3x3", structures::graphene(Element::C, 1.42, 3, 3),
+             gaps, dos_table);
+  dos_series("diamond_216", structures::diamond(Element::C, 3.567, 3, 3, 3),
+             gaps, dos_table);
+  dos_series("c60", structures::c60(), gaps, dos_table);
+  dos_series("cnt_10_0",
+             structures::nanotube(Element::C, 10, 0, 1.42, 2, true), gaps,
+             dos_table);
+
+  std::printf("\ngap summary:\n");
+  gaps.print(std::cout);
+  gaps.write_csv("exp_f6_gaps.csv");
+  dos_table.write_csv("exp_f6_dos.csv");
+
+  std::printf("\nExpected shape: diamond gap is the largest (insulator);\n"
+              "graphene and the metallic (10,0)-family tube show small gaps\n"
+              "(finite-size sampling); C60 shows a molecular gap ~1.5-2 eV.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "src/analysis/bonds.hpp"
+
+#include <algorithm>
+
+namespace tbmd::analysis {
+
+std::vector<int> coordination_numbers(const System& system,
+                                      double bond_cutoff) {
+  const std::size_t n = system.size();
+  std::vector<int> coord(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (system.distance(i, j) < bond_cutoff) {
+        ++coord[i];
+        ++coord[j];
+      }
+    }
+  }
+  return coord;
+}
+
+std::vector<std::size_t> coordination_histogram(const System& system,
+                                                double bond_cutoff) {
+  std::vector<std::size_t> hist(13, 0);
+  for (const int c : coordination_numbers(system, bond_cutoff)) {
+    hist[std::min(c, 12)] += 1;
+  }
+  return hist;
+}
+
+std::size_t bond_count(const System& system, double bond_cutoff) {
+  const std::size_t n = system.size();
+  std::size_t bonds = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (system.distance(i, j) < bond_cutoff) ++bonds;
+    }
+  }
+  return bonds;
+}
+
+double mean_bond_length(const System& system, double bond_cutoff) {
+  const std::size_t n = system.size();
+  double acc = 0.0;
+  std::size_t bonds = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double r = system.distance(i, j);
+      if (r < bond_cutoff) {
+        acc += r;
+        ++bonds;
+      }
+    }
+  }
+  return bonds == 0 ? 0.0 : acc / static_cast<double>(bonds);
+}
+
+}  // namespace tbmd::analysis

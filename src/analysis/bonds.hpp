@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file bonds.hpp
+/// \brief Coordination and bond statistics.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/system.hpp"
+
+namespace tbmd::analysis {
+
+/// Per-atom coordination numbers: neighbors within `bond_cutoff`.
+[[nodiscard]] std::vector<int> coordination_numbers(const System& system,
+                                                    double bond_cutoff);
+
+/// Histogram of coordination numbers (index = coordination, up to max 12).
+[[nodiscard]] std::vector<std::size_t> coordination_histogram(
+    const System& system, double bond_cutoff);
+
+/// Total number of bonds (pairs within `bond_cutoff`).
+[[nodiscard]] std::size_t bond_count(const System& system, double bond_cutoff);
+
+/// Mean bond length over pairs within `bond_cutoff` (0 when no bonds).
+[[nodiscard]] double mean_bond_length(const System& system,
+                                      double bond_cutoff);
+
+}  // namespace tbmd::analysis

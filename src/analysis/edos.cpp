@@ -1,0 +1,48 @@
+#include "src/analysis/edos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::analysis {
+
+ElectronicDos electronic_dos(const std::vector<double>& eigenvalues,
+                             double sigma, std::size_t points) {
+  TBMD_REQUIRE(!eigenvalues.empty(), "electronic_dos: empty spectrum");
+  TBMD_REQUIRE(sigma > 0 && points >= 2, "electronic_dos: bad arguments");
+  const auto [lo_it, hi_it] =
+      std::minmax_element(eigenvalues.begin(), eigenvalues.end());
+  const double lo = *lo_it - 4.0 * sigma;
+  const double hi = *hi_it + 4.0 * sigma;
+
+  ElectronicDos out;
+  out.energies.resize(points);
+  out.dos.assign(points, 0.0);
+  const double de = (hi - lo) / static_cast<double>(points - 1);
+  const double norm = 2.0 / (sigma * std::sqrt(2.0 * std::numbers::pi));
+  for (std::size_t q = 0; q < points; ++q) {
+    const double e = lo + de * static_cast<double>(q);
+    out.energies[q] = e;
+    double acc = 0.0;
+    for (const double eps : eigenvalues) {
+      const double x = (e - eps) / sigma;
+      if (std::fabs(x) < 8.0) acc += std::exp(-0.5 * x * x);
+    }
+    out.dos[q] = norm * acc;
+  }
+  return out;
+}
+
+double homo_lumo_gap(const std::vector<double>& eigenvalues, int n_electrons) {
+  TBMD_REQUIRE(std::is_sorted(eigenvalues.begin(), eigenvalues.end()),
+               "homo_lumo_gap: eigenvalues must be ascending");
+  if (n_electrons <= 0) return 0.0;
+  const std::size_t homo = (n_electrons + 1) / 2 - 1;
+  const std::size_t lumo = homo + 1;
+  if (lumo >= eigenvalues.size()) return 0.0;
+  return std::max(0.0, eigenvalues[lumo] - eigenvalues[homo]);
+}
+
+}  // namespace tbmd::analysis

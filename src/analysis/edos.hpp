@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file edos.hpp
+/// \brief Electronic density of states and gap analysis from eigenvalue
+/// spectra.
+
+#include <vector>
+
+namespace tbmd::analysis {
+
+/// Gaussian-broadened electronic DOS evaluated on a uniform energy grid.
+struct ElectronicDos {
+  std::vector<double> energies;  ///< grid (eV)
+  std::vector<double> dos;       ///< states per eV (spin-degenerate, x2)
+};
+
+/// Broaden `eigenvalues` (each counted twice for spin) with width `sigma`
+/// on `points` energies spanning [min-4sigma, max+4sigma].
+[[nodiscard]] ElectronicDos electronic_dos(
+    const std::vector<double>& eigenvalues, double sigma, std::size_t points);
+
+/// HOMO-LUMO gap for `n_electrons` electrons filled two per state into the
+/// ascending `eigenvalues`; 0 when metallic/degenerate or when no empty
+/// state exists.
+[[nodiscard]] double homo_lumo_gap(const std::vector<double>& eigenvalues,
+                                   int n_electrons);
+
+}  // namespace tbmd::analysis

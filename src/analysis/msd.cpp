@@ -1,0 +1,20 @@
+#include "src/analysis/msd.hpp"
+
+#include "src/util/error.hpp"
+
+namespace tbmd::analysis {
+
+double MsdTracker::msd(const System& system) const {
+  TBMD_REQUIRE(system.size() == reference_.size(),
+               "MsdTracker: atom count changed");
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    if (system.frozen(i)) continue;
+    acc += norm2_sq(system.positions()[i] - reference_[i]);
+    ++count;
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+}  // namespace tbmd::analysis

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file msd.hpp
+/// \brief Mean-square displacement relative to a reference configuration.
+
+#include <vector>
+
+#include "src/core/system.hpp"
+
+namespace tbmd::analysis {
+
+/// Tracks MSD(t) = <|r_i(t) - r_i(0)|^2> against a stored reference.
+/// Positions must be unwrapped (the MD driver never wraps mid-run).
+class MsdTracker {
+ public:
+  /// Capture the current positions as the reference.
+  explicit MsdTracker(const System& system)
+      : reference_(system.positions()) {}
+
+  /// Current MSD in A^2 (frozen atoms excluded).
+  [[nodiscard]] double msd(const System& system) const;
+
+  /// Reset the reference to the current configuration.
+  void rebase(const System& system) { reference_ = system.positions(); }
+
+ private:
+  std::vector<Vec3> reference_;
+};
+
+}  // namespace tbmd::analysis

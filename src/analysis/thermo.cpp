@@ -1,0 +1,16 @@
+#include "src/analysis/thermo.hpp"
+
+#include "src/util/error.hpp"
+
+namespace tbmd::analysis {
+
+double instantaneous_pressure(const System& system,
+                              const ForceResult& result) {
+  const double volume = system.cell().volume();
+  TBMD_REQUIRE(volume > 0.0 && system.cell().periodic(),
+               "instantaneous_pressure: requires a periodic cell");
+  return (2.0 * system.kinetic_energy() + trace(result.virial)) /
+         (3.0 * volume);
+}
+
+}  // namespace tbmd::analysis

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file thermo.hpp
+/// \brief Thermodynamic estimators built on the virial.
+
+#include "src/core/calculator.hpp"
+#include "src/core/system.hpp"
+
+namespace tbmd::analysis {
+
+/// Instantaneous virial pressure P = (2 KE + tr W) / (3 V) in eV/A^3.
+/// Requires a periodic cell (throws for clusters, where pressure is
+/// undefined).  Multiply by 160.21766 for GPa.
+[[nodiscard]] double instantaneous_pressure(const System& system,
+                                            const ForceResult& result);
+
+/// eV/A^3 -> GPa.
+inline constexpr double kEvPerA3ToGPa = 160.21766;
+
+}  // namespace tbmd::analysis

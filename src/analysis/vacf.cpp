@@ -1,0 +1,62 @@
+#include "src/analysis/vacf.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::analysis {
+
+void VacfAccumulator::add_frame(const System& system) {
+  snapshots_.push_back(system.velocities());
+}
+
+std::vector<double> VacfAccumulator::correlation(std::size_t max_lag) const {
+  const std::size_t frames = snapshots_.size();
+  TBMD_REQUIRE(frames >= 2, "VACF: need at least two frames");
+  max_lag = std::min(max_lag, frames);
+  std::vector<double> c(max_lag, 0.0);
+  std::vector<std::size_t> counts(max_lag, 0);
+
+  for (std::size_t t0 = 0; t0 < frames; ++t0) {
+    for (std::size_t lag = 0; lag < max_lag && t0 + lag < frames; ++lag) {
+      const auto& v0 = snapshots_[t0];
+      const auto& vt = snapshots_[t0 + lag];
+      double acc = 0.0;
+      for (std::size_t i = 0; i < v0.size(); ++i) acc += dot(v0[i], vt[i]);
+      c[lag] += acc;
+      ++counts[lag];
+    }
+  }
+  for (std::size_t lag = 0; lag < max_lag; ++lag) {
+    c[lag] /= static_cast<double>(counts[lag]);
+  }
+  const double c0 = c[0];
+  if (c0 > 0.0) {
+    for (double& x : c) x /= c0;
+  }
+  return c;
+}
+
+std::vector<double> VacfAccumulator::spectrum(
+    const std::vector<double>& frequencies, std::size_t max_lag) const {
+  const std::vector<double> c = correlation(max_lag);
+  std::vector<double> out(frequencies.size(), 0.0);
+  const std::size_t m = c.size();
+  for (std::size_t q = 0; q < frequencies.size(); ++q) {
+    const double omega = 2.0 * std::numbers::pi * frequencies[q];
+    double acc = 0.0;
+    for (std::size_t lag = 0; lag < m; ++lag) {
+      const double t = sample_dt_ * static_cast<double>(lag);
+      // Hann window over the lag range.
+      const double w =
+          0.5 * (1.0 + std::cos(std::numbers::pi * static_cast<double>(lag) /
+                                static_cast<double>(m)));
+      acc += c[lag] * std::cos(omega * t) * w;
+    }
+    out[q] = acc * sample_dt_;
+  }
+  return out;
+}
+
+}  // namespace tbmd::analysis

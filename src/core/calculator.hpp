@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file calculator.hpp
+/// \brief The energy/force model interface consumed by the MD engine, the
+/// relaxers and the experiment harness.
+
+#include <string>
+#include <vector>
+
+#include "src/core/system.hpp"
+#include "src/util/timer.hpp"
+
+namespace tbmd {
+
+/// Result of a single energy/force evaluation.
+struct ForceResult {
+  /// Total potential energy (eV).
+  double energy = 0.0;
+  /// Force on each atom (eV/A).
+  std::vector<Vec3> forces;
+  /// Virial tensor W = sum over bonds of r_ij (x) f_ij (eV); the
+  /// instantaneous pressure is (2 KE + tr W) / (3 V).  Zero for cluster
+  /// systems where pressure is undefined.
+  Mat3 virial{};
+
+  // --- model-specific extras (zero / empty when not applicable) ---
+
+  /// Attractive band-structure part of the energy (TB models).
+  double band_energy = 0.0;
+  /// Repulsive pair/embedded part of the energy (TB models).
+  double repulsive_energy = 0.0;
+  /// Single-particle eigenvalues, ascending (TB models with exact
+  /// diagonalization; empty otherwise).
+  std::vector<double> eigenvalues;
+  /// Chemical potential used for the occupations (TB models).
+  double fermi_level = 0.0;
+};
+
+/// Abstract potential-energy surface.
+///
+/// Implementations: TightBindingCalculator (exact diagonalization),
+/// OrderNCalculator (density-matrix purification), TersoffCalculator and
+/// LennardJonesCalculator (classical baselines).
+class Calculator {
+ public:
+  virtual ~Calculator() = default;
+
+  /// Evaluate energy and forces for the current positions of `system`.
+  ///
+  /// Implementations own their neighbor lists and reuse them across calls
+  /// (Verlet-skin), so repeated calls during MD are cheap to set up.
+  virtual ForceResult compute(const System& system) = 0;
+
+  /// Human-readable model name for logs and benchmark tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Wall-clock breakdown by phase, accumulated across compute() calls.
+  /// Phases used by the TB calculators: "neighbors", "hamiltonian",
+  /// "diagonalize", "density", "forces", "repulsive".
+  [[nodiscard]] PhaseTimers& phase_timers() { return timers_; }
+  [[nodiscard]] const PhaseTimers& phase_timers() const { return timers_; }
+
+ protected:
+  PhaseTimers timers_;
+};
+
+}  // namespace tbmd

@@ -1,0 +1,93 @@
+#include "src/core/element.hpp"
+
+#include "src/util/error.hpp"
+#include "src/util/string_util.hpp"
+#include "src/util/units.hpp"
+
+namespace tbmd {
+
+double atomic_mass_amu(Element e) {
+  switch (e) {
+    case Element::H:
+      return 1.008;
+    case Element::B:
+      return 10.811;
+    case Element::C:
+      return 12.011;
+    case Element::N:
+      return 14.007;
+    case Element::O:
+      return 15.999;
+    case Element::Si:
+      return 28.0855;
+    case Element::Ge:
+      return 72.630;
+    case Element::Ar:
+      return 39.948;
+  }
+  throw Error("atomic_mass_amu: unsupported element");
+}
+
+double atomic_mass_program(Element e) {
+  return units::amu_to_program_mass(atomic_mass_amu(e));
+}
+
+std::string_view element_symbol(Element e) {
+  switch (e) {
+    case Element::H:
+      return "H";
+    case Element::B:
+      return "B";
+    case Element::C:
+      return "C";
+    case Element::N:
+      return "N";
+    case Element::O:
+      return "O";
+    case Element::Si:
+      return "Si";
+    case Element::Ge:
+      return "Ge";
+    case Element::Ar:
+      return "Ar";
+  }
+  throw Error("element_symbol: unsupported element");
+}
+
+Element element_from_symbol(std::string_view symbol) {
+  const std::string s = to_lower(trim(symbol));
+  if (s == "h") return Element::H;
+  if (s == "b") return Element::B;
+  if (s == "c") return Element::C;
+  if (s == "n") return Element::N;
+  if (s == "o") return Element::O;
+  if (s == "si") return Element::Si;
+  if (s == "ge") return Element::Ge;
+  if (s == "ar") return Element::Ar;
+  throw Error("element_from_symbol: unknown symbol '" + std::string(symbol) +
+              "'");
+}
+
+int valence_electrons(Element e) {
+  switch (e) {
+    case Element::H:
+      return 1;
+    case Element::B:
+      return 3;
+    case Element::C:
+      return 4;
+    case Element::N:
+      return 5;
+    case Element::O:
+      return 6;
+    case Element::Si:
+      return 4;
+    case Element::Ge:
+      return 4;
+    case Element::Ar:
+      return 8;
+  }
+  throw Error("valence_electrons: unsupported element");
+}
+
+}  // namespace tbmd

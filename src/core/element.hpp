@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file element.hpp
+/// \brief Chemical elements supported by the shipped models.
+
+#include <string>
+#include <string_view>
+
+namespace tbmd {
+
+/// Elements with parameterizations or masses in this library.  Values are
+/// atomic numbers.
+enum class Element : int {
+  H = 1,
+  B = 5,
+  C = 6,
+  N = 7,
+  O = 8,
+  Si = 14,
+  Ge = 32,
+  Ar = 18,
+};
+
+/// Atomic mass in amu (IUPAC conventional values).
+[[nodiscard]] double atomic_mass_amu(Element e);
+
+/// Atomic mass converted to program mass units (eV fs^2 / A^2).
+[[nodiscard]] double atomic_mass_program(Element e);
+
+/// Chemical symbol ("C", "Si", ...).
+[[nodiscard]] std::string_view element_symbol(Element e);
+
+/// Parse a chemical symbol (case-insensitive); throws tbmd::Error for
+/// unknown symbols.
+[[nodiscard]] Element element_from_symbol(std::string_view symbol);
+
+/// Number of valence electrons in the sp-valent tight-binding picture.
+[[nodiscard]] int valence_electrons(Element e);
+
+}  // namespace tbmd

@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file mat3.hpp
+/// \brief 3x3 matrix for lattice vectors and small tensor algebra.
+
+#include "src/geom/vec3.hpp"
+#include "src/util/error.hpp"
+
+namespace tbmd {
+
+/// Row-major 3x3 matrix.  When used as a cell matrix, row i is lattice
+/// vector a_i in Cartesian coordinates.
+struct Mat3 {
+  double m[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+
+  constexpr Mat3() = default;
+
+  /// From three row vectors.
+  constexpr Mat3(const Vec3& r0, const Vec3& r1, const Vec3& r2)
+      : m{{r0.x, r0.y, r0.z}, {r1.x, r1.y, r1.z}, {r2.x, r2.y, r2.z}} {}
+
+  [[nodiscard]] static constexpr Mat3 identity() {
+    return Mat3({1, 0, 0}, {0, 1, 0}, {0, 0, 1});
+  }
+
+  [[nodiscard]] static constexpr Mat3 diagonal(double a, double b, double c) {
+    return Mat3({a, 0, 0}, {0, b, 0}, {0, 0, c});
+  }
+
+  [[nodiscard]] constexpr double operator()(int i, int j) const {
+    return m[i][j];
+  }
+  [[nodiscard]] constexpr double& operator()(int i, int j) { return m[i][j]; }
+
+  /// Row i as a vector.
+  [[nodiscard]] constexpr Vec3 row(int i) const {
+    return {m[i][0], m[i][1], m[i][2]};
+  }
+
+  constexpr Mat3& operator+=(const Mat3& o) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) m[i][j] += o.m[i][j];
+    }
+    return *this;
+  }
+  constexpr Mat3& operator-=(const Mat3& o) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) m[i][j] -= o.m[i][j];
+    }
+    return *this;
+  }
+  constexpr Mat3& operator*=(double s) {
+    for (auto& row_ : m) {
+      for (double& x : row_) x *= s;
+    }
+    return *this;
+  }
+
+  friend constexpr Mat3 operator+(Mat3 a, const Mat3& b) { return a += b; }
+  friend constexpr Mat3 operator-(Mat3 a, const Mat3& b) { return a -= b; }
+  friend constexpr Mat3 operator*(Mat3 a, double s) { return a *= s; }
+};
+
+/// Outer product a b^T.
+[[nodiscard]] constexpr Mat3 outer(const Vec3& a, const Vec3& b) {
+  return Mat3({a.x * b.x, a.x * b.y, a.x * b.z},
+              {a.y * b.x, a.y * b.y, a.y * b.z},
+              {a.z * b.x, a.z * b.y, a.z * b.z});
+}
+
+/// Trace.
+[[nodiscard]] constexpr double trace(const Mat3& a) {
+  return a(0, 0) + a(1, 1) + a(2, 2);
+}
+
+/// Matrix * column vector.
+[[nodiscard]] constexpr Vec3 operator*(const Mat3& a, const Vec3& v) {
+  return {a(0, 0) * v.x + a(0, 1) * v.y + a(0, 2) * v.z,
+          a(1, 0) * v.x + a(1, 1) * v.y + a(1, 2) * v.z,
+          a(2, 0) * v.x + a(2, 1) * v.y + a(2, 2) * v.z};
+}
+
+/// Row vector * matrix (v^T A); the natural operation for fractional ->
+/// Cartesian conversion when rows are lattice vectors.
+[[nodiscard]] constexpr Vec3 row_times(const Vec3& v, const Mat3& a) {
+  return {v.x * a(0, 0) + v.y * a(1, 0) + v.z * a(2, 0),
+          v.x * a(0, 1) + v.y * a(1, 1) + v.z * a(2, 1),
+          v.x * a(0, 2) + v.y * a(1, 2) + v.z * a(2, 2)};
+}
+
+/// Matrix product.
+[[nodiscard]] constexpr Mat3 operator*(const Mat3& a, const Mat3& b) {
+  Mat3 c;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      c(i, j) = a(i, 0) * b(0, j) + a(i, 1) * b(1, j) + a(i, 2) * b(2, j);
+    }
+  }
+  return c;
+}
+
+/// Determinant.
+[[nodiscard]] constexpr double det(const Mat3& a) {
+  return dot(a.row(0), cross(a.row(1), a.row(2)));
+}
+
+/// Inverse; throws tbmd::Error when singular.
+[[nodiscard]] inline Mat3 inverse(const Mat3& a) {
+  const double d = det(a);
+  TBMD_REQUIRE(std::fabs(d) > 1e-14, "Mat3: singular matrix");
+  const Vec3 r0 = a.row(0), r1 = a.row(1), r2 = a.row(2);
+  const Vec3 c0 = cross(r1, r2) / d;
+  const Vec3 c1 = cross(r2, r0) / d;
+  const Vec3 c2 = cross(r0, r1) / d;
+  // inverse columns are the reciprocal vectors -> build by rows.
+  return Mat3({c0.x, c1.x, c2.x}, {c0.y, c1.y, c2.y}, {c0.z, c1.z, c2.z});
+}
+
+/// Transpose.
+[[nodiscard]] constexpr Mat3 transpose(const Mat3& a) {
+  return Mat3({a(0, 0), a(1, 0), a(2, 0)}, {a(0, 1), a(1, 1), a(2, 1)},
+              {a(0, 2), a(1, 2), a(2, 2)});
+}
+
+}  // namespace tbmd

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file vec3.hpp
+/// \brief 3-component Cartesian vector (double precision, value type).
+
+#include <cmath>
+
+namespace tbmd {
+
+/// Cartesian 3-vector.  All operations are constexpr-friendly value
+/// semantics; this is the coordinate/force/velocity currency of the library.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  /// Component access by axis index (0 = x, 1 = y, 2 = z).
+  [[nodiscard]] constexpr double operator[](int axis) const {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+};
+
+/// Dot product.
+[[nodiscard]] constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/// Cross product.
+[[nodiscard]] constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+/// Squared Euclidean norm.
+[[nodiscard]] constexpr double norm2_sq(const Vec3& a) { return dot(a, a); }
+
+/// Euclidean norm.
+[[nodiscard]] inline double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+/// Unit vector along a (a must be non-zero).
+[[nodiscard]] inline Vec3 normalized(const Vec3& a) { return a / norm(a); }
+
+}  // namespace tbmd

@@ -1,0 +1,107 @@
+#include "src/io/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/util/string_util.hpp"
+
+namespace tbmd::io {
+
+Config Config::parse_string(const std::string& text) {
+  Config cfg;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string_view stripped = trim(line);
+    if (stripped.empty()) continue;
+    const std::size_t eq = stripped.find('=');
+    TBMD_REQUIRE(eq != std::string::npos,
+                 "config line " + std::to_string(line_no) + ": missing '='");
+    const std::string key = to_lower(trim(stripped.substr(0, eq)));
+    const std::string value{trim(stripped.substr(eq + 1))};
+    TBMD_REQUIRE(!key.empty(),
+                 "config line " + std::to_string(line_no) + ": empty key");
+    TBMD_REQUIRE(!cfg.values_.count(key), "config line " +
+                                              std::to_string(line_no) +
+                                              ": duplicate key '" + key + "'");
+    cfg.values_[key] = value;
+    cfg.order_.push_back(key);
+  }
+  return cfg;
+}
+
+Config Config::parse_file(const std::string& path) {
+  std::ifstream f(path);
+  TBMD_REQUIRE(f.good(), "config: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return parse_string(buffer.str());
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(to_lower(key)) > 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(to_lower(key));
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::string Config::require_string(const std::string& key) const {
+  const auto it = values_.find(to_lower(key));
+  TBMD_REQUIRE(it != values_.end(),
+               "config: required key '" + key + "' is missing");
+  return it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(to_lower(key));
+  if (it == values_.end()) return fallback;
+  return parse_double(it->second, "config key '" + key + "'");
+}
+
+long Config::get_long(const std::string& key, long fallback) const {
+  const auto it = values_.find(to_lower(key));
+  if (it == values_.end()) return fallback;
+  return parse_long(it->second, "config key '" + key + "'");
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(to_lower(key));
+  if (it == values_.end()) return fallback;
+  const std::string v = to_lower(it->second);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  throw Error("config: key '" + key + "' is not a boolean: '" + it->second +
+              "'");
+}
+
+std::vector<long> Config::get_longs(const std::string& key,
+                                    std::vector<long> fallback) const {
+  const auto it = values_.find(to_lower(key));
+  if (it == values_.end()) return fallback;
+  std::vector<long> out;
+  for (const std::string& tok : split_whitespace(it->second)) {
+    out.push_back(parse_long(tok, "config key '" + key + "'"));
+  }
+  return out;
+}
+
+std::vector<double> Config::get_doubles(const std::string& key,
+                                        std::vector<double> fallback) const {
+  const auto it = values_.find(to_lower(key));
+  if (it == values_.end()) return fallback;
+  std::vector<double> out;
+  for (const std::string& tok : split_whitespace(it->second)) {
+    out.push_back(parse_double(tok, "config key '" + key + "'"));
+  }
+  return out;
+}
+
+}  // namespace tbmd::io

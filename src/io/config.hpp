@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file config.hpp
+/// \brief Keyword configuration files for the simulation runner.
+///
+/// Format: one `key = value` pair per line; `#` starts a comment; keys are
+/// case-insensitive; values keep their spelling.  Lists are whitespace
+/// separated ("cells = 2 2 2").
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tbmd::io {
+
+/// Parsed key-value configuration.
+class Config {
+ public:
+  /// Parse from text; throws tbmd::Error with the line number on syntax
+  /// errors (missing '=', empty key, duplicate key).
+  [[nodiscard]] static Config parse_string(const std::string& text);
+
+  /// Parse a file; throws tbmd::Error if unreadable.
+  [[nodiscard]] static Config parse_file(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters with defaults.  The *required* variants throw with the
+  /// key name when absent.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::string require_string(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::vector<long> get_longs(const std::string& key,
+                                            std::vector<long> fallback) const;
+  [[nodiscard]] std::vector<double> get_doubles(
+      const std::string& key, std::vector<double> fallback) const;
+
+  /// All keys (normalized to lower case, insertion order).
+  [[nodiscard]] const std::vector<std::string>& keys() const { return order_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace tbmd::io

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief Fixed-width table printing and CSV export for the experiment
+/// harness (every bench prints its table through this, so the output format
+/// matches across experiments).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tbmd::io {
+
+/// Column-aligned text table with an optional CSV mirror.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row (stringified cells; size must match the header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into a row.
+  void add_numeric_row(const std::vector<double>& values, int precision = 6);
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Write CSV to `path` (truncates).
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tbmd::io

@@ -1,0 +1,155 @@
+#include "src/io/xyz.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/util/string_util.hpp"
+
+namespace tbmd::io {
+
+namespace {
+
+std::string lattice_annotation(const Cell& cell) {
+  if (!cell.periodic()) return "";
+  std::ostringstream os;
+  os << std::setprecision(12);
+  const Mat3& h = cell.h();
+  os << "Lattice=\"";
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      os << h(i, j);
+      if (i != 2 || j != 2) os << ' ';
+    }
+  }
+  os << "\" pbc=\"" << (cell.periodic(0) ? 'T' : 'F') << ' '
+     << (cell.periodic(1) ? 'T' : 'F') << ' '
+     << (cell.periodic(2) ? 'T' : 'F') << '"';
+  return os.str();
+}
+
+}  // namespace
+
+void write_xyz(std::ostream& os, const System& system,
+               const std::string& comment, bool with_velocities) {
+  os << system.size() << '\n';
+  std::string annotation = lattice_annotation(system.cell());
+  if (with_velocities) {
+    if (!annotation.empty()) annotation += ' ';
+    annotation += "Properties=species:S:1:pos:R:3:vel:R:3";
+  }
+  os << comment;
+  if (!comment.empty() && !annotation.empty()) os << ' ';
+  os << annotation << '\n';
+  os << std::setprecision(12);
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const Vec3& r = system.positions()[i];
+    os << element_symbol(system.species()[i]) << ' ' << r.x << ' ' << r.y
+       << ' ' << r.z;
+    if (with_velocities) {
+      const Vec3& v = system.velocities()[i];
+      os << ' ' << v.x << ' ' << v.y << ' ' << v.z;
+    }
+    os << '\n';
+  }
+}
+
+void write_xyz_file(const std::string& path, const System& system,
+                    const std::string& comment, bool with_velocities) {
+  std::ofstream f(path);
+  TBMD_REQUIRE(f.good(), "write_xyz_file: cannot open '" + path + "'");
+  write_xyz(f, system, comment, with_velocities);
+  TBMD_REQUIRE(f.good(), "write_xyz_file: write failed for '" + path + "'");
+}
+
+bool read_xyz(std::istream& is, System& out) {
+  std::string line;
+  // Skip blank lines between frames.
+  do {
+    if (!std::getline(is, line)) return false;
+  } while (trim(line).empty());
+
+  const long n = parse_long(trim(line), "xyz atom count");
+  TBMD_REQUIRE(n >= 0, "read_xyz: negative atom count");
+
+  std::string comment;
+  TBMD_REQUIRE(static_cast<bool>(std::getline(is, comment)),
+               "read_xyz: missing comment line");
+
+  // Parse an optional Lattice="..." annotation.
+  Cell cell;
+  const std::size_t lat = comment.find("Lattice=\"");
+  if (lat != std::string::npos) {
+    const std::size_t start = lat + 9;
+    const std::size_t end = comment.find('"', start);
+    TBMD_REQUIRE(end != std::string::npos, "read_xyz: unterminated Lattice");
+    const auto nums = split_whitespace(comment.substr(start, end - start));
+    TBMD_REQUIRE(nums.size() == 9, "read_xyz: Lattice needs 9 numbers");
+    double v[9];
+    for (int k = 0; k < 9; ++k) v[k] = parse_double(nums[k], "Lattice entry");
+    bool pbc[3] = {true, true, true};
+    const std::size_t pq = comment.find("pbc=\"");
+    if (pq != std::string::npos) {
+      const std::size_t pstart = pq + 5;
+      const std::size_t pend = comment.find('"', pstart);
+      if (pend != std::string::npos) {
+        const auto flags =
+            split_whitespace(comment.substr(pstart, pend - pstart));
+        for (std::size_t k = 0; k < flags.size() && k < 3; ++k) {
+          pbc[k] = iequals(flags[k], "T") || flags[k] == "1" ||
+                   iequals(flags[k], "true");
+        }
+      }
+    }
+    cell = Cell({v[0], v[1], v[2]}, {v[3], v[4], v[5]}, {v[6], v[7], v[8]},
+                pbc[0], pbc[1], pbc[2]);
+  }
+
+  System sys(cell);
+  for (long i = 0; i < n; ++i) {
+    TBMD_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                 "read_xyz: truncated frame");
+    const auto tok = split_whitespace(line);
+    TBMD_REQUIRE(tok.size() >= 4, "read_xyz: atom line needs symbol + xyz");
+    Vec3 velocity{};
+    if (tok.size() >= 7) {
+      velocity = {parse_double(tok[4], "vx"), parse_double(tok[5], "vy"),
+                  parse_double(tok[6], "vz")};
+    }
+    sys.add_atom(element_from_symbol(tok[0]),
+                 {parse_double(tok[1], "x"), parse_double(tok[2], "y"),
+                  parse_double(tok[3], "z")},
+                 velocity);
+  }
+  out = std::move(sys);
+  return true;
+}
+
+System read_xyz_file(const std::string& path) {
+  std::ifstream f(path);
+  TBMD_REQUIRE(f.good(), "read_xyz_file: cannot open '" + path + "'");
+  System s;
+  TBMD_REQUIRE(read_xyz(f, s), "read_xyz_file: no frame in '" + path + "'");
+  return s;
+}
+
+struct TrajectoryWriter::Impl {
+  std::ofstream stream;
+};
+
+TrajectoryWriter::TrajectoryWriter(const std::string& path)
+    : impl_(new Impl{std::ofstream(path)}) {
+  TBMD_REQUIRE(impl_->stream.good(),
+               "TrajectoryWriter: cannot open '" + path + "'");
+}
+
+TrajectoryWriter::~TrajectoryWriter() { delete impl_; }
+
+void TrajectoryWriter::add_frame(const System& system,
+                                 const std::string& comment) {
+  write_xyz(impl_->stream, system, comment);
+  ++frames_;
+}
+
+}  // namespace tbmd::io

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file xyz.hpp
+/// \brief XYZ / extended-XYZ configuration I/O.
+///
+/// Extended-XYZ comment lines of the form
+///   Lattice="ax ay az bx by bz cx cy cz" pbc="T T F" ...
+/// round-trip the periodic cell; plain XYZ files read back as clusters.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/system.hpp"
+
+namespace tbmd::io {
+
+/// Write one configuration in extended-XYZ format.  With
+/// `with_velocities` each atom line carries vx vy vz (A/fs) after the
+/// position, making the file a complete MD restart.
+void write_xyz(std::ostream& os, const System& system,
+               const std::string& comment = "",
+               bool with_velocities = false);
+
+/// Write to a file (truncates).  Throws tbmd::Error on I/O failure.
+void write_xyz_file(const std::string& path, const System& system,
+                    const std::string& comment = "",
+                    bool with_velocities = false);
+
+/// Read one configuration (positions + species + optional lattice +
+/// optional velocities) from a stream.  Returns false at end-of-stream;
+/// throws tbmd::Error on malformed input.
+bool read_xyz(std::istream& is, System& out);
+
+/// Read the first configuration of a file.  Throws on failure.
+[[nodiscard]] System read_xyz_file(const std::string& path);
+
+/// Append-mode trajectory writer.
+class TrajectoryWriter {
+ public:
+  /// Opens (truncates) `path`.
+  explicit TrajectoryWriter(const std::string& path);
+  ~TrajectoryWriter();
+  TrajectoryWriter(const TrajectoryWriter&) = delete;
+  TrajectoryWriter& operator=(const TrajectoryWriter&) = delete;
+
+  /// Append one frame.
+  void add_frame(const System& system, const std::string& comment = "");
+
+  [[nodiscard]] std::size_t frames_written() const { return frames_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t frames_ = 0;
+};
+
+}  // namespace tbmd::io

@@ -1,0 +1,92 @@
+#include "src/linalg/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/parallel.hpp"
+
+namespace tbmd::linalg {
+
+namespace {
+/// Cache tile edge for the blocked GEMM.  64 doubles = 512 B per row tile;
+/// a 64x64 tile of each operand fits comfortably in L1/L2.
+constexpr std::size_t kTile = 64;
+}  // namespace
+
+void gemm_accumulate(double alpha, const Matrix& a, const Matrix& b,
+                     Matrix& c) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  TBMD_REQUIRE(b.rows() == k, "gemm: inner dimensions differ");
+  TBMD_REQUIRE(c.rows() == m && c.cols() == n, "gemm: C has wrong shape");
+
+  // i-k-j loop order with tiling: the innermost loop streams rows of B and C.
+#pragma omp parallel for schedule(static) if (m * n * k > 100000)
+  for (std::size_t i0 = 0; i0 < m; i0 += kTile) {
+    const std::size_t i1 = std::min(i0 + kTile, m);
+    for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+      const std::size_t k1 = std::min(k0 + kTile, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+        const std::size_t j1 = std::min(j0 + kTile, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double* arow = a.row(i);
+          double* crow = c.row(i);
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const double aik = alpha * arow[kk];
+            if (aik == 0.0) continue;
+            const double* brow = b.row(kk);
+            for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols(), 0.0);
+  gemm_accumulate(1.0, a, b, c);
+  return c;
+}
+
+std::vector<double> matvec(const Matrix& a, const std::vector<double>& x) {
+  TBMD_REQUIRE(a.cols() == x.size(), "matvec: shape mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+#pragma omp parallel for schedule(static) if (a.rows() * a.cols() > 100000)
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::vector<double> matvec_transposed(const Matrix& a,
+                                      const std::vector<double>& x) {
+  TBMD_REQUIRE(a.rows() == x.size(), "matvec_transposed: shape mismatch");
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    const double xi = x[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * arow[j];
+  }
+  return y;
+}
+
+double dot(const std::vector<double>& x, const std::vector<double>& y) {
+  TBMD_REQUIRE(x.size() == y.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  TBMD_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(const std::vector<double>& x) { return std::sqrt(dot(x, x)); }
+
+}  // namespace tbmd::linalg

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file blas.hpp
+/// \brief BLAS-like dense kernels (OpenMP-parallel where profitable).
+///
+/// These are the building blocks the electronic-structure layer leans on:
+/// GEMM for density-matrix assembly, GEMV/SYMV for iterative methods, and a
+/// handful of level-1 helpers.  The blocked GEMM is cache-tiled and
+/// parallelized over row panels.
+
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace tbmd::linalg {
+
+/// C = A * B (shapes must conform).  Cache-blocked, OpenMP-parallel.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C += alpha * A * B.  C must already have the product shape.
+void gemm_accumulate(double alpha, const Matrix& a, const Matrix& b, Matrix& c);
+
+/// y = A * x.
+[[nodiscard]] std::vector<double> matvec(const Matrix& a,
+                                         const std::vector<double>& x);
+
+/// y = A^T * x.
+[[nodiscard]] std::vector<double> matvec_transposed(
+    const Matrix& a, const std::vector<double>& x);
+
+/// Dot product.
+[[nodiscard]] double dot(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+/// y += alpha * x.
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(const std::vector<double>& x);
+
+}  // namespace tbmd::linalg

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file cholesky.hpp
+/// \brief Cholesky factorization and triangular solves.
+///
+/// Used by the non-orthogonal tight-binding hooks (Loewdin-style reduction
+/// of a generalized eigenproblem), by the E(V) quadratic fits in the
+/// benchmark harness (normal equations), and as a positive-definiteness
+/// probe in the test suite.
+
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace tbmd::linalg {
+
+/// Lower-triangular L with A = L L^T.  Throws tbmd::Error if A is not
+/// (numerically) positive definite.
+[[nodiscard]] Matrix cholesky_factor(const Matrix& a);
+
+/// Solve A x = b given the Cholesky factor L of A (forward + back
+/// substitution).
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& l,
+                                                 const std::vector<double>& b);
+
+/// Convenience: solve the linear least-squares problem min ||M x - y||_2 via
+/// the normal equations M^T M x = M^T y.  Suitable for the small,
+/// well-conditioned polynomial fits used by the experiment harness.
+[[nodiscard]] std::vector<double> least_squares(const Matrix& m,
+                                                const std::vector<double>& y);
+
+}  // namespace tbmd::linalg

@@ -1,0 +1,83 @@
+#include "src/linalg/hermitian.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::linalg {
+
+namespace {
+
+void check_hermitian_parts(const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  TBMD_REQUIRE(a.cols() == n && b.rows() == n && b.cols() == n,
+               "eigh_hermitian: A and B must be square and same size");
+  TBMD_REQUIRE(symmetry_defect(a) < 1e-9,
+               "eigh_hermitian: real part must be symmetric");
+  // Antisymmetry check: B + B^T ~ 0.
+  double defect = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      defect = std::max(defect, std::fabs(b(i, j) + b(j, i)));
+    }
+  }
+  TBMD_REQUIRE(defect < 1e-9, "eigh_hermitian: imag part must be antisymmetric");
+}
+
+Matrix embed(const Matrix& a, const Matrix& b) {
+  const std::size_t n = a.rows();
+  Matrix m(2 * n, 2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = a(i, j);
+      m(n + i, n + j) = a(i, j);
+      m(i, n + j) = -b(i, j);
+      m(n + i, j) = b(i, j);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+HermitianEigenSolution eigh_hermitian(const Matrix& a, const Matrix& b) {
+  check_hermitian_parts(a, b);
+  const std::size_t n = a.rows();
+  const SymmetricEigenSolution full = eigh(embed(a, b));
+
+  // Every eigenvalue of H appears twice in the embedding (ascending order
+  // keeps the pairs adjacent); take one representative per pair.
+  HermitianEigenSolution out;
+  out.values.resize(n);
+  out.vectors_real.resize(n, n);
+  out.vectors_imag.resize(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = 0.5 * (full.values[2 * k] + full.values[2 * k + 1]);
+    // Normalize the complex vector x + iy from the 2n-vector (x; y).
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = full.vectors(i, 2 * k);
+      const double y = full.vectors(n + i, 2 * k);
+      norm_sq += x * x + y * y;
+    }
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors_real(i, k) = inv * full.vectors(i, 2 * k);
+      out.vectors_imag(i, k) = inv * full.vectors(n + i, 2 * k);
+    }
+  }
+  return out;
+}
+
+std::vector<double> eigvalsh_hermitian(const Matrix& a, const Matrix& b) {
+  check_hermitian_parts(a, b);
+  const std::size_t n = a.rows();
+  const std::vector<double> full = eigvalsh(embed(a, b));
+  std::vector<double> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = 0.5 * (full[2 * k] + full[2 * k + 1]);
+  }
+  return out;
+}
+
+}  // namespace tbmd::linalg

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file hermitian.hpp
+/// \brief Complex Hermitian eigensolver via the real-symmetric embedding.
+///
+/// A Hermitian matrix H = A + iB (A symmetric, B antisymmetric) embeds into
+/// the real symmetric 2n x 2n matrix
+///     M = [ A  -B ]
+///         [ B   A ]
+/// whose spectrum is that of H with every eigenvalue doubled; an eigenpair
+/// (lambda, (x; y)) of M gives the eigenvector x + iy of H.  This reuses
+/// the Householder+QL machinery and is how the k-space tight-binding layer
+/// (tb/bloch.hpp) diagonalizes H(k).
+
+#include <vector>
+
+#include "src/linalg/eigen_sym.hpp"
+#include "src/linalg/matrix.hpp"
+
+namespace tbmd::linalg {
+
+/// Eigenvalues (ascending) and eigenvectors of a Hermitian matrix
+/// H = A + iB.  Column j of (vectors_real, vectors_imag) is the complex
+/// eigenvector for values[j].
+struct HermitianEigenSolution {
+  std::vector<double> values;
+  Matrix vectors_real;
+  Matrix vectors_imag;
+};
+
+/// Full eigendecomposition of H = a + i*b.
+///
+/// Requires a symmetric, b antisymmetric, both n x n (validated).  Cost is
+/// one real symmetric solve of size 2n.
+[[nodiscard]] HermitianEigenSolution eigh_hermitian(const Matrix& a,
+                                                    const Matrix& b);
+
+/// Eigenvalues only (ascending).
+[[nodiscard]] std::vector<double> eigvalsh_hermitian(const Matrix& a,
+                                                     const Matrix& b);
+
+}  // namespace tbmd::linalg

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file jacobi.hpp
+/// \brief Cyclic Jacobi eigensolver for symmetric matrices.
+///
+/// Slower than the Householder+QL path (eigen_sym.hpp) but simple enough to
+/// be obviously correct; it serves as the verification oracle in the test
+/// suite and as a historically faithful alternative (systolic Jacobi was a
+/// popular parallel eigensolver in the early 1990s).
+
+#include "src/linalg/eigen_sym.hpp"
+
+namespace tbmd::linalg {
+
+/// Full eigendecomposition by cyclic Jacobi rotations.
+///
+/// Sweeps until the off-diagonal Frobenius norm falls below `tol` times the
+/// matrix norm, or throws after `max_sweeps`.
+[[nodiscard]] SymmetricEigenSolution jacobi_eigh(const Matrix& a,
+                                                 double tol = 1e-12,
+                                                 int max_sweeps = 100);
+
+}  // namespace tbmd::linalg

@@ -1,0 +1,91 @@
+#include "src/linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tbmd::linalg {
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  TBMD_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in +=");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += o.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  TBMD_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in -=");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= o.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+double max_abs(const Matrix& a) {
+  double m = 0.0;
+  const double* p = a.data();
+  const std::size_t n = a.rows() * a.cols();
+  for (std::size_t k = 0; k < n; ++k) m = std::max(m, std::fabs(p[k]));
+  return m;
+}
+
+double frobenius_norm(const Matrix& a) {
+  double s = 0.0;
+  const double* p = a.data();
+  const std::size_t n = a.rows() * a.cols();
+  for (std::size_t k = 0; k < n; ++k) s += p[k] * p[k];
+  return std::sqrt(s);
+}
+
+double symmetry_defect(const Matrix& a) {
+  TBMD_REQUIRE(a.rows() == a.cols(), "symmetry_defect requires square matrix");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      m = std::max(m, std::fabs(a(i, j) - a(j, i)));
+    }
+  }
+  return m;
+}
+
+void symmetrize(Matrix& a) {
+  TBMD_REQUIRE(a.rows() == a.cols(), "symmetrize requires square matrix");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      const double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+}
+
+double trace(const Matrix& a) {
+  TBMD_REQUIRE(a.rows() == a.cols(), "trace requires square matrix");
+  double t = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) t += a(i, i);
+  return t;
+}
+
+double trace_of_product(const Matrix& a, const Matrix& b) {
+  TBMD_REQUIRE(a.rows() == a.cols() && b.rows() == b.cols() &&
+                   a.rows() == b.rows(),
+               "trace_of_product requires square same-size matrices");
+  // tr(AB) = sum_ij A(i,j) B(j,i)
+  double t = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) t += arow[j] * b(j, i);
+  }
+  return t;
+}
+
+}  // namespace tbmd::linalg

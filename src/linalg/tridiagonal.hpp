@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file tridiagonal.hpp
+/// \brief Symmetric tridiagonal utilities: Sturm-sequence eigenvalue counts
+/// and bisection eigenvalues.
+///
+/// The Sturm count is used as an independent property-test oracle for the
+/// QL eigensolver and for cheap integrated-density-of-states queries (how
+/// many states below the Fermi level) without a full diagonalization.
+
+#include <cstddef>
+#include <vector>
+
+namespace tbmd::linalg {
+
+/// Number of eigenvalues of the symmetric tridiagonal matrix (diagonal d,
+/// subdiagonal e with the convention e[i] = T(i, i-1), e[0] unused) that are
+/// strictly less than x.
+[[nodiscard]] std::size_t sturm_count(const std::vector<double>& d,
+                                      const std::vector<double>& e, double x);
+
+/// k-th smallest eigenvalue (0-based) of the symmetric tridiagonal matrix by
+/// Sturm bisection, to absolute tolerance `tol`.
+[[nodiscard]] double tridiagonal_eigenvalue(const std::vector<double>& d,
+                                            const std::vector<double>& e,
+                                            std::size_t k, double tol = 1e-12);
+
+}  // namespace tbmd::linalg

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file gear.hpp
+/// \brief 5th-order Gear predictor-corrector integrator.
+///
+/// The dominant MD integrator of the 1980s-early 90s literature and the
+/// era-authentic alternative to velocity Verlet.  Higher short-time
+/// accuracy (useful for vibrational spectra) but no symplectic long-time
+/// energy bound -- the trade-off quantified by the EXP-A1 ablation.
+
+#include <vector>
+
+#include "src/core/calculator.hpp"
+#include "src/core/system.hpp"
+
+namespace tbmd::md {
+
+/// 5th-order Gear predictor-corrector driver (NVE only).
+///
+/// Keeps Taylor derivatives up to r^(5) per atom.  One force evaluation
+/// per step, like Verlet.
+class GearDriver {
+ public:
+  GearDriver(System& system, Calculator& calculator, double dt);
+
+  /// Advance one timestep.
+  void step();
+
+  /// Advance n steps.
+  void run(long n_steps);
+
+  [[nodiscard]] const ForceResult& last_result() const { return result_; }
+  [[nodiscard]] double total_energy() const {
+    return system_->kinetic_energy() + result_.energy;
+  }
+  [[nodiscard]] long step_count() const { return step_count_; }
+  [[nodiscard]] System& system() { return *system_; }
+
+ private:
+  System* system_;
+  Calculator* calculator_;
+  double dt_;
+  ForceResult result_;
+  long step_count_ = 0;
+  // Scaled Taylor derivatives: d_[k][i] = r_i^(k) dt^k / k!  for k = 2..5.
+  std::vector<std::vector<Vec3>> d_;
+};
+
+}  // namespace tbmd::md

@@ -1,0 +1,69 @@
+#include "src/md/md_driver.hpp"
+
+#include "src/util/error.hpp"
+
+namespace tbmd::md {
+
+MdDriver::MdDriver(System& system, Calculator& calculator, MdOptions options)
+    : system_(&system), calculator_(&calculator), options_(std::move(options)) {
+  TBMD_REQUIRE(options_.dt > 0.0, "MdDriver: timestep must be positive");
+  // Initial force evaluation so the first step has forces available.
+  result_ = calculator_->compute(*system_);
+  TBMD_REQUIRE(result_.forces.size() == system_->size(),
+               "MdDriver: calculator returned wrong force count");
+}
+
+void MdDriver::step() {
+  const double dt = options_.dt;
+  System& sys = *system_;
+  auto& vel = sys.velocities();
+  auto& pos = sys.positions();
+
+  if (options_.thermostat) options_.thermostat->begin_step(sys, dt);
+
+  // First half-kick + drift.
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    if (sys.frozen(i)) continue;
+    vel[i] += (0.5 * dt / sys.mass(i)) * result_.forces[i];
+    pos[i] += dt * vel[i];
+  }
+
+  // New forces at the updated positions.
+  result_ = calculator_->compute(sys);
+
+  // Second half-kick.
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    if (sys.frozen(i)) continue;
+    vel[i] += (0.5 * dt / sys.mass(i)) * result_.forces[i];
+  }
+
+  if (options_.thermostat) options_.thermostat->end_step(sys, dt);
+  ++step_count_;
+}
+
+void MdDriver::run(long n_steps, const Observer& observer) {
+  for (long s = 0; s < n_steps; ++s) {
+    step();
+    if (observer) observer(*this, step_count_);
+  }
+}
+
+void MdDriver::ramp_temperature(double kelvin, long n_steps,
+                                const Observer& observer) {
+  if (!options_.thermostat || n_steps <= 0) return;
+  const double t0 = options_.thermostat->target();
+  for (long s = 1; s <= n_steps; ++s) {
+    const double frac = static_cast<double>(s) / static_cast<double>(n_steps);
+    options_.thermostat->set_target(t0 + frac * (kelvin - t0));
+    step();
+    if (observer) observer(*this, step_count_);
+  }
+}
+
+double MdDriver::conserved_quantity() const {
+  double e = total_energy();
+  if (options_.thermostat) e += options_.thermostat->energy(*system_);
+  return e;
+}
+
+}  // namespace tbmd::md

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file md_driver.hpp
+/// \brief Velocity-Verlet molecular dynamics driver.
+///
+/// Supports microcanonical (NVE) runs, canonical (NVT) runs with any
+/// Thermostat, linear temperature ramps (the paper's 0.5 K/fs protocol),
+/// frozen-atom constraints, and per-step observers for on-the-fly analysis.
+
+#include <functional>
+#include <memory>
+
+#include "src/core/calculator.hpp"
+#include "src/core/system.hpp"
+#include "src/md/thermostat.hpp"
+
+namespace tbmd::md {
+
+/// Integration options.
+struct MdOptions {
+  double dt = 1.0;  ///< timestep (fs)
+  /// Thermostat; null runs NVE.  Owned by the driver.
+  std::unique_ptr<Thermostat> thermostat;
+};
+
+/// Velocity-Verlet MD driver.
+///
+/// The driver borrows the System and Calculator (both must outlive it) and
+/// keeps the last ForceResult cached so observers can read energies and
+/// eigenvalues without recomputing.
+class MdDriver {
+ public:
+  /// Observer called after every step.
+  using Observer = std::function<void(const MdDriver&, long step)>;
+
+  MdDriver(System& system, Calculator& calculator, MdOptions options);
+
+  /// Advance one timestep.
+  void step();
+
+  /// Advance n steps, invoking `observer` (if any) after each.
+  void run(long n_steps, const Observer& observer = {});
+
+  /// Linearly ramp the thermostat target from its current value to
+  /// `kelvin` over the next `n_steps` steps while integrating (no-op
+  /// without a thermostat).  The paper's heating protocol corresponds to
+  /// ramp_temperature(T_next, (T_next - T_now) / (0.5 K/fs) / dt).
+  void ramp_temperature(double kelvin, long n_steps,
+                        const Observer& observer = {});
+
+  /// Potential energy surface result from the most recent force call.
+  [[nodiscard]] const ForceResult& last_result() const { return result_; }
+
+  /// Total energy KE + PE (eV).
+  [[nodiscard]] double total_energy() const {
+    return system_->kinetic_energy() + result_.energy;
+  }
+
+  /// Conserved quantity of the (possibly extended) system: KE + PE plus the
+  /// thermostat contribution.  For NVE this is the total energy.
+  [[nodiscard]] double conserved_quantity() const;
+
+  [[nodiscard]] long step_count() const { return step_count_; }
+  [[nodiscard]] double time_fs() const {
+    return static_cast<double>(step_count_) * options_.dt;
+  }
+
+  [[nodiscard]] System& system() { return *system_; }
+  [[nodiscard]] const System& system() const { return *system_; }
+  [[nodiscard]] Calculator& calculator() { return *calculator_; }
+
+  [[nodiscard]] Thermostat* thermostat() { return options_.thermostat.get(); }
+
+ private:
+  System* system_;
+  Calculator* calculator_;
+  MdOptions options_;
+  ForceResult result_;
+  long step_count_ = 0;
+};
+
+}  // namespace tbmd::md

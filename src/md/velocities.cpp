@@ -1,0 +1,34 @@
+#include "src/md/velocities.hpp"
+
+#include <cmath>
+
+#include "src/util/random.hpp"
+#include "src/util/units.hpp"
+
+namespace tbmd::md {
+
+void maxwell_boltzmann_velocities(System& system, double kelvin,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  const double kt = units::kBoltzmann * kelvin;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    if (system.frozen(i)) {
+      system.velocities()[i] = {};
+      continue;
+    }
+    const double sigma = std::sqrt(kt / system.mass(i));
+    system.velocities()[i] = {rng.gaussian(0.0, sigma),
+                              rng.gaussian(0.0, sigma),
+                              rng.gaussian(0.0, sigma)};
+  }
+  system.zero_momentum();
+  const double t = system.temperature();
+  if (t > 0.0 && kelvin > 0.0) {
+    const double s = std::sqrt(kelvin / t);
+    for (std::size_t i = 0; i < system.size(); ++i) {
+      if (!system.frozen(i)) system.velocities()[i] *= s;
+    }
+  }
+}
+
+}  // namespace tbmd::md

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file velocities.hpp
+/// \brief Maxwell-Boltzmann velocity initialization.
+
+#include <cstdint>
+
+#include "src/core/system.hpp"
+
+namespace tbmd::md {
+
+/// Draw velocities from the Maxwell-Boltzmann distribution at `kelvin`,
+/// remove the center-of-mass drift, and rescale so the instantaneous
+/// temperature equals `kelvin` exactly.  Frozen atoms keep zero velocity.
+/// Deterministic in `seed`.
+void maxwell_boltzmann_velocities(System& system, double kelvin,
+                                  std::uint64_t seed);
+
+}  // namespace tbmd::md

@@ -1,0 +1,169 @@
+#include "src/onx/on_calculator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/tb/hamiltonian.hpp"
+#include "src/tb/repulsive.hpp"
+#include "src/tb/slater_koster.hpp"
+#include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
+
+namespace tbmd::onx {
+
+SparseMatrix build_sparse_hamiltonian(const tb::TbModel& model,
+                                      const System& system,
+                                      const NeighborList& list) {
+  tb::check_species(model, system);
+  const std::size_t n = system.size();
+  const std::size_t norb = 4 * n;
+  const auto& pos = system.positions();
+
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows(norb);
+
+#pragma omp parallel for schedule(dynamic, 16)
+  for (std::size_t i = 0; i < n; ++i) {
+    // Gather this atom's hopping blocks, sorted by neighbor index so the
+    // CSR rows come out ordered.
+    struct Hop {
+      std::size_t j;
+      tb::SkBlock block;
+    };
+    std::vector<Hop> hops;
+    for (const NeighborEntry& e : list.neighbors(i)) {
+      const Vec3 bond = pos[e.j] + e.shift - pos[i];
+      const tb::SkBlock b = tb::sk_block(model, bond);
+      bool nonzero = false;
+      for (int a = 0; a < 4 && !nonzero; ++a) {
+        for (int c = 0; c < 4; ++c) {
+          if (b.h[a][c] != 0.0) {
+            nonzero = true;
+            break;
+          }
+        }
+      }
+      if (nonzero) hops.push_back({e.j, b});
+    }
+    std::sort(hops.begin(), hops.end(),
+              [](const Hop& a, const Hop& b) { return a.j < b.j; });
+
+    const double onsite[4] = {model.e_s, model.e_p, model.e_p, model.e_p};
+    for (int a = 0; a < 4; ++a) {
+      auto& row = rows[4 * i + a];
+      bool onsite_done = false;
+      for (const Hop& hop : hops) {
+        if (!onsite_done && hop.j > i) {
+          row.emplace_back(4 * i + a, onsite[a]);
+          onsite_done = true;
+        }
+        for (int c = 0; c < 4; ++c) {
+          if (hop.block.h[a][c] != 0.0) {
+            row.emplace_back(4 * hop.j + c, hop.block.h[a][c]);
+          }
+        }
+      }
+      if (!onsite_done) row.emplace_back(4 * i + a, onsite[a]);
+    }
+  }
+
+  return SparseMatrix::from_rows(norb, rows);
+}
+
+std::vector<Vec3> band_forces_sparse(const tb::TbModel& model,
+                                     const System& system,
+                                     const NeighborList& list,
+                                     const SparseMatrix& p, Mat3* virial) {
+  const std::size_t n = system.size();
+  std::vector<Vec3> forces(n, Vec3{});
+  Mat3 w{};
+  const auto& pos = system.positions();
+  const auto& pairs = list.half_pairs();
+
+#pragma omp parallel
+  {
+    std::vector<Vec3> local(n, Vec3{});
+    Mat3 wlocal{};
+    tb::SkBlock block;
+    tb::SkBlockDerivative deriv;
+#pragma omp for schedule(dynamic, 32) nowait
+    for (std::size_t q = 0; q < pairs.size(); ++q) {
+      const NeighborPair& pr = pairs[q];
+      const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
+      tb::sk_block_with_derivative(model, bond, block, deriv);
+
+      const std::size_t oi = 4 * pr.i;
+      const std::size_t oj = 4 * pr.j;
+      Vec3 dedd{};
+      for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+          const double rho_ab = 2.0 * p.get(oi + a, oj + b);  // spin factor
+          if (rho_ab == 0.0) continue;
+          dedd.x += 2.0 * rho_ab * deriv.d[0][a][b];
+          dedd.y += 2.0 * rho_ab * deriv.d[1][a][b];
+          dedd.z += 2.0 * rho_ab * deriv.d[2][a][b];
+        }
+      }
+      local[pr.j] -= dedd;
+      local[pr.i] += dedd;
+      wlocal -= outer(bond, dedd);
+    }
+#pragma omp critical
+    {
+      for (std::size_t i = 0; i < n; ++i) forces[i] += local[i];
+      w += wlocal;
+    }
+  }
+  if (virial != nullptr) *virial += w;
+  return forces;
+}
+
+OrderNCalculator::OrderNCalculator(tb::TbModel model, OrderNOptions options)
+    : model_(std::move(model)), options_(options) {}
+
+ForceResult OrderNCalculator::compute(const System& system) {
+  ForceResult result;
+  const std::size_t n = system.size();
+  if (n == 0) return result;
+
+  const int electrons = system.total_valence_electrons();
+  TBMD_REQUIRE(electrons % 2 == 0,
+               "OrderNCalculator: odd electron counts are not supported");
+
+  {
+    auto t = timers_.scope("neighbors");
+    list_.ensure(system.positions(), system.cell(),
+                 {model_.cutoff(), options_.skin});
+  }
+
+  SparseMatrix h;
+  {
+    auto t = timers_.scope("hamiltonian");
+    h = build_sparse_hamiltonian(model_, system, list_);
+  }
+
+  {
+    auto t = timers_.scope("purification");
+    last_ = palser_manolopoulos(h, electrons / 2, options_.purification);
+  }
+
+  {
+    auto t = timers_.scope("forces");
+    result.forces = band_forces_sparse(model_, system, list_, last_.density,
+                                       &result.virial);
+  }
+
+  tb::RepulsiveResult rep;
+  {
+    auto t = timers_.scope("repulsive");
+    rep = tb::repulsive_energy_forces(model_, system, list_);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) result.forces[i] += rep.forces[i];
+  result.virial += rep.virial;
+  result.band_energy = last_.band_energy;
+  result.repulsive_energy = rep.energy;
+  result.energy = last_.band_energy + rep.energy;
+  return result;
+}
+
+}  // namespace tbmd::onx

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file on_calculator.hpp
+/// \brief O(N) tight-binding calculator: sparse Hamiltonian + canonical
+/// purification instead of O(N^3) diagonalization.
+
+#include "src/core/calculator.hpp"
+#include "src/neighbor/neighbor_list.hpp"
+#include "src/onx/purification.hpp"
+#include "src/onx/sparse.hpp"
+#include "src/tb/tb_model.hpp"
+
+namespace tbmd::onx {
+
+/// Options for OrderNCalculator.
+struct OrderNOptions {
+  double skin = 0.5;                  ///< Verlet skin (A)
+  PurificationOptions purification;   ///< truncation / convergence controls
+};
+
+/// Assemble the tight-binding Hamiltonian directly in CSR form.
+[[nodiscard]] SparseMatrix build_sparse_hamiltonian(const tb::TbModel& model,
+                                                    const System& system,
+                                                    const NeighborList& list);
+
+/// Hellmann-Feynman band forces from a sparse (spinless) density matrix P
+/// (the contraction uses rho = 2 P).  When `virial` is non-null the band
+/// virial is accumulated into it.
+[[nodiscard]] std::vector<Vec3> band_forces_sparse(const tb::TbModel& model,
+                                                   const System& system,
+                                                   const NeighborList& list,
+                                                   const SparseMatrix& p,
+                                                   Mat3* virial = nullptr);
+
+/// Linear-scaling TBMD calculator (Palser-Manolopoulos purification).
+///
+/// Valid for gapped systems (diamond C/Si, molecules); the result of the
+/// last purification run is exposed for diagnostics.
+class OrderNCalculator final : public Calculator {
+ public:
+  OrderNCalculator(tb::TbModel model, OrderNOptions options = {});
+
+  ForceResult compute(const System& system) override;
+
+  [[nodiscard]] std::string name() const override {
+    return "tb-on[" + model_.name + "]";
+  }
+
+  /// Diagnostics of the most recent purification (iterations, fill, ...).
+  [[nodiscard]] const PurificationResult& last_purification() const {
+    return last_;
+  }
+
+  [[nodiscard]] const tb::TbModel& model() const { return model_; }
+
+ private:
+  tb::TbModel model_;
+  OrderNOptions options_;
+  NeighborList list_;
+  PurificationResult last_;
+};
+
+}  // namespace tbmd::onx

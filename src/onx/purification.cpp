@@ -1,0 +1,93 @@
+#include "src/onx/purification.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::onx {
+
+PurificationResult palser_manolopoulos(const SparseMatrix& h, int n_occupied,
+                                       const PurificationOptions& options) {
+  const std::size_t n = h.size();
+  TBMD_REQUIRE(n_occupied >= 0 &&
+                   static_cast<std::size_t>(n_occupied) <= n,
+               "purification: occupied count out of range");
+  PurificationResult out;
+  if (n == 0 || n_occupied == 0) {
+    out.density = SparseMatrix(n);
+    out.converged = true;
+    return out;
+  }
+
+  const double theta =
+      static_cast<double>(n_occupied) / static_cast<double>(n);
+  const auto [emin, emax] = h.gershgorin_bounds();
+  const double mu = h.trace() / static_cast<double>(n);
+
+  // Initial guess P0 = lambda (mu I - H) + theta I with spectrum in [0,1]
+  // and trace exactly n_occupied.
+  const double denom_hi = std::max(emax - mu, 1e-12);
+  const double denom_lo = std::max(mu - emin, 1e-12);
+  const double lambda = std::min(theta / denom_hi, (1.0 - theta) / denom_lo);
+
+  const SparseMatrix eye = SparseMatrix::identity(n);
+  // P = -lambda H + (lambda mu + theta) I
+  SparseMatrix p = h.combine(-lambda, eye, lambda * mu + theta,
+                             options.drop_tolerance);
+
+  // Truncation sets a noise floor below which idempotency cannot improve:
+  // converge when tr(P - P^2)/N reaches whichever is larger, the requested
+  // tolerance or the drop threshold.
+  const double effective_tol =
+      std::max(options.idempotency_tolerance, options.drop_tolerance);
+  double prev_idem = 1e300;
+
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    const SparseMatrix p2 = p.multiply(p, options.drop_tolerance);
+    const SparseMatrix p3 = p2.multiply(p, options.drop_tolerance);
+
+    const double tr_p = p.trace();
+    const double tr_p2 = p2.trace();
+    const double tr_p3 = p3.trace();
+    const double idem = tr_p - tr_p2;
+
+    out.iterations = it;
+    out.idempotency_error = idem;
+    if (std::fabs(idem) / static_cast<double>(n) < effective_tol) {
+      out.converged = true;
+      p = p2.combine(3.0, p3, -2.0, options.drop_tolerance);  // final polish
+      break;
+    }
+    // Stagnation at the truncation noise floor also counts as converged:
+    // further iterations cannot improve a truncated density matrix.
+    if (std::fabs(idem) >= 0.5 * prev_idem &&
+        std::fabs(idem) / static_cast<double>(n) <
+            50.0 * options.drop_tolerance) {
+      out.converged = true;
+      break;
+    }
+    prev_idem = std::fabs(idem);
+
+    const double c = (tr_p2 - tr_p3) / idem;
+    if (!std::isfinite(c)) break;
+
+    if (c >= 0.5) {
+      // P <- [(1+c) P^2 - P^3] / c
+      p = p2.combine((1.0 + c) / c, p3, -1.0 / c, options.drop_tolerance);
+    } else {
+      // P <- [(1-2c) P + (1+c) P^2 - P^3] / (1-c)
+      const SparseMatrix tmp =
+          p.combine((1.0 - 2.0 * c) / (1.0 - c), p2, (1.0 + c) / (1.0 - c),
+                    options.drop_tolerance);
+      p = tmp.combine(1.0, p3, -1.0 / (1.0 - c), options.drop_tolerance);
+    }
+  }
+
+  out.band_energy = 2.0 * p.trace_of_product(h);
+  out.fill_fraction = p.fill_fraction();
+  out.density = std::move(p);
+  return out;
+}
+
+}  // namespace tbmd::onx

@@ -1,0 +1,72 @@
+#include "src/onx/sp2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::onx {
+
+PurificationResult sp2_purification(const SparseMatrix& h, int n_occupied,
+                                    const PurificationOptions& options) {
+  const std::size_t n = h.size();
+  TBMD_REQUIRE(n_occupied >= 0 && static_cast<std::size_t>(n_occupied) <= n,
+               "sp2: occupied count out of range");
+  PurificationResult out;
+  if (n == 0 || n_occupied == 0) {
+    out.density = SparseMatrix(n);
+    out.converged = true;
+    return out;
+  }
+
+  // X0 = (emax I - H) / (emax - emin): spectrum in [0, 1], with occupied
+  // states mapped towards 1.
+  const auto [emin, emax] = h.gershgorin_bounds();
+  const double width = std::max(emax - emin, 1e-12);
+  const SparseMatrix eye = SparseMatrix::identity(n);
+  SparseMatrix x =
+      h.combine(-1.0 / width, eye, emax / width, options.drop_tolerance);
+
+  const double target = static_cast<double>(n_occupied);
+  const double effective_tol =
+      std::max(options.idempotency_tolerance, options.drop_tolerance);
+  double prev_idem = 1e300;
+
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    const SparseMatrix x2 = x.multiply(x, options.drop_tolerance);
+    const double tr_x = x.trace();
+    const double tr_x2 = x2.trace();
+    const double idem = tr_x - tr_x2;
+
+    out.iterations = it;
+    out.idempotency_error = idem;
+    if (std::fabs(idem) / static_cast<double>(n) < effective_tol) {
+      out.converged = true;
+      x = x2.combine(3.0, x2.multiply(x, options.drop_tolerance), -2.0,
+                     options.drop_tolerance);  // final McWeeny polish
+      break;
+    }
+    if (std::fabs(idem) >= 0.5 * prev_idem &&
+        std::fabs(idem) / static_cast<double>(n) <
+            50.0 * options.drop_tolerance) {
+      out.converged = true;
+      break;
+    }
+    prev_idem = std::fabs(idem);
+
+    // Choose the projection that moves tr(X) towards the target.
+    if (std::fabs(tr_x2 - target) < std::fabs(2.0 * tr_x - tr_x2 - target)) {
+      x = x2;  // X <- X^2 (pushes small eigenvalues down)
+    } else {
+      x = x.combine(2.0, x2, -1.0,
+                    options.drop_tolerance);  // X <- 2X - X^2
+    }
+  }
+
+  out.band_energy = 2.0 * x.trace_of_product(h);
+  out.fill_fraction = x.fill_fraction();
+  out.density = std::move(x);
+  return out;
+}
+
+}  // namespace tbmd::onx

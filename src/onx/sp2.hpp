@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file sp2.hpp
+/// \brief SP2 (second-order spectral projection) density-matrix
+/// purification.
+///
+/// The trace-correcting alternative to Palser-Manolopoulos: starting from
+/// a linear map of H with spectrum in [0, 1], repeatedly apply X^2 or
+/// 2X - X^2, choosing whichever moves the trace towards the occupation
+/// count.  Each iteration needs ONE sparse multiply (PM needs two), at the
+/// cost of slightly slower convergence -- an ablation axis the benchmark
+/// suite measures.
+
+#include "src/onx/purification.hpp"
+
+namespace tbmd::onx {
+
+/// SP2 purification of the symmetric sparse Hamiltonian with `n_occupied`
+/// doubly occupied states.  Options and result semantics match
+/// palser_manolopoulos().
+[[nodiscard]] PurificationResult sp2_purification(
+    const SparseMatrix& h, int n_occupied,
+    const PurificationOptions& options = {});
+
+}  // namespace tbmd::onx

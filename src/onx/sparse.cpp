@@ -1,0 +1,189 @@
+#include "src/onx/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
+
+namespace tbmd::onx {
+
+SparseMatrix SparseMatrix::identity(std::size_t n) {
+  SparseMatrix m(n);
+  m.col_.resize(n);
+  m.val_.assign(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.col_[i] = i;
+    m.row_ptr_[i + 1] = i + 1;
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::from_dense(const linalg::Matrix& a,
+                                      double drop_tolerance) {
+  TBMD_REQUIRE(a.rows() == a.cols(), "SparseMatrix: matrix must be square");
+  const std::size_t n = a.rows();
+  SparseMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (std::fabs(arow[j]) > drop_tolerance) {
+        m.col_.push_back(j);
+        m.val_.push_back(arow[j]);
+      }
+    }
+    m.row_ptr_[i + 1] = m.col_.size();
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::from_rows(
+    std::size_t n,
+    const std::vector<std::vector<std::pair<std::size_t, double>>>& rows) {
+  TBMD_REQUIRE(rows.size() == n, "SparseMatrix::from_rows: row count mismatch");
+  SparseMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [j, v] : rows[i]) {
+      TBMD_REQUIRE(j < n, "SparseMatrix::from_rows: column out of range");
+      m.col_.push_back(j);
+      m.val_.push_back(v);
+    }
+    m.row_ptr_[i + 1] = m.col_.size();
+  }
+  return m;
+}
+
+linalg::Matrix SparseMatrix::to_dense() const {
+  linalg::Matrix a(n_, n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      a(i, col_[k]) = val_[k];
+    }
+  }
+  return a;
+}
+
+double SparseMatrix::get(std::size_t i, std::size_t j) const {
+  const auto begin = col_.begin() + static_cast<long>(row_ptr_[i]);
+  const auto end = col_.begin() + static_cast<long>(row_ptr_[i + 1]);
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return val_[static_cast<std::size_t>(it - col_.begin())];
+}
+
+double SparseMatrix::trace() const {
+  double t = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) t += get(i, i);
+  return t;
+}
+
+double SparseMatrix::trace_of_product(const SparseMatrix& b) const {
+  TBMD_REQUIRE(n_ == b.n_, "trace_of_product: size mismatch");
+  double t = 0.0;
+#pragma omp parallel for reduction(+ : t) schedule(static) if (n_ > 256)
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      t += val_[k] * b.get(col_[k], i);
+    }
+  }
+  return t;
+}
+
+SparseMatrix SparseMatrix::combine(double alpha, const SparseMatrix& b,
+                                   double beta, double drop_tolerance) const {
+  TBMD_REQUIRE(n_ == b.n_, "combine: size mismatch");
+  SparseMatrix out(n_);
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows(n_);
+#pragma omp parallel for schedule(static) if (n_ > 256)
+  for (std::size_t i = 0; i < n_; ++i) {
+    auto& row = rows[i];
+    std::size_t ka = row_ptr_[i], ea = row_ptr_[i + 1];
+    std::size_t kb = b.row_ptr_[i], eb = b.row_ptr_[i + 1];
+    while (ka < ea || kb < eb) {
+      std::size_t j;
+      double v = 0.0;
+      if (ka < ea && (kb >= eb || col_[ka] <= b.col_[kb])) {
+        j = col_[ka];
+        v += alpha * val_[ka];
+        ++ka;
+        if (kb < eb && b.col_[kb] == j) {
+          v += beta * b.val_[kb];
+          ++kb;
+        }
+      } else {
+        j = b.col_[kb];
+        v += beta * b.val_[kb];
+        ++kb;
+      }
+      if (std::fabs(v) > drop_tolerance || i == j) row.emplace_back(j, v);
+    }
+  }
+  return from_rows(n_, rows);
+}
+
+SparseMatrix SparseMatrix::multiply(const SparseMatrix& b,
+                                    double drop_tolerance) const {
+  TBMD_REQUIRE(n_ == b.n_, "multiply: size mismatch");
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows(n_);
+
+#pragma omp parallel
+  {
+    // Per-thread dense accumulator (Gustavson).
+    std::vector<double> acc(n_, 0.0);
+    std::vector<std::size_t> touched;
+    touched.reserve(256);
+
+#pragma omp for schedule(dynamic, 16)
+    for (std::size_t i = 0; i < n_; ++i) {
+      touched.clear();
+      for (std::size_t ka = row_ptr_[i]; ka < row_ptr_[i + 1]; ++ka) {
+        const double aik = val_[ka];
+        const std::size_t k = col_[ka];
+        for (std::size_t kb = b.row_ptr_[k]; kb < b.row_ptr_[k + 1]; ++kb) {
+          const std::size_t j = b.col_[kb];
+          if (acc[j] == 0.0) touched.push_back(j);
+          acc[j] += aik * b.val_[kb];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      // A column can be recorded twice if a partial sum cancels to exactly
+      // zero mid-accumulation; dedupe to keep the CSR row well-formed.
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      auto& row = rows[i];
+      row.reserve(touched.size());
+      for (const std::size_t j : touched) {
+        const double v = acc[j];
+        acc[j] = 0.0;
+        if (std::fabs(v) > drop_tolerance || i == j) row.emplace_back(j, v);
+      }
+    }
+  }
+  return from_rows(n_, rows);
+}
+
+std::pair<double, double> SparseMatrix::gershgorin_bounds() const {
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < n_; ++i) {
+    double diag = 0.0, radius = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (col_[k] == i) {
+        diag = val_[k];
+      } else {
+        radius += std::fabs(val_[k]);
+      }
+    }
+    if (first) {
+      lo = diag - radius;
+      hi = diag + radius;
+      first = false;
+    } else {
+      lo = std::min(lo, diag - radius);
+      hi = std::max(hi, diag + radius);
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace tbmd::onx

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file sparse.hpp
+/// \brief CSR sparse matrix with threshold truncation.
+///
+/// The substrate for the O(N) density-matrix methods: tight-binding
+/// Hamiltonians are sparse (bounded neighbor counts), and for gapped
+/// systems the density matrix decays exponentially, so purification
+/// iterations keep a bounded number of entries per row when small elements
+/// are dropped ("nearsightedness").
+
+#include <cstddef>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace tbmd::onx {
+
+/// Square CSR sparse matrix (column indices sorted within each row).
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// n x n zero matrix.
+  explicit SparseMatrix(std::size_t n) : n_(n), row_ptr_(n + 1, 0) {}
+
+  /// Identity.
+  [[nodiscard]] static SparseMatrix identity(std::size_t n);
+
+  /// Convert from dense, dropping entries with |a_ij| <= drop_tolerance.
+  [[nodiscard]] static SparseMatrix from_dense(const linalg::Matrix& a,
+                                               double drop_tolerance = 0.0);
+
+  /// Build from per-row (column, value) lists; columns must be sorted and
+  /// unique within each row.
+  [[nodiscard]] static SparseMatrix from_rows(
+      std::size_t n,
+      const std::vector<std::vector<std::pair<std::size_t, double>>>& rows);
+
+  [[nodiscard]] linalg::Matrix to_dense() const;
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t nnz() const { return col_.size(); }
+
+  /// Fraction of stored entries relative to a dense matrix.
+  [[nodiscard]] double fill_fraction() const {
+    return n_ == 0 ? 0.0
+                   : static_cast<double>(nnz()) /
+                         (static_cast<double>(n_) * static_cast<double>(n_));
+  }
+
+  /// Element lookup (binary search within the row); 0 for absent entries.
+  [[nodiscard]] double get(std::size_t i, std::size_t j) const;
+
+  /// Sum of diagonal entries.
+  [[nodiscard]] double trace() const;
+
+  /// tr(A * B); both must be the same size.  Cost O(nnz(A) log(row width)).
+  [[nodiscard]] double trace_of_product(const SparseMatrix& b) const;
+
+  /// Linear combination alpha*this + beta*b (pattern union), dropping
+  /// entries below drop_tolerance in magnitude.
+  [[nodiscard]] SparseMatrix combine(double alpha, const SparseMatrix& b,
+                                     double beta,
+                                     double drop_tolerance = 0.0) const;
+
+  /// Sparse-sparse product this * b, dropping entries below
+  /// drop_tolerance.  Gustavson row-merge algorithm, OpenMP over rows.
+  [[nodiscard]] SparseMatrix multiply(const SparseMatrix& b,
+                                      double drop_tolerance = 0.0) const;
+
+  /// Largest absolute off-diagonal row sum + diagonal (Gershgorin bounds):
+  /// returns {min over i of (a_ii - r_i), max over i of (a_ii + r_i)}.
+  [[nodiscard]] std::pair<double, double> gershgorin_bounds() const;
+
+  // Raw CSR access (read-only) for kernels that stream the structure.
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& cols() const { return col_; }
+  [[nodiscard]] const std::vector<double>& values() const { return val_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_;
+  std::vector<double> val_;
+};
+
+}  // namespace tbmd::onx

@@ -1,0 +1,69 @@
+#include "src/potentials/lennard_jones.hpp"
+
+#include <cmath>
+
+#include "src/util/parallel.hpp"
+
+namespace tbmd::potentials {
+
+LennardJonesCalculator::LennardJonesCalculator(LennardJonesParams params)
+    : params_(params) {
+  if (params_.shift_energy) {
+    const double sr6 = std::pow(params_.sigma / params_.cutoff, 6);
+    energy_shift_ = 4.0 * params_.epsilon * (sr6 * sr6 - sr6);
+  }
+}
+
+ForceResult LennardJonesCalculator::compute(const System& system) {
+  ForceResult result;
+  const std::size_t n = system.size();
+  result.forces.assign(n, Vec3{});
+  if (n == 0) return result;
+
+  {
+    auto t = timers_.scope("neighbors");
+    list_.ensure(system.positions(), system.cell(),
+                 {params_.cutoff, params_.skin});
+  }
+
+  auto t = timers_.scope("forces");
+  const auto& pos = system.positions();
+  const auto& pairs = list_.half_pairs();
+  const double rc2 = params_.cutoff * params_.cutoff;
+  double energy = 0.0;
+
+#pragma omp parallel
+  {
+    std::vector<Vec3> local(n, Vec3{});
+    Mat3 wlocal{};
+    double elocal = 0.0;
+#pragma omp for schedule(static) nowait
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const NeighborPair& pr = pairs[p];
+      const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
+      const double r2 = norm2_sq(bond);
+      if (r2 >= rc2) continue;
+      const double inv_r2 = 1.0 / r2;
+      const double sr2 = params_.sigma * params_.sigma * inv_r2;
+      const double sr6 = sr2 * sr2 * sr2;
+      const double sr12 = sr6 * sr6;
+      elocal += 4.0 * params_.epsilon * (sr12 - sr6) - energy_shift_;
+      // dV/dr * (1/r) = -24 eps (2 sr12 - sr6) / r^2
+      const double w = -24.0 * params_.epsilon * (2.0 * sr12 - sr6) * inv_r2;
+      const Vec3 f = w * bond;  // dE/dd with d = r_j - r_i
+      local[pr.i] += f;
+      local[pr.j] -= f;
+      wlocal -= outer(bond, f);  // d (x) f_on_j
+    }
+#pragma omp critical
+    {
+      energy += elocal;
+      for (std::size_t i = 0; i < n; ++i) result.forces[i] += local[i];
+      result.virial += wlocal;
+    }
+  }
+  result.energy = energy;
+  return result;
+}
+
+}  // namespace tbmd::potentials

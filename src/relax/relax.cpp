@@ -1,0 +1,206 @@
+#include "src/relax/relax.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::relax {
+
+namespace {
+
+double max_force_component(const System& system,
+                           const std::vector<Vec3>& forces) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < forces.size(); ++i) {
+    if (system.frozen(i)) continue;
+    m = std::max({m, std::fabs(forces[i].x), std::fabs(forces[i].y),
+                  std::fabs(forces[i].z)});
+  }
+  return m;
+}
+
+}  // namespace
+
+RelaxResult fire_relax(System& system, Calculator& calculator,
+                       const RelaxOptions& options) {
+  // Standard FIRE parameters (Bitzek et al., PRL 97, 170201 (2006)).
+  constexpr double kAlphaStart = 0.1;
+  constexpr double kFInc = 1.1;
+  constexpr double kFDec = 0.5;
+  constexpr double kFAlpha = 0.99;
+  constexpr int kNMin = 5;
+  const double dt_max = 10.0 * options.dt;
+
+  RelaxResult out;
+  const std::size_t n = system.size();
+  std::vector<Vec3> vel(n, Vec3{});
+  double dt = options.dt;
+  double alpha = kAlphaStart;
+  int steps_since_negative = 0;
+
+  ForceResult fr = calculator.compute(system);
+  ++out.force_calls;
+
+  for (long it = 0; it < options.max_iterations; ++it) {
+    out.iterations = it + 1;
+    out.max_force = max_force_component(system, fr.forces);
+    out.energy = fr.energy;
+    if (out.max_force < options.force_tolerance) {
+      out.converged = true;
+      return out;
+    }
+
+    // P = F . v
+    double power = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (system.frozen(i)) continue;
+      power += dot(fr.forces[i], vel[i]);
+    }
+
+    if (power > 0.0) {
+      // Mix velocity towards the force direction.
+      double vnorm = 0.0, fnorm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (system.frozen(i)) continue;
+        vnorm += norm2_sq(vel[i]);
+        fnorm += norm2_sq(fr.forces[i]);
+      }
+      vnorm = std::sqrt(vnorm);
+      fnorm = std::sqrt(std::max(fnorm, 1e-300));
+      for (std::size_t i = 0; i < n; ++i) {
+        if (system.frozen(i)) continue;
+        vel[i] = (1.0 - alpha) * vel[i] + (alpha * vnorm / fnorm) * fr.forces[i];
+      }
+      if (++steps_since_negative > kNMin) {
+        dt = std::min(dt * kFInc, dt_max);
+        alpha *= kFAlpha;
+      }
+    } else {
+      for (auto& v : vel) v = Vec3{};
+      dt *= kFDec;
+      alpha = kAlphaStart;
+      steps_since_negative = 0;
+    }
+
+    // Semi-implicit Euler using unit mass (FIRE is mass-agnostic), with a
+    // global displacement clamp so the accelerated-timestep phase cannot
+    // throw atoms across bonds.
+    double max_disp_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (system.frozen(i)) continue;
+      vel[i] += dt * fr.forces[i];
+      max_disp_sq = std::max(max_disp_sq, norm2_sq(dt * vel[i]));
+    }
+    double clamp = 1.0;
+    if (max_disp_sq > options.max_step * options.max_step) {
+      clamp = options.max_step / std::sqrt(max_disp_sq);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (system.frozen(i)) continue;
+      system.positions()[i] += clamp * dt * vel[i];
+    }
+    fr = calculator.compute(system);
+    ++out.force_calls;
+  }
+
+  out.max_force = max_force_component(system, fr.forces);
+  out.energy = fr.energy;
+  return out;
+}
+
+RelaxResult cg_relax(System& system, Calculator& calculator,
+                     const RelaxOptions& options) {
+  RelaxResult out;
+  const std::size_t n = system.size();
+
+  ForceResult fr = calculator.compute(system);
+  ++out.force_calls;
+  std::vector<Vec3> direction = fr.forces;  // initial steepest descent
+  for (std::size_t i = 0; i < n; ++i) {
+    if (system.frozen(i)) direction[i] = Vec3{};
+  }
+  std::vector<Vec3> prev_force = fr.forces;
+
+  for (long it = 0; it < options.max_iterations; ++it) {
+    out.iterations = it + 1;
+    out.max_force = max_force_component(system, fr.forces);
+    out.energy = fr.energy;
+    if (out.max_force < options.force_tolerance) {
+      out.converged = true;
+      return out;
+    }
+
+    // Backtracking line search along `direction`.
+    double dir_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dir_norm += norm2_sq(direction[i]);
+    dir_norm = std::sqrt(dir_norm);
+    if (dir_norm < 1e-300) break;
+
+    const double e0 = fr.energy;
+    // Directional derivative dE/dstep = -F . d / |d|.
+    double slope = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!system.frozen(i)) slope -= dot(fr.forces[i], direction[i]);
+    }
+    slope /= dir_norm;
+    if (slope >= 0.0) {
+      // Not a descent direction (stale conjugacy): restart with steepest.
+      direction = fr.forces;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (system.frozen(i)) direction[i] = Vec3{};
+      }
+      continue;
+    }
+
+    double step = options.dt;  // A along the normalized direction
+    const std::vector<Vec3> saved = system.positions();
+    bool accepted = false;
+    for (int bt = 0; bt < 20; ++bt) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (system.frozen(i)) continue;
+        system.positions()[i] =
+            saved[i] + (step / dir_norm) * direction[i];
+      }
+      const ForceResult trial = calculator.compute(system);
+      ++out.force_calls;
+      // Armijo condition with c1 = 1e-4.
+      if (trial.energy <= e0 + 1e-4 * step * slope) {
+        prev_force = fr.forces;
+        fr = trial;
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) {
+      system.positions() = saved;
+      fr = calculator.compute(system);
+      ++out.force_calls;
+      break;  // line search failed; give up (result reports !converged)
+    }
+
+    // Polak-Ribiere beta with automatic reset when negative.
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (system.frozen(i)) continue;
+      num += dot(fr.forces[i], fr.forces[i] - prev_force[i]);
+      den += dot(prev_force[i], prev_force[i]);
+    }
+    const double beta = (den > 1e-300) ? std::max(0.0, num / den) : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (system.frozen(i)) {
+        direction[i] = Vec3{};
+      } else {
+        direction[i] = fr.forces[i] + beta * direction[i];
+      }
+    }
+  }
+
+  out.max_force = max_force_component(system, fr.forces);
+  out.energy = fr.energy;
+  return out;
+}
+
+}  // namespace tbmd::relax

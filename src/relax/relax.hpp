@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file relax.hpp
+/// \brief Structural relaxation: FIRE and Polak-Ribiere conjugate gradients.
+///
+/// These implement the "structural relaxation calculations" leg of a TBMD
+/// study: quenching a configuration to the nearest local minimum of the
+/// potential-energy surface.  Frozen atoms are held fixed.
+
+#include <string>
+
+#include "src/core/calculator.hpp"
+#include "src/core/system.hpp"
+
+namespace tbmd::relax {
+
+/// Common termination criteria.
+struct RelaxOptions {
+  double force_tolerance = 1e-3;  ///< max |F| component target (eV/A)
+  long max_iterations = 2000;
+  /// FIRE initial timestep (fs); also used as the CG initial trial step
+  /// scale (A per unit force).
+  double dt = 0.5;
+  /// Largest displacement any atom may make in one FIRE step (A).  Keeps
+  /// the accelerating-timestep phase from catapulting atoms across bonds.
+  double max_step = 0.15;
+};
+
+/// Relaxation outcome.
+struct RelaxResult {
+  double energy = 0.0;       ///< final potential energy (eV)
+  double max_force = 0.0;    ///< final max force component (eV/A)
+  long iterations = 0;       ///< iterations consumed
+  long force_calls = 0;      ///< calculator invocations
+  bool converged = false;
+};
+
+/// FIRE (fast inertial relaxation engine) minimization.  Robust on rough
+/// landscapes; the default choice.
+[[nodiscard]] RelaxResult fire_relax(System& system, Calculator& calculator,
+                                     const RelaxOptions& options = {});
+
+/// Polak-Ribiere conjugate gradients with backtracking line search.
+/// Matches the CG relaxations of the paper's method section.
+[[nodiscard]] RelaxResult cg_relax(System& system, Calculator& calculator,
+                                   const RelaxOptions& options = {});
+
+}  // namespace tbmd::relax

@@ -1,0 +1,147 @@
+#include "src/structures/builders.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+#include "src/util/random.hpp"
+
+namespace tbmd::structures {
+
+System dimer(Element e, double bond_length) {
+  TBMD_REQUIRE(bond_length > 0.0, "dimer: bond length must be positive");
+  System s;
+  s.add_atom(e, {0.0, 0.0, -0.5 * bond_length});
+  s.add_atom(e, {0.0, 0.0, +0.5 * bond_length});
+  return s;
+}
+
+System chain(Element e, std::size_t n, double spacing) {
+  TBMD_REQUIRE(n >= 1, "chain: need at least one atom");
+  System s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.add_atom(e, {0.0, 0.0, spacing * static_cast<double>(i)});
+  }
+  return s;
+}
+
+System diamond(Element e, double a, int nx, int ny, int nz) {
+  TBMD_REQUIRE(a > 0 && nx > 0 && ny > 0 && nz > 0, "diamond: bad arguments");
+  System s(Cell::orthorhombic(a * nx, a * ny, a * nz));
+  // FCC sites + tetrahedral basis.
+  const Vec3 fcc_sites[4] = {
+      {0.0, 0.0, 0.0}, {0.0, 0.5, 0.5}, {0.5, 0.0, 0.5}, {0.5, 0.5, 0.0}};
+  const Vec3 basis_offset{0.25, 0.25, 0.25};
+  for (int ix = 0; ix < nx; ++ix) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int iz = 0; iz < nz; ++iz) {
+        const Vec3 cell_origin{static_cast<double>(ix), static_cast<double>(iy),
+                               static_cast<double>(iz)};
+        for (const Vec3& f : fcc_sites) {
+          const Vec3 s1 = (cell_origin + f) * a;
+          const Vec3 s2 = (cell_origin + f + basis_offset) * a;
+          s.add_atom(e, s1);
+          s.add_atom(e, s2);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+System fcc(Element e, double a, int nx, int ny, int nz) {
+  TBMD_REQUIRE(a > 0 && nx > 0 && ny > 0 && nz > 0, "fcc: bad arguments");
+  System s(Cell::orthorhombic(a * nx, a * ny, a * nz));
+  const Vec3 sites[4] = {
+      {0.0, 0.0, 0.0}, {0.0, 0.5, 0.5}, {0.5, 0.0, 0.5}, {0.5, 0.5, 0.0}};
+  for (int ix = 0; ix < nx; ++ix) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int iz = 0; iz < nz; ++iz) {
+        const Vec3 origin{static_cast<double>(ix), static_cast<double>(iy),
+                          static_cast<double>(iz)};
+        for (const Vec3& f : sites) s.add_atom(e, (origin + f) * a);
+      }
+    }
+  }
+  return s;
+}
+
+System graphene(Element e, double bond, int nx, int ny, double vacuum) {
+  TBMD_REQUIRE(bond > 0 && nx > 0 && ny > 0, "graphene: bad arguments");
+  const double lx = std::sqrt(3.0) * bond;  // zigzag period along x
+  const double ly = 3.0 * bond;             // armchair period along y
+  System s(Cell::orthorhombic(lx * nx, ly * ny, vacuum, true, true, false));
+  const double z = 0.5 * vacuum;
+  for (int ix = 0; ix < nx; ++ix) {
+    for (int iy = 0; iy < ny; ++iy) {
+      const double x0 = lx * ix;
+      const double y0 = ly * iy;
+      s.add_atom(e, {x0, y0, z});
+      s.add_atom(e, {x0 + 0.5 * lx, y0 + 0.5 * bond, z});
+      s.add_atom(e, {x0 + 0.5 * lx, y0 + 1.5 * bond, z});
+      s.add_atom(e, {x0, y0 + 2.0 * bond, z});
+    }
+  }
+  return s;
+}
+
+System random_gas(Element e, std::size_t n, double density,
+                  double min_distance, std::uint64_t seed) {
+  TBMD_REQUIRE(n > 0 && density > 0, "random_gas: bad arguments");
+  const double volume = static_cast<double>(n) / density;
+  const double l = std::cbrt(volume);
+  System s(Cell::cubic(l));
+  Rng rng(seed);
+
+  // Jittered lattice placement: avoids pathological overlap while still
+  // producing a disordered configuration.
+  const int grid = static_cast<int>(std::ceil(std::cbrt(static_cast<double>(n))));
+  const double cell_edge = l / grid;
+  const double max_jitter =
+      std::max(0.0, 0.5 * (cell_edge - min_distance));
+  std::size_t placed = 0;
+  for (int ix = 0; ix < grid && placed < n; ++ix) {
+    for (int iy = 0; iy < grid && placed < n; ++iy) {
+      for (int iz = 0; iz < grid && placed < n; ++iz) {
+        const Vec3 center{(ix + 0.5) * cell_edge, (iy + 0.5) * cell_edge,
+                          (iz + 0.5) * cell_edge};
+        const Vec3 jitter{rng.uniform(-max_jitter, max_jitter),
+                          rng.uniform(-max_jitter, max_jitter),
+                          rng.uniform(-max_jitter, max_jitter)};
+        s.add_atom(e, center + jitter);
+        ++placed;
+      }
+    }
+  }
+  return s;
+}
+
+void perturb(System& system, double amplitude, std::uint64_t seed) {
+  Rng rng(seed);
+  auto& pos = system.positions();
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    if (system.frozen(i)) continue;
+    pos[i] += Vec3{rng.uniform(-amplitude, amplitude),
+                   rng.uniform(-amplitude, amplitude),
+                   rng.uniform(-amplitude, amplitude)};
+  }
+}
+
+void substitute(System& system, const std::vector<std::size_t>& sites,
+                Element dopant) {
+  for (const std::size_t i : sites) system.set_species(i, dopant);
+}
+
+System with_vacancy(const System& system, std::size_t site) {
+  TBMD_REQUIRE(site < system.size(), "with_vacancy: site out of range");
+  System out(system.cell());
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    if (i == site) continue;
+    const std::size_t q = out.add_atom(system.species()[i],
+                                       system.positions()[i],
+                                       system.velocities()[i]);
+    out.set_frozen(q, system.frozen(i));
+  }
+  return out;
+}
+
+}  // namespace tbmd::structures

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file builders.hpp
+/// \brief Crystal/molecule builders used by examples, tests and benches.
+///
+/// All builders return fully-initialized System objects (zero velocities)
+/// whose cells satisfy the neighbor-layer precondition (height >= 2 * list
+/// radius) for the shipped models when the documented minimum supercell
+/// sizes are respected.
+
+#include <cstdint>
+
+#include "src/core/system.hpp"
+
+namespace tbmd::structures {
+
+/// Two atoms separated by `bond_length` along z, centered at the origin, in
+/// a non-periodic cell.
+[[nodiscard]] System dimer(Element e, double bond_length);
+
+/// Linear chain of n atoms with the given spacing along z (non-periodic).
+[[nodiscard]] System chain(Element e, std::size_t n, double spacing);
+
+/// Diamond-structure supercell (8 atoms per cubic cell of lattice constant
+/// `a`), replicated nx x ny x nz, periodic in all directions.
+/// Diamond carbon: a = 3.567; silicon: a = 5.431.
+[[nodiscard]] System diamond(Element e, double a, int nx, int ny, int nz);
+
+/// FCC supercell (4 atoms per cubic cell), periodic.  Argon: a = 5.26.
+[[nodiscard]] System fcc(Element e, double a, int nx, int ny, int nz);
+
+/// Rectangular periodic graphene sheet with C-C bond length `bond` (1.42 for
+/// carbon), replicated nx x ny (4 atoms per rectangular cell), periodic in
+/// x and y; open along z with vacuum.
+[[nodiscard]] System graphene(Element e, double bond, int nx, int ny,
+                              double vacuum = 20.0);
+
+/// Simple-cubic gas of n atoms jittered from lattice sites inside a cubic
+/// box chosen to hit `density` (atoms/A^3); guarantees pair distances of at
+/// least `min_distance`.  Deterministic in `seed`.
+[[nodiscard]] System random_gas(Element e, std::size_t n, double density,
+                                double min_distance, std::uint64_t seed);
+
+/// Displace every mobile atom by a uniform random vector with components in
+/// [-amplitude, amplitude].  Deterministic in `seed`.
+void perturb(System& system, double amplitude, std::uint64_t seed);
+
+/// Replace the species of the listed atoms (substitutional doping).
+void substitute(System& system, const std::vector<std::size_t>& sites,
+                Element dopant);
+
+/// Copy of `system` with atom `site` removed (vacancy); velocities and
+/// frozen flags of the remaining atoms are preserved.
+[[nodiscard]] System with_vacancy(const System& system, std::size_t site);
+
+}  // namespace tbmd::structures

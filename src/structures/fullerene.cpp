@@ -1,0 +1,54 @@
+#include "src/structures/fullerene.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::structures {
+
+System c60(Element e, double bond) {
+  TBMD_REQUIRE(bond > 0.0, "c60: bond must be positive");
+  const double phi = 0.5 * (1.0 + std::sqrt(5.0));
+
+  // Truncated icosahedron vertices: all even (cyclic) permutations of
+  //   (0, +-1, +-3phi), (+-1, +-(2+phi), +-2phi), (+-2, +-(1+2phi), +-phi)
+  // with edge length 2 in these units.
+  std::vector<Vec3> verts;
+  auto add_cyclic_signed = [&](double x, double y, double z) {
+    const double base[3] = {x, y, z};
+    for (int rot = 0; rot < 3; ++rot) {
+      const double a = base[rot % 3];
+      const double b = base[(rot + 1) % 3];
+      const double c = base[(rot + 2) % 3];
+      for (int sa = -1; sa <= 1; sa += 2) {
+        for (int sb = -1; sb <= 1; sb += 2) {
+          for (int sc = -1; sc <= 1; sc += 2) {
+            const Vec3 v{sa * a, sb * b, sc * c};
+            bool dup = false;
+            for (const Vec3& w : verts) {
+              if (norm2_sq(v - w) < 1e-12) {
+                dup = true;
+                break;
+              }
+            }
+            if (!dup) verts.push_back(v);
+          }
+        }
+      }
+    }
+  };
+
+  add_cyclic_signed(0.0, 1.0, 3.0 * phi);
+  add_cyclic_signed(1.0, 2.0 + phi, 2.0 * phi);
+  add_cyclic_signed(2.0, 1.0 + 2.0 * phi, phi);
+
+  TBMD_REQUIRE(verts.size() == 60, "c60: vertex generation failed");
+
+  const double scale = bond / 2.0;  // edge length is 2 in lattice units
+  System s;
+  for (const Vec3& v : verts) s.add_atom(e, v * scale);
+  return s;
+}
+
+}  // namespace tbmd::structures

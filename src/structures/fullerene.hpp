@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file fullerene.hpp
+/// \brief C60 (truncated icosahedron) coordinates.
+
+#include "src/core/system.hpp"
+
+namespace tbmd::structures {
+
+/// Buckminsterfullerene C60 with uniform edge length `bond` (the real
+/// molecule has two slightly different bond lengths; a structural
+/// relaxation with the TB model recovers that splitting).  Non-periodic,
+/// centered at the origin.
+[[nodiscard]] System c60(Element e = Element::C, double bond = 1.44);
+
+}  // namespace tbmd::structures

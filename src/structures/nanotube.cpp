@@ -1,0 +1,107 @@
+#include "src/structures/nanotube.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::structures {
+
+namespace {
+
+/// 2D graphene lattice vectors in the nanotube-literature convention:
+/// a1 = a (sqrt(3)/2,  1/2), a2 = a (sqrt(3)/2, -1/2), a = sqrt(3) * bond.
+struct Flat {
+  double x, y;
+};
+
+Flat lattice_point(int i, int j, double a) {
+  const double s3 = std::sqrt(3.0) / 2.0;
+  return {a * s3 * (i + j), a * 0.5 * (i - j)};
+}
+
+}  // namespace
+
+NanotubeInfo nanotube_info(int n, int m, double bond) {
+  TBMD_REQUIRE(n > 0 && m >= 0, "nanotube: require n > 0, m >= 0");
+  const double a = std::sqrt(3.0) * bond;
+  const double ch = a * std::sqrt(static_cast<double>(n * n + n * m + m * m));
+  const int dr = std::gcd(2 * n + m, 2 * m + n);
+  NanotubeInfo info;
+  info.radius = ch / (2.0 * std::numbers::pi);
+  info.translation = std::sqrt(3.0) * ch / dr;
+  // Atoms per translational cell: 4 (n^2 + nm + m^2) / dR.
+  info.atoms_per_cell =
+      static_cast<std::size_t>(4 * (n * n + n * m + m * m) / dr);
+  return info;
+}
+
+System nanotube(Element e, int n, int m, double bond, int n_cells,
+                bool periodic, double vacuum) {
+  TBMD_REQUIRE(n_cells > 0, "nanotube: n_cells must be positive");
+  const NanotubeInfo info = nanotube_info(n, m, bond);
+  const double a = std::sqrt(3.0) * bond;
+
+  // Chiral vector Ch = n a1 + m a2 and translation vector
+  // T = t1 a1 + t2 a2 with t1 = (2m+n)/dR, t2 = -(2n+m)/dR.
+  const Flat chv = lattice_point(n, m, a);
+  const double ch_len = std::hypot(chv.x, chv.y);
+  const int dr = std::gcd(2 * n + m, 2 * m + n);
+  const int t1 = (2 * m + n) / dr;
+  const int t2 = -(2 * n + m) / dr;
+  const Flat tv = lattice_point(t1, t2, a);
+  const double t_len = std::hypot(tv.x, tv.y);
+
+  // Unit vectors along Ch and T (they are orthogonal by construction).
+  const double cx = chv.x / ch_len, cy = chv.y / ch_len;
+  const double tx = tv.x / t_len, ty = tv.y / t_len;
+
+  const double box = 2.0 * info.radius + vacuum;
+  const double lz = info.translation * n_cells;
+  System sys(periodic
+                 ? Cell::orthorhombic(box, box, lz, false, false, true)
+                 : Cell());
+
+  // Enumerate graphene cells generously and keep atoms whose (Ch, T)
+  // projections fall inside the tube rectangle [0, |Ch|) x [0, n_cells|T|).
+  const int range = 2 * (std::abs(n) + std::abs(m) +
+                         (std::abs(t1) + std::abs(t2)) * n_cells + 2);
+  const double tube_len = info.translation * n_cells;
+  const double eps = 1e-6 * a;
+
+  // Graphene basis: A at origin, B at (a1 + a2)/3.
+  const Flat b_off = lattice_point(1, 1, a);
+  const Flat basis[2] = {{0.0, 0.0}, {b_off.x / 3.0, b_off.y / 3.0}};
+
+  std::vector<Vec3> atoms;
+  for (int i = -range; i <= range; ++i) {
+    for (int j = -range; j <= range; ++j) {
+      const Flat cell0 = lattice_point(i, j, a);
+      for (const Flat& b : basis) {
+        const double px = cell0.x + b.x;
+        const double py = cell0.y + b.y;
+        const double u = px * cx + py * cy;  // along Ch
+        const double v = px * tx + py * ty;  // along T
+        if (u >= -eps && u < ch_len - eps && v >= -eps &&
+            v < tube_len - eps) {
+          const double theta = 2.0 * std::numbers::pi * u / ch_len;
+          atoms.push_back({info.radius * std::cos(theta),
+                           info.radius * std::sin(theta), v});
+        }
+      }
+    }
+  }
+
+  TBMD_REQUIRE(atoms.size() == info.atoms_per_cell * n_cells,
+               "nanotube: rolling produced an unexpected atom count");
+
+  const Vec3 center{0.5 * box, 0.5 * box, 0.0};
+  for (const Vec3& r : atoms) {
+    sys.add_atom(e, periodic ? r + center : r);
+  }
+  return sys;
+}
+
+}  // namespace tbmd::structures

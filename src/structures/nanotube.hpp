@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file nanotube.hpp
+/// \brief (n,m) single-wall nanotube generator via the standard chiral
+/// rolling construction.
+
+#include "src/core/system.hpp"
+
+namespace tbmd::structures {
+
+/// Geometric data of an (n,m) tube with the given graphene bond length.
+struct NanotubeInfo {
+  double radius = 0.0;          ///< cylinder radius (A)
+  double translation = 0.0;     ///< length |T| of the 1D unit cell (A)
+  std::size_t atoms_per_cell = 0;  ///< atoms in one translational cell
+};
+
+/// Compute radius/translation/cell size of an (n,m) tube without building it.
+[[nodiscard]] NanotubeInfo nanotube_info(int n, int m, double bond);
+
+/// Build an (n,m) single-wall nanotube of `n_cells` translational unit
+/// cells along z.
+///
+/// If `periodic` is true the system is periodic along z with cell length
+/// n_cells * |T| (choose n_cells so the length satisfies the neighbor-layer
+/// precondition); otherwise the tube is finite with open (dangling) ends.
+/// The tube axis is z and the tube is centered in a vacuum box in x, y.
+[[nodiscard]] System nanotube(Element e, int n, int m, double bond,
+                              int n_cells, bool periodic,
+                              double vacuum = 20.0);
+
+}  // namespace tbmd::structures

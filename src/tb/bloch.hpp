@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file bloch.hpp
+/// \brief k-space tight binding: Bloch Hamiltonians, band structures and
+/// Brillouin-zone sampled band energies.
+///
+/// The real-space engine (hamiltonian.hpp) is the Gamma-point method TBMD
+/// uses for large supercells during dynamics.  This layer provides the
+/// complementary k-space machinery on *small* periodic cells: H(k) with
+/// explicit lattice-image sums (no minimum-image restriction, so primitive
+/// cells work), band structure along high-symmetry paths, and
+/// Monkhorst-Pack sampled total band energies -- the standard validation
+/// instruments of 1990s TB parameterizations.
+///
+/// Phase convention: H(k)_{i alpha, j beta} = sum_R B_{ij}(d + R) e^{i k.(d+R)}
+/// with d = r_j - r_i (the "atomic gauge"; bands are smooth in k).
+
+#include <string>
+#include <vector>
+
+#include "src/core/system.hpp"
+#include "src/linalg/hermitian.hpp"
+#include "src/tb/tb_model.hpp"
+
+namespace tbmd::tb {
+
+/// Complex matrix as (real, imaginary) parts.
+struct BlochMatrix {
+  linalg::Matrix real;
+  linalg::Matrix imag;
+};
+
+/// Cartesian k-vector (1/A) from fractional reciprocal coordinates.
+[[nodiscard]] Vec3 fractional_to_k(const Cell& cell, const Vec3& k_frac);
+
+/// Assemble H(k) for the atoms of `system` in its periodic cell.  Lattice
+/// images are enumerated directly out to the hopping cutoff, so the cell
+/// may be arbitrarily small (primitive cells included).  k is Cartesian.
+[[nodiscard]] BlochMatrix build_bloch_hamiltonian(const TbModel& model,
+                                                  const System& system,
+                                                  const Vec3& k);
+
+/// Band energies at one k-point (ascending).
+[[nodiscard]] std::vector<double> bloch_eigenvalues(const TbModel& model,
+                                                    const System& system,
+                                                    const Vec3& k);
+
+/// Uniformly interpolated k-path through the given Cartesian waypoints
+/// (`per_segment` points per leg, endpoints included once).
+[[nodiscard]] std::vector<Vec3> interpolate_kpath(
+    const std::vector<Vec3>& waypoints, int per_segment);
+
+/// Band structure: bands[q] are the ascending eigenvalues at kpts[q].
+[[nodiscard]] std::vector<std::vector<double>> band_structure(
+    const TbModel& model, const System& system, const std::vector<Vec3>& kpts);
+
+/// Monkhorst-Pack k-point grid (Cartesian), n1 x n2 x n3 divisions along
+/// the reciprocal lattice vectors.  `gamma_centered` shifts the grid onto
+/// Gamma.  All points carry equal weight 1/(n1 n2 n3).
+[[nodiscard]] std::vector<Vec3> monkhorst_pack_grid(const Cell& cell, int n1,
+                                                    int n2, int n3,
+                                                    bool gamma_centered = false);
+
+/// Result of a Brillouin-zone sampled total-energy evaluation.
+struct KGridResult {
+  double band_energy = 0.0;  ///< per simulation cell (eV)
+  double fermi_level = 0.0;  ///< global chemical potential across the grid
+  double gap = 0.0;          ///< HOMO-LUMO gap over all sampled k (eV)
+};
+
+/// Zero-temperature band energy with a common Fermi level across all
+/// sampled k-points (`electrons` = valence electrons per simulation cell).
+[[nodiscard]] KGridResult kgrid_band_energy(const TbModel& model,
+                                            const System& system,
+                                            const std::vector<Vec3>& kpts,
+                                            int electrons);
+
+}  // namespace tbmd::tb

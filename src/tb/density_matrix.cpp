@@ -1,0 +1,48 @@
+#include "src/tb/density_matrix.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
+
+namespace tbmd::tb {
+
+linalg::Matrix density_matrix(const linalg::Matrix& eigenvectors,
+                              const std::vector<double>& weights) {
+  const std::size_t n = eigenvectors.rows();
+  TBMD_REQUIRE(eigenvectors.cols() == n, "density_matrix: C must be square");
+  TBMD_REQUIRE(weights.size() == n, "density_matrix: weight count mismatch");
+
+  // Gather occupied columns scaled by sqrt(w): rho = B B^T.
+  std::size_t nocc = 0;
+  for (const double w : weights) {
+    TBMD_REQUIRE(w >= 0.0, "density_matrix: negative occupation");
+    if (w > 0.0) ++nocc;
+  }
+
+  linalg::Matrix b(n, nocc, 0.0);
+  std::size_t col = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (weights[k] <= 0.0) continue;
+    const double s = std::sqrt(weights[k]);
+    for (std::size_t i = 0; i < n; ++i) b(i, col) = s * eigenvectors(i, k);
+    ++col;
+  }
+
+  // rho = B B^T, exploiting symmetry by computing the lower triangle.
+  linalg::Matrix rho(n, n, 0.0);
+#pragma omp parallel for schedule(dynamic, 16) if (n >= 128)
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* bi = b.row(i);
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double* bj = b.row(j);
+      double s = 0.0;
+      for (std::size_t k = 0; k < nocc; ++k) s += bi[k] * bj[k];
+      rho(i, j) = s;
+      rho(j, i) = s;
+    }
+  }
+  return rho;
+}
+
+}  // namespace tbmd::tb

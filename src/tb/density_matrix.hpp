@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file density_matrix.hpp
+/// \brief Single-particle density matrix from eigenvectors and occupations.
+
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace tbmd::tb {
+
+/// Build the density matrix rho = C diag(w) C^T, where column n of C is
+/// eigenvector n and w_n the (spin-weighted) occupation.  Only columns with
+/// w_n > 0 contribute, so the cost is O(norb^2 * n_occ).
+///
+/// The band-structure energy is tr(rho H) and the Hellmann-Feynman band
+/// force on a bond block is the contraction of rho with dH/dR (forces.hpp).
+[[nodiscard]] linalg::Matrix density_matrix(const linalg::Matrix& eigenvectors,
+                                            const std::vector<double>& weights);
+
+}  // namespace tbmd::tb

@@ -1,0 +1,57 @@
+#include "src/tb/forces.hpp"
+
+#include "src/tb/slater_koster.hpp"
+#include "src/util/parallel.hpp"
+
+namespace tbmd::tb {
+
+std::vector<Vec3> band_forces(const TbModel& model, const System& system,
+                              const NeighborList& list,
+                              const linalg::Matrix& rho, Mat3* virial) {
+  const std::size_t n = system.size();
+  std::vector<Vec3> forces(n, Vec3{});
+  Mat3 w{};
+  const auto& pos = system.positions();
+  const auto& pairs = list.half_pairs();
+
+#pragma omp parallel
+  {
+    std::vector<Vec3> local(n, Vec3{});
+    Mat3 wlocal{};
+    SkBlock block;
+    SkBlockDerivative deriv;
+#pragma omp for schedule(dynamic, 32) nowait
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const NeighborPair& pr = pairs[p];
+      const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
+      sk_block_with_derivative(model, bond, block, deriv);
+
+      // dE/dd_g = 2 sum_ab rho(i a, j b) dB(a,b)/dd_g.
+      const std::size_t oi = 4 * pr.i;
+      const std::size_t oj = 4 * pr.j;
+      Vec3 dedd{};
+      for (int a = 0; a < 4; ++a) {
+        const double* rrow = rho.row(oi + a) + oj;
+        for (int b = 0; b < 4; ++b) {
+          const double r_ab = rrow[b];
+          dedd.x += 2.0 * r_ab * deriv.d[0][a][b];
+          dedd.y += 2.0 * r_ab * deriv.d[1][a][b];
+          dedd.z += 2.0 * r_ab * deriv.d[2][a][b];
+        }
+      }
+      // d = r_j - r_i  =>  F_j -= dE/dd, F_i += dE/dd.
+      local[pr.j] -= dedd;
+      local[pr.i] += dedd;
+      wlocal -= outer(bond, dedd);  // d (x) f_on_j
+    }
+#pragma omp critical
+    {
+      for (std::size_t i = 0; i < n; ++i) forces[i] += local[i];
+      w += wlocal;
+    }
+  }
+  if (virial != nullptr) *virial += w;
+  return forces;
+}
+
+}  // namespace tbmd::tb

@@ -1,0 +1,54 @@
+#include "src/tb/hamiltonian.hpp"
+
+#include "src/tb/slater_koster.hpp"
+#include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
+
+namespace tbmd::tb {
+
+void check_species(const TbModel& model, const System& system) {
+  for (const Element e : system.species()) {
+    TBMD_REQUIRE(e == model.element,
+                 "system contains an element not covered by TB model '" +
+                     model.name + "'");
+  }
+}
+
+linalg::Matrix build_hamiltonian(const TbModel& model, const System& system,
+                                 const NeighborList& list) {
+  check_species(model, system);
+  const std::size_t n = system.size();
+  const std::size_t norb = TbModel::kOrbitalsPerAtom * n;
+  linalg::Matrix h(norb, norb, 0.0);
+
+  // On-site energies.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t o = 4 * i;
+    h(o, o) = model.e_s;
+    h(o + 1, o + 1) = model.e_p;
+    h(o + 2, o + 2) = model.e_p;
+    h(o + 3, o + 3) = model.e_p;
+  }
+
+  // Hopping blocks: one 4x4 block per directed pair; the half list gives
+  // each undirected pair once and we mirror the transpose.
+  const auto& pairs = list.half_pairs();
+  const auto& pos = system.positions();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const NeighborPair& pr = pairs[p];
+    const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
+    const SkBlock b = sk_block(model, bond);
+    const std::size_t oi = 4 * pr.i;
+    const std::size_t oj = 4 * pr.j;
+    for (int a = 0; a < 4; ++a) {
+      for (int c = 0; c < 4; ++c) {
+        h(oi + a, oj + c) = b.h[a][c];
+        h(oj + c, oi + a) = b.h[a][c];
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace tbmd::tb

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file hamiltonian.hpp
+/// \brief Assembly of the dense tight-binding Hamiltonian.
+
+#include "src/core/system.hpp"
+#include "src/linalg/matrix.hpp"
+#include "src/neighbor/neighbor_list.hpp"
+#include "src/tb/tb_model.hpp"
+
+namespace tbmd::tb {
+
+/// Assemble the dense 4N x 4N tight-binding Hamiltonian for `system` using
+/// pairs from `list`.  Orbital (i, alpha) maps to row 4*i + alpha.
+///
+/// Every atom must match the model's element (the shipped models are
+/// single-element; heteronuclear parameterizations would extend the
+/// BondIntegrals lookup, not this assembly).  OpenMP-parallel over pairs:
+/// distinct pairs write distinct 4x4 blocks, so no synchronization is
+/// needed.
+[[nodiscard]] linalg::Matrix build_hamiltonian(const TbModel& model,
+                                               const System& system,
+                                               const NeighborList& list);
+
+/// Validate that every atom in `system` is handled by `model`; throws
+/// tbmd::Error otherwise.
+void check_species(const TbModel& model, const System& system);
+
+}  // namespace tbmd::tb

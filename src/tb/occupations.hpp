@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file occupations.hpp
+/// \brief Electronic occupation numbers: zero-temperature filling and
+/// Fermi-Dirac smearing with chemical-potential bisection.
+
+#include <vector>
+
+namespace tbmd::tb {
+
+/// Occupation result: per-state occupancies including the spin factor
+/// (each w_n is in [0, 2]), the chemical potential, band energy and
+/// electronic entropy contribution -T*S (eV; zero at T = 0).
+struct Occupations {
+  std::vector<double> weights;  ///< w_n in [0, 2]
+  double fermi_level = 0.0;     ///< chemical potential mu (eV)
+  double band_energy = 0.0;     ///< sum_n w_n eps_n (eV)
+  double entropy_term = 0.0;    ///< -T S_el (eV); add for Mermin free energy
+};
+
+/// Fill `n_electrons` into spin-degenerate states with the given ascending
+/// eigenvalues.
+///
+/// temperature == 0: aufbau filling (2 per state); an odd electron leaves a
+/// half-filled HOMO and the reported Fermi level is the HOMO/LUMO midpoint.
+/// temperature > 0 (kelvin): Fermi-Dirac occupations with mu found by
+/// bisection so that sum_n w_n = n_electrons.
+[[nodiscard]] Occupations occupy(const std::vector<double>& eigenvalues,
+                                 int n_electrons, double temperature);
+
+}  // namespace tbmd::tb

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file population.hpp
+/// \brief Mulliken population analysis and Mayer bond orders from the
+/// tight-binding density matrix.
+///
+/// With an orthogonal basis the Mulliken charge of atom i is the trace of
+/// the on-site density-matrix block, and the Mayer bond order between i
+/// and j is the Frobenius product of the (i,j) block with its transpose:
+///   q_i    = sum_alpha  rho(i alpha, i alpha)
+///   B_ij   = sum_{alpha beta} rho(i alpha, j beta)^2
+/// These are the standard chemical-analysis instruments of TB studies
+/// (charge transfer at defects, bond breaking during dynamics).
+
+#include <vector>
+
+#include "src/core/system.hpp"
+#include "src/linalg/matrix.hpp"
+#include "src/neighbor/neighbor_list.hpp"
+
+namespace tbmd::tb {
+
+/// Mulliken electron population of every atom (sums to the total electron
+/// count).  `rho` is the spin-summed density matrix from density_matrix().
+[[nodiscard]] std::vector<double> mulliken_populations(
+    const System& system, const linalg::Matrix& rho);
+
+/// Mulliken net charges: valence_electrons(species) - population.
+/// Positive = electron deficit.
+[[nodiscard]] std::vector<double> mulliken_charges(const System& system,
+                                                   const linalg::Matrix& rho);
+
+/// One bond with its Mayer bond order.
+struct BondOrder {
+  std::size_t i;
+  std::size_t j;
+  double order;   ///< ~1 single bond, ~2 double bond (spin-summed rho/2 basis)
+  double length;  ///< bond length (A)
+};
+
+/// Mayer bond orders for every neighbor-list pair (i < j).
+/// Uses P = rho/2 so that a C-C single bond comes out near 1.
+[[nodiscard]] std::vector<BondOrder> mayer_bond_orders(
+    const System& system, const NeighborList& list, const linalg::Matrix& rho);
+
+}  // namespace tbmd::tb

@@ -1,0 +1,41 @@
+#include "src/tb/radial.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::tb {
+
+RadialValue evaluate_scaling(const RadialScaling& p, double r) {
+  TBMD_REQUIRE(r > 1e-6, "radial scaling evaluated at r ~ 0 (atoms overlap?)");
+  if (r >= p.r_cut) return {0.0, 0.0};
+
+  // Bare GSP function s0(r) = (r0/r)^n exp(n(-(r/rc)^nc + (r0/rc)^nc)).
+  const double ratio = p.r0 / r;
+  const double pow_term = std::pow(ratio, p.n);
+  const double rc_pow = std::pow(r / p.rc, p.nc);
+  const double rc0_pow = std::pow(p.r0 / p.rc, p.nc);
+  const double exp_term = std::exp(p.n * (-rc_pow + rc0_pow));
+  const double s0 = pow_term * exp_term;
+  // d/dr: s0' = s0 * ( -n/r - n*nc*rc_pow/r ).
+  const double ds0 = s0 * (-p.n / r - p.n * p.nc * rc_pow / r);
+
+  if (r < p.r_taper) return {s0, ds0};
+
+  // Smooth C^1 descending taper on [r_taper, r_cut]:
+  // t(x) = 1 - 3x^2 + 2x^3 with x in [0, 1].
+  const double w = p.r_cut - p.r_taper;
+  const double x = (r - p.r_taper) / w;
+  const double t = 1.0 - x * x * (3.0 - 2.0 * x);
+  const double dt = -6.0 * x * (1.0 - x) / w;
+  return {s0 * t, ds0 * t + s0 * dt};
+}
+
+RadialValue evaluate_polynomial(const std::array<double, 5>& c, double x) {
+  // Horner evaluation of f and f'.
+  const double f = (((c[4] * x + c[3]) * x + c[2]) * x + c[1]) * x + c[0];
+  const double df = ((4.0 * c[4] * x + 3.0 * c[3]) * x + 2.0 * c[2]) * x + c[1];
+  return {f, df};
+}
+
+}  // namespace tbmd::tb

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file radial.hpp
+/// \brief Evaluation of the GSP radial scaling function and its derivative,
+/// including the smooth cutoff taper.
+
+#include "src/tb/tb_model.hpp"
+
+namespace tbmd::tb {
+
+/// Value and radial derivative of a scalar function of distance.
+struct RadialValue {
+  double value = 0.0;
+  double derivative = 0.0;  ///< d(value)/dr
+};
+
+/// Evaluate the scaling function s(r) (with taper).  Returns {0, 0} at or
+/// beyond the hard cutoff.  r must be positive.
+[[nodiscard]] RadialValue evaluate_scaling(const RadialScaling& p, double r);
+
+/// Evaluate the embedding polynomial f(x) and its derivative f'(x).
+[[nodiscard]] RadialValue evaluate_polynomial(const std::array<double, 5>& c,
+                                              double x);
+
+}  // namespace tbmd::tb

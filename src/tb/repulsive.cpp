@@ -1,0 +1,111 @@
+#include "src/tb/repulsive.hpp"
+
+#include <cmath>
+
+#include "src/tb/radial.hpp"
+#include "src/util/parallel.hpp"
+
+namespace tbmd::tb {
+
+namespace {
+
+/// phi(r) = phi0 * s_rep(r) and its radial derivative.
+RadialValue phi(const TbModel& model, double r) {
+  RadialValue v = evaluate_scaling(model.repulsive, r);
+  v.value *= model.phi0;
+  v.derivative *= model.phi0;
+  return v;
+}
+
+}  // namespace
+
+RepulsiveResult repulsive_energy_forces(const TbModel& model,
+                                        const System& system,
+                                        const NeighborList& list) {
+  RepulsiveResult out;
+  const std::size_t n = system.size();
+  out.forces.assign(n, Vec3{});
+  const auto& pos = system.positions();
+  const auto& pairs = list.half_pairs();
+
+  if (model.repulsion_kind == RepulsionKind::kPairSum) {
+    double energy = 0.0;
+#pragma omp parallel
+    {
+      std::vector<Vec3> local(n, Vec3{});
+      Mat3 wlocal{};
+      double elocal = 0.0;
+#pragma omp for schedule(static) nowait
+      for (std::size_t p = 0; p < pairs.size(); ++p) {
+        const NeighborPair& pr = pairs[p];
+        const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
+        const double r = norm(bond);
+        if (r >= model.repulsive.r_cut) continue;
+        const RadialValue v = phi(model, r);
+        elocal += v.value;
+        const Vec3 f = (v.derivative / r) * bond;  // dE/rd_j direction
+        local[pr.i] += f;
+        local[pr.j] -= f;
+        wlocal -= outer(bond, f);  // d (x) f_on_j with f_on_j = -f
+      }
+#pragma omp critical
+      {
+        energy += elocal;
+        for (std::size_t i = 0; i < n; ++i) out.forces[i] += local[i];
+        out.virial += wlocal;
+      }
+    }
+    out.energy = energy;
+    return out;
+  }
+
+  // Embedded polynomial: E = sum_i f(x_i), x_i = sum_j phi(r_ij).
+  std::vector<double> x(n, 0.0);
+#pragma omp parallel for schedule(dynamic, 32)
+  for (std::size_t i = 0; i < n; ++i) {
+    double xi = 0.0;
+    for (const NeighborEntry& e : list.neighbors(i)) {
+      const Vec3 bond = pos[e.j] + e.shift - pos[i];
+      const double r = norm(bond);
+      if (r < model.repulsive.r_cut) xi += phi(model, r).value;
+    }
+    x[i] = xi;
+  }
+
+  double energy = 0.0;
+  std::vector<double> fprime(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const RadialValue fv = evaluate_polynomial(model.embed_coeff, x[i]);
+    energy += fv.value;
+    fprime[i] = fv.derivative;
+  }
+
+  // dE/dr_j = sum over bonds (i,j): (f'(x_i) + f'(x_j)) phi'(r) u.
+#pragma omp parallel
+  {
+    std::vector<Vec3> local(n, Vec3{});
+    Mat3 wlocal{};
+#pragma omp for schedule(static) nowait
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const NeighborPair& pr = pairs[p];
+      const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
+      const double r = norm(bond);
+      if (r >= model.repulsive.r_cut) continue;
+      const RadialValue v = phi(model, r);
+      const double w = (fprime[pr.i] + fprime[pr.j]) * v.derivative / r;
+      const Vec3 f = w * bond;
+      local[pr.i] += f;
+      local[pr.j] -= f;
+      wlocal -= outer(bond, f);
+    }
+#pragma omp critical
+    {
+      for (std::size_t i = 0; i < n; ++i) out.forces[i] += local[i];
+      out.virial += wlocal;
+    }
+  }
+  out.energy = energy;
+  return out;
+}
+
+}  // namespace tbmd::tb

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file repulsive.hpp
+/// \brief The short-range repulsive part of the tight-binding total energy.
+///
+/// Two functional forms are supported (tb_model.hpp):
+///   * pair sum            E = sum_{i<j} phi(r_ij)                  (GSP)
+///   * embedded polynomial E = sum_i f( x_i ), x_i = sum_j phi(r_ij) (XWCH)
+/// with phi(r) = phi0 * s_rep(r) sharing the GSP radial form.
+
+#include <vector>
+
+#include "src/core/system.hpp"
+#include "src/geom/vec3.hpp"
+#include "src/neighbor/neighbor_list.hpp"
+#include "src/tb/tb_model.hpp"
+
+namespace tbmd::tb {
+
+/// Energy, per-atom forces and virial of the repulsive term.
+struct RepulsiveResult {
+  double energy = 0.0;
+  std::vector<Vec3> forces;
+  Mat3 virial{};
+};
+
+/// Evaluate the repulsive energy and forces.
+[[nodiscard]] RepulsiveResult repulsive_energy_forces(const TbModel& model,
+                                                      const System& system,
+                                                      const NeighborList& list);
+
+}  // namespace tbmd::tb

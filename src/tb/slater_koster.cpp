@@ -1,0 +1,81 @@
+#include "src/tb/slater_koster.hpp"
+
+#include <cmath>
+
+namespace tbmd::tb {
+
+namespace {
+
+/// Fill the angular part A(alpha, beta) evaluated with bond integrals
+/// (vss, vsp, vpp_sigma, vpp_pi) and direction cosines u.
+void fill_angular(const BondIntegrals& v, const double u[3], double a[4][4]) {
+  a[0][0] = v.sss;
+  for (int b = 0; b < 3; ++b) {
+    a[0][b + 1] = u[b] * v.sps;
+    a[b + 1][0] = -u[b] * v.sps;
+  }
+  const double dv = v.pps - v.ppp;
+  for (int p = 0; p < 3; ++p) {
+    for (int q = 0; q < 3; ++q) {
+      a[p + 1][q + 1] = u[p] * u[q] * dv + (p == q ? v.ppp : 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+SkBlock sk_block(const TbModel& model, const Vec3& bond) {
+  SkBlock out;
+  const double r = norm(bond);
+  const RadialValue s = evaluate_scaling(model.hopping, r);
+  if (s.value == 0.0 && s.derivative == 0.0) return out;
+
+  const double u[3] = {bond.x / r, bond.y / r, bond.z / r};
+  double ang[4][4];
+  fill_angular(model.bonds, u, ang);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) out.h[a][b] = s.value * ang[a][b];
+  }
+  return out;
+}
+
+void sk_block_with_derivative(const TbModel& model, const Vec3& bond,
+                              SkBlock& block, SkBlockDerivative& deriv) {
+  block = SkBlock{};
+  deriv = SkBlockDerivative{};
+  const double r = norm(bond);
+  const RadialValue s = evaluate_scaling(model.hopping, r);
+  if (s.value == 0.0 && s.derivative == 0.0) return;
+
+  const double u[3] = {bond.x / r, bond.y / r, bond.z / r};
+  double ang[4][4];
+  fill_angular(model.bonds, u, ang);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) block.h[a][b] = s.value * ang[a][b];
+  }
+
+  // dB/dd_g = s'(r) u_g A + s(r) dA/dd_g, with
+  // du_a/dd_g = (delta_ag - u_a u_g) / r.
+  const BondIntegrals& v = model.bonds;
+  const double dv = v.pps - v.ppp;
+  for (int g = 0; g < 3; ++g) {
+    double (&dg)[4][4] = deriv.d[g];
+    // Radial part.
+    for (int a = 0; a < 4; ++a) {
+      for (int b = 0; b < 4; ++b) dg[a][b] = s.derivative * u[g] * ang[a][b];
+    }
+    // Angular part.
+    auto du = [&](int a) { return ((a == g ? 1.0 : 0.0) - u[a] * u[g]) / r; };
+    for (int b = 0; b < 3; ++b) {
+      dg[0][b + 1] += s.value * v.sps * du(b);
+      dg[b + 1][0] -= s.value * v.sps * du(b);
+    }
+    for (int p = 0; p < 3; ++p) {
+      for (int q = 0; q < 3; ++q) {
+        dg[p + 1][q + 1] += s.value * dv * (du(p) * u[q] + u[p] * du(q));
+      }
+    }
+  }
+}
+
+}  // namespace tbmd::tb

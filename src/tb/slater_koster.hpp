@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file slater_koster.hpp
+/// \brief sp3 two-center Slater-Koster blocks and their analytic
+/// derivatives with respect to the bond vector.
+///
+/// Orbital order within an atom: [s, p_x, p_y, p_z].
+///
+/// For a bond vector d = r_j - r_i with length r and direction cosines
+/// u = d/r, the hopping block B(alpha, beta) = <i,alpha| H |j,beta> is
+///   B(s , s ) =  V_sss(r)
+///   B(s , pb) =  u_b V_sps(r)
+///   B(pa, s ) = -u_a V_sps(r)
+///   B(pa, pb) =  u_a u_b (V_pps(r) - V_ppp(r)) + delta_ab V_ppp(r)
+/// where all four integrals share the model's radial scaling s(r):
+/// V_x(r) = V_x(r0) * s(r).
+
+#include "src/geom/vec3.hpp"
+#include "src/tb/radial.hpp"
+#include "src/tb/tb_model.hpp"
+
+namespace tbmd::tb {
+
+/// 4x4 hopping block.
+struct SkBlock {
+  double h[4][4] = {};
+};
+
+/// Derivative of the hopping block with respect to the bond vector
+/// components: d[gamma][alpha][beta] = dB(alpha,beta)/dd_gamma.
+struct SkBlockDerivative {
+  double d[3][4][4] = {};
+};
+
+/// Evaluate the hopping block for bond vector `bond` (= r_j - r_i).
+/// Returns an all-zero block at or beyond the hopping cutoff.
+[[nodiscard]] SkBlock sk_block(const TbModel& model, const Vec3& bond);
+
+/// Evaluate both the block and its derivative.  The derivative combines the
+/// radial derivative (along u) and the rotation of the direction cosines.
+void sk_block_with_derivative(const TbModel& model, const Vec3& bond,
+                              SkBlock& block, SkBlockDerivative& deriv);
+
+}  // namespace tbmd::tb

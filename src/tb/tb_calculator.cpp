@@ -1,0 +1,71 @@
+#include "src/tb/tb_calculator.hpp"
+
+#include <utility>
+
+#include "src/linalg/eigen_sym.hpp"
+#include "src/tb/density_matrix.hpp"
+#include "src/tb/forces.hpp"
+#include "src/tb/hamiltonian.hpp"
+#include "src/tb/occupations.hpp"
+#include "src/tb/repulsive.hpp"
+
+namespace tbmd::tb {
+
+TightBindingCalculator::TightBindingCalculator(TbModel model, TbOptions options)
+    : model_(std::move(model)), options_(options) {}
+
+ForceResult TightBindingCalculator::compute(const System& system) {
+  ForceResult result;
+  const std::size_t n = system.size();
+  if (n == 0) return result;
+
+  {
+    auto t = timers_.scope("neighbors");
+    list_.ensure(system.positions(), system.cell(),
+                 {model_.cutoff(), options_.skin});
+  }
+
+  linalg::Matrix h;
+  {
+    auto t = timers_.scope("hamiltonian");
+    h = build_hamiltonian(model_, system, list_);
+  }
+
+  linalg::SymmetricEigenSolution eig;
+  {
+    auto t = timers_.scope("diagonalize");
+    eig = linalg::eigh(h);
+  }
+
+  Occupations occ;
+  linalg::Matrix rho;
+  {
+    auto t = timers_.scope("density");
+    occ = occupy(eig.values, system.total_valence_electrons(),
+                 options_.electronic_temperature);
+    rho = density_matrix(eig.vectors, occ.weights);
+  }
+
+  {
+    auto t = timers_.scope("forces");
+    result.forces = band_forces(model_, system, list_, rho, &result.virial);
+  }
+
+  RepulsiveResult rep;
+  {
+    auto t = timers_.scope("repulsive");
+    rep = repulsive_energy_forces(model_, system, list_);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) result.forces[i] += rep.forces[i];
+  result.virial += rep.virial;
+
+  result.band_energy = occ.band_energy;
+  result.repulsive_energy = rep.energy;
+  result.energy = occ.band_energy + occ.entropy_term + rep.energy;
+  result.fermi_level = occ.fermi_level;
+  if (options_.report_eigenvalues) result.eigenvalues = std::move(eig.values);
+  return result;
+}
+
+}  // namespace tbmd::tb

@@ -1,0 +1,69 @@
+#include "src/tb/tb_model.hpp"
+
+#include "src/util/error.hpp"
+#include "src/util/string_util.hpp"
+
+namespace tbmd::tb {
+
+TbModel xwch_carbon() {
+  TbModel m;
+  m.name = "xwch-carbon";
+  m.element = Element::C;
+  m.e_s = -2.99;
+  m.e_p = 3.71;
+
+  m.bonds = {-5.0, 4.7, 5.5, -1.55};
+  m.hopping.r0 = 1.536329;
+  m.hopping.n = 2.0;
+  m.hopping.nc = 6.5;
+  m.hopping.rc = 2.18;
+  m.hopping.r_taper = 2.45;
+  m.hopping.r_cut = 2.6;
+
+  m.repulsion_kind = RepulsionKind::kEmbeddedPolynomial;
+  m.phi0 = 8.18555;
+  m.repulsive.r0 = 1.64;  // d0
+  m.repulsive.n = 3.30304;   // m
+  m.repulsive.nc = 8.6655;   // mc
+  m.repulsive.rc = 2.1052;   // dc
+  m.repulsive.r_taper = 2.45;
+  m.repulsive.r_cut = 2.6;
+  m.embed_coeff = {-2.5909765118191, 0.5721151498619, -1.7896349903996e-3,
+                   2.3539221516757e-5, -1.24251169551587e-7};
+  return m;
+}
+
+TbModel gsp_silicon() {
+  TbModel m;
+  m.name = "gsp-silicon";
+  m.element = Element::Si;
+  m.e_s = -5.25;
+  m.e_p = 1.20;
+
+  m.bonds = {-1.938, 1.745, 3.050, -1.075};
+  m.hopping.r0 = 2.360352;
+  m.hopping.n = 2.0;
+  m.hopping.nc = 6.48;
+  m.hopping.rc = 3.67;
+  m.hopping.r_taper = 3.4;
+  m.hopping.r_cut = 3.8;
+
+  m.repulsion_kind = RepulsionKind::kPairSum;
+  m.phi0 = 3.4581;
+  m.repulsive.r0 = 2.360352;
+  m.repulsive.n = 4.54;
+  m.repulsive.nc = 6.48;
+  m.repulsive.rc = 3.67;
+  m.repulsive.r_taper = 3.4;
+  m.repulsive.r_cut = 3.8;
+  return m;
+}
+
+TbModel model_by_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "xwch-carbon" || n == "carbon" || n == "c") return xwch_carbon();
+  if (n == "gsp-silicon" || n == "silicon" || n == "si") return gsp_silicon();
+  throw Error("model_by_name: unknown tight-binding model '" + name + "'");
+}
+
+}  // namespace tbmd::tb

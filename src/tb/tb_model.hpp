@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file tb_model.hpp
+/// \brief Empirical sp3 tight-binding model definitions.
+///
+/// A TbModel bundles everything the Hamiltonian builder and force engine
+/// need: on-site energies, the four two-center bond integrals at the
+/// reference distance with their Goodwin-Skinner-Pettifor radial scaling,
+/// and the repulsive functional.
+///
+/// Two classic single-element parameterizations ship with the library:
+///   * xwch_carbon()  - Xu, Wang, Chan & Ho, J. Phys.: Condens. Matter 4,
+///                      6047 (1992): orthogonal sp3 carbon with an
+///                      embedded-polynomial repulsion.
+///   * gsp_silicon()  - Goodwin, Skinner & Pettifor, Europhys. Lett. 9, 701
+///                      (1989): orthogonal sp3 silicon with a pair-sum
+///                      repulsion.
+///
+/// Both models truncate their radial functions with a smooth C^1 cutoff
+/// taper between r_taper and r_cut (the original papers splice polynomial
+/// tails over a similar window; the substitution is documented in
+/// DESIGN.md and validated by the cohesion tests).
+
+#include <array>
+#include <string>
+
+#include "src/core/element.hpp"
+
+namespace tbmd::tb {
+
+/// Goodwin-Skinner-Pettifor radial scaling
+///   s(r) = (r0/r)^n * exp( n * ( -(r/rc)^nc + (r0/rc)^nc ) )
+/// multiplied by a smooth cutoff taper on [r_taper, r_cut].
+struct RadialScaling {
+  double r0 = 1.0;      ///< reference distance (A)
+  double n = 2.0;       ///< power-law exponent
+  double nc = 6.5;      ///< screening exponent
+  double rc = 2.18;     ///< screening length (A)
+  double r_taper = 2.45;  ///< taper start (A)
+  double r_cut = 2.6;     ///< hard cutoff (A)
+};
+
+/// The four sp3 two-center bond integrals at the reference distance r0 (eV).
+struct BondIntegrals {
+  double sss = 0.0;  ///< V_ss_sigma
+  double sps = 0.0;  ///< V_sp_sigma
+  double pps = 0.0;  ///< V_pp_sigma
+  double ppp = 0.0;  ///< V_pp_pi
+};
+
+/// How the repulsive energy is assembled from the pair function phi(r).
+enum class RepulsionKind {
+  kPairSum,             ///< E_rep = sum_{i<j} phi(r_ij)            (GSP)
+  kEmbeddedPolynomial,  ///< E_rep = sum_i f( sum_j phi(r_ij) )     (XWCH)
+};
+
+/// Complete single-element sp3 tight-binding model.
+struct TbModel {
+  std::string name;
+  Element element = Element::C;
+
+  double e_s = 0.0;  ///< on-site s energy (eV)
+  double e_p = 0.0;  ///< on-site p energy (eV)
+
+  BondIntegrals bonds;      ///< integrals at hopping.r0
+  RadialScaling hopping;    ///< scaling of all four bond integrals
+
+  RepulsionKind repulsion_kind = RepulsionKind::kPairSum;
+  double phi0 = 0.0;        ///< repulsive prefactor (eV)
+  RadialScaling repulsive;  ///< scaling of phi (r0 here is d0 of the papers)
+  /// Embedding polynomial f(x) = sum_k coeff[k] x^k (kEmbeddedPolynomial).
+  std::array<double, 5> embed_coeff{0, 1, 0, 0, 0};
+
+  /// Orbitals per atom (sp3 = 4).
+  static constexpr int kOrbitalsPerAtom = 4;
+
+  /// Interaction cutoff: the larger of the two radial cutoffs (A).
+  [[nodiscard]] double cutoff() const {
+    return hopping.r_cut > repulsive.r_cut ? hopping.r_cut : repulsive.r_cut;
+  }
+};
+
+/// Xu-Wang-Chan-Ho orthogonal sp3 carbon model.
+[[nodiscard]] TbModel xwch_carbon();
+
+/// Goodwin-Skinner-Pettifor orthogonal sp3 silicon model.
+[[nodiscard]] TbModel gsp_silicon();
+
+/// Look up a shipped model by name ("xwch-carbon", "gsp-silicon").
+[[nodiscard]] TbModel model_by_name(const std::string& name);
+
+}  // namespace tbmd::tb

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file error.hpp
+/// \brief Error handling: tbmd::Error exception and checked preconditions.
+
+#include <stdexcept>
+#include <string>
+
+namespace tbmd {
+
+/// Exception type thrown by all tbmd components on precondition violations,
+/// convergence failures and malformed input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string("tbmd precondition failed: ") + expr + " at " +
+              file + ":" + std::to_string(line) +
+              (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace tbmd
+
+/// Precondition check that stays enabled in release builds.  Use for public
+/// API argument validation; prefer plain asserts for internal invariants on
+/// hot paths.
+#define TBMD_REQUIRE(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) ::tbmd::detail::fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

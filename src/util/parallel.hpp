@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file parallel.hpp
+/// \brief Thin OpenMP wrappers so that the rest of the code base never talks
+/// to the OpenMP runtime directly and compiles cleanly without it.
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <cstddef>
+
+namespace tbmd::par {
+
+/// Number of threads the OpenMP runtime will use for the next parallel
+/// region (1 when compiled without OpenMP).
+[[nodiscard]] inline int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Set the number of threads used by subsequent parallel regions.
+inline void set_num_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// Calling thread's id inside a parallel region (0 outside / without OpenMP).
+[[nodiscard]] inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// True when OpenMP is enabled in this build.
+[[nodiscard]] inline constexpr bool openmp_enabled() {
+#ifdef _OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Heuristic: parallelize a loop only when the trip count times the unit
+/// cost estimate is worth the fork-join overhead.
+[[nodiscard]] inline bool worth_parallelizing(std::size_t trip_count,
+                                              std::size_t flops_per_trip) {
+  return trip_count * flops_per_trip > 50'000;
+}
+
+}  // namespace tbmd::par

@@ -1,0 +1,30 @@
+#include "src/util/timer.hpp"
+
+#include <algorithm>
+
+namespace tbmd {
+
+PhaseTimers::Scope::~Scope() { owner_->add(phase_, timer_.seconds()); }
+
+void PhaseTimers::add(const std::string& phase, double seconds) {
+  auto [it, inserted] = acc_.try_emplace(phase, 0.0);
+  if (inserted) order_.push_back(phase);
+  it->second += seconds;
+}
+
+double PhaseTimers::seconds(const std::string& phase) const {
+  auto it = acc_.find(phase);
+  return it == acc_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimers::total() const {
+  double sum = 0.0;
+  for (const auto& [_, s] : acc_) sum += s;
+  return sum;
+}
+
+void PhaseTimers::reset() {
+  for (auto& [_, s] : acc_) s = 0.0;
+}
+
+}  // namespace tbmd

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file units.hpp
+/// \brief Internal unit system and physical constants.
+///
+/// tbmd uses the natural unit system of empirical tight-binding codes:
+///   - length       : angstrom (A)
+///   - time         : femtosecond (fs)
+///   - energy       : electron-volt (eV)
+///   - temperature  : kelvin (K)
+///   - mass         : eV * fs^2 / A^2  ("program mass")
+///
+/// With mass in program units, kinetic energy (1/2) m v^2 is directly in eV
+/// when v is in A/fs, and acceleration F/m is directly in A/fs^2 when F is
+/// in eV/A.  Atomic masses given in amu must be converted with
+/// amu_to_program_mass().
+
+namespace tbmd::units {
+
+/// Boltzmann constant in eV/K (CODATA 2018).
+inline constexpr double kBoltzmann = 8.617333262e-5;
+
+/// Conversion factor: 1 amu expressed in program mass units (eV fs^2 / A^2).
+/// 1 amu = 1.66053906660e-27 kg; 1 eV fs^2/A^2 = 1.602176634e-19 J * 1e-30 s^2
+/// / 1e-20 m^2 = 1.602176634e-29 kg; ratio = 103.642697...
+inline constexpr double kAmuToProgramMass = 1.0364269656262e2;
+
+/// Planck constant in eV*fs (useful for vibrational frequency conversion).
+inline constexpr double kPlanck = 4.135667696;
+
+/// hbar in eV*fs.
+inline constexpr double kHbar = 0.6582119569;
+
+/// Speed of light in A/fs (for cm^-1 <-> THz style conversions).
+inline constexpr double kSpeedOfLight = 2997.92458;
+
+/// Convert a mass in amu to program mass units.
+[[nodiscard]] inline constexpr double amu_to_program_mass(double amu) {
+  return amu * kAmuToProgramMass;
+}
+
+/// Convert a frequency in 1/fs (ordinary, not angular) to THz.
+[[nodiscard]] inline constexpr double per_fs_to_thz(double f) { return f * 1.0e3; }
+
+/// Convert a frequency in 1/fs (ordinary) to spectroscopic wavenumber (cm^-1).
+/// nu[cm^-1] = f / c with c in cm/fs = 2.99792458e-5 cm/fs.
+[[nodiscard]] inline constexpr double per_fs_to_inv_cm(double f) {
+  return f / 2.99792458e-5;
+}
+
+}  // namespace tbmd::units

@@ -1,0 +1,180 @@
+// Tests for the I/O layer: XYZ round trips, trajectories, tables, logging.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/io/logger.hpp"
+#include "src/io/table.hpp"
+#include "src/io/xyz.hpp"
+#include "src/structures/builders.hpp"
+#include "src/structures/fullerene.hpp"
+#include "src/util/error.hpp"
+
+namespace tbmd::io {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Xyz, ClusterRoundTrip) {
+  System a = structures::c60();
+  std::stringstream ss;
+  write_xyz(ss, a, "c60 test");
+  System b;
+  ASSERT_TRUE(read_xyz(ss, b));
+  ASSERT_EQ(b.size(), a.size());
+  EXPECT_FALSE(b.cell().periodic());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(b.species()[i], a.species()[i]);
+    EXPECT_NEAR(norm(b.positions()[i] - a.positions()[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Xyz, PeriodicLatticeRoundTrip) {
+  System a = structures::diamond(Element::Si, 5.431, 2, 1, 1);
+  std::stringstream ss;
+  write_xyz(ss, a, "");
+  System b;
+  ASSERT_TRUE(read_xyz(ss, b));
+  EXPECT_TRUE(b.cell().periodic(0));
+  EXPECT_TRUE(b.cell().periodic(1));
+  EXPECT_TRUE(b.cell().periodic(2));
+  EXPECT_NEAR(b.cell().volume(), a.cell().volume(), 1e-8);
+  EXPECT_NEAR(b.cell().h()(0, 0), 5.431 * 2, 1e-9);
+}
+
+TEST(Xyz, MixedPeriodicityPreserved) {
+  System a = structures::graphene(Element::C, 1.42, 2, 2);
+  std::stringstream ss;
+  write_xyz(ss, a);
+  System b;
+  ASSERT_TRUE(read_xyz(ss, b));
+  EXPECT_TRUE(b.cell().periodic(0));
+  EXPECT_TRUE(b.cell().periodic(1));
+  EXPECT_FALSE(b.cell().periodic(2));
+}
+
+TEST(Xyz, FileRoundTrip) {
+  const std::string path = temp_path("tbmd_test_roundtrip.xyz");
+  System a = structures::dimer(Element::C, 1.3);
+  write_xyz_file(path, a, "dimer");
+  const System b = read_xyz_file(path);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_NEAR(b.distance(0, 1), 1.3, 1e-10);
+  std::remove(path.c_str());
+}
+
+TEST(Xyz, MultiFrameStreamReadsSequentially) {
+  std::stringstream ss;
+  write_xyz(ss, structures::dimer(Element::C, 1.2), "frame0");
+  write_xyz(ss, structures::dimer(Element::Si, 2.2), "frame1");
+  System f0, f1, f2;
+  EXPECT_TRUE(read_xyz(ss, f0));
+  EXPECT_TRUE(read_xyz(ss, f1));
+  EXPECT_FALSE(read_xyz(ss, f2));  // end of stream
+  EXPECT_EQ(f0.species()[0], Element::C);
+  EXPECT_EQ(f1.species()[0], Element::Si);
+}
+
+TEST(Xyz, MalformedInputThrows) {
+  {
+    std::stringstream ss("not_a_number\ncomment\n");
+    System s;
+    EXPECT_THROW((void)read_xyz(ss, s), Error);
+  }
+  {
+    std::stringstream ss("2\ncomment\nC 0 0 0\n");  // truncated
+    System s;
+    EXPECT_THROW((void)read_xyz(ss, s), Error);
+  }
+  {
+    std::stringstream ss("1\ncomment\nC 0 0\n");  // missing coordinate
+    System s;
+    EXPECT_THROW((void)read_xyz(ss, s), Error);
+  }
+  {
+    std::stringstream ss("1\ncomment\nXx 0 0 0\n");  // unknown element
+    System s;
+    EXPECT_THROW((void)read_xyz(ss, s), Error);
+  }
+}
+
+TEST(Xyz, MissingFileThrows) {
+  EXPECT_THROW((void)read_xyz_file("/nonexistent/really/not/here.xyz"), Error);
+}
+
+TEST(Trajectory, AppendsFrames) {
+  const std::string path = temp_path("tbmd_test_traj.xyz");
+  {
+    TrajectoryWriter w(path);
+    System s = structures::dimer(Element::C, 1.3);
+    w.add_frame(s, "t=0");
+    s.positions()[0].x += 0.1;
+    w.add_frame(s, "t=1");
+    EXPECT_EQ(w.frames_written(), 2u);
+  }
+  std::ifstream f(path);
+  System f0, f1;
+  EXPECT_TRUE(read_xyz(f, f0));
+  EXPECT_TRUE(read_xyz(f, f1));
+  EXPECT_NE(f0.positions()[0].x, f1.positions()[0].x);
+  std::remove(path.c_str());
+}
+
+TEST(TableOutput, AlignedTextAndCsv) {
+  Table t({"n", "time_ms", "label"});
+  t.add_row({"8", "1.25", "small"});
+  t.add_row({"512", "930.5", "large"});
+  EXPECT_EQ(t.rows(), 2u);
+
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("time_ms"), std::string::npos);
+  EXPECT_NE(text.find("930.5"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+
+  const std::string path = temp_path("tbmd_test_table.csv");
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "n,time_ms,label");
+  std::string row;
+  std::getline(f, row);
+  EXPECT_EQ(row, "8,1.25,small");
+  std::remove(path.c_str());
+}
+
+TEST(TableOutput, NumericRowFormatting) {
+  Table t({"a", "b"});
+  t.add_numeric_row({1.23456789, 1000.0}, 4);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.235"), std::string::npos);
+}
+
+TEST(TableOutput, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Logger, ThresholdFiltersMessages) {
+  // log_message writes to stderr; capture via gtest's stderr capture.
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  log_info("should be dropped");
+  log_warn("should appear: ", 42);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("dropped"), std::string::npos);
+  EXPECT_NE(err.find("should appear: 42"), std::string::npos);
+  set_log_level(LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace tbmd::io

@@ -1,0 +1,245 @@
+// Tests for the MD engine: velocity initialization, NVE conservation,
+// thermostats (rescale / Berendsen / Nose-Hoover), ramps and constraints.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/md/md_driver.hpp"
+#include "src/md/thermostat.hpp"
+#include "src/md/velocities.hpp"
+#include "src/potentials/lennard_jones.hpp"
+#include "src/potentials/tersoff.hpp"
+#include "src/structures/builders.hpp"
+#include "src/tb/tb_calculator.hpp"
+#include "src/util/units.hpp"
+
+namespace tbmd::md {
+namespace {
+
+/// LJ parameters safe for the small periodic cells used in these tests
+/// (cell height must exceed twice the list radius).
+potentials::LennardJonesParams small_cell_lj() {
+  potentials::LennardJonesParams p;
+  p.cutoff = 4.8;
+  p.skin = 0.4;
+  return p;
+}
+
+TEST(Velocities, ExactInitialTemperatureAndZeroMomentum) {
+  System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+  maxwell_boltzmann_velocities(s, 120.0, 7);
+  EXPECT_NEAR(s.temperature(), 120.0, 1e-9);
+  Vec3 p{};
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    p += s.mass(i) * s.velocities()[i];
+  }
+  EXPECT_NEAR(norm(p), 0.0, 1e-9);
+}
+
+TEST(Velocities, DeterministicInSeed) {
+  System a = structures::fcc(Element::Ar, 5.26, 1, 1, 2);
+  System b = a;
+  maxwell_boltzmann_velocities(a, 300.0, 42);
+  maxwell_boltzmann_velocities(b, 300.0, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.velocities()[i], b.velocities()[i]);
+  }
+}
+
+TEST(Velocities, FrozenAtomsStayAtRest) {
+  System s = structures::fcc(Element::Ar, 5.26, 1, 1, 2);
+  s.set_frozen(0, true);
+  maxwell_boltzmann_velocities(s, 300.0, 9);
+  EXPECT_EQ(s.velocities()[0], (Vec3{0, 0, 0}));
+  EXPECT_NEAR(s.temperature(), 300.0, 1e-9);  // computed over mobile only
+}
+
+TEST(System, KineticEnergyAndTemperatureRelation) {
+  System s = structures::fcc(Element::Ar, 5.26, 1, 1, 1);
+  maxwell_boltzmann_velocities(s, 250.0, 4);
+  const double dof = 3.0 * static_cast<double>(s.size());
+  EXPECT_NEAR(2.0 * s.kinetic_energy() / (dof * units::kBoltzmann), 250.0,
+              1e-9);
+}
+
+TEST(NveDynamics, ConservesEnergyLennardJones) {
+  System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+  maxwell_boltzmann_velocities(s, 60.0, 11);
+  potentials::LennardJonesCalculator calc(small_cell_lj());
+  MdDriver driver(s, calc, {2.0, nullptr});  // 2 fs is small for argon
+  const double e0 = driver.total_energy();
+  driver.run(250);
+  EXPECT_NEAR(driver.total_energy(), e0, 2e-4 * s.size());
+}
+
+TEST(NveDynamics, ConservesEnergyTightBinding) {
+  System s = structures::diamond(Element::Si, 5.431, 2, 2, 2);
+  maxwell_boltzmann_velocities(s, 300.0, 13);
+  tb::TightBindingCalculator calc(tb::gsp_silicon());
+  MdDriver driver(s, calc, {1.0, nullptr});
+  const double e0 = driver.total_energy();
+  driver.run(40);
+  // Literature-standard criterion: drift well under 1 meV/atom over 40 fs.
+  EXPECT_NEAR(driver.total_energy(), e0, 1e-3 * s.size());
+}
+
+TEST(NveDynamics, EnergyErrorShrinksQuadraticallyWithTimestep) {
+  // Velocity Verlet is second order: quartering dt cuts the energy
+  // fluctuation by ~16x.  Allow generous slack (chaotic trajectories).
+  auto drift_for_dt = [](double dt) {
+    System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+    maxwell_boltzmann_velocities(s, 40.0, 17);
+    potentials::LennardJonesCalculator calc(small_cell_lj());
+    MdDriver driver(s, calc, {dt, nullptr});
+    const double e0 = driver.total_energy();
+    double worst = 0.0;
+    const long steps = static_cast<long>(40.0 / dt);
+    for (long q = 0; q < steps; ++q) {
+      driver.step();
+      worst = std::max(worst, std::fabs(driver.total_energy() - e0));
+    }
+    return worst;
+  };
+  const double coarse = drift_for_dt(8.0);
+  const double fine = drift_for_dt(2.0);
+  EXPECT_LT(fine, coarse / 4.0);
+}
+
+TEST(NveDynamics, FrozenAtomsDoNotMove) {
+  System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+  s.set_frozen(2, true);
+  const Vec3 pinned = s.positions()[2];
+  maxwell_boltzmann_velocities(s, 80.0, 19);
+  potentials::LennardJonesCalculator calc(small_cell_lj());
+  MdDriver driver(s, calc, {2.0, nullptr});
+  driver.run(50);
+  EXPECT_EQ(s.positions()[2], pinned);
+}
+
+TEST(NveDynamics, TimeBookkeeping) {
+  System s = structures::dimer(Element::Ar, 3.8);
+  potentials::LennardJonesCalculator calc;
+  MdDriver driver(s, calc, {0.5, nullptr});
+  driver.run(10);
+  EXPECT_EQ(driver.step_count(), 10);
+  EXPECT_DOUBLE_EQ(driver.time_fs(), 5.0);
+}
+
+TEST(Thermostats, RescaleReachesTargetExactly) {
+  System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+  maxwell_boltzmann_velocities(s, 20.0, 23);
+  potentials::LennardJonesCalculator calc(small_cell_lj());
+  MdOptions opt;
+  opt.dt = 2.0;
+  opt.thermostat = std::make_unique<VelocityRescaleThermostat>(90.0);
+  MdDriver driver(s, calc, std::move(opt));
+  driver.run(5);
+  EXPECT_NEAR(s.temperature(), 90.0, 1e-9);
+}
+
+TEST(Thermostats, BerendsenRelaxesTowardsTarget) {
+  System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+  maxwell_boltzmann_velocities(s, 20.0, 29);
+  potentials::LennardJonesCalculator calc(small_cell_lj());
+  MdOptions opt;
+  opt.dt = 2.0;
+  opt.thermostat = std::make_unique<BerendsenThermostat>(100.0, 50.0);
+  MdDriver driver(s, calc, std::move(opt));
+  driver.run(200);
+  EXPECT_GT(s.temperature(), 60.0);
+  EXPECT_LT(s.temperature(), 140.0);
+}
+
+TEST(Thermostats, NoseHooverSamplesTargetTemperature) {
+  System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+  maxwell_boltzmann_velocities(s, 100.0, 31);
+  potentials::LennardJonesCalculator calc(small_cell_lj());
+  MdOptions opt;
+  opt.dt = 2.0;
+  opt.thermostat = std::make_unique<NoseHooverThermostat>(100.0, 100.0, 2);
+  MdDriver driver(s, calc, std::move(opt));
+
+  driver.run(200);  // equilibrate
+  double t_acc = 0.0;
+  long samples = 0;
+  driver.run(800, [&](const MdDriver& d, long) {
+    t_acc += d.system().temperature();
+    ++samples;
+  });
+  const double t_avg = t_acc / static_cast<double>(samples);
+  EXPECT_NEAR(t_avg, 100.0, 12.0);  // canonical average within fluctuations
+}
+
+TEST(Thermostats, NoseHooverConservedQuantityIsStable) {
+  System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+  maxwell_boltzmann_velocities(s, 80.0, 37);
+  potentials::LennardJonesCalculator calc(small_cell_lj());
+  MdOptions opt;
+  opt.dt = 2.0;
+  opt.thermostat = std::make_unique<NoseHooverThermostat>(80.0, 100.0, 2);
+  MdDriver driver(s, calc, std::move(opt));
+  const double h0 = driver.conserved_quantity();
+  double worst = 0.0;
+  driver.run(500, [&](const MdDriver& d, long) {
+    worst = std::max(worst, std::fabs(d.conserved_quantity() - h0));
+  });
+  // The paper's criterion: conserved-quantity oscillations < 1e-4 of the
+  // total energy scale.  Use an absolute bound appropriate for this system.
+  EXPECT_LT(worst, 0.05);
+}
+
+TEST(Thermostats, NoseHooverHeatsSystemFromCold) {
+  System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+  maxwell_boltzmann_velocities(s, 10.0, 41);
+  potentials::LennardJonesCalculator calc(small_cell_lj());
+  MdOptions opt;
+  opt.dt = 2.0;
+  // Stiff coupling (tau = 15 fs) so the cold, nearly-harmonic crystal
+  // thermalizes within the test budget.
+  opt.thermostat = std::make_unique<NoseHooverThermostat>(120.0, 15.0, 2);
+  MdDriver driver(s, calc, std::move(opt));
+  driver.run(1200);
+  EXPECT_GT(s.temperature(), 60.0);
+}
+
+TEST(Thermostats, TemperatureRampFollowsSchedule) {
+  System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+  maxwell_boltzmann_velocities(s, 50.0, 43);
+  potentials::LennardJonesCalculator calc(small_cell_lj());
+  MdOptions opt;
+  opt.dt = 2.0;
+  opt.thermostat = std::make_unique<NoseHooverThermostat>(50.0, 60.0, 2);
+  MdDriver driver(s, calc, std::move(opt));
+  driver.ramp_temperature(150.0, 200);
+  EXPECT_NEAR(driver.thermostat()->target(), 150.0, 1e-12);
+  driver.run(400);
+  EXPECT_GT(s.temperature(), 100.0);
+}
+
+TEST(Thermostats, ChainLengthOneIsPlainNoseHoover) {
+  NoseHooverThermostat nh(300.0, 50.0, 1);
+  EXPECT_EQ(nh.positions().size(), 1u);
+  System s = structures::fcc(Element::Ar, 5.26, 1, 1, 2);
+  maxwell_boltzmann_velocities(s, 300.0, 47);
+  nh.begin_step(s, 1.0);  // must not crash / produce NaN
+  EXPECT_TRUE(std::isfinite(s.velocities()[0].x));
+}
+
+TEST(MdDriver, RejectsNonPositiveTimestep) {
+  System s = structures::dimer(Element::Ar, 3.8);
+  potentials::LennardJonesCalculator calc;
+  EXPECT_THROW(MdDriver(s, calc, {0.0, nullptr}), Error);
+}
+
+TEST(MdDriver, ObserverSeesEveryStep) {
+  System s = structures::dimer(Element::Ar, 3.8);
+  potentials::LennardJonesCalculator calc;
+  MdDriver driver(s, calc, {1.0, nullptr});
+  long count = 0;
+  driver.run(17, [&](const MdDriver&, long) { ++count; });
+  EXPECT_EQ(count, 17);
+}
+
+}  // namespace
+}  // namespace tbmd::md

@@ -1,0 +1,135 @@
+// Tests for electronic occupations: aufbau filling, Fermi-Dirac smearing,
+// chemical-potential bisection and the Mermin entropy term.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/tb/occupations.hpp"
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace tbmd::tb {
+namespace {
+
+double total_weight(const Occupations& occ) {
+  return std::accumulate(occ.weights.begin(), occ.weights.end(), 0.0);
+}
+
+TEST(ZeroTemperature, EvenElectronCountFillsPairs) {
+  const std::vector<double> eps{-2.0, -1.0, 0.5, 2.0};
+  const Occupations occ = occupy(eps, 4, 0.0);
+  EXPECT_DOUBLE_EQ(occ.weights[0], 2.0);
+  EXPECT_DOUBLE_EQ(occ.weights[1], 2.0);
+  EXPECT_DOUBLE_EQ(occ.weights[2], 0.0);
+  EXPECT_DOUBLE_EQ(occ.weights[3], 0.0);
+  EXPECT_DOUBLE_EQ(occ.band_energy, -6.0);
+  EXPECT_DOUBLE_EQ(occ.fermi_level, 0.5 * (-1.0 + 0.5));
+  EXPECT_DOUBLE_EQ(occ.entropy_term, 0.0);
+}
+
+TEST(ZeroTemperature, OddElectronLeavesHalfFilledHomo) {
+  const std::vector<double> eps{-2.0, -1.0, 0.5, 2.0};
+  const Occupations occ = occupy(eps, 3, 0.0);
+  EXPECT_DOUBLE_EQ(occ.weights[0], 2.0);
+  EXPECT_DOUBLE_EQ(occ.weights[1], 1.0);
+  EXPECT_DOUBLE_EQ(occ.band_energy, -5.0);
+  EXPECT_DOUBLE_EQ(occ.fermi_level, 0.5 * (-1.0 + 0.5));
+}
+
+TEST(ZeroTemperature, FullBandUsesTopLevelAsFermi) {
+  const std::vector<double> eps{-1.0, 1.0};
+  const Occupations occ = occupy(eps, 4, 0.0);
+  EXPECT_DOUBLE_EQ(total_weight(occ), 4.0);
+  EXPECT_DOUBLE_EQ(occ.fermi_level, 1.0);
+}
+
+TEST(ZeroTemperature, ZeroElectrons) {
+  const std::vector<double> eps{-1.0, 1.0};
+  const Occupations occ = occupy(eps, 0, 0.0);
+  EXPECT_DOUBLE_EQ(total_weight(occ), 0.0);
+  EXPECT_DOUBLE_EQ(occ.band_energy, 0.0);
+}
+
+TEST(Occupations, InvalidInputsThrow) {
+  const std::vector<double> sorted{-1.0, 0.0, 1.0};
+  EXPECT_THROW((void)occupy(sorted, -1, 0.0), Error);
+  EXPECT_THROW((void)occupy(sorted, 7, 0.0), Error);  // > 2 per state
+  const std::vector<double> unsorted{1.0, -1.0};
+  EXPECT_THROW((void)occupy(unsorted, 2, 0.0), Error);
+}
+
+class FiniteTemperature : public ::testing::TestWithParam<double> {};
+
+TEST_P(FiniteTemperature, ElectronCountConservedByBisection) {
+  const double kelvin = GetParam();
+  std::vector<double> eps;
+  for (int k = 0; k < 40; ++k) eps.push_back(-5.0 + 0.25 * k);
+  for (const int ne : {2, 11, 20, 39, 78}) {
+    const Occupations occ = occupy(eps, ne, kelvin);
+    EXPECT_NEAR(total_weight(occ), static_cast<double>(ne), 1e-8)
+        << "T = " << kelvin << ", Ne = " << ne;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, FiniteTemperature,
+                         ::testing::Values(50.0, 300.0, 1000.0, 3000.0));
+
+TEST(FiniteTemperatureBehavior, WeightsAreMonotoneNonIncreasing) {
+  std::vector<double> eps;
+  for (int k = 0; k < 30; ++k) eps.push_back(-3.0 + 0.2 * k);
+  const Occupations occ = occupy(eps, 20, 1000.0);
+  for (std::size_t k = 1; k < occ.weights.size(); ++k) {
+    EXPECT_LE(occ.weights[k], occ.weights[k - 1] + 1e-12);
+  }
+  for (const double w : occ.weights) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 2.0);
+  }
+}
+
+TEST(FiniteTemperatureBehavior, HalfFillingAtSymmetricSpectrum) {
+  // Symmetric spectrum, half filling: mu must sit at the center (0).
+  std::vector<double> eps{-2.0, -1.0, 1.0, 2.0};
+  const Occupations occ = occupy(eps, 4, 700.0);
+  EXPECT_NEAR(occ.fermi_level, 0.0, 1e-6);
+  EXPECT_NEAR(occ.weights[0] + occ.weights[3], 2.0, 1e-8);  // e-h symmetry
+}
+
+TEST(FiniteTemperatureBehavior, ReducesToStepFunctionAtLowT) {
+  std::vector<double> eps{-2.0, -1.0, 1.0, 2.0};
+  const Occupations cold = occupy(eps, 4, 1.0);
+  EXPECT_NEAR(cold.weights[0], 2.0, 1e-9);
+  EXPECT_NEAR(cold.weights[1], 2.0, 1e-9);
+  EXPECT_NEAR(cold.weights[2], 0.0, 1e-9);
+}
+
+TEST(FiniteTemperatureBehavior, EntropyTermIsNonPositiveAndGrowsWithT) {
+  std::vector<double> eps{-1.0, -0.5, -0.1, 0.1, 0.5, 1.0};
+  const Occupations t1 = occupy(eps, 6, 500.0);
+  const Occupations t2 = occupy(eps, 6, 2000.0);
+  EXPECT_LE(t1.entropy_term, 0.0);
+  EXPECT_LE(t2.entropy_term, t1.entropy_term);  // more negative when hotter
+}
+
+TEST(FiniteTemperatureBehavior, BandEnergyAboveGroundStateAtFiniteT) {
+  std::vector<double> eps{-2.0, -1.0, 1.0, 2.0};
+  const Occupations cold = occupy(eps, 4, 0.0);
+  const Occupations hot = occupy(eps, 4, 4000.0);
+  EXPECT_GT(hot.band_energy, cold.band_energy - 1e-12);
+  // But the free energy E + (-TS) must stay below E_hot (variational).
+  EXPECT_LE(hot.band_energy + hot.entropy_term, hot.band_energy);
+}
+
+TEST(FiniteTemperatureBehavior, DegenerateLevelsShareOccupation) {
+  // Two degenerate states at the Fermi level with one electron pair left:
+  // each must receive half of it.
+  std::vector<double> eps{-1.0, 0.0, 0.0, 5.0};
+  const Occupations occ = occupy(eps, 4, 300.0);
+  EXPECT_NEAR(occ.weights[1], occ.weights[2], 1e-10);
+  EXPECT_NEAR(occ.weights[1], 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace tbmd::tb

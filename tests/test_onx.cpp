@@ -1,0 +1,268 @@
+// Tests for the O(N) layer: CSR sparse algebra, sparse Hamiltonian
+// assembly, Palser-Manolopoulos purification vs exact diagonalization, and
+// the OrderNCalculator against TightBindingCalculator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/linalg/blas.hpp"
+#include "src/linalg/eigen_sym.hpp"
+#include "src/neighbor/neighbor_list.hpp"
+#include "src/onx/on_calculator.hpp"
+#include "src/onx/purification.hpp"
+#include "src/onx/sparse.hpp"
+#include "src/structures/builders.hpp"
+#include "src/tb/density_matrix.hpp"
+#include "src/tb/hamiltonian.hpp"
+#include "src/tb/occupations.hpp"
+#include "src/tb/tb_calculator.hpp"
+#include "src/util/random.hpp"
+
+namespace tbmd::onx {
+namespace {
+
+linalg::Matrix random_symmetric(std::size_t n, std::uint64_t seed,
+                                double sparsity = 0.7) {
+  Rng rng(seed);
+  linalg::Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (rng.uniform() > sparsity || i == j) {
+        const double v = rng.uniform(-1, 1);
+        m(i, j) = v;
+        m(j, i) = v;
+      }
+    }
+  }
+  return m;
+}
+
+TEST(Sparse, DenseRoundTrip) {
+  const linalg::Matrix a = random_symmetric(20, 3);
+  const SparseMatrix s = SparseMatrix::from_dense(a);
+  EXPECT_LT(linalg::max_abs(s.to_dense() - a), 1e-15);
+}
+
+TEST(Sparse, DropToleranceRemovesSmallEntries) {
+  linalg::Matrix a(3, 3, 0.0);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 1e-9;
+  a(2, 2) = -2.0;
+  const SparseMatrix s = SparseMatrix::from_dense(a, 1e-6);
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(s.get(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(s.get(2, 2), -2.0);
+}
+
+TEST(Sparse, IdentityAndTrace) {
+  const SparseMatrix eye = SparseMatrix::identity(5);
+  EXPECT_EQ(eye.nnz(), 5u);
+  EXPECT_DOUBLE_EQ(eye.trace(), 5.0);
+  EXPECT_DOUBLE_EQ(eye.get(3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(eye.get(3, 4), 0.0);
+}
+
+TEST(Sparse, CombineMatchesDense) {
+  const linalg::Matrix a = random_symmetric(15, 5);
+  const linalg::Matrix b = random_symmetric(15, 6);
+  const SparseMatrix sa = SparseMatrix::from_dense(a);
+  const SparseMatrix sb = SparseMatrix::from_dense(b);
+  const SparseMatrix sc = sa.combine(2.0, sb, -0.5);
+  const linalg::Matrix expect = a * 2.0 + b * (-0.5);
+  EXPECT_LT(linalg::max_abs(sc.to_dense() - expect), 1e-13);
+}
+
+class SparseMultiply : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseMultiply, MatchesDenseProduct) {
+  const int n = GetParam();
+  const linalg::Matrix a = random_symmetric(n, 100 + n);
+  const linalg::Matrix b = random_symmetric(n, 200 + n);
+  const SparseMatrix sa = SparseMatrix::from_dense(a);
+  const SparseMatrix sb = SparseMatrix::from_dense(b);
+  const SparseMatrix sc = sa.multiply(sb);
+  EXPECT_LT(linalg::max_abs(sc.to_dense() - linalg::matmul(a, b)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseMultiply,
+                         ::testing::Values(1, 4, 17, 48, 90));
+
+TEST(Sparse, TraceOfProductMatchesDense) {
+  const linalg::Matrix a = random_symmetric(25, 7);
+  const linalg::Matrix b = random_symmetric(25, 8);
+  const SparseMatrix sa = SparseMatrix::from_dense(a);
+  const SparseMatrix sb = SparseMatrix::from_dense(b);
+  EXPECT_NEAR(sa.trace_of_product(sb), linalg::trace_of_product(a, b), 1e-11);
+}
+
+TEST(Sparse, GershgorinBoundsContainSpectrum) {
+  const linalg::Matrix a = random_symmetric(30, 9);
+  const SparseMatrix s = SparseMatrix::from_dense(a);
+  const auto [lo, hi] = s.gershgorin_bounds();
+  const auto vals = linalg::eigvalsh(a);
+  EXPECT_GE(vals.front(), lo - 1e-12);
+  EXPECT_LE(vals.back(), hi + 1e-12);
+}
+
+TEST(Sparse, FromRowsValidatesColumns) {
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows(2);
+  rows[0] = {{0, 1.0}, {5, 2.0}};  // column 5 out of range for n = 2
+  EXPECT_THROW((void)SparseMatrix::from_rows(2, rows), Error);
+}
+
+// --- sparse Hamiltonian --------------------------------------------------
+
+TEST(SparseHamiltonian, MatchesDenseAssembly) {
+  const tb::TbModel m = tb::xwch_carbon();
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  structures::perturb(s, 0.05, 77);
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  const linalg::Matrix dense = tb::build_hamiltonian(m, s, list);
+  const SparseMatrix sparse = build_sparse_hamiltonian(m, s, list);
+  EXPECT_LT(linalg::max_abs(sparse.to_dense() - dense), 1e-13);
+  EXPECT_LT(sparse.fill_fraction(), 0.5);  // genuinely sparse
+}
+
+// --- purification --------------------------------------------------------
+
+TEST(Purification, MatchesExactDensityMatrixOnGappedSystem) {
+  const tb::TbModel m = tb::xwch_carbon();
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  const linalg::Matrix hd = tb::build_hamiltonian(m, s, list);
+  const SparseMatrix hs = SparseMatrix::from_dense(hd);
+
+  const int nocc = s.total_valence_electrons() / 2;
+  PurificationOptions opt;
+  opt.drop_tolerance = 0.0;  // exact arithmetic
+  const PurificationResult pm = palser_manolopoulos(hs, nocc, opt);
+  ASSERT_TRUE(pm.converged);
+
+  // Compare against rho/2 from diagonalization.
+  const auto eig = linalg::eigh(hd);
+  const auto occ = tb::occupy(eig.values, s.total_valence_electrons(), 0.0);
+  const auto rho = tb::density_matrix(eig.vectors, occ.weights);
+  EXPECT_LT(linalg::max_abs(pm.density.to_dense() - rho * 0.5), 1e-6);
+  EXPECT_NEAR(pm.band_energy, occ.band_energy, 1e-6);
+}
+
+TEST(Purification, TraceConservedThroughoutIteration) {
+  const tb::TbModel m = tb::gsp_silicon();
+  System s = structures::diamond(Element::Si, 5.431, 2, 2, 2);
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  const SparseMatrix h = build_sparse_hamiltonian(m, s, list);
+  const int nocc = s.total_valence_electrons() / 2;
+  const PurificationResult pm = palser_manolopoulos(h, nocc, {});
+  EXPECT_TRUE(pm.converged);
+  EXPECT_NEAR(pm.density.trace(), static_cast<double>(nocc), 1e-6);
+}
+
+TEST(Purification, IdempotentResult) {
+  const tb::TbModel m = tb::xwch_carbon();
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  const SparseMatrix h = build_sparse_hamiltonian(m, s, list);
+  const PurificationResult pm =
+      palser_manolopoulos(h, s.total_valence_electrons() / 2, {});
+  ASSERT_TRUE(pm.converged);
+  const SparseMatrix p2 = pm.density.multiply(pm.density);
+  EXPECT_NEAR(std::fabs(pm.density.trace() - p2.trace()), 0.0, 1e-5);
+}
+
+class PurificationTruncation : public ::testing::TestWithParam<double> {};
+
+TEST_P(PurificationTruncation, EnergyErrorBoundedByTolerance) {
+  const double drop = GetParam();
+  const tb::TbModel m = tb::xwch_carbon();
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  const linalg::Matrix hd = tb::build_hamiltonian(m, s, list);
+
+  const auto eig = linalg::eigvalsh(hd);
+  const auto occ = tb::occupy(eig, s.total_valence_electrons(), 0.0);
+
+  PurificationOptions opt;
+  opt.drop_tolerance = drop;
+  const PurificationResult pm = palser_manolopoulos(
+      SparseMatrix::from_dense(hd), s.total_valence_electrons() / 2, opt);
+  ASSERT_TRUE(pm.converged) << "drop = " << drop;
+  // Energy error per atom grows with truncation but stays controlled.
+  const double err = std::fabs(pm.band_energy - occ.band_energy) /
+                     static_cast<double>(s.size());
+  EXPECT_LT(err, 1e4 * drop + 1e-7) << "drop = " << drop;
+}
+
+INSTANTIATE_TEST_SUITE_P(DropTolerances, PurificationTruncation,
+                         ::testing::Values(0.0, 1e-8, 1e-6));
+
+TEST(Purification, HandlesTrivialCases) {
+  const SparseMatrix h = SparseMatrix::identity(4);
+  const PurificationResult none = palser_manolopoulos(h, 0, {});
+  EXPECT_TRUE(none.converged);
+  EXPECT_DOUBLE_EQ(none.band_energy, 0.0);
+  EXPECT_THROW((void)palser_manolopoulos(h, 5, {}), Error);
+}
+
+// --- OrderNCalculator ----------------------------------------------------
+
+TEST(OrderNCalculator, MatchesExactEnergyAndForces) {
+  const tb::TbModel m = tb::xwch_carbon();
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  structures::perturb(s, 0.04, 91);
+
+  tb::TightBindingCalculator exact(m);
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-8;
+  OrderNCalculator fast(m, opt);
+
+  const ForceResult re = exact.compute(s);
+  const ForceResult rf = fast.compute(s);
+  EXPECT_TRUE(fast.last_purification().converged);
+  EXPECT_NEAR(re.energy, rf.energy, 1e-4 * s.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    worst = std::max(worst, norm(re.forces[i] - rf.forces[i]));
+  }
+  EXPECT_LT(worst, 5e-3);
+}
+
+TEST(OrderNCalculator, DensityMatrixFillFractionDecreasesWithSize) {
+  // Nearsightedness: with truncation, the fill *fraction* of the density
+  // matrix decreases as the system grows (the retained bandwidth is set by
+  // the physical decay length, not by N).  At these miniature sizes the
+  // absolute bandwidth has not saturated yet, but the fraction must fall.
+  const tb::TbModel m = tb::xwch_carbon();
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-4;
+
+  auto fill_of = [&](int nx) {
+    OrderNCalculator calc(m, opt);
+    System s = structures::diamond(Element::C, 3.567, nx, nx, nx);
+    (void)calc.compute(s);
+    const auto& p = calc.last_purification();
+    EXPECT_TRUE(p.converged) << "cells " << nx;
+    return p.fill_fraction;
+  };
+
+  const double fill_small = fill_of(2);  // 256 orbitals
+  const double fill_big = fill_of(3);    // 864 orbitals
+  EXPECT_LT(fill_big, 0.85 * fill_small);
+}
+
+TEST(OrderNCalculator, RejectsOddElectronCount) {
+  const tb::TbModel m = tb::xwch_carbon();
+  OrderNCalculator calc(m);
+  System s = structures::dimer(Element::C, 1.4);
+  s.set_species(1, Element::B);  // 4 + 3 = 7 electrons -- unsupported
+  // Species check fires first for non-carbon, so expect an Error either way.
+  EXPECT_THROW((void)calc.compute(s), Error);
+}
+
+}  // namespace
+}  // namespace tbmd::onx

@@ -1,0 +1,131 @@
+// Tests for Mulliken populations, charges and Mayer bond orders.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/linalg/eigen_sym.hpp"
+#include "src/structures/builders.hpp"
+#include "src/structures/fullerene.hpp"
+#include "src/tb/density_matrix.hpp"
+#include "src/tb/hamiltonian.hpp"
+#include "src/tb/occupations.hpp"
+#include "src/tb/population.hpp"
+
+namespace tbmd::tb {
+namespace {
+
+struct Electronic {
+  NeighborList list;
+  linalg::Matrix rho;
+};
+
+Electronic solve(const TbModel& m, const System& s,
+                 double electronic_temperature = 0.0) {
+  Electronic out;
+  out.list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  const auto h = build_hamiltonian(m, s, out.list);
+  const auto eig = linalg::eigh(h);
+  const auto occ = occupy(eig.values, s.total_valence_electrons(),
+                          electronic_temperature);
+  out.rho = density_matrix(eig.vectors, occ.weights);
+  return out;
+}
+
+TEST(Mulliken, PopulationsSumToElectronCount) {
+  const TbModel m = xwch_carbon();
+  System s = structures::c60();
+  const Electronic e = solve(m, s);
+  const auto pop = mulliken_populations(s, e.rho);
+  const double total = std::accumulate(pop.begin(), pop.end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(s.total_valence_electrons()), 1e-7);
+}
+
+TEST(Mulliken, HomonuclearCrystalIsChargeNeutral) {
+  // Every atom in diamond is symmetry-equivalent: Mulliken charge ~ 0.
+  const TbModel m = gsp_silicon();
+  System s = structures::diamond(Element::Si, 5.431, 2, 2, 2);
+  const Electronic e = solve(m, s);
+  for (const double q : mulliken_charges(s, e.rho)) {
+    EXPECT_NEAR(q, 0.0, 1e-8);
+  }
+}
+
+TEST(Mulliken, IsolatedAtomKeepsItsValence) {
+  const TbModel m = xwch_carbon();
+  System s = structures::chain(Element::C, 2, 12.0);  // beyond cutoff
+  // The six p levels of two isolated atoms are degenerate, so zero-T
+  // aufbau filling may break per-atom symmetry arbitrarily; Fermi smearing
+  // shares degenerate states equally and must give 4 electrons per atom.
+  const Electronic e = solve(m, s, /*electronic_temperature=*/300.0);
+  const auto pop = mulliken_populations(s, e.rho);
+  EXPECT_NEAR(pop[0], 4.0, 1e-6);
+  EXPECT_NEAR(pop[1], 4.0, 1e-6);
+}
+
+TEST(MayerBondOrder, DiamondBondsAreSingle) {
+  const TbModel m = xwch_carbon();
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  const Electronic e = solve(m, s);
+  const auto bonds = mayer_bond_orders(s, e.list, e.rho);
+  // Count strong first-shell bonds: diamond has 2 per atom in the half
+  // list; their Mayer order should be close to a single bond.
+  std::size_t strong = 0;
+  for (const BondOrder& b : bonds) {
+    if (b.length < 1.7) {
+      EXPECT_NEAR(b.order, 1.0, 0.35) << "bond " << b.i << "-" << b.j;
+      ++strong;
+    }
+  }
+  EXPECT_EQ(strong, 2 * s.size());
+}
+
+TEST(MayerBondOrder, GrapheneBondsExceedSingle) {
+  // Conjugated pi system: C-C order in graphene ~ 1.2-1.5, clearly above
+  // the diamond single bond.
+  const TbModel m = xwch_carbon();
+  System dia = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  System gra = structures::graphene(Element::C, 1.42, 3, 2);
+  const Electronic ed = solve(m, dia);
+  const Electronic eg = solve(m, gra);
+
+  auto mean_strong_order = [](const System& sys, const Electronic& e) {
+    const auto bonds = mayer_bond_orders(sys, e.list, e.rho);
+    double acc = 0.0;
+    std::size_t cnt = 0;
+    for (const BondOrder& b : bonds) {
+      if (b.length < 1.7) {
+        acc += b.order;
+        ++cnt;
+      }
+    }
+    return acc / static_cast<double>(cnt);
+  };
+  EXPECT_GT(mean_strong_order(gra, eg), mean_strong_order(dia, ed) + 0.1);
+}
+
+TEST(MayerBondOrder, VanishesForDistantAtoms) {
+  const TbModel m = xwch_carbon();
+  System s = structures::chain(Element::C, 2, 12.0);
+  Electronic e = solve(m, s);
+  // Use a list with a huge cutoff so the pair is present but uncoupled.
+  NeighborList far_list;
+  far_list.build(s.positions(), s.cell(), {13.0, 0.0});
+  const auto bonds = mayer_bond_orders(s, far_list, e.rho);
+  ASSERT_EQ(bonds.size(), 1u);
+  EXPECT_NEAR(bonds[0].order, 0.0, 1e-10);
+}
+
+TEST(MayerBondOrder, SizeMismatchThrows) {
+  const TbModel m = xwch_carbon();
+  System s = structures::dimer(Element::C, 1.4);
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  linalg::Matrix wrong(4, 4, 0.0);
+  EXPECT_THROW((void)mayer_bond_orders(s, list, wrong), Error);
+  EXPECT_THROW((void)mulliken_populations(s, wrong), Error);
+}
+
+}  // namespace
+}  // namespace tbmd::tb

@@ -1,0 +1,148 @@
+// Tests for structural relaxation (FIRE and conjugate gradients).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/potentials/lennard_jones.hpp"
+#include "src/potentials/tersoff.hpp"
+#include "src/relax/relax.hpp"
+#include "src/structures/builders.hpp"
+#include "src/structures/fullerene.hpp"
+#include "src/tb/tb_calculator.hpp"
+
+namespace tbmd::relax {
+namespace {
+
+TEST(Fire, RecoversLennardJonesDimerMinimum) {
+  potentials::LennardJonesParams p;
+  p.shift_energy = false;
+  potentials::LennardJonesCalculator calc(p);
+  System s = structures::dimer(Element::Ar, 4.3);  // stretched
+
+  RelaxOptions opt;
+  opt.force_tolerance = 1e-6;
+  const RelaxResult r = fire_relax(s, calc, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(s.distance(0, 1), std::pow(2.0, 1.0 / 6.0) * p.sigma, 1e-4);
+  EXPECT_NEAR(r.energy, -p.epsilon, 1e-7);
+}
+
+TEST(Cg, RecoversLennardJonesDimerMinimum) {
+  potentials::LennardJonesParams p;
+  p.shift_energy = false;
+  potentials::LennardJonesCalculator calc(p);
+  System s = structures::dimer(Element::Ar, 3.3);  // compressed
+
+  RelaxOptions opt;
+  opt.force_tolerance = 1e-6;
+  const RelaxResult r = cg_relax(s, calc, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(s.distance(0, 1), std::pow(2.0, 1.0 / 6.0) * p.sigma, 1e-4);
+}
+
+class RelaxPerturbedCrystal : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RelaxPerturbedCrystal, RestoresSiliconDiamond) {
+  const bool use_fire = GetParam();
+  tb::TightBindingCalculator calc(tb::gsp_silicon());
+  System s = structures::diamond(Element::Si, 5.431, 2, 2, 2);
+  const double e_perfect = calc.compute(s).energy;
+  structures::perturb(s, 0.12, 51);
+  const double e_messy = calc.compute(s).energy;
+  ASSERT_GT(e_messy, e_perfect + 0.1);
+
+  RelaxOptions opt;
+  opt.force_tolerance = 5e-3;
+  opt.max_iterations = 600;
+  const RelaxResult r =
+      use_fire ? fire_relax(s, calc, opt) : cg_relax(s, calc, opt);
+  EXPECT_TRUE(r.converged) << (use_fire ? "fire" : "cg");
+  EXPECT_NEAR(r.energy, e_perfect, 0.05);
+  EXPECT_LT(r.max_force, opt.force_tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Minimizers, RelaxPerturbedCrystal,
+                         ::testing::Values(true, false));
+
+TEST(Fire, RelaxedC60DevelopsTwoBondLengths) {
+  // Real C60 has short (6:6 ring fusion) ~1.40 and long (6:5) ~1.45 bonds;
+  // relaxing the uniform truncated icosahedron with the TB model must
+  // split the bond distribution.
+  tb::TightBindingCalculator calc(tb::xwch_carbon());
+  System s = structures::c60(Element::C, 1.44);
+  RelaxOptions opt;
+  opt.force_tolerance = 5e-3;
+  opt.max_iterations = 800;
+  const RelaxResult r = fire_relax(s, calc, opt);
+  EXPECT_TRUE(r.converged);
+
+  // Collect bond lengths.
+  std::vector<double> bonds;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.size(); ++j) {
+      const double d = s.distance(i, j);
+      if (d < 1.7) bonds.push_back(d);
+    }
+  }
+  ASSERT_EQ(bonds.size(), 90u);  // cage intact
+  const auto [mn, mx] = std::minmax_element(bonds.begin(), bonds.end());
+  EXPECT_GT(*mx - *mn, 0.01);  // two distinct bond classes
+  EXPECT_GT(*mn, 1.33);
+  EXPECT_LT(*mx, 1.55);
+}
+
+TEST(Fire, FrozenAtomsDoNotRelax) {
+  potentials::LennardJonesParams p;
+  p.cutoff = 4.8;
+  p.skin = 0.4;
+  potentials::LennardJonesCalculator calc(p);
+  System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
+  structures::perturb(s, 0.2, 53);
+  s.set_frozen(1, true);
+  const Vec3 pinned = s.positions()[1];
+  RelaxOptions opt;
+  opt.force_tolerance = 1e-3;
+  (void)fire_relax(s, calc, opt);
+  EXPECT_EQ(s.positions()[1], pinned);
+}
+
+TEST(Relax, ReportsForceCallsAndIterations) {
+  potentials::LennardJonesCalculator calc;
+  System s = structures::dimer(Element::Ar, 4.0);
+  const RelaxResult r = fire_relax(s, calc);
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_GE(r.force_calls, r.iterations);
+}
+
+TEST(Relax, AlreadyConvergedReturnsImmediately) {
+  potentials::LennardJonesParams p;
+  p.shift_energy = false;
+  potentials::LennardJonesCalculator calc(p);
+  System s = structures::dimer(Element::Ar, std::pow(2.0, 1.0 / 6.0) * p.sigma);
+  RelaxOptions opt;
+  opt.force_tolerance = 1e-3;
+  const RelaxResult r = cg_relax(s, calc, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(Relax, EnergyNeverIncreasesUnderCg) {
+  tb::TightBindingCalculator calc(tb::xwch_carbon());
+  System s = structures::c60();
+  structures::perturb(s, 0.08, 59);
+  double prev = calc.compute(s).energy;
+
+  // Run CG in short bursts and check monotonic energy decrease.
+  for (int burst = 0; burst < 4; ++burst) {
+    RelaxOptions opt;
+    opt.force_tolerance = 1e-8;  // force it to use all iterations
+    opt.max_iterations = 5;
+    const RelaxResult r = cg_relax(s, calc, opt);
+    EXPECT_LE(r.energy, prev + 1e-9);
+    prev = r.energy;
+  }
+}
+
+}  // namespace
+}  // namespace tbmd::relax

@@ -1,0 +1,233 @@
+// Tests for the structure builders: lattices, graphene, nanotubes, C60.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/bonds.hpp"
+#include "src/structures/builders.hpp"
+#include "src/structures/fullerene.hpp"
+#include "src/structures/nanotube.hpp"
+#include "src/util/error.hpp"
+
+namespace tbmd {
+namespace {
+
+TEST(Dimer, GeometryAndSpecies) {
+  const System s = structures::dimer(Element::C, 1.3);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NEAR(s.distance(0, 1), 1.3, 1e-12);
+  EXPECT_EQ(s.species()[0], Element::C);
+  EXPECT_FALSE(s.cell().periodic());
+}
+
+TEST(Chain, SpacingAndCount) {
+  const System s = structures::chain(Element::Si, 5, 2.2);
+  ASSERT_EQ(s.size(), 5u);
+  for (std::size_t i = 0; i + 1 < 5; ++i) {
+    EXPECT_NEAR(s.distance(i, i + 1), 2.2, 1e-12);
+  }
+}
+
+TEST(Diamond, AtomCountAndDensity) {
+  const double a = 3.567;
+  const System s = structures::diamond(Element::C, a, 2, 3, 1);
+  EXPECT_EQ(s.size(), 8u * 2 * 3 * 1);
+  EXPECT_NEAR(s.cell().volume(), a * a * a * 6.0, 1e-9);
+}
+
+TEST(Diamond, EveryAtomHasFourFirstNeighbors) {
+  const double a = 5.431;
+  const System s = structures::diamond(Element::Si, a, 2, 2, 2);
+  const double bond = std::sqrt(3.0) / 4.0 * a;
+  const auto coord = analysis::coordination_numbers(s, bond + 0.15);
+  for (const int c : coord) EXPECT_EQ(c, 4);
+}
+
+TEST(Diamond, BondLengthIsSqrt3Over4A) {
+  const double a = 3.567;
+  const System s = structures::diamond(Element::C, a, 2, 2, 2);
+  const double bond = analysis::mean_bond_length(s, 1.7);
+  EXPECT_NEAR(bond, std::sqrt(3.0) / 4.0 * a, 1e-9);
+}
+
+TEST(Fcc, AtomCountAndTwelveNeighbors) {
+  const double a = 5.26;
+  const System s = structures::fcc(Element::Ar, a, 2, 2, 2);
+  EXPECT_EQ(s.size(), 4u * 8);
+  const double nn = a / std::sqrt(2.0);
+  const auto coord = analysis::coordination_numbers(s, nn + 0.2);
+  for (const int c : coord) EXPECT_EQ(c, 12);
+}
+
+TEST(Graphene, ThreeCoordinatedHoneycomb) {
+  const System s = structures::graphene(Element::C, 1.42, 3, 3);
+  EXPECT_EQ(s.size(), 4u * 9);
+  const auto coord = analysis::coordination_numbers(s, 1.6);
+  for (const int c : coord) EXPECT_EQ(c, 3);
+  // All bonds are the requested length.
+  EXPECT_NEAR(analysis::mean_bond_length(s, 1.6), 1.42, 1e-9);
+}
+
+TEST(Graphene, CellIsPeriodicInPlaneOnly) {
+  const System s = structures::graphene(Element::C, 1.42, 2, 2);
+  EXPECT_TRUE(s.cell().periodic(0));
+  EXPECT_TRUE(s.cell().periodic(1));
+  EXPECT_FALSE(s.cell().periodic(2));
+}
+
+TEST(Nanotube, InfoMatchesStandardFormulas) {
+  // (10,0) zig-zag with the graphene bond 1.42: R = sqrt(3)*1.42*10/(2 pi).
+  const auto info = structures::nanotube_info(10, 0, 1.42);
+  EXPECT_NEAR(info.radius, std::sqrt(3.0) * 1.42 * 10.0 / (2.0 * M_PI), 1e-9);
+  EXPECT_NEAR(info.translation, 3.0 * 1.42, 1e-9);
+  EXPECT_EQ(info.atoms_per_cell, 40u);
+
+  // (5,5) arm-chair: |T| = sqrt(3) d.
+  const auto arm = structures::nanotube_info(5, 5, 1.42);
+  EXPECT_NEAR(arm.translation, std::sqrt(3.0) * 1.42, 1e-9);
+  EXPECT_EQ(arm.atoms_per_cell, 20u);
+}
+
+class NanotubeIndices
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NanotubeIndices, RollingProducesExpectedCountRadiusAndBonds) {
+  const auto [n, m] = GetParam();
+  const double bond = 1.42;
+  const int cells = 2;
+  const System s = structures::nanotube(Element::C, n, m, bond, cells,
+                                        /*periodic=*/false);
+  const auto info = structures::nanotube_info(n, m, bond);
+  EXPECT_EQ(s.size(), info.atoms_per_cell * cells);
+
+  // Every atom sits on the cylinder.
+  for (const Vec3& r : s.positions()) {
+    EXPECT_NEAR(std::hypot(r.x, r.y), info.radius, 1e-9);
+  }
+
+  // Interior atoms are 3-coordinated (ends of an open tube are not).
+  const auto coord = analysis::coordination_numbers(s, bond * 1.2);
+  int three = 0;
+  for (const int c : coord) {
+    EXPECT_LE(c, 3);
+    three += (c == 3);
+  }
+  EXPECT_GT(three, static_cast<int>(s.size()) / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chiralities, NanotubeIndices,
+                         ::testing::Values(std::make_tuple(10, 0),
+                                           std::make_tuple(5, 5),
+                                           std::make_tuple(6, 6),
+                                           std::make_tuple(8, 0),
+                                           std::make_tuple(6, 3)));
+
+TEST(Nanotube, PeriodicTubeIsFullyThreeCoordinated) {
+  // 2 cells of (10,0): length 8.52 A, enough for the cutoff precondition.
+  const System s =
+      structures::nanotube(Element::C, 10, 0, 1.42, 2, /*periodic=*/true);
+  EXPECT_TRUE(s.cell().periodic(2));
+  EXPECT_FALSE(s.cell().periodic(0));
+  const auto coord = analysis::coordination_numbers(s, 1.42 * 1.2);
+  for (const int c : coord) EXPECT_EQ(c, 3);
+}
+
+TEST(C60, SixtyAtomsNinetyBondsThreeCoordination) {
+  const System s = structures::c60();
+  ASSERT_EQ(s.size(), 60u);
+  EXPECT_EQ(analysis::bond_count(s, 1.44 * 1.15), 90u);
+  const auto coord = analysis::coordination_numbers(s, 1.44 * 1.15);
+  for (const int c : coord) EXPECT_EQ(c, 3);
+}
+
+TEST(C60, AllAtomsOnCommonSphere) {
+  const System s = structures::c60(Element::C, 1.44);
+  const double r0 = norm(s.positions()[0]);
+  for (const Vec3& r : s.positions()) EXPECT_NEAR(norm(r), r0, 1e-9);
+  // C60 radius is about 3.55 A for bond 1.44 in the uniform-edge geometry.
+  EXPECT_NEAR(r0, 3.55, 0.15);
+}
+
+TEST(RandomGas, RespectsDensityAndDeterminism) {
+  const System a = structures::random_gas(Element::Ar, 64, 0.02, 2.0, 7);
+  const System b = structures::random_gas(Element::Ar, 64, 0.02, 2.0, 7);
+  ASSERT_EQ(a.size(), 64u);
+  EXPECT_NEAR(a.cell().volume(), 64.0 / 0.02, 1e-6);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.positions()[i], b.positions()[i]);  // same seed, same gas
+  }
+  const System c = structures::random_gas(Element::Ar, 64, 0.02, 2.0, 8);
+  EXPECT_NE(a.positions()[0], c.positions()[0]);
+}
+
+TEST(RandomGas, MinimumSeparationHonored) {
+  const System s = structures::random_gas(Element::Ar, 27, 0.015, 2.5, 11);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.size(); ++j) {
+      EXPECT_GT(s.distance(i, j), 2.5 * 0.99);
+    }
+  }
+}
+
+TEST(Perturb, OnlyMobileAtomsMoveAndDeterministic) {
+  System a = structures::diamond(Element::Si, 5.431, 1, 1, 2);
+  a.set_frozen(0, true);
+  const Vec3 frozen_pos = a.positions()[0];
+  System b = a;
+  structures::perturb(a, 0.1, 42);
+  structures::perturb(b, 0.1, 42);
+  EXPECT_EQ(a.positions()[0], frozen_pos);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.positions()[i], b.positions()[i]);
+  }
+  EXPECT_GT(norm(a.positions()[1] - frozen_pos), 0.0);
+}
+
+TEST(Substitute, ChangesSpeciesAndMass) {
+  System s = structures::diamond(Element::C, 3.567, 1, 1, 2);
+  const double mc = s.mass(3);
+  structures::substitute(s, {3}, Element::Si);
+  EXPECT_EQ(s.species()[3], Element::Si);
+  EXPECT_GT(s.mass(3), mc);
+}
+
+TEST(Vacancy, RemovesOneAtomAndKeepsState) {
+  System s = structures::diamond(Element::Si, 5.431, 2, 2, 2);
+  s.velocities()[5] = {1.0, 2.0, 3.0};
+  s.set_frozen(7, true);
+  const System v = structures::with_vacancy(s, 6);
+  ASSERT_EQ(v.size(), s.size() - 1);
+  // Atom 5 keeps its velocity; old atom 7 (now index 6) stays frozen.
+  EXPECT_EQ(v.velocities()[5], (Vec3{1.0, 2.0, 3.0}));
+  EXPECT_TRUE(v.frozen(6));
+  EXPECT_FALSE(v.frozen(5));
+  EXPECT_NEAR(v.cell().volume(), s.cell().volume(), 1e-12);
+}
+
+TEST(Vacancy, NeighborsLoseOneCoordination) {
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  const System v = structures::with_vacancy(s, 0);
+  const auto hist = analysis::coordination_histogram(v, 1.7);
+  EXPECT_EQ(hist[3], 4u);               // the four former neighbors
+  EXPECT_EQ(hist[4], s.size() - 5);     // everyone else unchanged
+}
+
+TEST(Vacancy, OutOfRangeThrows) {
+  System s = structures::dimer(Element::C, 1.4);
+  EXPECT_THROW((void)structures::with_vacancy(s, 2), Error);
+}
+
+TEST(Builders, RejectBadArguments) {
+  EXPECT_THROW((void)structures::diamond(Element::C, -1.0, 1, 1, 1), Error);
+  EXPECT_THROW((void)structures::diamond(Element::C, 3.5, 0, 1, 1), Error);
+  EXPECT_THROW((void)structures::dimer(Element::C, 0.0), Error);
+  EXPECT_THROW((void)structures::nanotube(Element::C, 0, 0, 1.42, 1, false),
+               Error);
+  EXPECT_THROW((void)structures::random_gas(Element::Ar, 0, 0.01, 1.0, 1),
+               Error);
+}
+
+}  // namespace
+}  // namespace tbmd

@@ -1,0 +1,138 @@
+// Tests for the tight-binding model definitions and radial functions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tb/radial.hpp"
+#include "src/tb/tb_model.hpp"
+#include "src/util/error.hpp"
+
+namespace tbmd::tb {
+namespace {
+
+TEST(Models, ShippedParameterSetsAreSane) {
+  const TbModel c = xwch_carbon();
+  EXPECT_EQ(c.element, Element::C);
+  EXPECT_LT(c.bonds.sss, 0.0);   // ss sigma is attractive
+  EXPECT_GT(c.bonds.sps, 0.0);
+  EXPECT_GT(c.bonds.pps, 0.0);
+  EXPECT_LT(c.bonds.ppp, 0.0);
+  EXPECT_LT(c.e_s, c.e_p);       // s below p
+  EXPECT_GT(c.cutoff(), 2.0);
+  EXPECT_EQ(c.repulsion_kind, RepulsionKind::kEmbeddedPolynomial);
+
+  const TbModel si = gsp_silicon();
+  EXPECT_EQ(si.element, Element::Si);
+  EXPECT_LT(si.bonds.sss, 0.0);
+  EXPECT_LT(si.e_s, si.e_p);
+  EXPECT_EQ(si.repulsion_kind, RepulsionKind::kPairSum);
+  EXPECT_GT(si.cutoff(), 3.0);
+}
+
+TEST(Models, LookupByName) {
+  EXPECT_EQ(model_by_name("xwch-carbon").element, Element::C);
+  EXPECT_EQ(model_by_name("C").element, Element::C);
+  EXPECT_EQ(model_by_name("gsp-silicon").element, Element::Si);
+  EXPECT_EQ(model_by_name("si").element, Element::Si);
+  EXPECT_THROW((void)model_by_name("unobtainium"), Error);
+}
+
+TEST(RadialScaling, UnityAtReferenceDistance) {
+  for (const TbModel& m : {xwch_carbon(), gsp_silicon()}) {
+    const RadialValue v = evaluate_scaling(m.hopping, m.hopping.r0);
+    EXPECT_NEAR(v.value, 1.0, 1e-12) << m.name;
+    EXPECT_LT(v.derivative, 0.0) << m.name;  // decays with distance
+  }
+}
+
+TEST(RadialScaling, MonotonicallyDecreasing) {
+  const TbModel m = xwch_carbon();
+  double prev = 10.0;
+  for (double r = 1.0; r < m.hopping.r_cut; r += 0.02) {
+    const double v = evaluate_scaling(m.hopping, r).value;
+    EXPECT_LT(v, prev) << "r = " << r;
+    EXPECT_GE(v, 0.0);
+    prev = v;
+  }
+}
+
+TEST(RadialScaling, ZeroAtAndBeyondCutoff) {
+  const TbModel m = xwch_carbon();
+  for (const double r : {m.hopping.r_cut, m.hopping.r_cut + 0.1, 5.0}) {
+    const RadialValue v = evaluate_scaling(m.hopping, r);
+    EXPECT_DOUBLE_EQ(v.value, 0.0);
+    EXPECT_DOUBLE_EQ(v.derivative, 0.0);
+  }
+}
+
+TEST(RadialScaling, ContinuousAcrossTaperStart) {
+  const TbModel m = xwch_carbon();
+  const double r1 = m.hopping.r_taper;
+  const double below = evaluate_scaling(m.hopping, r1 - 1e-9).value;
+  const double above = evaluate_scaling(m.hopping, r1 + 1e-9).value;
+  EXPECT_NEAR(below, above, 1e-7);
+  // Derivative continuity (the taper is C^1).
+  const double dbelow = evaluate_scaling(m.hopping, r1 - 1e-9).derivative;
+  const double dabove = evaluate_scaling(m.hopping, r1 + 1e-9).derivative;
+  EXPECT_NEAR(dbelow, dabove, 1e-5);
+}
+
+TEST(RadialScaling, ContinuousNearHardCutoff) {
+  const TbModel m = gsp_silicon();
+  const double v = evaluate_scaling(m.hopping, m.hopping.r_cut - 1e-7).value;
+  EXPECT_NEAR(v, 0.0, 1e-5);
+}
+
+class RadialDerivative : public ::testing::TestWithParam<double> {};
+
+TEST_P(RadialDerivative, MatchesFiniteDifference) {
+  const double r = GetParam();
+  for (const TbModel& m : {xwch_carbon(), gsp_silicon()}) {
+    for (const RadialScaling& p : {m.hopping, m.repulsive}) {
+      if (r >= p.r_cut - 1e-4) continue;
+      const double h = 1e-6;
+      const double fplus = evaluate_scaling(p, r + h).value;
+      const double fminus = evaluate_scaling(p, r - h).value;
+      const double fd = (fplus - fminus) / (2.0 * h);
+      const double an = evaluate_scaling(p, r).derivative;
+      EXPECT_NEAR(an, fd, 1e-5 * std::max(1.0, std::fabs(fd)))
+          << m.name << " at r = " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleRadii, RadialDerivative,
+                         ::testing::Values(1.1, 1.42, 1.54, 1.9, 2.2, 2.35,
+                                           2.5, 2.55, 3.0, 3.45, 3.6, 3.75));
+
+TEST(RadialScaling, ThrowsAtZeroDistance) {
+  const TbModel m = xwch_carbon();
+  EXPECT_THROW((void)evaluate_scaling(m.hopping, 0.0), Error);
+  EXPECT_THROW((void)evaluate_scaling(m.hopping, 1e-9), Error);
+}
+
+TEST(Polynomial, ValueAndDerivative) {
+  // f(x) = 1 + 2x - x^2 + 0.5 x^3 - 0.25 x^4
+  const std::array<double, 5> c{1.0, 2.0, -1.0, 0.5, -0.25};
+  for (const double x : {0.0, 0.5, 1.0, -1.5, 3.0}) {
+    const RadialValue v = evaluate_polynomial(c, x);
+    const double expect =
+        1.0 + 2.0 * x - x * x + 0.5 * x * x * x - 0.25 * x * x * x * x;
+    const double dexpect = 2.0 - 2.0 * x + 1.5 * x * x - x * x * x;
+    EXPECT_NEAR(v.value, expect, 1e-12);
+    EXPECT_NEAR(v.derivative, dexpect, 1e-12);
+  }
+}
+
+TEST(Polynomial, XwchEmbeddingIsNegativeAtZeroCoordination) {
+  // f(0) = c0 < 0 for the XWCH fit (free-atom limit of the repulsion).
+  const TbModel m = xwch_carbon();
+  EXPECT_LT(evaluate_polynomial(m.embed_coeff, 0.0).value, 0.0);
+  // and grows with coordination pressure:
+  EXPECT_GT(evaluate_polynomial(m.embed_coeff, 30.0).value,
+            evaluate_polynomial(m.embed_coeff, 0.0).value);
+}
+
+}  // namespace
+}  // namespace tbmd::tb
