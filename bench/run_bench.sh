@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Baseline performance driver: runs the hot-kernel microbenchmarks serial
+# (OMP_NUM_THREADS=1) and OpenMP-parallel (all cores), plus the EXP-F1
+# step-scaling experiment, and writes a machine-readable BENCH_baseline.json
+# next to this script's repo root so every future perf PR has a trajectory
+# to beat.
+#
+# Usage:  bench/run_bench.sh [build-dir]
+# Env:    THREADS=<n>   thread count for the parallel pass (default: nproc)
+#         FILTER=<re>   benchmark filter (default: representative hot kernels)
+#         SKIP_F1=1     skip the exp_f1 scaling experiment (~5 min); the JSON
+#                       then records exp_f1_step_scaling: null (CI smoke mode)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+THREADS="${THREADS:-$(nproc)}"
+FILTER="${FILTER:-BM_Eigh/128|BM_Eigh/256|BM_Gemm/256|BM_BuildHamiltonian/3|BM_NeighborBuild/2000|BM_BandForces/2|BM_DensityMatrix/2|BM_SparseMultiply/3|BM_TersoffForceCall/2}"
+OUT="${REPO_ROOT}/BENCH_baseline.json"
+
+if [[ ! -x "${BUILD_DIR}/bench_kernels" || ! -x "${BUILD_DIR}/exp_f1_step_scaling" ]]; then
+  echo "== building bench targets in ${BUILD_DIR}"
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+  if ! cmake --build "${BUILD_DIR}" -j --target bench_kernels exp_f1_step_scaling >/dev/null; then
+    echo "error: could not build bench targets in ${BUILD_DIR}." >&2
+    echo "       bench_kernels needs google-benchmark (Debian: libbenchmark-dev)," >&2
+    echo "       and the build dir must be configured with -DTBMD_BUILD_BENCH=ON." >&2
+    exit 1
+  fi
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+echo "== bench_kernels: serial pass (OMP_NUM_THREADS=1)"
+OMP_NUM_THREADS=1 "${BUILD_DIR}/bench_kernels" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json --benchmark_out="${TMP}/serial.json" \
+  --benchmark_out_format=json >/dev/null
+
+echo "== bench_kernels: OpenMP pass (OMP_NUM_THREADS=${THREADS})"
+OMP_NUM_THREADS="${THREADS}" "${BUILD_DIR}/bench_kernels" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json --benchmark_out="${TMP}/omp.json" \
+  --benchmark_out_format=json >/dev/null
+
+F1_SECONDS=""
+if [[ "${SKIP_F1:-0}" != "1" ]]; then
+  echo "== exp_f1_step_scaling (OMP_NUM_THREADS=${THREADS})"
+  F1_START=$(date +%s.%N)
+  (cd "${TMP}" && OMP_NUM_THREADS="${THREADS}" "${BUILD_DIR}/exp_f1_step_scaling" >f1.log)
+  F1_SECONDS=$(awk -v a="${F1_START}" -v b="$(date +%s.%N)" 'BEGIN { printf "%.3f", b - a }')
+else
+  echo "== exp_f1_step_scaling skipped (SKIP_F1=1)"
+fi
+
+python3 - "${TMP}" "${OUT}" "${THREADS}" "${F1_SECONDS}" <<'PY'
+import csv, json, platform, statistics, sys
+from datetime import datetime, timezone
+
+tmp, out, threads = sys.argv[1], sys.argv[2], int(sys.argv[3])
+f1_seconds = float(sys.argv[4]) if sys.argv[4] else None  # empty: SKIP_F1=1
+
+def load(path):
+    with open(path) as f:
+        d = json.load(f)
+    to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+    # Skip BigO/RMS aggregate rows emitted by ->Complexity() families.
+    return {b["name"]: b["real_time"] * to_ms[b["time_unit"]]
+            for b in d["benchmarks"]
+            if b.get("run_type", "iteration") == "iteration"}, d.get("context", {})
+
+serial, ctx = load(f"{tmp}/serial.json")
+parallel, _ = load(f"{tmp}/omp.json")
+
+kernels = []
+for name in serial:
+    s, p = serial[name], parallel.get(name)
+    kernels.append({
+        "name": name,
+        "serial_ms": round(s, 4),
+        "omp_ms": round(p, 4) if p is not None else None,
+        "speedup": round(s / p, 3) if p else None,
+    })
+
+speedups = [k["speedup"] for k in kernels if k["speedup"]]
+geomean = round(statistics.geometric_mean(speedups), 3) if speedups else None
+
+f1 = None
+if f1_seconds is not None:
+    with open(f"{tmp}/exp_f1_step_scaling.csv") as f:
+        f1 = {"wall_seconds": round(f1_seconds, 2), "rows": list(csv.DictReader(f))}
+
+doc = {
+    "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    "host": {
+        "machine": platform.machine(),
+        "num_cpus": ctx.get("num_cpus"),
+        "cpu_mhz": ctx.get("mhz_per_cpu"),
+    },
+    "threads_parallel_pass": threads,
+    "bench_kernels": {
+        "kernels": kernels,
+        "speedup_geomean": geomean,
+        "note": "speedup == serial_ms / omp_ms; ~1.0 expected on single-core hosts",
+    },
+    "exp_f1_step_scaling": f1,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"== wrote {out}")
+print(f"   kernels: {len(kernels)}, OpenMP speedup geomean: {geomean} "
+      f"({threads} threads, {ctx.get('num_cpus')} cpus)")
+if f1 is not None:
+    print(f"   exp_f1 wall: {f1['wall_seconds']}s, {len(f1['rows'])} size points")
+PY

@@ -53,7 +53,7 @@ void householder_tridiagonalize(Matrix& a, std::vector<double>& d,
 
         // e[j] <- (A v)_j / h for the trailing submatrix (lower triangle is
         // authoritative).  Independent across j -> parallel.
-        const bool par = (l + 1) >= kParallelCutoff;
+        [[maybe_unused]] const bool par = (l + 1) >= kParallelCutoff;
 #pragma omp parallel for schedule(dynamic, 16) if (par)
         for (std::size_t j = 0; j <= l; ++j) {
           if (accumulate) a(j, i) = a(i, j) / h;
@@ -95,7 +95,7 @@ void householder_tridiagonalize(Matrix& a, std::vector<double>& d,
     if (accumulate) {
       if (d[i] != 0.0) {
         // Left-multiply the accumulated Q by this reflection.
-        const bool par = i >= kParallelCutoff;
+        [[maybe_unused]] const bool par = i >= kParallelCutoff;
 #pragma omp parallel for schedule(static) if (par)
         for (std::size_t j = 0; j < i; ++j) {
           double g = 0.0;
@@ -185,7 +185,7 @@ void tql_implicit_shift(std::vector<double>& d, std::vector<double>& e,
           // sequentially, but rows are independent -> parallel over rows.
           Matrix& zz = *z;
           const std::size_t nrot = sines.size();
-          const bool par = n * nrot >= 16384;
+          [[maybe_unused]] const bool par = n * nrot >= 16384;
 #pragma omp parallel for schedule(static) if (par)
           for (std::size_t k = 0; k < n; ++k) {
             double* zrow = zz.row(k);

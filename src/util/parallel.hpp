@@ -3,6 +3,12 @@
 /// \file parallel.hpp
 /// \brief Thin OpenMP wrappers so that the rest of the code base never talks
 /// to the OpenMP runtime directly and compiles cleanly without it.
+///
+/// Contract (pinned down by the Parallel.* tests in tests/test_util.cpp and
+/// compiled in both configurations by CI via -DTBMD_NO_OPENMP=ON): every
+/// wrapper behaves identically with and without -fopenmp, except that a
+/// serial build reports max_threads() == 1 and treats set_num_threads() as
+/// a no-op. Numerical results must not depend on the thread count.
 
 #ifdef _OPENMP
 #include <omp.h>

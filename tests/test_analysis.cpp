@@ -171,7 +171,9 @@ TEST(Bonds, DiamondCoordinationHistogram) {
   const auto hist = coordination_histogram(s, 1.7);
   EXPECT_EQ(hist[4], s.size());
   for (std::size_t c = 0; c < hist.size(); ++c) {
-    if (c != 4) EXPECT_EQ(hist[c], 0u) << "coordination " << c;
+    if (c != 4) {
+      EXPECT_EQ(hist[c], 0u) << "coordination " << c;
+    }
   }
 }
 

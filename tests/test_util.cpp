@@ -232,5 +232,31 @@ TEST(Parallel, SetNumThreadsRoundTrips) {
   EXPECT_EQ(par::max_threads(), before);
 }
 
+// The remaining Parallel tests pin down the contract that must hold
+// identically with and without -fopenmp (CI compiles and runs both
+// configurations via the TBMD_NO_OPENMP option).
+
+TEST(Parallel, ThreadIdIsZeroOutsideParallelRegion) {
+  EXPECT_EQ(par::thread_id(), 0);
+}
+
+TEST(Parallel, OpenmpFlagMatchesThreadCeiling) {
+  if (!par::openmp_enabled()) {
+    // Serial build: the wrappers must report exactly one thread, always.
+    EXPECT_EQ(par::max_threads(), 1);
+    par::set_num_threads(8);  // must be an accepted no-op
+    EXPECT_EQ(par::max_threads(), 1);
+  } else {
+    EXPECT_GE(par::max_threads(), 1);
+  }
+}
+
+TEST(Parallel, WorthParallelizingThreshold) {
+  EXPECT_FALSE(par::worth_parallelizing(0, 1000));
+  EXPECT_FALSE(par::worth_parallelizing(100, 500));    // 50'000: at threshold
+  EXPECT_TRUE(par::worth_parallelizing(100, 501));     // just above
+  EXPECT_TRUE(par::worth_parallelizing(1'000'000, 1));
+}
+
 }  // namespace
 }  // namespace tbmd
