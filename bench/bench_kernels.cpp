@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include "src/linalg/blas.hpp"
+#include "src/linalg/blocked_tridiag.hpp"
+#include "src/linalg/eigen_partial.hpp"
 #include "src/linalg/eigen_sym.hpp"
 #include "src/neighbor/neighbor_list.hpp"
 #include "src/onx/on_calculator.hpp"
@@ -47,6 +49,40 @@ void BM_Eigh(benchmark::State& state) {
 }
 BENCHMARK(BM_Eigh)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNCubed);
+
+void BM_EighPartial(benchmark::State& state) {
+  // The TBMD hot-path query: the occupied half of the spectrum (Ne/2 of N
+  // states at half filling) plus the LUMO, eigenvectors included.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_symmetric(n, 1);
+  const std::size_t iu = n / 2;  // states 0 .. N/2 (occupied + LUMO)
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigh_range(a, 0, iu));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EighPartial)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNCubed);
+
+void BM_EighPartialWindow(benchmark::State& state) {
+  // Narrow interior window (band-edge style query): 16 states around the
+  // middle of the spectrum; exercises the Sturm-bisection value path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_symmetric(n, 1);
+  const std::size_t il = n / 2 - 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigh_range(a, il, il + 15));
+  }
+}
+BENCHMARK(BM_EighPartialWindow)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_BlockedTridiag(benchmark::State& state) {
+  const auto a = random_symmetric(state.range(0), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::blocked_tridiagonalize(a));
+  }
+}
+BENCHMARK(BM_BlockedTridiag)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_Eigvalsh(benchmark::State& state) {
   const auto a = random_symmetric(state.range(0), 2);
@@ -175,6 +211,25 @@ void BM_TbFullStep(benchmark::State& state) {
   state.counters["atoms"] = static_cast<double>(s.size());
 }
 BENCHMARK(BM_TbFullStep)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_TbStepPartialSpectrum(benchmark::State& state) {
+  // Same full TBMD step, but with the MD production configuration: no
+  // eigenvalue reporting, so the calculator only diagonalizes the occupied
+  // window.  Compare against BM_TbFullStep for the end-to-end win.
+  const int nx = state.range(0);
+  System s = structures::diamond(Element::C, 3.567, nx, nx, 2);
+  structures::perturb(s, 0.02, 11);
+  tb::TbOptions opt;
+  opt.report_eigenvalues = false;  // kAuto then takes the partial path
+  tb::TightBindingCalculator calc(tb::xwch_carbon(), opt);
+  (void)calc.compute(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.compute(s).energy);
+  }
+  state.counters["atoms"] = static_cast<double>(s.size());
+}
+BENCHMARK(BM_TbStepPartialSpectrum)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

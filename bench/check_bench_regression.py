@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Gate CI on hot-kernel performance against BENCH_baseline.json.
+
+Usage:
+    check_bench_regression.py RESULT_JSON [--baseline BENCH_baseline.json]
+        [--kernel BM_Eigh/256 ...] [--max-regression 0.20]
+        [--normalize-by BM_Gemm/256 | --no-normalize]
+
+RESULT_JSON is google-benchmark ``--benchmark_out`` output from the current
+build; the baseline is the repo's recorded BENCH_baseline.json (serial_ms
+per kernel).  A kernel fails when
+
+    current_ms / current_ref_ms  >  (1 + max_regression) * base_ms / base_ref_ms
+
+where ref is the --normalize-by calibration kernel.  Normalizing by a
+second compute-bound kernel measured in the same run cancels the absolute
+speed difference between the machine that recorded the baseline and the CI
+runner, so the gate tracks genuine algorithmic regressions rather than
+runner lottery.  --no-normalize compares raw milliseconds (only meaningful
+on the baseline machine itself).
+"""
+
+import argparse
+import json
+import sys
+
+TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_result(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue  # skip BigO/RMS aggregate rows
+        out[row["name"]] = row["real_time"] * TO_MS[row["time_unit"]]
+    return out
+
+
+def load_baseline(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {k["name"]: k["serial_ms"]
+            for k in doc["bench_kernels"]["kernels"]
+            if k.get("serial_ms") is not None}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("result", help="google-benchmark JSON from this build")
+    ap.add_argument("--baseline", default="BENCH_baseline.json")
+    ap.add_argument("--kernel", action="append", default=[],
+                    help="kernel(s) to gate; default: BM_Eigh/256")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="allowed fractional slowdown (default 0.20)")
+    ap.add_argument("--normalize-by", default="BM_Gemm/256",
+                    help="calibration kernel cancelling machine speed")
+    ap.add_argument("--no-normalize", action="store_true",
+                    help="compare raw milliseconds instead")
+    args = ap.parse_args()
+    kernels = args.kernel or ["BM_Eigh/256"]
+
+    current = load_result(args.result)
+    baseline = load_baseline(args.baseline)
+
+    ref_cur = ref_base = 1.0
+    if not args.no_normalize:
+        ref = args.normalize_by
+        if ref not in current or ref not in baseline:
+            print(f"error: calibration kernel {ref} missing from "
+                  f"{'result' if ref not in current else 'baseline'}")
+            return 2
+        ref_cur, ref_base = current[ref], baseline[ref]
+        print(f"calibration {ref}: current {ref_cur:.3f} ms, "
+              f"baseline {ref_base:.3f} ms")
+
+    failed = False
+    for name in kernels:
+        if name not in current:
+            print(f"error: {name} missing from benchmark output")
+            return 2
+        if name not in baseline:
+            print(f"note: {name} has no baseline entry yet; skipping")
+            continue
+        score = current[name] / ref_cur
+        base_score = baseline[name] / ref_base
+        ratio = score / base_score
+        verdict = "FAIL" if ratio > 1.0 + args.max_regression else "ok"
+        failed |= verdict == "FAIL"
+        print(f"{verdict:4} {name}: current {current[name]:.3f} ms, "
+              f"baseline {baseline[name]:.3f} ms, "
+              f"normalized ratio {ratio:.3f} "
+              f"(limit {1.0 + args.max_regression:.2f})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

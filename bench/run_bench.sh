@@ -15,8 +15,12 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
+# Absolutize: the F1 experiment runs from a temp dir, so a relative
+# build-dir argument would otherwise stop resolving there.
+mkdir -p "${BUILD_DIR}"
+BUILD_DIR="$(cd "${BUILD_DIR}" && pwd)"
 THREADS="${THREADS:-$(nproc)}"
-FILTER="${FILTER:-BM_Eigh/128|BM_Eigh/256|BM_Gemm/256|BM_BuildHamiltonian/3|BM_NeighborBuild/2000|BM_BandForces/2|BM_DensityMatrix/2|BM_SparseMultiply/3|BM_TersoffForceCall/2}"
+FILTER="${FILTER:-BM_Eigh/128|BM_Eigh/256|BM_EighPartial/128|BM_EighPartial/256|BM_BlockedTridiag/256|BM_Gemm/256|BM_BuildHamiltonian/3|BM_NeighborBuild/2000|BM_BandForces/2|BM_DensityMatrix/2|BM_SparseMultiply/3|BM_TersoffForceCall/2|BM_TbStepPartialSpectrum/3}"
 OUT="${REPO_ROOT}/BENCH_baseline.json"
 
 if [[ ! -x "${BUILD_DIR}/bench_kernels" || ! -x "${BUILD_DIR}/exp_f1_step_scaling" ]]; then

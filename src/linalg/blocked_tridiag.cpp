@@ -1,0 +1,288 @@
+#include "src/linalg/blocked_tridiag.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
+
+namespace tbmd::linalg {
+
+namespace {
+
+/// Minimum trailing dimension before the symv / rank-2k loops fork threads.
+constexpr std::size_t kParallelCutoff = 128;
+
+/// y = A_sym * v for the trailing submatrix rows/cols [lo, n), reading only
+/// the lower triangle of `a`.  Streams each row once (every stored element
+/// is used for both its (i,j) and (j,i) role), so the kernel runs at memory
+/// bandwidth.  `v` and `y` are full-length buffers; entries outside [lo, n)
+/// are ignored / left untouched.
+void symv_lower(const Matrix& a, std::size_t lo, const double* v, double* y) {
+  const std::size_t n = a.rows();
+  for (std::size_t i = lo; i < n; ++i) y[i] = 0.0;
+  const std::size_t len = n - lo;
+  [[maybe_unused]] const bool par =
+      len >= kParallelCutoff && par::max_threads() > 1;
+#pragma omp parallel for schedule(dynamic, 32) reduction(+ : y[lo : len]) \
+    if (par)
+  for (std::size_t i = lo; i < n; ++i) {
+    const double* row = a.row(i);
+    const double vi = v[i];
+    double s = row[i] * vi;
+    for (std::size_t k = lo; k < i; ++k) {
+      s += row[k] * v[k];
+      y[k] += row[k] * vi;
+    }
+    y[i] += s;
+  }
+}
+
+}  // namespace
+
+TridiagFactorization blocked_tridiagonalize(const Matrix& a,
+                                            std::size_t block) {
+  const std::size_t n = a.rows();
+  TBMD_REQUIRE(n == a.cols(), "blocked_tridiagonalize: matrix must be square");
+  TBMD_REQUIRE(block >= 1, "blocked_tridiagonalize: block must be >= 1");
+
+  TridiagFactorization f;
+  f.reflectors = a;
+  f.tau.assign(n, 0.0);
+  f.d.assign(n, 0.0);
+  f.e.assign(n, 0.0);
+  if (n == 0) return f;
+  if (n == 1) {
+    f.d[0] = a(0, 0);
+    return f;
+  }
+
+  Matrix& r = f.reflectors;
+  const std::size_t nrefl = n - 2;  // reflectors for columns 0 .. n-3
+  const std::size_t nb = std::min<std::size_t>(block, std::max<std::size_t>(nrefl, 1));
+
+  Matrix w(n, nb, 0.0);             // accumulated couplings W for the panel
+  std::vector<double> v(n, 0.0);    // contiguous copy of the current reflector
+  std::vector<double> y(n, 0.0);    // symv result / scratch
+  std::vector<double> vrow(nb), wrow(nb), tmp1(nb), tmp2(nb);
+
+  for (std::size_t p = 0; p < nrefl; p += nb) {
+    const std::size_t pw = std::min(nb, nrefl - p);
+    w.fill(0.0);
+
+    for (std::size_t jj = 0; jj < pw; ++jj) {
+      const std::size_t j = p + jj;
+
+      // Apply the panel's pending rank-2 updates to column j (rows j..n-1):
+      // a(:, j) -= V W(j, :)^T + W V(j, :)^T.
+      if (jj > 0) {
+        for (std::size_t c = 0; c < jj; ++c) {
+          vrow[c] = r(j, p + c);
+          wrow[c] = w(j, c);
+        }
+        for (std::size_t i = j; i < n; ++i) {
+          const double* ri = r.row(i);
+          const double* wi = w.row(i);
+          double s = r(i, j);
+          for (std::size_t c = 0; c < jj; ++c) {
+            s -= ri[p + c] * wrow[c] + wi[c] * vrow[c];
+          }
+          r(i, j) = s;
+        }
+      }
+      f.d[j] = r(j, j);
+
+      // Generate the Householder reflector annihilating a(j+2:n, j).
+      const double alpha = r(j + 1, j);
+      double sigma = 0.0;
+      for (std::size_t i = j + 2; i < n; ++i) sigma += r(i, j) * r(i, j);
+      if (sigma == 0.0) {
+        f.e[j + 1] = alpha;
+        f.tau[j] = 0.0;
+        r(j + 1, j) = 1.0;  // v = e1; harmless since tau = 0 makes H = I
+      } else {
+        const double beta =
+            (alpha >= 0.0) ? -std::sqrt(alpha * alpha + sigma)
+                           : std::sqrt(alpha * alpha + sigma);
+        f.tau[j] = (beta - alpha) / beta;
+        const double scale = 1.0 / (alpha - beta);
+        for (std::size_t i = j + 2; i < n; ++i) r(i, j) *= scale;
+        r(j + 1, j) = 1.0;
+        f.e[j + 1] = beta;
+      }
+
+      // W(:, jj) = tau * (A_j v - 0.5 tau (v^T A_j v) v), where A_j is the
+      // trailing matrix with the panel's pending updates folded in through
+      // the V/W correction terms (stored entries are pre-update).
+      for (std::size_t i = j + 1; i < n; ++i) v[i] = r(i, j);
+      symv_lower(r, j + 1, v.data(), y.data());
+      if (jj > 0) {
+        for (std::size_t c = 0; c < jj; ++c) {
+          double s1 = 0.0, s2 = 0.0;
+          for (std::size_t i = j + 1; i < n; ++i) {
+            s1 += w(i, c) * v[i];
+            s2 += r(i, p + c) * v[i];
+          }
+          tmp1[c] = s1;
+          tmp2[c] = s2;
+        }
+        for (std::size_t i = j + 1; i < n; ++i) {
+          const double* ri = r.row(i);
+          const double* wi = w.row(i);
+          double s = y[i];
+          for (std::size_t c = 0; c < jj; ++c) {
+            s -= ri[p + c] * tmp1[c] + wi[c] * tmp2[c];
+          }
+          y[i] = s;
+        }
+      }
+      const double tau = f.tau[j];
+      double vy = 0.0;
+      for (std::size_t i = j + 1; i < n; ++i) {
+        y[i] *= tau;
+        vy += y[i] * v[i];
+      }
+      const double corr = -0.5 * tau * vy;
+      for (std::size_t i = j + 1; i < n; ++i) {
+        w(i, jj) = y[i] + corr * v[i];
+      }
+    }
+
+    // Deferred symmetric rank-2k trailing update (the level-3 bulk):
+    // A(q:, q:) -= V W^T + W V^T on the lower triangle, q = p + pw.
+    const std::size_t q0 = p + pw;
+    [[maybe_unused]] const bool par =
+        (n - q0) >= kParallelCutoff && par::max_threads() > 1;
+#pragma omp parallel for schedule(dynamic, 16) if (par)
+    for (std::size_t i = q0; i < n; ++i) {
+      const double* ri = r.row(i);
+      const double* wi = w.row(i);
+      double* out = r.row(i);
+      for (std::size_t j2 = q0; j2 <= i; ++j2) {
+        const double* rj = r.row(j2);
+        const double* wj = w.row(j2);
+        double s = 0.0;
+        for (std::size_t c = 0; c < pw; ++c) {
+          s += ri[p + c] * wj[c] + wi[c] * rj[p + c];
+        }
+        out[j2] -= s;
+      }
+    }
+  }
+
+  f.d[n - 2] = r(n - 2, n - 2);
+  f.d[n - 1] = r(n - 1, n - 1);
+  f.e[n - 1] = r(n - 1, n - 2);
+  f.e[0] = 0.0;
+  return f;
+}
+
+void apply_q(const TridiagFactorization& f, Matrix& z) {
+  const std::size_t n = f.size();
+  TBMD_REQUIRE(z.rows() == n, "apply_q: row count mismatch");
+  if (n < 3 || z.cols() == 0) return;  // Q == I for n < 3
+
+  const Matrix& r = f.reflectors;
+  const std::size_t m = z.cols();
+  const std::size_t nrefl = n - 2;
+  constexpr std::size_t kNb = 32;
+
+  Matrix t(kNb, kNb, 0.0);   // triangular factor of the WY block
+  Matrix w1(kNb, m, 0.0);    // V^T Z, then T * (V^T Z)
+  std::vector<double> s(kNb);
+
+  // Q = B_0 B_1 ... B_L with forward-columnwise blocks B = I - V T V^T;
+  // Q Z applies the blocks in reverse order.
+  const std::size_t nblocks = (nrefl + kNb - 1) / kNb;
+  for (std::size_t blk = nblocks; blk-- > 0;) {
+    const std::size_t p = blk * kNb;
+    const std::size_t pw = std::min(kNb, nrefl - p);
+
+    // T factor (LARFT, forward columnwise): T(c,c) = tau_c,
+    // T(0:c, c) = -tau_c T(0:c, 0:c) (V^T v_c)(0:c).  v_c is zero at and
+    // above row p+c, so the dot products only run over rows p+c+1 .. n-1.
+    for (std::size_t c = 0; c < pw; ++c) {
+      const double tau_c = f.tau[p + c];
+      for (std::size_t b = 0; b < c; ++b) {
+        double dotv = 0.0;
+        for (std::size_t i = p + c + 1; i < n; ++i) {
+          dotv += r(i, p + b) * r(i, p + c);
+        }
+        s[b] = dotv;
+      }
+      for (std::size_t b = 0; b < c; ++b) {
+        double acc = 0.0;
+        for (std::size_t k = b; k < c; ++k) acc += t(b, k) * s[k];
+        t(b, c) = -tau_c * acc;
+      }
+      t(c, c) = tau_c;
+    }
+
+    // W1 = V^T Z over rows p+1 .. n-1, streamed row-by-row; parallel over
+    // column tiles of Z so each thread owns its W1 slice (no reduction).
+    for (std::size_t c = 0; c < pw; ++c) {
+      double* w1c = w1.row(c);
+      for (std::size_t q = 0; q < m; ++q) w1c[q] = 0.0;
+    }
+    [[maybe_unused]] const bool par =
+        par::max_threads() > 1 && n * m >= 64 * kParallelCutoff;
+#pragma omp parallel if (par)
+    {
+      const int tid = par::thread_id();
+      const int tcount = par::team_size();
+      const std::size_t q_lo = m * static_cast<std::size_t>(tid) /
+                               static_cast<std::size_t>(tcount);
+      const std::size_t q_hi = m * (static_cast<std::size_t>(tid) + 1) /
+                               static_cast<std::size_t>(tcount);
+      for (std::size_t i = p + 1; i < n; ++i) {
+        const double* ri = r.row(i);
+        const double* zi = z.row(i);
+        const std::size_t c_hi = std::min(pw, i - p);  // valid c: p+c+1 <= i
+        for (std::size_t c = 0; c < c_hi; ++c) {
+          const double coeff = ri[p + c];
+          if (coeff == 0.0) continue;
+          double* w1c = w1.row(c);
+          for (std::size_t q = q_lo; q < q_hi; ++q) w1c[q] += coeff * zi[q];
+        }
+      }
+#pragma omp barrier
+      // W1 <- T * W1 (T upper triangular): done by thread 0's slice only in
+      // serial fallback; under OpenMP each thread transforms its own tile.
+      for (std::size_t b = 0; b < pw; ++b) {
+        double* w1b = w1.row(b);
+        for (std::size_t q = q_lo; q < q_hi; ++q) {
+          double acc = t(b, b) * w1b[q];
+          for (std::size_t c = b + 1; c < pw; ++c) {
+            acc += t(b, c) * w1.row(c)[q];
+          }
+          w1b[q] = acc;
+        }
+      }
+    }
+    // The in-place triangular multiply above reads rows c > b while
+    // overwriting row b; since T is upper triangular and b increases, rows
+    // c > b are still untransformed when read -- exactly what T*W1 needs.
+
+    // Z -= V * W1 over rows p+1 .. n-1.
+#pragma omp parallel for schedule(static) if (par)
+    for (std::size_t i = p + 1; i < n; ++i) {
+      const double* ri = r.row(i);
+      double* zi = z.row(i);
+      const std::size_t c_hi = std::min(pw, i - p);
+      for (std::size_t c = 0; c < c_hi; ++c) {
+        const double coeff = ri[p + c];
+        if (coeff == 0.0) continue;
+        const double* w1c = w1.row(c);
+        for (std::size_t q = 0; q < m; ++q) zi[q] -= coeff * w1c[q];
+      }
+    }
+  }
+}
+
+Matrix form_q(const TridiagFactorization& f) {
+  Matrix q = Matrix::identity(f.size());
+  apply_q(f, q);
+  return q;
+}
+
+}  // namespace tbmd::linalg

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/linalg/eigen_partial.hpp"
 #include "src/util/error.hpp"
 #include "src/util/parallel.hpp"
 
@@ -237,6 +238,12 @@ SymmetricEigenSolution sort_solution(std::vector<double> d, Matrix z,
 
 SymmetricEigenSolution eigh(const Matrix& a) {
   TBMD_REQUIRE(a.rows() == a.cols(), "eigh: matrix must be square");
+  if (a.rows() == 0) return {};
+  return eigh_range(a, 0, a.rows() - 1);
+}
+
+SymmetricEigenSolution eigh_ql(const Matrix& a) {
+  TBMD_REQUIRE(a.rows() == a.cols(), "eigh_ql: matrix must be square");
   Matrix work = a;
   std::vector<double> d, e;
   householder_tridiagonalize(work, d, e, /*accumulate=*/true);

@@ -27,9 +27,19 @@ struct SymmetricEigenSolution {
 /// Full eigendecomposition of a symmetric matrix.
 ///
 /// The input is validated to be square and (approximately) symmetric; the
-/// strictly lower triangle is the authoritative data.  Throws tbmd::Error if
-/// the QL iteration fails to converge (pathological input).
+/// strictly lower triangle is the authoritative data.  Since the blocked
+/// partial-spectrum refactor this routes through eigh_range(a, 0, n-1)
+/// (blocked Householder + values-only QL/bisection + inverse iteration +
+/// blocked back-transform, see eigen_partial.hpp); eigh_ql() below keeps
+/// the classic rotation-accumulating path as a cross-check oracle.
 [[nodiscard]] SymmetricEigenSolution eigh(const Matrix& a);
+
+/// Full eigendecomposition via the classic TRED2/TQL2 path: Householder
+/// reduction with accumulated Q, then implicit-shift QL applying every
+/// Givens rotation to the eigenvector matrix.  Slower than eigh() but of
+/// EISPACK lineage and independently verified; kept (with jacobi_eigh) as
+/// the oracle the tests compare the blocked solver against.
+[[nodiscard]] SymmetricEigenSolution eigh_ql(const Matrix& a);
 
 /// Eigenvalues only (ascending); roughly 2x faster and half the memory of
 /// eigh() since no eigenvector accumulation is performed.

@@ -1,0 +1,50 @@
+#include "src/linalg/spectral_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::linalg {
+
+double SpectralBounds::scale() const {
+  return std::max(std::fabs(lo), std::fabs(hi));
+}
+
+SpectralBounds gershgorin_bounds(const Matrix& a) {
+  const std::size_t n = a.rows();
+  TBMD_REQUIRE(n == a.cols(), "gershgorin_bounds: matrix must be square");
+  SpectralBounds b;
+  if (n == 0) return b;
+  b.lo = a(0, 0);
+  b.hi = a(0, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = a.row(i);
+    double radius = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) radius += std::fabs(row[j]);
+    }
+    b.lo = std::min(b.lo, row[i] - radius);
+    b.hi = std::max(b.hi, row[i] + radius);
+  }
+  return b;
+}
+
+SpectralBounds gershgorin_bounds(const std::vector<double>& d,
+                                 const std::vector<double>& e) {
+  const std::size_t n = d.size();
+  TBMD_REQUIRE(e.size() == n, "gershgorin_bounds: d/e size mismatch");
+  SpectralBounds b;
+  if (n == 0) return b;
+  b.lo = d[0];
+  b.hi = d[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double radius = (i > 0 ? std::fabs(e[i]) : 0.0) +
+                          (i + 1 < n ? std::fabs(e[i + 1]) : 0.0);
+    b.lo = std::min(b.lo, d[i] - radius);
+    b.hi = std::max(b.hi, d[i] + radius);
+  }
+  return b;
+}
+
+}  // namespace tbmd::linalg

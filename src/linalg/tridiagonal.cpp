@@ -3,21 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/linalg/spectral_bounds.hpp"
 #include "src/util/error.hpp"
 
 namespace tbmd::linalg {
 
 std::size_t sturm_count(const std::vector<double>& d,
                         const std::vector<double>& e, double x) {
-  const std::size_t n = d.size();
-  TBMD_REQUIRE(e.size() == n, "sturm_count: d/e size mismatch");
-  if (n == 0) return 0;
+  return sturm_count(d, e, 0, d.size(), x);
+}
+
+std::size_t sturm_count(const std::vector<double>& d,
+                        const std::vector<double>& e, std::size_t s,
+                        std::size_t t, double x) {
+  TBMD_REQUIRE(e.size() == d.size(), "sturm_count: d/e size mismatch");
+  TBMD_REQUIRE(s <= t && t <= d.size(), "sturm_count: bad block range");
+  if (s == t) return 0;
   // Negative terms of the Sturm sequence q_i = d_i - x - e_i^2 / q_{i-1}
   // count the eigenvalues below x.
   std::size_t count = 0;
-  double q = d[0] - x;
+  double q = d[s] - x;
   if (q < 0.0) ++count;
-  for (std::size_t i = 1; i < n; ++i) {
+  for (std::size_t i = s + 1; i < t; ++i) {
     const double denom = (q == 0.0) ? 2.3e-308 : q;
     q = d[i] - x - e[i] * e[i] / denom;
     if (q < 0.0) ++count;
@@ -30,14 +37,7 @@ double tridiagonal_eigenvalue(const std::vector<double>& d,
                               double tol) {
   const std::size_t n = d.size();
   TBMD_REQUIRE(k < n, "tridiagonal_eigenvalue: index out of range");
-  // Gershgorin bounds.
-  double lo = d[0], hi = d[0];
-  for (std::size_t i = 0; i < n; ++i) {
-    const double r = (i > 0 ? std::fabs(e[i]) : 0.0) +
-                     (i + 1 < n ? std::fabs(e[i + 1]) : 0.0);
-    lo = std::min(lo, d[i] - r);
-    hi = std::max(hi, d[i] + r);
-  }
+  auto [lo, hi] = gershgorin_bounds(d, e);
   // Bisection on the Sturm count.
   while (hi - lo > tol * std::max(1.0, std::fabs(lo) + std::fabs(hi))) {
     const double mid = 0.5 * (lo + hi);

@@ -19,6 +19,14 @@ namespace tbmd::linalg {
 [[nodiscard]] std::size_t sturm_count(const std::vector<double>& d,
                                       const std::vector<double>& e, double x);
 
+/// Same count restricted to the principal block rows/cols [s, t): the
+/// coupling e[s] into the preceding block is ignored.  Used by the
+/// inverse-iteration solver to attribute degenerate cluster members to the
+/// irreducible blocks they belong to.
+[[nodiscard]] std::size_t sturm_count(const std::vector<double>& d,
+                                      const std::vector<double>& e,
+                                      std::size_t s, std::size_t t, double x);
+
 /// k-th smallest eigenvalue (0-based) of the symmetric tridiagonal matrix by
 /// Sturm bisection, to absolute tolerance `tol`.
 [[nodiscard]] double tridiagonal_eigenvalue(const std::vector<double>& d,

@@ -22,13 +22,14 @@ PurificationResult palser_manolopoulos(const SparseMatrix& h, int n_occupied,
 
   const double theta =
       static_cast<double>(n_occupied) / static_cast<double>(n);
-  const auto [emin, emax] = h.gershgorin_bounds();
+  const linalg::SpectralBounds bounds = h.gershgorin_bounds();
   const double mu = h.trace() / static_cast<double>(n);
 
   // Initial guess P0 = lambda (mu I - H) + theta I with spectrum in [0,1]
-  // and trace exactly n_occupied.
-  const double denom_hi = std::max(emax - mu, 1e-12);
-  const double denom_lo = std::max(mu - emin, 1e-12);
+  // and trace exactly n_occupied; the spectral extent comes from the shared
+  // Gershgorin estimate the dense eigensolvers also use.
+  const double denom_hi = std::max(bounds.hi - mu, 1e-12);
+  const double denom_lo = std::max(mu - bounds.lo, 1e-12);
   const double lambda = std::min(theta / denom_hi, (1.0 - theta) / denom_lo);
 
   const SparseMatrix eye = SparseMatrix::identity(n);

@@ -20,12 +20,13 @@ PurificationResult sp2_purification(const SparseMatrix& h, int n_occupied,
   }
 
   // X0 = (emax I - H) / (emax - emin): spectrum in [0, 1], with occupied
-  // states mapped towards 1.
-  const auto [emin, emax] = h.gershgorin_bounds();
-  const double width = std::max(emax - emin, 1e-12);
+  // states mapped towards 1.  The bounds come from the shared Gershgorin
+  // estimate (linalg::SpectralBounds) the dense eigensolvers also use.
+  const linalg::SpectralBounds bounds = h.gershgorin_bounds();
+  const double width = std::max(bounds.width(), 1e-12);
   const SparseMatrix eye = SparseMatrix::identity(n);
   SparseMatrix x =
-      h.combine(-1.0 / width, eye, emax / width, options.drop_tolerance);
+      h.combine(-1.0 / width, eye, bounds.hi / width, options.drop_tolerance);
 
   const double target = static_cast<double>(n_occupied);
   const double effective_tol =

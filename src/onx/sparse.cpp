@@ -162,8 +162,8 @@ SparseMatrix SparseMatrix::multiply(const SparseMatrix& b,
   return from_rows(n_, rows);
 }
 
-std::pair<double, double> SparseMatrix::gershgorin_bounds() const {
-  double lo = 0.0, hi = 0.0;
+linalg::SpectralBounds SparseMatrix::gershgorin_bounds() const {
+  linalg::SpectralBounds b;
   bool first = true;
   for (std::size_t i = 0; i < n_; ++i) {
     double diag = 0.0, radius = 0.0;
@@ -175,15 +175,15 @@ std::pair<double, double> SparseMatrix::gershgorin_bounds() const {
       }
     }
     if (first) {
-      lo = diag - radius;
-      hi = diag + radius;
+      b.lo = diag - radius;
+      b.hi = diag + radius;
       first = false;
     } else {
-      lo = std::min(lo, diag - radius);
-      hi = std::max(hi, diag + radius);
+      b.lo = std::min(b.lo, diag - radius);
+      b.hi = std::max(b.hi, diag + radius);
     }
   }
-  return {lo, hi};
+  return b;
 }
 
 }  // namespace tbmd::onx

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/linalg/matrix.hpp"
+#include "src/linalg/spectral_bounds.hpp"
 
 namespace tbmd::onx {
 
@@ -69,9 +70,10 @@ class SparseMatrix {
   [[nodiscard]] SparseMatrix multiply(const SparseMatrix& b,
                                       double drop_tolerance = 0.0) const;
 
-  /// Largest absolute off-diagonal row sum + diagonal (Gershgorin bounds):
-  /// returns {min over i of (a_ii - r_i), max over i of (a_ii + r_i)}.
-  [[nodiscard]] std::pair<double, double> gershgorin_bounds() const;
+  /// Gershgorin enclosure of the spectrum, in the shared linalg interval
+  /// type also used by the dense/tridiagonal eigensolvers:
+  /// {min over i of (a_ii - r_i), max over i of (a_ii + r_i)}.
+  [[nodiscard]] linalg::SpectralBounds gershgorin_bounds() const;
 
   // Raw CSR access (read-only) for kernels that stream the structure.
   [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {

@@ -10,8 +10,9 @@ namespace tbmd::tb {
 linalg::Matrix density_matrix(const linalg::Matrix& eigenvectors,
                               const std::vector<double>& weights) {
   const std::size_t n = eigenvectors.rows();
-  TBMD_REQUIRE(eigenvectors.cols() == n, "density_matrix: C must be square");
-  TBMD_REQUIRE(weights.size() == n, "density_matrix: weight count mismatch");
+  const std::size_t m = eigenvectors.cols();
+  TBMD_REQUIRE(m <= n, "density_matrix: more states than orbitals");
+  TBMD_REQUIRE(weights.size() == m, "density_matrix: weight count mismatch");
 
   // Gather occupied columns scaled by sqrt(w): rho = B B^T.
   std::size_t nocc = 0;
@@ -22,7 +23,7 @@ linalg::Matrix density_matrix(const linalg::Matrix& eigenvectors,
 
   linalg::Matrix b(n, nocc, 0.0);
   std::size_t col = 0;
-  for (std::size_t k = 0; k < n; ++k) {
+  for (std::size_t k = 0; k < m; ++k) {
     if (weights[k] <= 0.0) continue;
     const double s = std::sqrt(weights[k]);
     for (std::size_t i = 0; i < n; ++i) b(i, col) = s * eigenvectors(i, k);

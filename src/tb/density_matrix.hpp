@@ -10,8 +10,10 @@
 namespace tbmd::tb {
 
 /// Build the density matrix rho = C diag(w) C^T, where column n of C is
-/// eigenvector n and w_n the (spin-weighted) occupation.  Only columns with
-/// w_n > 0 contribute, so the cost is O(norb^2 * n_occ).
+/// eigenvector n and w_n the (spin-weighted) occupation.  C may be
+/// rectangular (norb x m): the partial-spectrum solver hands over only the
+/// m = |weights| low-lying states it computed.  Only columns with w_n > 0
+/// contribute, so the cost is O(norb^2 * n_occ) either way.
 ///
 /// The band-structure energy is tr(rho H) and the Hellmann-Feynman band
 /// force on a bond block is the contraction of rho with dH/dR (forces.hpp).

@@ -12,8 +12,8 @@ namespace {
 
 double fermi_function(double eps, double mu, double kt) {
   const double x = (eps - mu) / kt;
-  if (x > 40.0) return 0.0;
-  if (x < -40.0) return 1.0;
+  if (x > kFermiTailCutoff) return 0.0;
+  if (x < -kFermiTailCutoff) return 1.0;
   return 1.0 / (1.0 + std::exp(x));
 }
 

@@ -8,6 +8,13 @@
 
 namespace tbmd::tb {
 
+/// Dimensionless cutoff of the Fermi exponent: the smearing function
+/// returns exactly 0 for (eps - mu)/kT > kFermiTailCutoff and exactly 1
+/// below -kFermiTailCutoff.  The partial-spectrum coverage check in the TB
+/// calculator relies on the exact-zero property, so both must share this
+/// one constant.
+inline constexpr double kFermiTailCutoff = 40.0;
+
 /// Occupation result: per-state occupancies including the spin factor
 /// (each w_n is in [0, 2]), the chemical potential, band energy and
 /// electronic entropy contribution -T*S (eV; zero at T = 0).
@@ -25,6 +32,14 @@ struct Occupations {
 /// half-filled HOMO and the reported Fermi level is the HOMO/LUMO midpoint.
 /// temperature > 0 (kelvin): Fermi-Dirac occupations with mu found by
 /// bisection so that sum_n w_n = n_electrons.
+///
+/// `eigenvalues` may be a truncated low-lying prefix of the spectrum (the
+/// partial-spectrum solver hands over only the states it computed).  The
+/// result then matches the full-spectrum answer exactly whenever the
+/// truncated tail carries no weight; at T > 0 the caller must verify that
+/// the top supplied state sits >= 40 kT above the returned Fermi level (the
+/// TB calculator's coverage check) and fall back to the full spectrum
+/// otherwise.
 [[nodiscard]] Occupations occupy(const std::vector<double>& eigenvalues,
                                  int n_electrons, double temperature);
 

@@ -18,6 +18,19 @@
 
 namespace tbmd::tb {
 
+/// Which part of the spectrum the diagonalization step computes.
+enum class SpectrumMode {
+  /// Partial when nothing demands the full spectrum (the default):
+  /// report_eigenvalues == false and the occupied-window coverage check
+  /// passes; otherwise transparently falls back to the full solver.
+  kAuto,
+  /// Always diagonalize the full spectrum (the pre-refactor behavior).
+  kFull,
+  /// Always use the partial-spectrum path; with report_eigenvalues the
+  /// ForceResult then carries only the computed low-lying eigenvalues.
+  kPartial,
+};
+
 /// Options for TightBindingCalculator.
 struct TbOptions {
   /// Verlet skin added to the model cutoff for the shared neighbor list (A).
@@ -27,7 +40,15 @@ struct TbOptions {
   /// term so that MD with smeared occupations conserves the free energy.
   double electronic_temperature = 0.0;
   /// Copy the eigenvalue spectrum into the ForceResult (adds an O(N) copy).
+  /// Analyses that consume the whole spectrum (EDOS, HOMO-LUMO gaps) need
+  /// this; with kAuto it forces the full solver.
   bool report_eigenvalues = true;
+  /// Spectrum policy for the diagonalization step.  Occupations, density
+  /// matrix and Hellmann-Feynman forces only involve the ~Ne/2 occupied
+  /// states, so the partial path requests just those (plus the LUMO for the
+  /// Fermi level, plus a Fermi-tail buffer when electronic_temperature > 0)
+  /// from linalg::eigh_range and skips more than half the O(N^3) work.
+  SpectrumMode spectrum = SpectrumMode::kAuto;
 };
 
 /// Exact-diagonalization TBMD calculator.
@@ -51,6 +72,11 @@ class TightBindingCalculator final : public Calculator {
   TbModel model_;
   TbOptions options_;
   NeighborList list_;
+  /// Adaptive Fermi-tail width (states beyond the LUMO) learned from
+  /// coverage-check fallbacks, so small-gap / high-temperature systems
+  /// widen the partial window instead of paying a partial + full solve on
+  /// every subsequent compute() call.
+  std::size_t tail_hint_ = 0;
 };
 
 }  // namespace tbmd::tb

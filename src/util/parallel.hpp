@@ -46,6 +46,17 @@ inline void set_num_threads(int n) {
 #endif
 }
 
+/// Number of threads in the current team: the actual size inside a parallel
+/// region, 1 outside a region or without OpenMP.  Use this (not
+/// max_threads()) to partition work among the members of an open region.
+[[nodiscard]] inline int team_size() {
+#ifdef _OPENMP
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
 /// True when OpenMP is enabled in this build.
 [[nodiscard]] inline constexpr bool openmp_enabled() {
 #ifdef _OPENMP

@@ -192,6 +192,51 @@ TEST(Workflow, TersoffAndTbAgreeOnSiliconEquilibrium) {
   EXPECT_NEAR(minimum_of(tersoff), minimum_of(tbc), 0.15);
 }
 
+TEST(Workflow, PartialSpectrumReproducesFullSolverEnergiesAndForces) {
+  // The occupied-states-only diagonalization path must be physically
+  // indistinguishable from the full solver: same energies, forces, Fermi
+  // level -- at zero and at finite electronic temperature.
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  structures::perturb(s, 0.03, 12);
+
+  for (const double etemp : {0.0, 1000.0}) {
+    tb::TbOptions full_opt;
+    full_opt.electronic_temperature = etemp;
+    full_opt.spectrum = tb::SpectrumMode::kFull;
+    tb::TightBindingCalculator full(tb::xwch_carbon(), full_opt);
+
+    tb::TbOptions part_opt;
+    part_opt.electronic_temperature = etemp;
+    part_opt.report_eigenvalues = false;
+    part_opt.spectrum = tb::SpectrumMode::kPartial;
+    tb::TightBindingCalculator part(tb::xwch_carbon(), part_opt);
+
+    const auto rf = full.compute(s);
+    const auto rp = part.compute(s);
+
+    EXPECT_NEAR(rp.energy, rf.energy, 1e-8) << "etemp = " << etemp;
+    EXPECT_NEAR(rp.band_energy, rf.band_energy, 1e-8) << "etemp = " << etemp;
+    EXPECT_NEAR(rp.fermi_level, rf.fermi_level, 1e-8) << "etemp = " << etemp;
+    ASSERT_EQ(rp.forces.size(), rf.forces.size());
+    for (std::size_t i = 0; i < rf.forces.size(); ++i) {
+      EXPECT_LT(norm(rp.forces[i] - rf.forces[i]), 1e-8)
+          << "atom " << i << ", etemp = " << etemp;
+    }
+  }
+
+  // kAuto with report_eigenvalues = false engages the partial path too and
+  // must agree with the default full-spectrum configuration.
+  tb::TbOptions auto_opt;
+  auto_opt.report_eigenvalues = false;
+  tb::TightBindingCalculator autoc(tb::xwch_carbon(), auto_opt);
+  tb::TightBindingCalculator deflt(tb::xwch_carbon());
+  const auto ra = autoc.compute(s);
+  const auto rd = deflt.compute(s);
+  EXPECT_NEAR(ra.energy, rd.energy, 1e-8);
+  EXPECT_TRUE(ra.eigenvalues.empty());
+  EXPECT_EQ(rd.eigenvalues.size(), static_cast<std::size_t>(4 * s.size()));
+}
+
 TEST(Workflow, HeatingRampRaisesTemperature) {
   // The paper's 0.5 K/fs thermostat ramp protocol, at miniature scale.
   System s = structures::diamond(Element::Si, 5.431, 2, 2, 2);
