@@ -1,10 +1,13 @@
 /// \file bench_kernels.cpp
 /// \brief EXP-B1 -- google-benchmark microbenchmarks of the hot kernels:
 /// eigensolver, Householder reduction, GEMM, Hamiltonian assembly,
-/// neighbor-list build, Hellmann-Feynman forces, Tersoff step, sparse
-/// multiply, Slater-Koster block evaluation.
+/// neighbor-list build, bond-table build, Hellmann-Feynman forces,
+/// density matrix, Tersoff step, sparse multiply, Slater-Koster block
+/// evaluation.
 
 #include <benchmark/benchmark.h>
+
+#include <cmath>
 
 #include "src/linalg/blas.hpp"
 #include "src/linalg/blocked_tridiag.hpp"
@@ -15,6 +18,7 @@
 #include "src/onx/sparse.hpp"
 #include "src/potentials/tersoff.hpp"
 #include "src/structures/builders.hpp"
+#include "src/tb/bond_table.hpp"
 #include "src/tb/density_matrix.hpp"
 #include "src/tb/forces.hpp"
 #include "src/tb/hamiltonian.hpp"
@@ -26,6 +30,13 @@
 namespace {
 
 using namespace tbmd;
+
+/// Cubic diamond supercell with the requested atom count (8 atoms per
+/// conventional cell, so `atoms` must be 8 * nx^3: 64, 216, 512, ...).
+System diamond_with_atoms(Element e, double a, std::int64_t atoms) {
+  const int nx = static_cast<int>(std::lround(std::cbrt(atoms / 8.0)));
+  return structures::diamond(e, a, nx, nx, nx);
+}
 
 linalg::Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
@@ -103,13 +114,17 @@ BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 void BM_BuildHamiltonian(benchmark::State& state) {
+  // Dense assembly from the prebuilt bond table (the step-pipeline cost;
+  // the shared block evaluation itself is measured by BM_BondTable).
   const int nx = state.range(0);
   System s = structures::diamond(Element::C, 3.567, nx, nx, nx);
   const tb::TbModel m = tb::xwch_carbon();
   NeighborList list;
   list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  tb::BondTable table;
+  table.build(m, s, list, tb::BondTable::Mode::kBlocks);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tb::build_hamiltonian(m, s, list));
+    benchmark::DoNotOptimize(tb::build_hamiltonian(m, s, table));
   }
   state.counters["atoms"] = static_cast<double>(s.size());
 }
@@ -127,27 +142,49 @@ void BM_NeighborBuild(benchmark::State& state) {
 BENCHMARK(BM_NeighborBuild)->Arg(500)->Arg(2000)->Arg(8000)
     ->Unit(benchmark::kMillisecond);
 
-void BM_BandForces(benchmark::State& state) {
-  const int nx = state.range(0);
-  System s = structures::diamond(Element::C, 3.567, nx, nx, nx);
+void BM_BondTable(benchmark::State& state) {
+  // The batched per-step evaluation pass: every half pair's SK block,
+  // derivative and repulsive radial in one sweep.  Arg = atom count.
+  System s = diamond_with_atoms(Element::C, 3.567, state.range(0));
   structures::perturb(s, 0.02, 7);
   const tb::TbModel m = tb::xwch_carbon();
   NeighborList list;
   list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
-  const auto h = tb::build_hamiltonian(m, s, list);
+  tb::BondTable table;
+  for (auto _ : state) {
+    table.build(m, s, list, tb::BondTable::Mode::kBlocksAndDerivatives);
+    benchmark::DoNotOptimize(table.derivative(table.size() - 1, 2)[15]);
+  }
+  state.counters["bonds"] = static_cast<double>(table.size());
+}
+BENCHMARK(BM_BondTable)->Arg(64)->Arg(216)->Unit(benchmark::kMillisecond);
+
+void BM_BandForces(benchmark::State& state) {
+  // Hellmann-Feynman contraction from the prebuilt bond table (the
+  // per-step hot path: the table itself is shared with the Hamiltonian
+  // assembly and the repulsive term, and is benchmarked by BM_BondTable).
+  // Arg = atom count.
+  System s = diamond_with_atoms(Element::C, 3.567, state.range(0));
+  structures::perturb(s, 0.02, 7);
+  const tb::TbModel m = tb::xwch_carbon();
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  tb::BondTable table;
+  table.build(m, s, list, tb::BondTable::Mode::kBlocksAndDerivatives);
+  const auto h = tb::build_hamiltonian(m, s, table);
   const auto eig = linalg::eigh(h);
   const auto occ = tb::occupy(eig.values, s.total_valence_electrons(), 0.0);
   const auto rho = tb::density_matrix(eig.vectors, occ.weights);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tb::band_forces(m, s, list, rho));
+    benchmark::DoNotOptimize(tb::band_forces(table, rho));
   }
   state.counters["atoms"] = static_cast<double>(s.size());
 }
-BENCHMARK(BM_BandForces)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BandForces)->Arg(64)->Arg(216)->Unit(benchmark::kMillisecond);
 
 void BM_DensityMatrix(benchmark::State& state) {
-  const int nx = state.range(0);
-  System s = structures::diamond(Element::C, 3.567, nx, nx, nx);
+  // Arg = orbital count (4 per atom): 256 -> the 64-atom diamond cell.
+  System s = diamond_with_atoms(Element::C, 3.567, state.range(0) / 4);
   const tb::TbModel m = tb::xwch_carbon();
   NeighborList list;
   list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
@@ -157,7 +194,7 @@ void BM_DensityMatrix(benchmark::State& state) {
     benchmark::DoNotOptimize(tb::density_matrix(eig.vectors, occ.weights));
   }
 }
-BENCHMARK(BM_DensityMatrix)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DensityMatrix)->Arg(256)->Arg(864)->Unit(benchmark::kMillisecond);
 
 void BM_TersoffForceCall(benchmark::State& state) {
   const int nx = state.range(0);

@@ -20,7 +20,7 @@ BUILD_DIR="${1:-${REPO_ROOT}/build}"
 mkdir -p "${BUILD_DIR}"
 BUILD_DIR="$(cd "${BUILD_DIR}" && pwd)"
 THREADS="${THREADS:-$(nproc)}"
-FILTER="${FILTER:-BM_Eigh/128|BM_Eigh/256|BM_EighPartial/128|BM_EighPartial/256|BM_BlockedTridiag/256|BM_Gemm/256|BM_BuildHamiltonian/3|BM_NeighborBuild/2000|BM_BandForces/2|BM_DensityMatrix/2|BM_SparseMultiply/3|BM_TersoffForceCall/2|BM_TbStepPartialSpectrum/3}"
+FILTER="${FILTER:-BM_Eigh/128|BM_Eigh/256|BM_EighPartial/128|BM_EighPartial/256|BM_BlockedTridiag/256|BM_Gemm/256|BM_BuildHamiltonian/3|BM_NeighborBuild/2000|BM_BondTable/216|BM_BandForces/216|BM_DensityMatrix/256|BM_SparseMultiply/3|BM_TersoffForceCall/2|BM_TbStepPartialSpectrum/3}"
 OUT="${REPO_ROOT}/BENCH_baseline.json"
 
 if [[ ! -x "${BUILD_DIR}/bench_kernels" || ! -x "${BUILD_DIR}/exp_f1_step_scaling" ]]; then
@@ -37,15 +37,40 @@ fi
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
 
-echo "== bench_kernels: serial pass (OMP_NUM_THREADS=1)"
+# Warm-up (discarded): the first benchmark run after a build/idle period
+# measures the CPU ramping up, which skews the calibration-kernel ratios
+# the regression gate depends on.
+echo "== bench_kernels: warm-up pass (discarded)"
 OMP_NUM_THREADS=1 "${BUILD_DIR}/bench_kernels" \
-  --benchmark_filter="${FILTER}" \
+  --benchmark_filter='BM_Gemm/256|BM_Eigh/256$' \
+  --benchmark_min_time=0.5 >/dev/null 2>&1 || true
+
+# Gate pass: the CI-gated kernels measured with the exact invocation the CI
+# smoke step uses (short run, fresh-ish thermal state, median of 3 reps).
+# Sustained multi-minute passes depress the FLOP-dense Gemm calibration
+# kernel more than the branchier solvers, so gated numbers recorded inside
+# the long trajectory pass are not comparable with CI's short smoke run.
+# Must match the CI smoke filter (ci.yml): includes independent kernels
+# (neighbor list, Tersoff, sparse multiply) so the checker's median
+# calibration cannot be dragged by a regression correlated across the
+# gated linalg kernels.
+GATE_FILTER='BM_Eigh/256|BM_EighPartial/256|BM_Gemm/256|BM_BondTable/216|BM_BandForces/216|BM_DensityMatrix/256|BM_NeighborBuild/2000|BM_TersoffForceCall/2|BM_SparseMultiply/3'
+echo "== bench_kernels: gate pass (OMP_NUM_THREADS=1, median of 3 reps)"
+OMP_NUM_THREADS=1 "${BUILD_DIR}/bench_kernels" \
+  --benchmark_filter="${GATE_FILTER}" --benchmark_min_time=0.5 \
+  --benchmark_repetitions=3 \
+  --benchmark_format=json --benchmark_out="${TMP}/gate.json" \
+  --benchmark_out_format=json >/dev/null
+
+echo "== bench_kernels: serial pass (OMP_NUM_THREADS=1, median of 3 reps)"
+OMP_NUM_THREADS=1 "${BUILD_DIR}/bench_kernels" \
+  --benchmark_filter="${FILTER}" --benchmark_repetitions=3 \
   --benchmark_format=json --benchmark_out="${TMP}/serial.json" \
   --benchmark_out_format=json >/dev/null
 
-echo "== bench_kernels: OpenMP pass (OMP_NUM_THREADS=${THREADS})"
+echo "== bench_kernels: OpenMP pass (OMP_NUM_THREADS=${THREADS}, median of 3 reps)"
 OMP_NUM_THREADS="${THREADS}" "${BUILD_DIR}/bench_kernels" \
-  --benchmark_filter="${FILTER}" \
+  --benchmark_filter="${FILTER}" --benchmark_repetitions=3 \
   --benchmark_format=json --benchmark_out="${TMP}/omp.json" \
   --benchmark_out_format=json >/dev/null
 
@@ -59,34 +84,43 @@ else
   echo "== exp_f1_step_scaling skipped (SKIP_F1=1)"
 fi
 
-python3 - "${TMP}" "${OUT}" "${THREADS}" "${F1_SECONDS}" <<'PY'
+python3 - "${TMP}" "${OUT}" "${THREADS}" "${F1_SECONDS}" "${REPO_ROOT}" <<'PY'
 import csv, json, platform, statistics, sys
 from datetime import datetime, timezone
 
 tmp, out, threads = sys.argv[1], sys.argv[2], int(sys.argv[3])
 f1_seconds = float(sys.argv[4]) if sys.argv[4] else None  # empty: SKIP_F1=1
 
+# Share the benchmark-JSON parsing (median-aggregate precedence) with the
+# CI regression checker so the recorded gate_ms and the gate comparison can
+# never desynchronize.
+sys.path.insert(0, f"{sys.argv[5]}/bench")
+from check_bench_regression import load_result
+
 def load(path):
     with open(path) as f:
-        d = json.load(f)
-    to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
-    # Skip BigO/RMS aggregate rows emitted by ->Complexity() families.
-    return {b["name"]: b["real_time"] * to_ms[b["time_unit"]]
-            for b in d["benchmarks"]
-            if b.get("run_type", "iteration") == "iteration"}, d.get("context", {})
+        ctx = json.load(f).get("context", {})
+    return load_result(path), ctx
 
 serial, ctx = load(f"{tmp}/serial.json")
+gate, _ = load(f"{tmp}/gate.json")
 parallel, _ = load(f"{tmp}/omp.json")
 
+# serial_ms/omp_ms/speedup all come from the two sustained full passes
+# (same thermal context); gate_ms is the CI-smoke-comparable short-pass
+# measurement the regression checker compares against.
 kernels = []
 for name in serial:
     s, p = serial[name], parallel.get(name)
-    kernels.append({
+    entry = {
         "name": name,
         "serial_ms": round(s, 4),
         "omp_ms": round(p, 4) if p is not None else None,
         "speedup": round(s / p, 3) if p else None,
-    })
+    }
+    if name in gate:
+        entry["gate_ms"] = round(gate[name], 4)
+    kernels.append(entry)
 
 speedups = [k["speedup"] for k in kernels if k["speedup"]]
 geomean = round(statistics.geometric_mean(speedups), 3) if speedups else None

@@ -55,8 +55,8 @@ class Calculator {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Wall-clock breakdown by phase, accumulated across compute() calls.
-  /// Phases used by the TB calculators: "neighbors", "hamiltonian",
-  /// "diagonalize", "density", "forces", "repulsive".
+  /// Phases used by the TB calculators: "neighbors", "bondtable",
+  /// "hamiltonian", "diagonalize", "density", "forces", "repulsive".
   [[nodiscard]] PhaseTimers& phase_timers() { return timers_; }
   [[nodiscard]] const PhaseTimers& phase_timers() const { return timers_; }
 

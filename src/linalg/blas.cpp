@@ -8,9 +8,159 @@
 namespace tbmd::linalg {
 
 namespace {
-/// Cache tile edge for the blocked GEMM.  64 doubles = 512 B per row tile;
-/// a 64x64 tile of each operand fits comfortably in L1/L2.
+
+/// Cache tile edge shared by every level-3 kernel.  64 doubles = 512 B per
+/// row tile; a 64x64 tile of each operand fits comfortably in L1/L2.
 constexpr std::size_t kTile = 64;
+
+/// Block kernel, no-transpose x no-transpose: C += alpha * A * B over the
+/// tile i in [i0,i1), k in [k0,k1), j in [j0,j1).  i-k-j order: the
+/// innermost loop streams rows of B and C (axpy form).
+inline void tile_gemm_nn(std::size_t i0, std::size_t i1, std::size_t k0,
+                         std::size_t k1, std::size_t j0, std::size_t j1,
+                         double alpha, const double* a, std::size_t lda,
+                         const double* b, std::size_t ldb, double* c,
+                         std::size_t ldc) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double* arow = a + i * lda;
+    double* crow = c + i * ldc;
+    for (std::size_t kk = k0; kk < k1; ++kk) {
+      const double aik = alpha * arow[kk];
+      if (aik == 0.0) continue;
+      const double* brow = b + kk * ldb;
+      for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+/// Block kernel, no-transpose x transpose: C += alpha * A * B^T over the
+/// tile i in [i0,i1), j in [j0,j1), contraction index in [k0,k1).  Both
+/// operand rows are contiguous, so the inner loops are plain dot products;
+/// two j-columns per pass share the A-row loads.  When `lower` the j range
+/// of each row is clipped to j <= i (the symmetric-kernel case).
+inline void tile_gemm_nt(std::size_t i0, std::size_t i1, std::size_t j0,
+                         std::size_t j1, std::size_t k0, std::size_t k1,
+                         bool lower, double alpha, const double* a,
+                         std::size_t lda, const double* b, std::size_t ldb,
+                         double* c, std::size_t ldc) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double* ai = a + i * lda;
+    double* crow = c + i * ldc;
+    const std::size_t jend = lower ? std::min(j1, i + 1) : j1;
+    std::size_t j = j0;
+    for (; j + 1 < jend; j += 2) {
+      const double* bj0 = b + j * ldb;
+      const double* bj1 = bj0 + ldb;
+      double s0 = 0.0, s1 = 0.0;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        s0 += ai[kk] * bj0[kk];
+        s1 += ai[kk] * bj1[kk];
+      }
+      crow[j] += alpha * s0;
+      crow[j + 1] += alpha * s1;
+    }
+    for (; j < jend; ++j) {
+      const double* bj = b + j * ldb;
+      double s = 0.0;
+      for (std::size_t kk = k0; kk < k1; ++kk) s += ai[kk] * bj[kk];
+      crow[j] += alpha * s;
+    }
+  }
+}
+
+/// Fused rank-2 variant of tile_gemm_nt: C += alpha * (A * B^T + B * A^T)
+/// over the tile, accumulating both products in one pass so the C tile is
+/// read and written once (splitting into two NT passes doubles the C
+/// traffic and measurably slows the tridiagonalization trailing update).
+inline void tile_gemm_nt2(std::size_t i0, std::size_t i1, std::size_t j0,
+                          std::size_t j1, std::size_t k0, std::size_t k1,
+                          bool lower, double alpha, const double* a,
+                          std::size_t lda, const double* b, std::size_t ldb,
+                          double* c, std::size_t ldc) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double* ai = a + i * lda;
+    const double* bi = b + i * ldb;
+    double* crow = c + i * ldc;
+    const std::size_t jend = lower ? std::min(j1, i + 1) : j1;
+    for (std::size_t j = j0; j < jend; ++j) {
+      const double* aj = a + j * lda;
+      const double* bj = b + j * ldb;
+      double s = 0.0;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        s += ai[kk] * bj[kk] + bi[kk] * aj[kk];
+      }
+      crow[j] += alpha * s;
+    }
+  }
+}
+
+/// Unflatten a lower-triangle tile-pair index t into (ti, tj), tj <= ti,
+/// with t = ti * (ti + 1) / 2 + tj.
+inline void unflatten_tile_pair(std::size_t t, std::size_t& ti,
+                                std::size_t& tj) {
+  ti = static_cast<std::size_t>((std::sqrt(8.0 * static_cast<double>(t) + 1.0) - 1.0) / 2.0);
+  while ((ti + 1) * (ti + 2) / 2 <= t) ++ti;   // guard against sqrt rounding
+  while (ti * (ti + 1) / 2 > t) --ti;
+  tj = t - ti * (ti + 1) / 2;
+}
+
+/// Shared driver of syrk_lower / syr2k_lower: walk lower-triangle tile
+/// pairs in parallel and run the NT block kernel once (syrk) or twice with
+/// swapped operands (syr2k) per k-slab.
+template <bool Rank2>
+void rank_k_lower(std::size_t n, std::size_t k, double alpha, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc) {
+  if (n == 0 || k == 0 || alpha == 0.0) return;
+  const std::size_t nt = (n + kTile - 1) / kTile;
+  const std::size_t npairs = nt * (nt + 1) / 2;
+  [[maybe_unused]] const bool par = par::worth_parallelizing(n * n / 2, k);
+#pragma omp parallel for schedule(dynamic) if (par)
+  for (std::size_t t = 0; t < npairs; ++t) {
+    std::size_t ti, tj;
+    unflatten_tile_pair(t, ti, tj);
+    const std::size_t i0 = ti * kTile, i1 = std::min(i0 + kTile, n);
+    const std::size_t j0 = tj * kTile, j1 = std::min(j0 + kTile, n);
+    const bool lower = ti == tj;  // diagonal tiles clip to j <= i
+    for (std::size_t k0 = 0; k0 < k; k0 += kTile) {
+      const std::size_t k1 = std::min(k0 + kTile, k);
+      if constexpr (Rank2) {
+        tile_gemm_nt2(i0, i1, j0, j1, k0, k1, lower, alpha, a, lda, b, ldb, c,
+                      ldc);
+      } else {
+        tile_gemm_nt(i0, i1, j0, j1, k0, k1, lower, alpha, a, lda, b, ldb, c,
+                     ldc);
+      }
+    }
+  }
+}
+
+/// Scale the lower triangle of C by beta (the symmetric kernels never read
+/// the upper triangle; it is overwritten by the final mirror).
+void scale_lower(double beta, Matrix& c) {
+  const std::size_t n = c.rows();
+  if (beta == 1.0) return;
+#pragma omp parallel for schedule(static) if (n >= 256)
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = c.row(i);
+    if (beta == 0.0) {
+      for (std::size_t j = 0; j <= i; ++j) row[j] = 0.0;
+    } else {
+      for (std::size_t j = 0; j <= i; ++j) row[j] *= beta;
+    }
+  }
+}
+
+/// Copy the lower triangle into the upper one so C is exactly symmetric.
+void mirror_lower(Matrix& c) {
+  const std::size_t n = c.rows();
+#pragma omp parallel for schedule(static) if (n >= 256)
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = c.row(i);
+    for (std::size_t j = 0; j < i; ++j) c(j, i) = row[j];
+  }
+}
+
 }  // namespace
 
 void gemm_accumulate(double alpha, const Matrix& a, const Matrix& b,
@@ -21,7 +171,6 @@ void gemm_accumulate(double alpha, const Matrix& a, const Matrix& b,
   TBMD_REQUIRE(b.rows() == k, "gemm: inner dimensions differ");
   TBMD_REQUIRE(c.rows() == m && c.cols() == n, "gemm: C has wrong shape");
 
-  // i-k-j loop order with tiling: the innermost loop streams rows of B and C.
 #pragma omp parallel for schedule(static) if (m * n * k > 100000)
   for (std::size_t i0 = 0; i0 < m; i0 += kTile) {
     const std::size_t i1 = std::min(i0 + kTile, m);
@@ -29,16 +178,8 @@ void gemm_accumulate(double alpha, const Matrix& a, const Matrix& b,
       const std::size_t k1 = std::min(k0 + kTile, k);
       for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
         const std::size_t j1 = std::min(j0 + kTile, n);
-        for (std::size_t i = i0; i < i1; ++i) {
-          const double* arow = a.row(i);
-          double* crow = c.row(i);
-          for (std::size_t kk = k0; kk < k1; ++kk) {
-            const double aik = alpha * arow[kk];
-            if (aik == 0.0) continue;
-            const double* brow = b.row(kk);
-            for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
-          }
-        }
+        tile_gemm_nn(i0, i1, k0, k1, j0, j1, alpha, a.data(), k, b.data(), n,
+                     c.data(), n);
       }
     }
   }
@@ -48,6 +189,37 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.cols(), 0.0);
   gemm_accumulate(1.0, a, b, c);
   return c;
+}
+
+void syrk_lower(std::size_t n, std::size_t k, double alpha, const double* a,
+                std::size_t lda, double* c, std::size_t ldc) {
+  rank_k_lower<false>(n, k, alpha, a, lda, a, lda, c, ldc);
+}
+
+void syr2k_lower(std::size_t n, std::size_t k, double alpha, const double* a,
+                 std::size_t lda, const double* b, std::size_t ldb, double* c,
+                 std::size_t ldc) {
+  rank_k_lower<true>(n, k, alpha, a, lda, b, ldb, c, ldc);
+}
+
+void syrk(double alpha, const Matrix& a, double beta, Matrix& c) {
+  const std::size_t n = a.rows();
+  TBMD_REQUIRE(c.rows() == n && c.cols() == n, "syrk: C must be n x n");
+  scale_lower(beta, c);
+  syrk_lower(n, a.cols(), alpha, a.data(), a.cols(), c.data(), n);
+  mirror_lower(c);
+}
+
+void syr2k(double alpha, const Matrix& a, const Matrix& b, double beta,
+           Matrix& c) {
+  const std::size_t n = a.rows();
+  TBMD_REQUIRE(b.rows() == n && b.cols() == a.cols(),
+               "syr2k: A and B must have the same shape");
+  TBMD_REQUIRE(c.rows() == n && c.cols() == n, "syr2k: C must be n x n");
+  scale_lower(beta, c);
+  syr2k_lower(n, a.cols(), alpha, a.data(), a.cols(), b.data(), b.cols(),
+              c.data(), n);
+  mirror_lower(c);
 }
 
 std::vector<double> matvec(const Matrix& a, const std::vector<double>& x) {

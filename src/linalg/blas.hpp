@@ -4,10 +4,13 @@
 /// \brief BLAS-like dense kernels (OpenMP-parallel where profitable).
 ///
 /// These are the building blocks the electronic-structure layer leans on:
-/// GEMM for density-matrix assembly, GEMV/SYMV for iterative methods, and a
-/// handful of level-1 helpers.  The blocked GEMM is cache-tiled and
-/// parallelized over row panels.
+/// GEMM for general products, SYRK/SYR2K rank-k updates for the density
+/// matrix (rho = B B^T) and the blocked tridiagonalization's trailing
+/// update, GEMV/SYMV for iterative methods, and a handful of level-1
+/// helpers.  All level-3 kernels share the same cache tiling (see blas.cpp);
+/// the symmetric kernels compute only the lower triangle and mirror.
 
+#include <cstddef>
 #include <vector>
 
 #include "src/linalg/matrix.hpp"
@@ -19,6 +22,30 @@ namespace tbmd::linalg {
 
 /// C += alpha * A * B.  C must already have the product shape.
 void gemm_accumulate(double alpha, const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Symmetric rank-k update C = alpha * A * A^T + beta * C.  A is n x k and
+/// may be rectangular (k != n); C must be n x n.  Only the lower triangle
+/// is computed (cache-blocked over lower-triangle tile pairs, parallel over
+/// tiles), then mirrored, so C is exactly symmetric on return.
+void syrk(double alpha, const Matrix& a, double beta, Matrix& c);
+
+/// Symmetric rank-2k update C = alpha * (A * B^T + B * A^T) + beta * C with
+/// A and B both n x k; C must be n x n.  Exactly symmetric on return.
+void syr2k(double alpha, const Matrix& a, const Matrix& b, double beta,
+           Matrix& c);
+
+/// Raw-pointer building block of syrk: accumulate the lower triangle only,
+///   C(i, j) += alpha * sum_c A(i, c) * A(j, c)   for 0 <= j <= i < n,
+/// with leading dimensions lda/ldc.  Lets callers (blocked_tridiag) update
+/// a trailing submatrix in place without copying it out.
+void syrk_lower(std::size_t n, std::size_t k, double alpha, const double* a,
+                std::size_t lda, double* c, std::size_t ldc);
+
+/// Raw-pointer building block of syr2k: lower triangle only,
+///   C(i, j) += alpha * sum_c [A(i, c) * B(j, c) + B(i, c) * A(j, c)].
+void syr2k_lower(std::size_t n, std::size_t k, double alpha, const double* a,
+                 std::size_t lda, const double* b, std::size_t ldb, double* c,
+                 std::size_t ldc);
 
 /// y = A * x.
 [[nodiscard]] std::vector<double> matvec(const Matrix& a,

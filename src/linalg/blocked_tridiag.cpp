@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/linalg/blas.hpp"
 #include "src/util/error.hpp"
 #include "src/util/parallel.hpp"
 
@@ -149,25 +150,12 @@ TridiagFactorization blocked_tridiagonalize(const Matrix& a,
     }
 
     // Deferred symmetric rank-2k trailing update (the level-3 bulk):
-    // A(q:, q:) -= V W^T + W V^T on the lower triangle, q = p + pw.
+    // A(q:, q:) -= V W^T + W V^T on the lower triangle, q = p + pw, done by
+    // the shared blas rank-2k tile kernel on the in-place submatrix views
+    // V = r(q:, p:p+pw), W = w(q:, 0:pw), C = r(q:, q:).
     const std::size_t q0 = p + pw;
-    [[maybe_unused]] const bool par =
-        (n - q0) >= kParallelCutoff && par::max_threads() > 1;
-#pragma omp parallel for schedule(dynamic, 16) if (par)
-    for (std::size_t i = q0; i < n; ++i) {
-      const double* ri = r.row(i);
-      const double* wi = w.row(i);
-      double* out = r.row(i);
-      for (std::size_t j2 = q0; j2 <= i; ++j2) {
-        const double* rj = r.row(j2);
-        const double* wj = w.row(j2);
-        double s = 0.0;
-        for (std::size_t c = 0; c < pw; ++c) {
-          s += ri[p + c] * wj[c] + wi[c] * rj[p + c];
-        }
-        out[j2] -= s;
-      }
-    }
+    syr2k_lower(n - q0, pw, -1.0, r.row(q0) + p, n, w.row(q0), nb,
+                r.row(q0) + q0, n);
   }
 
   f.d[n - 2] = r(n - 2, n - 2);

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/tb/bond_table.hpp"
 #include "src/tb/hamiltonian.hpp"
 #include "src/tb/repulsive.hpp"
-#include "src/tb/slater_koster.hpp"
 #include "src/util/error.hpp"
 #include "src/util/parallel.hpp"
 
@@ -13,53 +13,36 @@ namespace tbmd::onx {
 
 SparseMatrix build_sparse_hamiltonian(const tb::TbModel& model,
                                       const System& system,
-                                      const NeighborList& list) {
-  tb::check_species(model, system);
+                                      const tb::BondTable& table) {
+  TBMD_REQUIRE(table.atoms() == system.size(),
+               "build_sparse_hamiltonian: bond table size mismatch");
+  TBMD_REQUIRE(table.has_blocks(),
+               "build_sparse_hamiltonian: bond table was built without blocks");
   const std::size_t n = system.size();
   const std::size_t norb = 4 * n;
-  const auto& pos = system.positions();
 
   std::vector<std::vector<std::pair<std::size_t, double>>> rows(norb);
 
+  // The table's per-atom adjacency is already sorted by neighbor index, so
+  // each CSR row comes out ordered in one pass; `transposed` entries read
+  // the shared half-bond block column-major (B^T).
 #pragma omp parallel for schedule(dynamic, 16)
   for (std::size_t i = 0; i < n; ++i) {
-    // Gather this atom's hopping blocks, sorted by neighbor index so the
-    // CSR rows come out ordered.
-    struct Hop {
-      std::size_t j;
-      tb::SkBlock block;
-    };
-    std::vector<Hop> hops;
-    for (const NeighborEntry& e : list.neighbors(i)) {
-      const Vec3 bond = pos[e.j] + e.shift - pos[i];
-      const tb::SkBlock b = tb::sk_block(model, bond);
-      bool nonzero = false;
-      for (int a = 0; a < 4 && !nonzero; ++a) {
-        for (int c = 0; c < 4; ++c) {
-          if (b.h[a][c] != 0.0) {
-            nonzero = true;
-            break;
-          }
-        }
-      }
-      if (nonzero) hops.push_back({e.j, b});
-    }
-    std::sort(hops.begin(), hops.end(),
-              [](const Hop& a, const Hop& b) { return a.j < b.j; });
-
     const double onsite[4] = {model.e_s, model.e_p, model.e_p, model.e_p};
     for (int a = 0; a < 4; ++a) {
       auto& row = rows[4 * i + a];
       bool onsite_done = false;
-      for (const Hop& hop : hops) {
-        if (!onsite_done && hop.j > i) {
+      for (const tb::BondTable::AtomBond* ab = table.atom_begin(i);
+           ab != table.atom_end(i); ++ab) {
+        if (table.hopping_zero(ab->bond)) continue;
+        if (!onsite_done && ab->neighbor > i) {
           row.emplace_back(4 * i + a, onsite[a]);
           onsite_done = true;
         }
+        const double* b = table.block(ab->bond);
         for (int c = 0; c < 4; ++c) {
-          if (hop.block.h[a][c] != 0.0) {
-            row.emplace_back(4 * hop.j + c, hop.block.h[a][c]);
-          }
+          const double v = ab->transposed ? b[4 * c + a] : b[4 * a + c];
+          if (v != 0.0) row.emplace_back(4 * ab->neighbor + c, v);
         }
       }
       if (!onsite_done) row.emplace_back(4 * i + a, onsite[a]);
@@ -69,52 +52,65 @@ SparseMatrix build_sparse_hamiltonian(const tb::TbModel& model,
   return SparseMatrix::from_rows(norb, rows);
 }
 
-std::vector<Vec3> band_forces_sparse(const tb::TbModel& model,
-                                     const System& system,
-                                     const NeighborList& list,
+SparseMatrix build_sparse_hamiltonian(const tb::TbModel& model,
+                                      const System& system,
+                                      const NeighborList& list) {
+  tb::BondTable table;
+  table.build(model, system, list, tb::BondTable::Mode::kBlocks);
+  return build_sparse_hamiltonian(model, system, table);
+}
+
+std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
                                      const SparseMatrix& p, Mat3* virial) {
-  const std::size_t n = system.size();
+  TBMD_REQUIRE(table.has_derivatives(),
+               "band_forces_sparse: bond table was built without derivatives");
+  const std::size_t n = table.atoms();
   std::vector<Vec3> forces(n, Vec3{});
-  Mat3 w{};
-  const auto& pos = system.positions();
-  const auto& pairs = list.half_pairs();
+  if (table.size() == 0) return forces;
+
+  par::ThreadPartials<Vec3> fpartial(n);
+  par::ThreadPartials<Mat3> wpartial(1);
 
 #pragma omp parallel
   {
-    std::vector<Vec3> local(n, Vec3{});
-    Mat3 wlocal{};
-    tb::SkBlock block;
-    tb::SkBlockDerivative deriv;
+    Vec3* local = fpartial.local();
+    Mat3& wlocal = *wpartial.local();
 #pragma omp for schedule(dynamic, 32) nowait
-    for (std::size_t q = 0; q < pairs.size(); ++q) {
-      const NeighborPair& pr = pairs[q];
-      const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
-      tb::sk_block_with_derivative(model, bond, block, deriv);
+    for (std::size_t q = 0; q < table.size(); ++q) {
+      if (table.hopping_zero(q)) continue;
 
-      const std::size_t oi = 4 * pr.i;
-      const std::size_t oj = 4 * pr.j;
+      const std::size_t oi = 4 * table.i(q);
+      const std::size_t oj = 4 * table.j(q);
+      const double* d = table.derivative(q, 0);
       Vec3 dedd{};
       for (int a = 0; a < 4; ++a) {
         for (int b = 0; b < 4; ++b) {
           const double rho_ab = 2.0 * p.get(oi + a, oj + b);  // spin factor
           if (rho_ab == 0.0) continue;
-          dedd.x += 2.0 * rho_ab * deriv.d[0][a][b];
-          dedd.y += 2.0 * rho_ab * deriv.d[1][a][b];
-          dedd.z += 2.0 * rho_ab * deriv.d[2][a][b];
+          const int ab = 4 * a + b;
+          dedd.x += 2.0 * rho_ab * d[ab];
+          dedd.y += 2.0 * rho_ab * d[16 + ab];
+          dedd.z += 2.0 * rho_ab * d[32 + ab];
         }
       }
-      local[pr.j] -= dedd;
-      local[pr.i] += dedd;
-      wlocal -= outer(bond, dedd);
-    }
-#pragma omp critical
-    {
-      for (std::size_t i = 0; i < n; ++i) forces[i] += local[i];
-      w += wlocal;
+      local[table.j(q)] -= dedd;
+      local[table.i(q)] += dedd;
+      wlocal -= outer(table.bond(q), dedd);
     }
   }
-  if (virial != nullptr) *virial += w;
+  const Vec3* f = fpartial.reduce();
+  for (std::size_t i = 0; i < n; ++i) forces[i] = f[i];
+  if (virial != nullptr) *virial += *wpartial.reduce();
   return forces;
+}
+
+std::vector<Vec3> band_forces_sparse(const tb::TbModel& model,
+                                     const System& system,
+                                     const NeighborList& list,
+                                     const SparseMatrix& p, Mat3* virial) {
+  tb::BondTable table;
+  table.build(model, system, list, tb::BondTable::Mode::kBlocksAndDerivatives);
+  return band_forces_sparse(table, p, virial);
 }
 
 OrderNCalculator::OrderNCalculator(tb::TbModel model, OrderNOptions options)
@@ -135,10 +131,19 @@ ForceResult OrderNCalculator::compute(const System& system) {
                  {model_.cutoff(), options_.skin});
   }
 
+  // Shared per-step bond table: the sparse assembly, the sparse force
+  // contraction and the repulsive term below read the same blocks, so the
+  // O(N) path no longer re-derives any Slater-Koster quantity.
+  {
+    auto t = timers_.scope("bondtable");
+    table_.build(model_, system, list_,
+                 tb::BondTable::Mode::kBlocksAndDerivatives);
+  }
+
   SparseMatrix h;
   {
     auto t = timers_.scope("hamiltonian");
-    h = build_sparse_hamiltonian(model_, system, list_);
+    h = build_sparse_hamiltonian(model_, system, table_);
   }
 
   {
@@ -148,14 +153,13 @@ ForceResult OrderNCalculator::compute(const System& system) {
 
   {
     auto t = timers_.scope("forces");
-    result.forces = band_forces_sparse(model_, system, list_, last_.density,
-                                       &result.virial);
+    result.forces = band_forces_sparse(table_, last_.density, &result.virial);
   }
 
   tb::RepulsiveResult rep;
   {
     auto t = timers_.scope("repulsive");
-    rep = tb::repulsive_energy_forces(model_, system, list_);
+    rep = tb::repulsive_energy_forces(model_, table_);
   }
 
   for (std::size_t i = 0; i < n; ++i) result.forces[i] += rep.forces[i];

@@ -8,6 +8,7 @@
 #include "src/neighbor/neighbor_list.hpp"
 #include "src/onx/purification.hpp"
 #include "src/onx/sparse.hpp"
+#include "src/tb/bond_table.hpp"
 #include "src/tb/tb_model.hpp"
 
 namespace tbmd::onx {
@@ -18,14 +19,27 @@ struct OrderNOptions {
   PurificationOptions purification;   ///< truncation / convergence controls
 };
 
-/// Assemble the tight-binding Hamiltonian directly in CSR form.
+/// Assemble the tight-binding Hamiltonian directly in CSR form from a
+/// prebuilt bond table (shared with the force contraction, so the O(N)
+/// path evaluates each Slater-Koster block exactly once per step).
+[[nodiscard]] SparseMatrix build_sparse_hamiltonian(const tb::TbModel& model,
+                                                    const System& system,
+                                                    const tb::BondTable& table);
+
+/// Convenience overload: evaluate a blocks-only BondTable from `list`.
 [[nodiscard]] SparseMatrix build_sparse_hamiltonian(const tb::TbModel& model,
                                                     const System& system,
                                                     const NeighborList& list);
 
 /// Hellmann-Feynman band forces from a sparse (spinless) density matrix P
-/// (the contraction uses rho = 2 P).  When `virial` is non-null the band
-/// virial is accumulated into it.
+/// (the contraction uses rho = 2 P), contracted against the bond table's
+/// derivative blocks.  When `virial` is non-null the band virial is
+/// accumulated into it.
+[[nodiscard]] std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
+                                                   const SparseMatrix& p,
+                                                   Mat3* virial = nullptr);
+
+/// Convenience overload: evaluate a derivative-carrying BondTable first.
 [[nodiscard]] std::vector<Vec3> band_forces_sparse(const tb::TbModel& model,
                                                    const System& system,
                                                    const NeighborList& list,
@@ -57,6 +71,8 @@ class OrderNCalculator final : public Calculator {
   tb::TbModel model_;
   OrderNOptions options_;
   NeighborList list_;
+  /// Per-step shared SK block/derivative table (storage reused per step).
+  tb::BondTable table_;
   PurificationResult last_;
 };
 

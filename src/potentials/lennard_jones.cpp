@@ -32,10 +32,13 @@ ForceResult LennardJonesCalculator::compute(const System& system) {
   const double rc2 = params_.cutoff * params_.cutoff;
   double energy = 0.0;
 
+  par::ThreadPartials<Vec3> fpartial(n);
+  par::ThreadPartials<Mat3> wpartial(1);
+  par::ThreadPartials<double> epartial(1);
 #pragma omp parallel
   {
-    std::vector<Vec3> local(n, Vec3{});
-    Mat3 wlocal{};
+    Vec3* local = fpartial.local();
+    Mat3& wlocal = *wpartial.local();
     double elocal = 0.0;
 #pragma omp for schedule(static) nowait
     for (std::size_t p = 0; p < pairs.size(); ++p) {
@@ -55,13 +58,12 @@ ForceResult LennardJonesCalculator::compute(const System& system) {
       local[pr.j] -= f;
       wlocal -= outer(bond, f);  // d (x) f_on_j
     }
-#pragma omp critical
-    {
-      energy += elocal;
-      for (std::size_t i = 0; i < n; ++i) result.forces[i] += local[i];
-      result.virial += wlocal;
-    }
+    *epartial.local() = elocal;
   }
+  const Vec3* f = fpartial.reduce();
+  for (std::size_t i = 0; i < n; ++i) result.forces[i] = f[i];
+  energy += *epartial.reduce();
+  result.virial += *wpartial.reduce();
   result.energy = energy;
   return result;
 }

@@ -102,10 +102,13 @@ ForceResult TersoffCalculator::compute(const System& system) {
   const double rc = p.outer_cutoff();
   double energy = 0.0;
 
+  par::ThreadPartials<Vec3> fpartial(natoms);
+  par::ThreadPartials<Mat3> wpartial(1);
+  par::ThreadPartials<double> epartial(1);
 #pragma omp parallel
   {
-    std::vector<Vec3> local(natoms, Vec3{});
-    Mat3 wlocal{};
+    Vec3* local = fpartial.local();
+    Mat3& wlocal = *wpartial.local();
     double elocal = 0.0;
 
 #pragma omp for schedule(dynamic, 16) nowait
@@ -220,13 +223,12 @@ ForceResult TersoffCalculator::compute(const System& system) {
       }
     }
 
-#pragma omp critical
-    {
-      energy += elocal;
-      for (std::size_t q = 0; q < natoms; ++q) result.forces[q] += local[q];
-      result.virial += wlocal;
-    }
+    *epartial.local() = elocal;
   }
+  const Vec3* f = fpartial.reduce();
+  for (std::size_t q = 0; q < natoms; ++q) result.forces[q] = f[q];
+  energy += *epartial.reduce();
+  result.virial += *wpartial.reduce();
 
   result.energy = energy;
   return result;

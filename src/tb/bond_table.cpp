@@ -1,0 +1,86 @@
+#include "src/tb/bond_table.hpp"
+
+#include <algorithm>
+
+#include "src/tb/hamiltonian.hpp"
+#include "src/tb/radial.hpp"
+#include "src/tb/slater_koster.hpp"
+#include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
+
+namespace tbmd::tb {
+
+void BondTable::build(const TbModel& model, const System& system,
+                      const NeighborList& list, Mode mode) {
+  check_species(model, system);
+  const auto& pairs = list.half_pairs();
+  const auto& pos = system.positions();
+  nbonds_ = pairs.size();
+  natoms_ = system.size();
+  TBMD_REQUIRE(list.size() == natoms_,
+               "BondTable: neighbor list was built for a different system");
+
+  const bool blocks = mode != Mode::kRepulsiveOnly;
+  const bool derivs = mode == Mode::kBlocksAndDerivatives;
+  const bool rep = mode != Mode::kBlocks;
+  i_.resize(nbonds_);
+  j_.resize(nbonds_);
+  bond_.resize(nbonds_);
+  r_.resize(nbonds_);
+  h_.resize(blocks ? 16 * nbonds_ : 0);
+  dh_.resize(derivs ? 48 * nbonds_ : 0);
+  hop_zero_.resize(nbonds_);
+  rep_val_.resize(rep ? nbonds_ : 0);
+  rep_der_.resize(rep ? nbonds_ : 0);
+
+  // The batched pass: geometry, hopping block (+ derivative) and repulsive
+  // radial per bond, each written straight into the SoA arrays.  Pairs are
+  // independent, so a static schedule keeps every thread streaming.
+#pragma omp parallel for schedule(static)
+  for (std::size_t p = 0; p < nbonds_; ++p) {
+    const NeighborPair& pr = pairs[p];
+    const Vec3 b = pos[pr.j] + pr.shift - pos[pr.i];
+    const double r = norm(b);
+    i_[p] = static_cast<std::uint32_t>(pr.i);
+    j_[p] = static_cast<std::uint32_t>(pr.j);
+    bond_[p] = b;
+    r_[p] = r;
+    if (blocks) {
+      sk_block_into(model, b, r, h_.data() + 16 * p,
+                    derivs ? dh_.data() + 48 * p : nullptr);
+    }
+    hop_zero_[p] = r >= model.hopping.r_cut ? 1 : 0;
+    if (rep) {
+      const RadialValue rv = evaluate_scaling(model.repulsive, r);
+      rep_val_[p] = model.phi0 * rv.value;
+      rep_der_[p] = model.phi0 * rv.derivative;
+    }
+  }
+
+  // Per-atom CSR adjacency (counting sort over both bond endpoints), each
+  // atom's segment sorted by neighbor index so CSR-building consumers can
+  // emit ordered rows directly.
+  adj_ptr_.assign(natoms_ + 1, 0);
+  for (std::size_t p = 0; p < nbonds_; ++p) {
+    ++adj_ptr_[i_[p] + 1];
+    ++adj_ptr_[j_[p] + 1];
+  }
+  for (std::size_t a = 0; a < natoms_; ++a) adj_ptr_[a + 1] += adj_ptr_[a];
+  adj_.resize(2 * nbonds_);
+  std::vector<std::size_t> fill(adj_ptr_.begin(), adj_ptr_.end() - 1);
+  for (std::size_t p = 0; p < nbonds_; ++p) {
+    const auto bp = static_cast<std::uint32_t>(p);
+    adj_[fill[i_[p]]++] = AtomBond{bp, j_[p], 0};
+    adj_[fill[j_[p]]++] = AtomBond{bp, i_[p], 1};
+  }
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::size_t a = 0; a < natoms_; ++a) {
+    std::sort(adj_.begin() + static_cast<std::ptrdiff_t>(adj_ptr_[a]),
+              adj_.begin() + static_cast<std::ptrdiff_t>(adj_ptr_[a + 1]),
+              [](const AtomBond& x, const AtomBond& y) {
+                return x.neighbor < y.neighbor;
+              });
+  }
+}
+
+}  // namespace tbmd::tb

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file bond_table.hpp
+/// \brief Per-step table of evaluated bond quantities shared by every
+/// consumer of the neighbor list.
+///
+/// A TBMD step touches each half pair (i < j) of the neighbor list several
+/// times: Hamiltonian assembly needs the 4x4 Slater-Koster block, the
+/// Hellmann-Feynman contraction needs the block's derivative, and the
+/// repulsive term needs the pair radial function.  Before this subsystem
+/// each consumer re-evaluated the (transcendental-heavy) radial scaling and
+/// angular factors from scratch, so a single compute() paid for three
+/// independent Slater-Koster passes.
+///
+/// BondTable evaluates everything once, in one batched OpenMP pass over the
+/// half-pair list, into structure-of-arrays storage:
+///   * bond geometry (vector, length, endpoint atoms),
+///   * the 4x4 hopping block per bond (16 doubles, row-major),
+///   * optionally its derivative (48 doubles, [gamma][alpha][beta]),
+///   * the repulsive pair function phi(r) = phi0 * s_rep(r) and phi'(r).
+/// Consumers (build_hamiltonian, band_forces, repulsive_energy_forces and
+/// the onx sparse assembly / sparse forces) then contract straight from the
+/// table.  A per-atom CSR adjacency (sorted by neighbor index) lets
+/// atom-centric consumers walk the same storage.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/system.hpp"
+#include "src/geom/vec3.hpp"
+#include "src/neighbor/neighbor_list.hpp"
+#include "src/tb/tb_model.hpp"
+
+namespace tbmd::tb {
+
+/// Structure-of-arrays table of per-bond Slater-Koster blocks, derivatives
+/// and repulsive pair values, built once per step from the neighbor list.
+class BondTable {
+ public:
+  /// What the batched pass evaluates.  Geometry and the per-atom adjacency
+  /// are always tabulated; the hopping blocks (+ the 3x larger dB/dd
+  /// arrays) and the repulsive phi(r), phi'(r) are independent radial
+  /// evaluations (model.hopping vs model.repulsive scalings), so each is
+  /// only computed for the modes whose consumers read it.
+  enum class Mode {
+    kRepulsiveOnly,         ///< geometry + phi/phi' (repulsive term only)
+    kBlocks,                ///< geometry + hopping blocks (H assembly only)
+    kBlocksAndDerivatives,  ///< everything: blocks, dB/dd, phi/phi'
+  };
+
+  /// One adjacency entry: `bond` indexes the table, `neighbor` is the atom
+  /// at the other end.  When `transposed` the owning atom is the bond's j
+  /// endpoint, so its hopping block is the transpose of block(bond).
+  struct AtomBond {
+    std::uint32_t bond;
+    std::uint32_t neighbor;
+    std::uint8_t transposed;
+  };
+
+  BondTable() = default;
+
+  /// Evaluate the table for the current positions.  Reuses storage across
+  /// calls, so a persistent BondTable member costs one allocation per
+  /// neighbor-list resize rather than one per MD step.
+  void build(const TbModel& model, const System& system,
+             const NeighborList& list, Mode mode = Mode::kBlocksAndDerivatives);
+
+  /// Number of half bonds (== list.half_pairs().size() at build time).
+  [[nodiscard]] std::size_t size() const { return nbonds_; }
+
+  /// Number of atoms the table was built for.
+  [[nodiscard]] std::size_t atoms() const { return natoms_; }
+
+  [[nodiscard]] bool has_blocks() const { return !h_.empty() || nbonds_ == 0; }
+  [[nodiscard]] bool has_derivatives() const { return !dh_.empty() || nbonds_ == 0; }
+  [[nodiscard]] bool has_repulsive() const {
+    return !rep_val_.empty() || nbonds_ == 0;
+  }
+
+  [[nodiscard]] std::size_t i(std::size_t p) const { return i_[p]; }
+  [[nodiscard]] std::size_t j(std::size_t p) const { return j_[p]; }
+
+  /// Bond vector r_j + shift - r_i and its length.
+  [[nodiscard]] const Vec3& bond(std::size_t p) const { return bond_[p]; }
+  [[nodiscard]] double length(std::size_t p) const { return r_[p]; }
+
+  /// 4x4 hopping block of bond p: 16 doubles, row-major [alpha][beta].
+  [[nodiscard]] const double* block(std::size_t p) const {
+    return h_.data() + 16 * p;
+  }
+
+  /// dB/dd_gamma of bond p: 16 doubles [alpha][beta]; all three components
+  /// of one bond are contiguous ([gamma][alpha][beta], 48 doubles).
+  [[nodiscard]] const double* derivative(std::size_t p, int gamma) const {
+    return dh_.data() + 48 * p + 16 * gamma;
+  }
+
+  /// True when the hopping block of bond p is identically zero (bond at or
+  /// beyond the hopping cutoff; such pairs exist because the neighbor list
+  /// is built out to cutoff + skin).
+  [[nodiscard]] bool hopping_zero(std::size_t p) const {
+    return hop_zero_[p] != 0;
+  }
+
+  /// phi(r_p) = phi0 * s_rep(r_p) and its radial derivative (zero at or
+  /// beyond the repulsive cutoff).
+  [[nodiscard]] double repulsive_value(std::size_t p) const {
+    return rep_val_[p];
+  }
+  [[nodiscard]] double repulsive_derivative(std::size_t p) const {
+    return rep_der_[p];
+  }
+
+  /// Per-atom adjacency over the half-bond table, sorted by neighbor index.
+  [[nodiscard]] const AtomBond* atom_begin(std::size_t atom) const {
+    return adj_.data() + adj_ptr_[atom];
+  }
+  [[nodiscard]] const AtomBond* atom_end(std::size_t atom) const {
+    return adj_.data() + adj_ptr_[atom + 1];
+  }
+
+ private:
+  std::size_t nbonds_ = 0;
+  std::size_t natoms_ = 0;
+  std::vector<std::uint32_t> i_, j_;
+  std::vector<Vec3> bond_;
+  std::vector<double> r_;
+  std::vector<double> h_;          ///< 16 per bond
+  std::vector<double> dh_;         ///< 48 per bond (kBlocksAndDerivatives)
+  std::vector<std::uint8_t> hop_zero_;
+  std::vector<double> rep_val_, rep_der_;
+  std::vector<AtomBond> adj_;      ///< CSR payload, 2 entries per bond
+  std::vector<std::size_t> adj_ptr_;
+};
+
+}  // namespace tbmd::tb

@@ -2,8 +2,8 @@
 
 #include <cmath>
 
+#include "src/linalg/blas.hpp"
 #include "src/util/error.hpp"
-#include "src/util/parallel.hpp"
 
 namespace tbmd::tb {
 
@@ -17,9 +17,14 @@ linalg::Matrix density_matrix(const linalg::Matrix& eigenvectors,
   // Gather occupied columns scaled by sqrt(w): rho = B B^T.
   std::size_t nocc = 0;
   for (const double w : weights) {
+    TBMD_REQUIRE(std::isfinite(w),
+                 "density_matrix: non-finite occupation weight");
     TBMD_REQUIRE(w >= 0.0, "density_matrix: negative occupation");
     if (w > 0.0) ++nocc;
   }
+
+  linalg::Matrix rho(n, n, 0.0);
+  if (nocc == 0) return rho;
 
   linalg::Matrix b(n, nocc, 0.0);
   std::size_t col = 0;
@@ -30,19 +35,9 @@ linalg::Matrix density_matrix(const linalg::Matrix& eigenvectors,
     ++col;
   }
 
-  // rho = B B^T, exploiting symmetry by computing the lower triangle.
-  linalg::Matrix rho(n, n, 0.0);
-#pragma omp parallel for schedule(dynamic, 16) if (n >= 128)
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* bi = b.row(i);
-    for (std::size_t j = 0; j <= i; ++j) {
-      const double* bj = b.row(j);
-      double s = 0.0;
-      for (std::size_t k = 0; k < nocc; ++k) s += bi[k] * bj[k];
-      rho(i, j) = s;
-      rho(j, i) = s;
-    }
-  }
+  // Cache-blocked symmetric rank-k update: lower-triangle tiles only, then
+  // mirrored, so rho comes back exactly symmetric.
+  linalg::syrk(1.0, b, 0.0, rho);
   return rho;
 }
 

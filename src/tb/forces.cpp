@@ -1,57 +1,74 @@
 #include "src/tb/forces.hpp"
 
-#include "src/tb/slater_koster.hpp"
+#include "src/tb/bond_table.hpp"
+#include "src/util/error.hpp"
 #include "src/util/parallel.hpp"
 
 namespace tbmd::tb {
 
-std::vector<Vec3> band_forces(const TbModel& model, const System& system,
-                              const NeighborList& list,
-                              const linalg::Matrix& rho, Mat3* virial) {
-  const std::size_t n = system.size();
+std::vector<Vec3> band_forces(const BondTable& table, const linalg::Matrix& rho,
+                              Mat3* virial) {
+  TBMD_REQUIRE(table.has_derivatives(),
+               "band_forces: bond table was built without derivatives");
+  const std::size_t n = table.atoms();
+  TBMD_REQUIRE(rho.rows() == 4 * n && rho.cols() == 4 * n,
+               "band_forces: density matrix size mismatch");
   std::vector<Vec3> forces(n, Vec3{});
-  Mat3 w{};
-  const auto& pos = system.positions();
-  const auto& pairs = list.half_pairs();
+  if (table.size() == 0) return forces;
+
+  // Per-thread force partials merged by a parallel tree reduction -- no
+  // critical section, and the merge itself scales with the thread count.
+  par::ThreadPartials<Vec3> fpartial(n);
+  par::ThreadPartials<Mat3> wpartial(1);
 
 #pragma omp parallel
   {
-    std::vector<Vec3> local(n, Vec3{});
-    Mat3 wlocal{};
-    SkBlock block;
-    SkBlockDerivative deriv;
-#pragma omp for schedule(dynamic, 32) nowait
-    for (std::size_t p = 0; p < pairs.size(); ++p) {
-      const NeighborPair& pr = pairs[p];
-      const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
-      sk_block_with_derivative(model, bond, block, deriv);
+    Vec3* local = fpartial.local();
+    Mat3& wlocal = *wpartial.local();
+#pragma omp for schedule(static) nowait
+    for (std::size_t p = 0; p < table.size(); ++p) {
+      if (table.hopping_zero(p)) continue;  // skin-only pair: dB/dd == 0
 
-      // dE/dd_g = 2 sum_ab rho(i a, j b) dB(a,b)/dd_g.
-      const std::size_t oi = 4 * pr.i;
-      const std::size_t oj = 4 * pr.j;
-      Vec3 dedd{};
+      // dE/dd_g = 2 sum_ab rho(i a, j b) dB(a,b)/dd_g.  Gather the 4x4
+      // density block once, then contract the three contiguous derivative
+      // blocks against it.
+      const std::size_t oi = 4 * table.i(p);
+      const std::size_t oj = 4 * table.j(p);
+      double rb[16];
       for (int a = 0; a < 4; ++a) {
         const double* rrow = rho.row(oi + a) + oj;
-        for (int b = 0; b < 4; ++b) {
-          const double r_ab = rrow[b];
-          dedd.x += 2.0 * r_ab * deriv.d[0][a][b];
-          dedd.y += 2.0 * r_ab * deriv.d[1][a][b];
-          dedd.z += 2.0 * r_ab * deriv.d[2][a][b];
-        }
+        for (int b = 0; b < 4; ++b) rb[4 * a + b] = rrow[b];
       }
+      const double* d = table.derivative(p, 0);  // [gamma][alpha][beta]
+      Vec3 dedd{};
+      double sx = 0.0, sy = 0.0, sz = 0.0;
+      for (int ab = 0; ab < 16; ++ab) {
+        sx += rb[ab] * d[ab];
+        sy += rb[ab] * d[16 + ab];
+        sz += rb[ab] * d[32 + ab];
+      }
+      dedd.x = 2.0 * sx;
+      dedd.y = 2.0 * sy;
+      dedd.z = 2.0 * sz;
+
       // d = r_j - r_i  =>  F_j -= dE/dd, F_i += dE/dd.
-      local[pr.j] -= dedd;
-      local[pr.i] += dedd;
-      wlocal -= outer(bond, dedd);  // d (x) f_on_j
-    }
-#pragma omp critical
-    {
-      for (std::size_t i = 0; i < n; ++i) forces[i] += local[i];
-      w += wlocal;
+      local[table.j(p)] -= dedd;
+      local[table.i(p)] += dedd;
+      wlocal -= outer(table.bond(p), dedd);  // d (x) f_on_j
     }
   }
-  if (virial != nullptr) *virial += w;
+  const Vec3* f = fpartial.reduce();
+  for (std::size_t i = 0; i < n; ++i) forces[i] = f[i];
+  if (virial != nullptr) *virial += *wpartial.reduce();
   return forces;
+}
+
+std::vector<Vec3> band_forces(const TbModel& model, const System& system,
+                              const NeighborList& list,
+                              const linalg::Matrix& rho, Mat3* virial) {
+  BondTable table;
+  table.build(model, system, list, BondTable::Mode::kBlocksAndDerivatives);
+  return band_forces(table, rho, virial);
 }
 
 }  // namespace tbmd::tb

@@ -22,9 +22,19 @@
 
 namespace tbmd::tb {
 
-/// Band-structure (attractive) forces from the density matrix.  When
-/// `virial` is non-null the band contribution to the virial tensor
-/// (sum of d (x) f over bonds) is accumulated into it.
+class BondTable;
+
+/// Band-structure (attractive) forces contracted from a prebuilt bond
+/// table (must have been built with derivatives).  When `virial` is
+/// non-null the band contribution to the virial tensor (sum of d (x) f
+/// over bonds) is accumulated into it.  Per-thread force partials are
+/// merged with a parallel tree reduction.
+[[nodiscard]] std::vector<Vec3> band_forces(const BondTable& table,
+                                            const linalg::Matrix& rho,
+                                            Mat3* virial = nullptr);
+
+/// Convenience overload: evaluate a derivative-carrying BondTable from
+/// `list` and contract from it.
 [[nodiscard]] std::vector<Vec3> band_forces(const TbModel& model,
                                             const System& system,
                                             const NeighborList& list,

@@ -1,6 +1,6 @@
 #include "src/tb/hamiltonian.hpp"
 
-#include "src/tb/slater_koster.hpp"
+#include "src/tb/bond_table.hpp"
 #include "src/util/error.hpp"
 #include "src/util/parallel.hpp"
 
@@ -15,8 +15,11 @@ void check_species(const TbModel& model, const System& system) {
 }
 
 linalg::Matrix build_hamiltonian(const TbModel& model, const System& system,
-                                 const NeighborList& list) {
-  check_species(model, system);
+                                 const BondTable& table) {
+  TBMD_REQUIRE(table.atoms() == system.size(),
+               "build_hamiltonian: bond table size mismatch");
+  TBMD_REQUIRE(table.has_blocks(),
+               "build_hamiltonian: bond table was built without blocks");
   const std::size_t n = system.size();
   const std::size_t norb = TbModel::kOrbitalsPerAtom * n;
   linalg::Matrix h(norb, norb, 0.0);
@@ -30,25 +33,29 @@ linalg::Matrix build_hamiltonian(const TbModel& model, const System& system,
     h(o + 3, o + 3) = model.e_p;
   }
 
-  // Hopping blocks: one 4x4 block per directed pair; the half list gives
-  // each undirected pair once and we mirror the transpose.
-  const auto& pairs = list.half_pairs();
-  const auto& pos = system.positions();
-#pragma omp parallel for schedule(dynamic, 64)
-  for (std::size_t p = 0; p < pairs.size(); ++p) {
-    const NeighborPair& pr = pairs[p];
-    const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
-    const SkBlock b = sk_block(model, bond);
-    const std::size_t oi = 4 * pr.i;
-    const std::size_t oj = 4 * pr.j;
+  // Hopping blocks: scatter each tabulated 4x4 block and its transpose.
+  // Distinct bonds write distinct blocks, so no synchronization is needed.
+#pragma omp parallel for schedule(static)
+  for (std::size_t p = 0; p < table.size(); ++p) {
+    const double* b = table.block(p);
+    const std::size_t oi = 4 * table.i(p);
+    const std::size_t oj = 4 * table.j(p);
     for (int a = 0; a < 4; ++a) {
+      double* hrow = h.row(oi + a) + oj;
       for (int c = 0; c < 4; ++c) {
-        h(oi + a, oj + c) = b.h[a][c];
-        h(oj + c, oi + a) = b.h[a][c];
+        hrow[c] = b[4 * a + c];
+        h(oj + c, oi + a) = b[4 * a + c];
       }
     }
   }
   return h;
+}
+
+linalg::Matrix build_hamiltonian(const TbModel& model, const System& system,
+                                 const NeighborList& list) {
+  BondTable table;
+  table.build(model, system, list, BondTable::Mode::kBlocks);
+  return build_hamiltonian(model, system, table);
 }
 
 }  // namespace tbmd::tb

@@ -10,14 +10,21 @@
 
 namespace tbmd::tb {
 
-/// Assemble the dense 4N x 4N tight-binding Hamiltonian for `system` using
-/// pairs from `list`.  Orbital (i, alpha) maps to row 4*i + alpha.
-///
-/// Every atom must match the model's element (the shipped models are
-/// single-element; heteronuclear parameterizations would extend the
-/// BondIntegrals lookup, not this assembly).  OpenMP-parallel over pairs:
-/// distinct pairs write distinct 4x4 blocks, so no synchronization is
-/// needed.
+class BondTable;
+
+/// Assemble the dense 4N x 4N tight-binding Hamiltonian from a prebuilt
+/// bond table (the step-pipeline hot path: the table's blocks are shared
+/// with the force contraction and the repulsive term).  Orbital (i, alpha)
+/// maps to row 4*i + alpha.  `model` supplies the on-site energies; the
+/// hopping blocks come from the table.
+[[nodiscard]] linalg::Matrix build_hamiltonian(const TbModel& model,
+                                               const System& system,
+                                               const BondTable& table);
+
+/// Convenience overload: evaluate a blocks-only BondTable from `list` and
+/// assemble from it.  Every atom must match the model's element (the
+/// shipped models are single-element; heteronuclear parameterizations
+/// would extend the BondIntegrals lookup, not this assembly).
 [[nodiscard]] linalg::Matrix build_hamiltonian(const TbModel& model,
                                                const System& system,
                                                const NeighborList& list);

@@ -2,72 +2,64 @@
 
 #include <cmath>
 
+#include "src/tb/bond_table.hpp"
 #include "src/tb/radial.hpp"
+#include "src/util/error.hpp"
 #include "src/util/parallel.hpp"
 
 namespace tbmd::tb {
 
-namespace {
-
-/// phi(r) = phi0 * s_rep(r) and its radial derivative.
-RadialValue phi(const TbModel& model, double r) {
-  RadialValue v = evaluate_scaling(model.repulsive, r);
-  v.value *= model.phi0;
-  v.derivative *= model.phi0;
-  return v;
-}
-
-}  // namespace
-
 RepulsiveResult repulsive_energy_forces(const TbModel& model,
-                                        const System& system,
-                                        const NeighborList& list) {
+                                        const BondTable& table) {
+  TBMD_REQUIRE(table.has_repulsive(),
+               "repulsive_energy_forces: bond table was built without the "
+               "repulsive pair values (Mode::kBlocks)");
   RepulsiveResult out;
-  const std::size_t n = system.size();
+  const std::size_t n = table.atoms();
   out.forces.assign(n, Vec3{});
-  const auto& pos = system.positions();
-  const auto& pairs = list.half_pairs();
+  const std::size_t nb = table.size();
+  if (nb == 0) return out;
+
+  par::ThreadPartials<Vec3> fpartial(n);
+  par::ThreadPartials<Mat3> wpartial(1);
 
   if (model.repulsion_kind == RepulsionKind::kPairSum) {
-    double energy = 0.0;
+    par::ThreadPartials<double> epartial(1);
 #pragma omp parallel
     {
-      std::vector<Vec3> local(n, Vec3{});
-      Mat3 wlocal{};
+      Vec3* local = fpartial.local();
+      Mat3& wlocal = *wpartial.local();
       double elocal = 0.0;
 #pragma omp for schedule(static) nowait
-      for (std::size_t p = 0; p < pairs.size(); ++p) {
-        const NeighborPair& pr = pairs[p];
-        const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
-        const double r = norm(bond);
-        if (r >= model.repulsive.r_cut) continue;
-        const RadialValue v = phi(model, r);
-        elocal += v.value;
-        const Vec3 f = (v.derivative / r) * bond;  // dE/rd_j direction
-        local[pr.i] += f;
-        local[pr.j] -= f;
-        wlocal -= outer(bond, f);  // d (x) f_on_j with f_on_j = -f
+      for (std::size_t p = 0; p < nb; ++p) {
+        const double der = table.repulsive_derivative(p);
+        const double val = table.repulsive_value(p);
+        if (val == 0.0 && der == 0.0) continue;  // at/beyond repulsive cutoff
+        elocal += val;
+        const Vec3 f = (der / table.length(p)) * table.bond(p);
+        local[table.i(p)] += f;
+        local[table.j(p)] -= f;
+        wlocal -= outer(table.bond(p), f);  // d (x) f_on_j with f_on_j = -f
       }
-#pragma omp critical
-      {
-        energy += elocal;
-        for (std::size_t i = 0; i < n; ++i) out.forces[i] += local[i];
-        out.virial += wlocal;
-      }
+      *epartial.local() = elocal;
     }
-    out.energy = energy;
+    const Vec3* f = fpartial.reduce();
+    for (std::size_t i = 0; i < n; ++i) out.forces[i] = f[i];
+    out.energy = *epartial.reduce();
+    out.virial += *wpartial.reduce();
     return out;
   }
 
-  // Embedded polynomial: E = sum_i f(x_i), x_i = sum_j phi(r_ij).
+  // Embedded polynomial: E = sum_i f(x_i), x_i = sum_j phi(r_ij).  The
+  // per-atom coordination sums walk the table's adjacency, so phi is never
+  // re-evaluated (the table already holds it per bond).
   std::vector<double> x(n, 0.0);
 #pragma omp parallel for schedule(dynamic, 32)
   for (std::size_t i = 0; i < n; ++i) {
     double xi = 0.0;
-    for (const NeighborEntry& e : list.neighbors(i)) {
-      const Vec3 bond = pos[e.j] + e.shift - pos[i];
-      const double r = norm(bond);
-      if (r < model.repulsive.r_cut) xi += phi(model, r).value;
+    for (const BondTable::AtomBond* ab = table.atom_begin(i);
+         ab != table.atom_end(i); ++ab) {
+      xi += table.repulsive_value(ab->bond);
     }
     x[i] = xi;
   }
@@ -83,29 +75,33 @@ RepulsiveResult repulsive_energy_forces(const TbModel& model,
   // dE/dr_j = sum over bonds (i,j): (f'(x_i) + f'(x_j)) phi'(r) u.
 #pragma omp parallel
   {
-    std::vector<Vec3> local(n, Vec3{});
-    Mat3 wlocal{};
+    Vec3* local = fpartial.local();
+    Mat3& wlocal = *wpartial.local();
 #pragma omp for schedule(static) nowait
-    for (std::size_t p = 0; p < pairs.size(); ++p) {
-      const NeighborPair& pr = pairs[p];
-      const Vec3 bond = pos[pr.j] + pr.shift - pos[pr.i];
-      const double r = norm(bond);
-      if (r >= model.repulsive.r_cut) continue;
-      const RadialValue v = phi(model, r);
-      const double w = (fprime[pr.i] + fprime[pr.j]) * v.derivative / r;
-      const Vec3 f = w * bond;
-      local[pr.i] += f;
-      local[pr.j] -= f;
-      wlocal -= outer(bond, f);
-    }
-#pragma omp critical
-    {
-      for (std::size_t i = 0; i < n; ++i) out.forces[i] += local[i];
-      out.virial += wlocal;
+    for (std::size_t p = 0; p < nb; ++p) {
+      const double der = table.repulsive_derivative(p);
+      if (der == 0.0 && table.repulsive_value(p) == 0.0) continue;
+      const double w =
+          (fprime[table.i(p)] + fprime[table.j(p)]) * der / table.length(p);
+      const Vec3 f = w * table.bond(p);
+      local[table.i(p)] += f;
+      local[table.j(p)] -= f;
+      wlocal -= outer(table.bond(p), f);
     }
   }
+  const Vec3* f = fpartial.reduce();
+  for (std::size_t i = 0; i < n; ++i) out.forces[i] = f[i];
+  out.virial += *wpartial.reduce();
   out.energy = energy;
   return out;
+}
+
+RepulsiveResult repulsive_energy_forces(const TbModel& model,
+                                        const System& system,
+                                        const NeighborList& list) {
+  BondTable table;
+  table.build(model, system, list, BondTable::Mode::kRepulsiveOnly);
+  return repulsive_energy_forces(model, table);
 }
 
 }  // namespace tbmd::tb

@@ -17,6 +17,8 @@
 
 namespace tbmd::tb {
 
+class BondTable;
+
 /// Energy, per-atom forces and virial of the repulsive term.
 struct RepulsiveResult {
   double energy = 0.0;
@@ -24,7 +26,13 @@ struct RepulsiveResult {
   Mat3 virial{};
 };
 
-/// Evaluate the repulsive energy and forces.
+/// Evaluate the repulsive energy and forces from a prebuilt bond table
+/// (the per-bond phi(r), phi'(r) values are read from the table, so the
+/// radial function is never re-evaluated here).
+[[nodiscard]] RepulsiveResult repulsive_energy_forces(const TbModel& model,
+                                                      const BondTable& table);
+
+/// Convenience overload: evaluate a BondTable from `list` first.
 [[nodiscard]] RepulsiveResult repulsive_energy_forces(const TbModel& model,
                                                       const System& system,
                                                       const NeighborList& list);

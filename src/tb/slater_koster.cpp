@@ -1,6 +1,7 @@
 #include "src/tb/slater_koster.hpp"
 
 #include <cmath>
+#include <cstring>
 
 namespace tbmd::tb {
 
@@ -24,58 +25,56 @@ void fill_angular(const BondIntegrals& v, const double u[3], double a[4][4]) {
 
 }  // namespace
 
-SkBlock sk_block(const TbModel& model, const Vec3& bond) {
-  SkBlock out;
-  const double r = norm(bond);
+void sk_block_into(const TbModel& model, const Vec3& bond, double r, double* h,
+                   double* d) {
   const RadialValue s = evaluate_scaling(model.hopping, r);
-  if (s.value == 0.0 && s.derivative == 0.0) return out;
+  if (s.value == 0.0 && s.derivative == 0.0) {
+    std::memset(h, 0, 16 * sizeof(double));
+    if (d != nullptr) std::memset(d, 0, 48 * sizeof(double));
+    return;
+  }
 
   const double u[3] = {bond.x / r, bond.y / r, bond.z / r};
   double ang[4][4];
   fill_angular(model.bonds, u, ang);
   for (int a = 0; a < 4; ++a) {
-    for (int b = 0; b < 4; ++b) out.h[a][b] = s.value * ang[a][b];
+    for (int b = 0; b < 4; ++b) h[4 * a + b] = s.value * ang[a][b];
   }
-  return out;
-}
-
-void sk_block_with_derivative(const TbModel& model, const Vec3& bond,
-                              SkBlock& block, SkBlockDerivative& deriv) {
-  block = SkBlock{};
-  deriv = SkBlockDerivative{};
-  const double r = norm(bond);
-  const RadialValue s = evaluate_scaling(model.hopping, r);
-  if (s.value == 0.0 && s.derivative == 0.0) return;
-
-  const double u[3] = {bond.x / r, bond.y / r, bond.z / r};
-  double ang[4][4];
-  fill_angular(model.bonds, u, ang);
-  for (int a = 0; a < 4; ++a) {
-    for (int b = 0; b < 4; ++b) block.h[a][b] = s.value * ang[a][b];
-  }
+  if (d == nullptr) return;
 
   // dB/dd_g = s'(r) u_g A + s(r) dA/dd_g, with
   // du_a/dd_g = (delta_ag - u_a u_g) / r.
   const BondIntegrals& v = model.bonds;
   const double dv = v.pps - v.ppp;
   for (int g = 0; g < 3; ++g) {
-    double (&dg)[4][4] = deriv.d[g];
+    double* dg = d + 16 * g;
     // Radial part.
     for (int a = 0; a < 4; ++a) {
-      for (int b = 0; b < 4; ++b) dg[a][b] = s.derivative * u[g] * ang[a][b];
+      for (int b = 0; b < 4; ++b) dg[4 * a + b] = s.derivative * u[g] * ang[a][b];
     }
     // Angular part.
     auto du = [&](int a) { return ((a == g ? 1.0 : 0.0) - u[a] * u[g]) / r; };
     for (int b = 0; b < 3; ++b) {
-      dg[0][b + 1] += s.value * v.sps * du(b);
-      dg[b + 1][0] -= s.value * v.sps * du(b);
+      dg[b + 1] += s.value * v.sps * du(b);
+      dg[4 * (b + 1)] -= s.value * v.sps * du(b);
     }
     for (int p = 0; p < 3; ++p) {
       for (int q = 0; q < 3; ++q) {
-        dg[p + 1][q + 1] += s.value * dv * (du(p) * u[q] + u[p] * du(q));
+        dg[4 * (p + 1) + q + 1] += s.value * dv * (du(p) * u[q] + u[p] * du(q));
       }
     }
   }
+}
+
+SkBlock sk_block(const TbModel& model, const Vec3& bond) {
+  SkBlock out;
+  sk_block_into(model, bond, norm(bond), &out.h[0][0], nullptr);
+  return out;
+}
+
+void sk_block_with_derivative(const TbModel& model, const Vec3& bond,
+                              SkBlock& block, SkBlockDerivative& deriv) {
+  sk_block_into(model, bond, norm(bond), &block.h[0][0], &deriv.d[0][0][0]);
 }
 
 }  // namespace tbmd::tb

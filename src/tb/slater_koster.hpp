@@ -41,4 +41,13 @@ struct SkBlockDerivative {
 void sk_block_with_derivative(const TbModel& model, const Vec3& bond,
                               SkBlock& block, SkBlockDerivative& deriv);
 
+/// Low-level batched-evaluation primitive: write the 4x4 block (row-major,
+/// 16 doubles, layout [alpha][beta]) for a bond of length r = |bond| into
+/// `h`, and, when `d` is non-null, the three derivative blocks into `d`
+/// (48 doubles, layout [gamma][alpha][beta]).  Zero-fills at or beyond the
+/// hopping cutoff.  BondTable streams through this to build its
+/// structure-of-arrays storage without intermediate struct copies.
+void sk_block_into(const TbModel& model, const Vec3& bond, double r, double* h,
+                   double* d);
+
 }  // namespace tbmd::tb

@@ -5,6 +5,7 @@
 
 #include "src/linalg/eigen_partial.hpp"
 #include "src/linalg/eigen_sym.hpp"
+#include "src/tb/bond_table.hpp"
 #include "src/tb/density_matrix.hpp"
 #include "src/tb/forces.hpp"
 #include "src/tb/hamiltonian.hpp"
@@ -28,10 +29,18 @@ ForceResult TightBindingCalculator::compute(const System& system) {
                  {model_.cutoff(), options_.skin});
   }
 
+  // One batched pass evaluates every Slater-Koster block, its derivative
+  // and the repulsive pair function; Hamiltonian assembly, the force
+  // contraction and the repulsive term below all read from this table.
+  {
+    auto t = timers_.scope("bondtable");
+    table_.build(model_, system, list_, BondTable::Mode::kBlocksAndDerivatives);
+  }
+
   linalg::Matrix h;
   {
     auto t = timers_.scope("hamiltonian");
-    h = build_hamiltonian(model_, system, list_);
+    h = build_hamiltonian(model_, system, table_);
   }
 
   const std::size_t norb = h.rows();
@@ -106,13 +115,13 @@ ForceResult TightBindingCalculator::compute(const System& system) {
 
   {
     auto t = timers_.scope("forces");
-    result.forces = band_forces(model_, system, list_, rho, &result.virial);
+    result.forces = band_forces(table_, rho, &result.virial);
   }
 
   RepulsiveResult rep;
   {
     auto t = timers_.scope("repulsive");
-    rep = repulsive_energy_forces(model_, system, list_);
+    rep = repulsive_energy_forces(model_, table_);
   }
 
   for (std::size_t i = 0; i < n; ++i) result.forces[i] += rep.forces[i];

@@ -5,15 +5,18 @@
 /// primary model, reproducing the TBMD method of the paper.
 ///
 /// One compute() call performs the canonical TBMD step pipeline:
-///   neighbors -> Hamiltonian -> diagonalize (O(N^3)) -> occupations ->
-///   density matrix -> Hellmann-Feynman forces -> repulsive term.
-/// Each phase is timed into phase_timers() so the experiment harness can
-/// regenerate the per-phase breakdown tables.
+///   neighbors -> bond table (batched SK blocks + derivatives) ->
+///   Hamiltonian -> diagonalize (O(N^3)) -> occupations -> density matrix ->
+///   Hellmann-Feynman forces -> repulsive term,
+/// where the Hamiltonian, force and repulsive phases all contract from the
+/// shared per-step BondTable.  Each phase is timed into phase_timers() so
+/// the experiment harness can regenerate the per-phase breakdown tables.
 
 #include <memory>
 
 #include "src/core/calculator.hpp"
 #include "src/neighbor/neighbor_list.hpp"
+#include "src/tb/bond_table.hpp"
 #include "src/tb/tb_model.hpp"
 
 namespace tbmd::tb {
@@ -72,6 +75,10 @@ class TightBindingCalculator final : public Calculator {
   TbModel model_;
   TbOptions options_;
   NeighborList list_;
+  /// Per-step table of SK blocks/derivatives + repulsive pair values,
+  /// rebuilt each compute() (storage reused) and shared by the Hamiltonian,
+  /// force and repulsive phases.
+  BondTable table_;
   /// Adaptive Fermi-tail width (states beyond the LUMO) learned from
   /// coverage-check fallbacks, so small-gap / high-temperature systems
   /// widen the partial window instead of paying a partial + full solve on

@@ -143,6 +143,89 @@ TEST(Gemm, InnerDimensionMismatchThrows) {
   EXPECT_THROW((void)matmul(a, b), Error);
 }
 
+// --- symmetric rank-k updates ------------------------------------------
+
+class SyrkSizes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SyrkSizes, MatchesExplicitProductAndIsExactlySymmetric) {
+  const auto [n, k] = GetParam();
+  const Matrix a = random_matrix(n, k, 50 + static_cast<std::uint64_t>(n));
+  Matrix c = random_matrix(n, n, 51);  // garbage: beta = 0 must overwrite
+  syrk(1.0, a, 0.0, c);
+  const Matrix expect = naive_matmul(a, transpose(a));
+  EXPECT_LT(max_abs(c - expect), 1e-11);
+  EXPECT_DOUBLE_EQ(symmetry_defect(c), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SyrkSizes,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(5, 3),
+                      std::make_tuple(64, 64), std::make_tuple(70, 33),
+                      std::make_tuple(63, 130), std::make_tuple(129, 96)));
+
+TEST(Syrk, BetaScalesExistingSymmetricC) {
+  const Matrix a = random_matrix(40, 17, 60);
+  const Matrix c0 = random_symmetric(40, 61);
+  Matrix c = c0;
+  syrk(0.5, a, 2.0, c);
+  const Matrix expect = naive_matmul(a, transpose(a));
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 40; ++j) {
+      EXPECT_NEAR(c(i, j), 2.0 * c0(i, j) + 0.5 * expect(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Syrk, ShapeMismatchThrows) {
+  const Matrix a(6, 3);
+  Matrix c(5, 5);
+  EXPECT_THROW(syrk(1.0, a, 0.0, c), Error);
+}
+
+TEST(Syr2k, MatchesExplicitProduct) {
+  const Matrix a = random_matrix(65, 40, 70);
+  const Matrix b = random_matrix(65, 40, 71);
+  Matrix c(65, 65, 0.0);
+  syr2k(1.5, a, b, 0.0, c);
+  const Matrix expect = naive_matmul(a, transpose(b)) + naive_matmul(b, transpose(a));
+  for (std::size_t i = 0; i < 65; ++i) {
+    for (std::size_t j = 0; j < 65; ++j) {
+      EXPECT_NEAR(c(i, j), 1.5 * expect(i, j), 1e-11);
+    }
+  }
+  EXPECT_DOUBLE_EQ(symmetry_defect(c), 0.0);
+}
+
+TEST(Syr2k, ShapeMismatchThrows) {
+  const Matrix a(6, 3), b(6, 4);
+  Matrix c(6, 6);
+  EXPECT_THROW(syr2k(1.0, a, b, 0.0, c), Error);
+}
+
+TEST(Syr2kLower, UpdatesTrailingSubmatrixInPlace) {
+  // The blocked_tridiag use case: update the lower triangle of a trailing
+  // q0-offset submatrix through raw pointers with distinct leading dims.
+  const std::size_t n = 20, q0 = 7, k = 5;
+  Matrix c = random_symmetric(n, 80);
+  const Matrix c0 = c;
+  const Matrix v = random_matrix(n, k, 81);
+  const Matrix w = random_matrix(n, k, 82);
+  syr2k_lower(n - q0, k, -1.0, v.row(q0), k, w.row(q0), k, c.row(q0) + q0, n);
+  for (std::size_t i = q0; i < n; ++i) {
+    for (std::size_t j = q0; j <= i; ++j) {
+      double s = 0.0;
+      for (std::size_t cc = 0; cc < k; ++cc) {
+        s += v(i, cc) * w(j, cc) + w(i, cc) * v(j, cc);
+      }
+      EXPECT_NEAR(c(i, j), c0(i, j) - s, 1e-12) << i << "," << j;
+    }
+  }
+  // Rows above / columns right of the trailing block are untouched.
+  for (std::size_t i = 0; i < q0; ++i) {
+    for (std::size_t j = 0; j < n; ++j) EXPECT_DOUBLE_EQ(c(i, j), c0(i, j));
+  }
+}
+
 TEST(Gemm, AccumulateAddsScaledProduct) {
   const Matrix a = random_matrix(8, 8, 31);
   const Matrix b = random_matrix(8, 8, 32);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "src/linalg/blas.hpp"
@@ -71,6 +72,17 @@ TEST(DensityMatrix, RejectsBadInput) {
   EXPECT_THROW((void)density_matrix(c, w), Error);
   std::vector<double> wneg{1.0, -0.5, 0.0, 0.0};
   EXPECT_THROW((void)density_matrix(c, wneg), Error);
+}
+
+TEST(DensityMatrix, RejectsNonFiniteWeights) {
+  // Regression: NaN occupations (e.g. from a diverged Fermi-level search)
+  // used to propagate silently into rho; they must be rejected up front.
+  linalg::Matrix c = linalg::Matrix::identity(4);
+  std::vector<double> wnan{2.0, std::nan(""), 0.0, 0.0};
+  EXPECT_THROW((void)density_matrix(c, wnan), Error);
+  std::vector<double> winf{2.0, std::numeric_limits<double>::infinity(), 0.0,
+                           0.0};
+  EXPECT_THROW((void)density_matrix(c, winf), Error);
 }
 
 // --- finite-difference force validation --------------------------------
