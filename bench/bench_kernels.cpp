@@ -224,6 +224,45 @@ void BM_SparseMultiply(benchmark::State& state) {
 BENCHMARK(BM_SparseMultiply)->Arg(2)->Arg(3)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+void BM_BsrSpMM(benchmark::State& state) {
+  // Blocked-sparse H * H on the 4x4-tiled Hamiltonian -- the SpMM kernel
+  // the purification loop spends its time in.  Compare with
+  // BM_SparseMultiply/3 (the same 216-atom product on scalar CSR).
+  // Arg = atom count.
+  System s = diamond_with_atoms(Element::C, 3.567, state.range(0));
+  const tb::TbModel m = tb::xwch_carbon();
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  tb::BondTable table;
+  table.build(m, s, list, tb::BondTable::Mode::kBlocks);
+  const onx::BlockSparseMatrix h = onx::build_block_hamiltonian(m, s, table);
+  onx::BlockSparseMatrix out;
+  onx::BsrWorkspace ws;
+  for (auto _ : state) {
+    h.multiply_into(h, 1e-8, out, ws);
+    benchmark::DoNotOptimize(out.nnz());
+  }
+  state.counters["blocks"] = static_cast<double>(h.block_count());
+}
+BENCHMARK(BM_BsrSpMM)->Arg(64)->Arg(216)->Unit(benchmark::kMillisecond);
+
+void BM_TbOnStep(benchmark::State& state) {
+  // Full O(N) force call (bond table, BSR assembly, PM purification on the
+  // blocked substrate, blocked force contraction) at the exp_f1 production
+  // tolerance.  Arg = atom count.
+  System s = diamond_with_atoms(Element::C, 3.567, state.range(0));
+  structures::perturb(s, 0.02, 3);
+  onx::OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-6;
+  onx::OrderNCalculator calc(tb::xwch_carbon(), opt);
+  (void)calc.compute(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.compute(s).energy);
+  }
+  state.counters["atoms"] = static_cast<double>(s.size());
+}
+BENCHMARK(BM_TbOnStep)->Arg(64)->Arg(216)->Unit(benchmark::kMillisecond);
+
 void BM_SkBlockWithDerivative(benchmark::State& state) {
   const tb::TbModel m = tb::xwch_carbon();
   const Vec3 bond{0.8, 0.9, 0.7};

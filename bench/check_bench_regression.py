@@ -7,9 +7,11 @@ Usage:
         [--normalize-by median | --normalize-by BM_Gemm/256 | --no-normalize]
 
 The default gated set covers the step-pipeline hot kernels: the
-eigensolvers, the bond-table build and the density-matrix rank-k update.
-(BM_BandForces/216 is recorded but not gated: a ~40 us kernel has a
-process-level noise floor wider than any regression worth gating on.)
+eigensolvers, the bond-table build, the density-matrix rank-k update, the
+blocked-sparse SpMM (BM_BsrSpMM/216) and the full O(N) purification step
+(BM_TbOnStep/216).  (BM_BandForces/216 is recorded but not gated: a ~40 us
+kernel has a process-level noise floor wider than any regression worth
+gating on.)
 
 RESULT_JSON is google-benchmark ``--benchmark_out`` output from the current
 build; the baseline is the repo's recorded BENCH_baseline.json (serial_ms
@@ -80,8 +82,9 @@ def main():
     ap.add_argument("--baseline", default="BENCH_baseline.json")
     ap.add_argument("--kernel", action="append", default=[],
                     help="kernel(s) to gate; default: eigensolvers, bond "
-                         "table, density matrix (BM_BandForces is recorded "
-                         "but ungated: too noisy at ~40 us)")
+                         "table, density matrix, blocked SpMM and the full "
+                         "O(N) step (BM_BandForces is recorded but ungated: "
+                         "too noisy at ~40 us)")
     ap.add_argument("--max-regression", type=float, default=0.25,
                     help="allowed fractional slowdown (default 0.25)")
     ap.add_argument("--normalize-by", default="median",
@@ -92,7 +95,8 @@ def main():
                     help="compare raw milliseconds instead")
     args = ap.parse_args()
     kernels = args.kernel or ["BM_Eigh/256", "BM_EighPartial/256",
-                              "BM_BondTable/216", "BM_DensityMatrix/256"]
+                              "BM_BondTable/216", "BM_DensityMatrix/256",
+                              "BM_BsrSpMM/216", "BM_TbOnStep/216"]
 
     current = load_result(args.result)
     baseline = load_baseline(args.baseline)

@@ -202,6 +202,48 @@ void syr2k_lower(std::size_t n, std::size_t k, double alpha, const double* a,
   rank_k_lower<true>(n, k, alpha, a, lda, b, ldb, c, ldc);
 }
 
+void gemm_micro_add(std::size_t bs, const double* a, const double* b,
+                    double* c) {
+  if (bs == 4) {
+    // Fully unrolled 4x4x4: each output row is accumulated in four scalars
+    // (registers), reading each A entry once and streaming B's rows.
+    for (std::size_t i = 0; i < 4; ++i) {
+      const double* ai = a + 4 * i;
+      double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        const double aik = ai[k];
+        const double* bk = b + 4 * k;
+        c0 += aik * bk[0];
+        c1 += aik * bk[1];
+        c2 += aik * bk[2];
+        c3 += aik * bk[3];
+      }
+      double* ci = c + 4 * i;
+      ci[0] += c0;
+      ci[1] += c1;
+      ci[2] += c2;
+      ci[3] += c3;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < bs; ++i) {
+    const double* ai = a + bs * i;
+    double* ci = c + bs * i;
+    for (std::size_t k = 0; k < bs; ++k) {
+      const double aik = ai[k];
+      if (aik == 0.0) continue;
+      const double* bk = b + bs * k;
+      for (std::size_t j = 0; j < bs; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+double tile_norm2(std::size_t bs, const double* a) {
+  double s = 0.0;
+  for (std::size_t q = 0; q < bs * bs; ++q) s += a[q] * a[q];
+  return s;
+}
+
 void syrk(double alpha, const Matrix& a, double beta, Matrix& c) {
   const std::size_t n = a.rows();
   TBMD_REQUIRE(c.rows() == n && c.cols() == n, "syrk: C must be n x n");

@@ -47,6 +47,18 @@ void syr2k_lower(std::size_t n, std::size_t k, double alpha, const double* a,
                  std::size_t lda, const double* b, std::size_t ldb, double* c,
                  std::size_t ldc);
 
+/// Tiny dense tile product C += A * B for bs x bs row-major blocks (the
+/// inner kernel of the block-sparse SpMM in src/onx).  The bs == 4 case --
+/// the natural s/p orbital block of the tight-binding models -- is fully
+/// unrolled so the compiler keeps the 4-wide C row in registers; other
+/// sizes fall back to the generic triple loop.
+void gemm_micro_add(std::size_t bs, const double* a, const double* b,
+                    double* c);
+
+/// Squared Frobenius norm of a bs x bs row-major tile (block truncation
+/// criterion of the block-sparse layer).
+[[nodiscard]] double tile_norm2(std::size_t bs, const double* a);
+
 /// y = A * x.
 [[nodiscard]] std::vector<double> matvec(const Matrix& a,
                                          const std::vector<double>& x);

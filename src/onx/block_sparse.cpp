@@ -1,0 +1,416 @@
+#include "src/onx/block_sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/linalg/blas.hpp"
+#include "src/onx/sparse.hpp"
+#include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
+
+namespace tbmd::onx {
+
+namespace {
+
+/// Keep a tile of squared Frobenius norm `norm2`?  A tile is dropped when
+/// ||T||_F <= bs * tol, i.e. when its RMS entry is below the tolerance:
+/// the perturbation from discarding it is then no larger than that of the
+/// bs^2 scalar entries of magnitude tol the element-wise criterion already
+/// tolerates dropping.  Reduces to |v| > tol exactly when bs == 1.
+inline bool keep_tile(double norm2, std::size_t bs, double drop_tolerance) {
+  const double scaled = static_cast<double>(bs) * drop_tolerance;
+  return norm2 > scaled * scaled;
+}
+
+}  // namespace
+
+BlockSparseMatrix::BlockSparseMatrix(std::size_t n, std::size_t block_size)
+    : n_(n), bs_(block_size == 0 ? 1 : block_size) {
+  TBMD_REQUIRE(n % bs_ == 0,
+               "BlockSparseMatrix: block size must divide the dimension");
+  nb_ = n_ / bs_;
+  row_ptr_.assign(nb_ + 1, 0);
+}
+
+BlockSparseMatrix BlockSparseMatrix::identity(std::size_t n,
+                                              std::size_t block_size) {
+  BlockSparseMatrix m(n, block_size);
+  const std::size_t bs = m.bs_;
+  m.col_.resize(m.nb_);
+  m.val_.assign(m.nb_ * bs * bs, 0.0);
+  for (std::size_t bi = 0; bi < m.nb_; ++bi) {
+    m.col_[bi] = static_cast<std::uint32_t>(bi);
+    m.row_ptr_[bi + 1] = bi + 1;
+    double* tile = m.val_.data() + bs * bs * bi;
+    for (std::size_t a = 0; a < bs; ++a) tile[bs * a + a] = 1.0;
+  }
+  return m;
+}
+
+BlockSparseMatrix BlockSparseMatrix::from_dense(const linalg::Matrix& a,
+                                                std::size_t block_size,
+                                                double drop_tolerance) {
+  TBMD_REQUIRE(a.rows() == a.cols(),
+               "BlockSparseMatrix: matrix must be square");
+  BlockSparseMatrix m(a.rows(), block_size);
+  const std::size_t bs = m.bs_;
+  std::vector<double> tile(bs * bs);
+  for (std::size_t bi = 0; bi < m.nb_; ++bi) {
+    for (std::size_t bj = 0; bj < m.nb_; ++bj) {
+      double norm2 = 0.0;
+      for (std::size_t r = 0; r < bs; ++r) {
+        const double* arow = a.row(bs * bi + r) + bs * bj;
+        for (std::size_t c = 0; c < bs; ++c) {
+          tile[bs * r + c] = arow[c];
+          norm2 += arow[c] * arow[c];
+        }
+      }
+      if (keep_tile(norm2, bs, drop_tolerance) || (bi == bj && norm2 > 0.0)) {
+        m.col_.push_back(static_cast<std::uint32_t>(bj));
+        m.val_.insert(m.val_.end(), tile.begin(), tile.end());
+      }
+    }
+    m.row_ptr_[bi + 1] = m.col_.size();
+  }
+  return m;
+}
+
+linalg::Matrix BlockSparseMatrix::to_dense() const {
+  linalg::Matrix a(n_, n_, 0.0);
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+      const std::size_t bj = col_[k];
+      const double* tile = block(k);
+      for (std::size_t r = 0; r < bs_; ++r) {
+        double* arow = a.row(bs_ * bi + r) + bs_ * bj;
+        for (std::size_t c = 0; c < bs_; ++c) arow[c] = tile[bs_ * r + c];
+      }
+    }
+  }
+  return a;
+}
+
+const double* BlockSparseMatrix::find_block(std::size_t bi,
+                                            std::size_t bj) const {
+  const auto begin = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[bi]);
+  const auto end = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[bi + 1]);
+  const auto it =
+      std::lower_bound(begin, end, static_cast<std::uint32_t>(bj));
+  if (it == end || *it != bj) return nullptr;
+  return block(static_cast<std::size_t>(it - col_.begin()));
+}
+
+double BlockSparseMatrix::get(std::size_t i, std::size_t j) const {
+  const double* tile = find_block(i / bs_, j / bs_);
+  if (tile == nullptr) return 0.0;
+  return tile[bs_ * (i % bs_) + (j % bs_)];
+}
+
+double BlockSparseMatrix::trace() const {
+  double t = 0.0;
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    const double* tile = find_block(bi, bi);
+    if (tile == nullptr) continue;
+    for (std::size_t a = 0; a < bs_; ++a) t += tile[bs_ * a + a];
+  }
+  return t;
+}
+
+double BlockSparseMatrix::trace_of_product(const BlockSparseMatrix& b) const {
+  TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_,
+               "trace_of_product: size/block mismatch");
+  double t = 0.0;
+  [[maybe_unused]] const bool par = nb_ > 64;
+#pragma omp parallel for reduction(+ : t) schedule(static) if (par)
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+      const double* ta = block(k);
+      const double* tb = b.find_block(col_[k], bi);
+      if (tb == nullptr) continue;
+      // sum_ab A_IJ[a,b] * B_JI[b,a]
+      double s = 0.0;
+      for (std::size_t a = 0; a < bs_; ++a) {
+        for (std::size_t c = 0; c < bs_; ++c) {
+          s += ta[bs_ * a + c] * tb[bs_ * c + a];
+        }
+      }
+      t += s;
+    }
+  }
+  return t;
+}
+
+void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
+                  BlockSparseMatrix& out) {
+  out.n_ = n;
+  out.bs_ = bs;
+  out.nb_ = n / bs;
+  const std::size_t nb = out.nb_;
+  const std::size_t bs2 = bs * bs;
+  TBMD_REQUIRE(ws.row_cols.size() >= nb && ws.row_vals.size() >= nb,
+               "bsr_assemble: workspace rows missing");
+  out.row_ptr_.assign(nb + 1, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    out.row_ptr_[bi + 1] = out.row_ptr_[bi] + ws.row_cols[bi].size();
+  }
+  const std::size_t nblocks = out.row_ptr_[nb];
+  out.col_.resize(nblocks);
+  out.val_.resize(nblocks * bs2);
+  [[maybe_unused]] const bool par = nb > 64;
+#pragma omp parallel for schedule(static) if (par)
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    const std::size_t at = out.row_ptr_[bi];
+    std::copy(ws.row_cols[bi].begin(), ws.row_cols[bi].end(),
+              out.col_.begin() + static_cast<std::ptrdiff_t>(at));
+    std::copy(ws.row_vals[bi].begin(), ws.row_vals[bi].end(),
+              out.val_.begin() + static_cast<std::ptrdiff_t>(at * bs2));
+  }
+}
+
+namespace {
+
+/// Grow-and-clear the staging rows without releasing their capacity.
+void reset_workspace(BsrWorkspace& ws, std::size_t nb) {
+  if (ws.row_cols.size() < nb) ws.row_cols.resize(nb);
+  if (ws.row_vals.size() < nb) ws.row_vals.resize(nb);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    ws.row_cols[bi].clear();
+    ws.row_vals[bi].clear();
+  }
+}
+
+}  // namespace
+
+void BlockSparseMatrix::combine_into(double alpha, const BlockSparseMatrix& b,
+                                     double beta, double drop_tolerance,
+                                     BlockSparseMatrix& out,
+                                     BsrWorkspace& ws) const {
+  TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_, "combine: size/block mismatch");
+  TBMD_REQUIRE(&out != this && &out != &b,
+               "combine_into: output must not alias an operand");
+  const std::size_t bs2 = bs_ * bs_;
+  reset_workspace(ws, nb_);
+#pragma omp parallel for schedule(static) if (nb_ > 64)
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    auto& cols = ws.row_cols[bi];
+    auto& vals = ws.row_vals[bi];
+    std::size_t ka = row_ptr_[bi], ea = row_ptr_[bi + 1];
+    std::size_t kb = b.row_ptr_[bi], eb = b.row_ptr_[bi + 1];
+    while (ka < ea || kb < eb) {
+      std::uint32_t bj;
+      const std::size_t at = vals.size();
+      vals.resize(at + bs2, 0.0);
+      double* tile = vals.data() + at;
+      if (ka < ea && (kb >= eb || col_[ka] <= b.col_[kb])) {
+        bj = col_[ka];
+        const double* ta = block(ka);
+        for (std::size_t q = 0; q < bs2; ++q) tile[q] = alpha * ta[q];
+        ++ka;
+        if (kb < eb && b.col_[kb] == bj) {
+          const double* tb = b.block(kb);
+          for (std::size_t q = 0; q < bs2; ++q) tile[q] += beta * tb[q];
+          ++kb;
+        }
+      } else {
+        bj = b.col_[kb];
+        const double* tb = b.block(kb);
+        for (std::size_t q = 0; q < bs2; ++q) tile[q] = beta * tb[q];
+        ++kb;
+      }
+      const double norm2 = linalg::tile_norm2(bs_, tile);
+      if (keep_tile(norm2, bs_, drop_tolerance) || (bj == bi && norm2 > 0.0)) {
+        cols.push_back(bj);
+      } else {
+        vals.resize(at);  // rejected: roll the staged tile back
+      }
+    }
+  }
+  bsr_assemble(n_, bs_, ws, out);
+}
+
+BlockSparseMatrix BlockSparseMatrix::combine(double alpha,
+                                             const BlockSparseMatrix& b,
+                                             double beta,
+                                             double drop_tolerance) const {
+  BlockSparseMatrix out;
+  BsrWorkspace ws;
+  combine_into(alpha, b, beta, drop_tolerance, out, ws);
+  return out;
+}
+
+void BlockSparseMatrix::multiply_into(const BlockSparseMatrix& b,
+                                      double drop_tolerance,
+                                      BlockSparseMatrix& out,
+                                      BsrWorkspace& ws) const {
+  TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_, "multiply: size/block mismatch");
+  TBMD_REQUIRE(&out != this && &out != &b,
+               "multiply_into: output must not alias an operand");
+  const std::size_t bs2 = bs_ * bs_;
+  reset_workspace(ws, nb_);
+  const auto nthreads = static_cast<std::size_t>(par::max_threads());
+  if (ws.acc.size() < nthreads) {
+    ws.acc.resize(nthreads);
+    ws.hit.resize(nthreads);
+    ws.touched.resize(nthreads);
+  }
+
+#pragma omp parallel
+  {
+    // Per-thread dense block accumulator (Gustavson over block rows): one
+    // bs x bs tile per block column plus an occupancy flag; `touched`
+    // records which columns were hit so only those are swept and reset.
+    // The buffers live in the workspace: the sweep leaves acc/hit all-zero
+    // after each row, so they are only (re)zeroed when they grow.
+    const auto tid = static_cast<std::size_t>(par::thread_id());
+    std::vector<double>& acc = ws.acc[tid];
+    std::vector<std::uint8_t>& hit = ws.hit[tid];
+    std::vector<std::uint32_t>& touched = ws.touched[tid];
+    if (acc.size() < nb_ * bs2) acc.assign(nb_ * bs2, 0.0);
+    if (hit.size() < nb_) hit.assign(nb_, 0);
+    touched.reserve(256);
+
+#pragma omp for schedule(dynamic, 8)
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      touched.clear();
+      for (std::size_t ka = row_ptr_[bi]; ka < row_ptr_[bi + 1]; ++ka) {
+        const std::size_t bk = col_[ka];
+        const double* ta = block(ka);
+        for (std::size_t kb = b.row_ptr_[bk]; kb < b.row_ptr_[bk + 1]; ++kb) {
+          const std::uint32_t bj = b.col_[kb];
+          if (hit[bj] == 0) {
+            hit[bj] = 1;
+            touched.push_back(bj);
+          }
+          linalg::gemm_micro_add(bs_, ta, b.block(kb),
+                                 acc.data() + bs2 * bj);
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      auto& cols = ws.row_cols[bi];
+      auto& vals = ws.row_vals[bi];
+      cols.reserve(touched.size());
+      for (const std::uint32_t bj : touched) {
+        double* tile = acc.data() + bs2 * bj;
+        const double norm2 = linalg::tile_norm2(bs_, tile);
+        if (keep_tile(norm2, bs_, drop_tolerance) || (bj == bi && norm2 > 0.0)) {
+          cols.push_back(bj);
+          vals.insert(vals.end(), tile, tile + bs2);
+        }
+        std::fill(tile, tile + bs2, 0.0);
+        hit[bj] = 0;
+      }
+    }
+  }
+  bsr_assemble(n_, bs_, ws, out);
+}
+
+BlockSparseMatrix BlockSparseMatrix::multiply(const BlockSparseMatrix& b,
+                                              double drop_tolerance) const {
+  BlockSparseMatrix out;
+  BsrWorkspace ws;
+  multiply_into(b, drop_tolerance, out, ws);
+  return out;
+}
+
+linalg::SpectralBounds BlockSparseMatrix::gershgorin_bounds() const {
+  linalg::SpectralBounds bounds;
+  bool first = true;
+  std::vector<double> diag(bs_), radius(bs_);
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    std::fill(diag.begin(), diag.end(), 0.0);
+    std::fill(radius.begin(), radius.end(), 0.0);
+    for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+      const std::size_t bj = col_[k];
+      const double* tile = block(k);
+      for (std::size_t r = 0; r < bs_; ++r) {
+        for (std::size_t c = 0; c < bs_; ++c) {
+          const double v = tile[bs_ * r + c];
+          if (bj == bi && c == r) {
+            diag[r] = v;
+          } else {
+            radius[r] += std::fabs(v);
+          }
+        }
+      }
+    }
+    for (std::size_t r = 0; r < bs_; ++r) {
+      const double lo = diag[r] - radius[r];
+      const double hi = diag[r] + radius[r];
+      if (first) {
+        bounds.lo = lo;
+        bounds.hi = hi;
+        first = false;
+      } else {
+        bounds.lo = std::min(bounds.lo, lo);
+        bounds.hi = std::max(bounds.hi, hi);
+      }
+    }
+  }
+  return bounds;
+}
+
+// --- CSR <-> BSR converters (declared in sparse.hpp) ----------------------
+
+BlockSparseMatrix SparseMatrix::to_block(std::size_t block_size) const {
+  BlockSparseMatrix out(n_, block_size);
+  const std::size_t bs = out.bs_;
+  const std::size_t bs2 = bs * bs;
+  const std::size_t nb = out.nb_;
+  std::vector<std::uint32_t> cols;
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    // Union of the block columns touched by the bs scalar rows of this
+    // block row (each scalar row's columns are already sorted).
+    cols.clear();
+    for (std::size_t r = 0; r < bs; ++r) {
+      const std::size_t row = bs * bi + r;
+      for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+        cols.push_back(static_cast<std::uint32_t>(col_[k] / bs));
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+
+    const std::size_t base = out.col_.size();
+    out.col_.insert(out.col_.end(), cols.begin(), cols.end());
+    out.val_.resize(out.val_.size() + cols.size() * bs2, 0.0);
+    for (std::size_t r = 0; r < bs; ++r) {
+      const std::size_t row = bs * bi + r;
+      for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+        const std::size_t bj = col_[k] / bs;
+        const auto it = std::lower_bound(cols.begin(), cols.end(),
+                                         static_cast<std::uint32_t>(bj));
+        const std::size_t slot =
+            base + static_cast<std::size_t>(it - cols.begin());
+        out.val_[bs2 * slot + bs * r + (col_[k] % bs)] = val_[k];
+      }
+    }
+    out.row_ptr_[bi + 1] = out.col_.size();
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::from_block(const BlockSparseMatrix& b) {
+  const std::size_t bs = b.block_size();
+  SparseMatrix out(b.size());
+  for (std::size_t bi = 0; bi < b.block_rows(); ++bi) {
+    for (std::size_t r = 0; r < bs; ++r) {
+      for (std::size_t k = b.row_ptr()[bi]; k < b.row_ptr()[bi + 1]; ++k) {
+        const std::size_t bj = b.cols()[k];
+        const double* tile = b.block(k);
+        for (std::size_t c = 0; c < bs; ++c) {
+          const double v = tile[bs * r + c];
+          // Tiles are dense; structurally-zero entries inside a stored
+          // tile must not become explicit CSR zeros.
+          if (v != 0.0) {
+            out.col_.push_back(bs * bj + c);
+            out.val_.push_back(v);
+          }
+        }
+      }
+      out.row_ptr_[bs * bi + r + 1] = out.col_.size();
+    }
+  }
+  return out;
+}
+
+}  // namespace tbmd::onx

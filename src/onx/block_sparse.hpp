@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file block_sparse.hpp
+/// \brief Block-CSR (BSR) sparse matrix with dense square tiles.
+///
+/// The substrate of the O(N) purification engine.  A tight-binding
+/// Hamiltonian over s/p orbitals is naturally blocked: every atom pair
+/// couples through a dense 4x4 Slater-Koster block, so storing the matrix
+/// as scalar CSR pays an index + branch per *element* where one index per
+/// *tile* suffices.  BlockSparseMatrix stores, per block row, the sorted
+/// block-column indices and a dense bs x bs row-major tile each; the SpMM
+/// inner product of two tiles dispatches to the shared
+/// linalg::gemm_micro_add micro-kernel (fully unrolled for bs == 4).
+///
+/// Threshold truncation acts on whole tiles: a tile is dropped when its
+/// Frobenius norm satisfies ||T||_F <= bs * tol, i.e. when its RMS entry
+/// is below the tolerance (diagonal tiles are always kept so traces stay
+/// exact).  Discarding such a tile perturbs the matrix by no more than the
+/// bs^2 scalar entries of magnitude tol the element-wise criterion already
+/// tolerates dropping, so accuracy bounds calibrated against the scalar
+/// engine carry over; the criterion reduces to |v| > tol exactly at
+/// bs == 1.  For symmetric operands the Frobenius criterion is itself
+/// symmetric (||A_IJ||_F == ||A_JI^T||_F), so truncation preserves
+/// symmetric sparsity patterns.
+///
+/// Block size is a runtime parameter: bs == 4 is the production path, and
+/// bs == 1 degenerates to scalar CSR semantics (used for operands whose
+/// dimension is not a multiple of 4).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+#include "src/linalg/spectral_bounds.hpp"
+
+namespace tbmd::onx {
+
+class BlockSparseMatrix;
+
+/// Reusable scratch for BlockSparseMatrix::multiply_into / combine_into:
+/// per-block-row staging buffers plus the per-thread Gustavson
+/// accumulators of the SpMM, all with capacity that survives across
+/// calls, so a persistent workspace (e.g. owned by OrderNCalculator)
+/// makes the purification loop allocation-free in steady state.
+struct BsrWorkspace {
+  std::vector<std::vector<std::uint32_t>> row_cols;
+  std::vector<std::vector<double>> row_vals;
+  // Per-thread SpMM scratch (indexed by omp thread id).  The row sweep
+  // restores acc/hit to all-zeroes after every block row, so these only
+  // need zero-filling when they grow.
+  std::vector<std::vector<double>> acc;
+  std::vector<std::vector<std::uint8_t>> hit;
+  std::vector<std::vector<std::uint32_t>> touched;
+};
+
+/// Square block-CSR sparse matrix (block columns sorted within each block
+/// row; tiles stored dense, row-major).
+class BlockSparseMatrix {
+ public:
+  BlockSparseMatrix() = default;
+
+  /// n x n zero matrix with bs x bs tiles; bs must divide n.
+  BlockSparseMatrix(std::size_t n, std::size_t block_size);
+
+  /// Identity (diagonal tiles only).
+  [[nodiscard]] static BlockSparseMatrix identity(std::size_t n,
+                                                  std::size_t block_size);
+
+  /// Convert from dense, dropping tiles with Frobenius norm <=
+  /// drop_tolerance (diagonal tiles with any nonzero entry are kept).
+  [[nodiscard]] static BlockSparseMatrix from_dense(const linalg::Matrix& a,
+                                                    std::size_t block_size,
+                                                    double drop_tolerance = 0.0);
+
+  [[nodiscard]] linalg::Matrix to_dense() const;
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t block_size() const { return bs_; }
+  [[nodiscard]] std::size_t block_rows() const { return nb_; }
+  [[nodiscard]] std::size_t block_count() const { return col_.size(); }
+
+  /// Stored scalar entries (tiles are dense, so block_count * bs^2).
+  [[nodiscard]] std::size_t nnz() const { return val_.size(); }
+
+  /// Fraction of stored entries relative to a dense matrix.
+  [[nodiscard]] double fill_fraction() const {
+    return n_ == 0 ? 0.0
+                   : static_cast<double>(nnz()) /
+                         (static_cast<double>(n_) * static_cast<double>(n_));
+  }
+
+  /// Tile (bi, bj) (binary search within the block row); nullptr if absent.
+  [[nodiscard]] const double* find_block(std::size_t bi, std::size_t bj) const;
+
+  /// Scalar element lookup; 0 for absent entries.
+  [[nodiscard]] double get(std::size_t i, std::size_t j) const;
+
+  /// Sum of diagonal entries.
+  [[nodiscard]] double trace() const;
+
+  /// tr(A * B); both must have the same size and block size.
+  [[nodiscard]] double trace_of_product(const BlockSparseMatrix& b) const;
+
+  /// Linear combination alpha*this + beta*b (block-pattern union), dropping
+  /// tiles with Frobenius norm <= drop_tolerance (diagonal tiles kept).
+  [[nodiscard]] BlockSparseMatrix combine(double alpha,
+                                          const BlockSparseMatrix& b,
+                                          double beta,
+                                          double drop_tolerance = 0.0) const;
+
+  /// combine() writing into `out`, reusing its storage and `ws`.
+  void combine_into(double alpha, const BlockSparseMatrix& b, double beta,
+                    double drop_tolerance, BlockSparseMatrix& out,
+                    BsrWorkspace& ws) const;
+
+  /// Block-sparse product this * b with tile-level Frobenius truncation.
+  /// Gustavson row-merge over block rows, OpenMP-parallel; tile products
+  /// run on linalg::gemm_micro_add (unrolled 4x4 fast path).
+  [[nodiscard]] BlockSparseMatrix multiply(const BlockSparseMatrix& b,
+                                           double drop_tolerance = 0.0) const;
+
+  /// multiply() writing into `out`, reusing its storage and `ws`.
+  void multiply_into(const BlockSparseMatrix& b, double drop_tolerance,
+                     BlockSparseMatrix& out, BsrWorkspace& ws) const;
+
+  /// Gershgorin enclosure of the spectrum (shared linalg interval type).
+  [[nodiscard]] linalg::SpectralBounds gershgorin_bounds() const;
+
+  // Raw BSR access (read-only) for kernels that stream the structure.
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& cols() const { return col_; }
+  [[nodiscard]] const std::vector<double>& values() const { return val_; }
+
+  /// Tile payload of the k-th stored block (bs^2 doubles, row-major).
+  [[nodiscard]] const double* block(std::size_t k) const {
+    return val_.data() + bs_ * bs_ * k;
+  }
+
+ private:
+  friend class SparseMatrix;
+  friend void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
+                           BlockSparseMatrix& out);
+
+  std::size_t n_ = 0;   ///< scalar dimension
+  std::size_t bs_ = 1;  ///< tile edge
+  std::size_t nb_ = 0;  ///< block rows (n / bs)
+  std::vector<std::size_t> row_ptr_;   ///< nb + 1 block-row offsets
+  std::vector<std::uint32_t> col_;     ///< block-column index per tile
+  std::vector<double> val_;            ///< bs^2 doubles per tile
+};
+
+/// Direct mutable access for assembly code (onx Hamiltonian builder): set
+/// the structure in one shot from per-row staging buffers in `ws`.
+void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
+                  BlockSparseMatrix& out);
+
+}  // namespace tbmd::onx

@@ -60,8 +60,78 @@ SparseMatrix build_sparse_hamiltonian(const tb::TbModel& model,
   return build_sparse_hamiltonian(model, system, table);
 }
 
-std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
-                                     const SparseMatrix& p, Mat3* virial) {
+void build_block_hamiltonian(const tb::TbModel& model, const System& system,
+                             const tb::BondTable& table,
+                             BlockSparseMatrix& out, BsrWorkspace& ws) {
+  TBMD_REQUIRE(table.atoms() == system.size(),
+               "build_block_hamiltonian: bond table size mismatch");
+  TBMD_REQUIRE(table.has_blocks(),
+               "build_block_hamiltonian: bond table was built without blocks");
+  const std::size_t n = system.size();
+  if (ws.row_cols.size() < n) ws.row_cols.resize(n);
+  if (ws.row_vals.size() < n) ws.row_vals.resize(n);
+
+  // One 4x4 tile per atom pair within hopping range plus the diagonal
+  // onsite tile; the adjacency is sorted by neighbor, so each block row
+  // comes out ordered in one pass.  `transposed` entries read the shared
+  // half-bond block column-major (B^T).
+#pragma omp parallel for schedule(dynamic, 16)
+  for (std::size_t i = 0; i < n; ++i) {
+    const double onsite[4] = {model.e_s, model.e_p, model.e_p, model.e_p};
+    auto& cols = ws.row_cols[i];
+    auto& vals = ws.row_vals[i];
+    cols.clear();
+    vals.clear();
+    bool onsite_done = false;
+    auto emit_onsite = [&] {
+      cols.push_back(static_cast<std::uint32_t>(i));
+      const std::size_t at = vals.size();
+      vals.resize(at + 16, 0.0);
+      for (std::size_t a = 0; a < 4; ++a) vals[at + 5 * a] = onsite[a];
+      onsite_done = true;
+    };
+    for (const tb::BondTable::AtomBond* ab = table.atom_begin(i);
+         ab != table.atom_end(i); ++ab) {
+      if (table.hopping_zero(ab->bond)) continue;
+      if (!onsite_done && ab->neighbor > i) emit_onsite();
+      const double* b = table.block(ab->bond);
+      cols.push_back(ab->neighbor);
+      const std::size_t at = vals.size();
+      vals.resize(at + 16);
+      double* tile = vals.data() + at;
+      if (ab->transposed != 0) {
+        for (std::size_t a = 0; a < 4; ++a) {
+          for (std::size_t c = 0; c < 4; ++c) tile[4 * a + c] = b[4 * c + a];
+        }
+      } else {
+        std::copy(b, b + 16, tile);
+      }
+    }
+    if (!onsite_done) emit_onsite();
+  }
+  bsr_assemble(4 * n, 4, ws, out);
+}
+
+BlockSparseMatrix build_block_hamiltonian(const tb::TbModel& model,
+                                          const System& system,
+                                          const tb::BondTable& table) {
+  BlockSparseMatrix out;
+  BsrWorkspace ws;
+  build_block_hamiltonian(model, system, table, out, ws);
+  return out;
+}
+
+namespace {
+
+/// Shared Hellmann-Feynman contraction skeleton of the two
+/// band_forces_sparse overloads.  `rho_tile(q, rho)` fills rho[16] with
+/// the spin-summed density block 2 * P(4i+a, 4j+b) of bond q (row-major
+/// [a][b]) and returns false when the bond is absent from P; everything
+/// else -- the derivative contraction, the force sign convention and the
+/// virial accumulation -- lives only here.
+template <typename RhoTile>
+std::vector<Vec3> band_forces_contract(const tb::BondTable& table,
+                                       Mat3* virial, const RhoTile& rho_tile) {
   TBMD_REQUIRE(table.has_derivatives(),
                "band_forces_sparse: bond table was built without derivatives");
   const std::size_t n = table.atoms();
@@ -79,19 +149,16 @@ std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
     for (std::size_t q = 0; q < table.size(); ++q) {
       if (table.hopping_zero(q)) continue;
 
-      const std::size_t oi = 4 * table.i(q);
-      const std::size_t oj = 4 * table.j(q);
+      double rho[16];
+      if (!rho_tile(q, rho)) continue;
       const double* d = table.derivative(q, 0);
       Vec3 dedd{};
-      for (int a = 0; a < 4; ++a) {
-        for (int b = 0; b < 4; ++b) {
-          const double rho_ab = 2.0 * p.get(oi + a, oj + b);  // spin factor
-          if (rho_ab == 0.0) continue;
-          const int ab = 4 * a + b;
-          dedd.x += 2.0 * rho_ab * d[ab];
-          dedd.y += 2.0 * rho_ab * d[16 + ab];
-          dedd.z += 2.0 * rho_ab * d[32 + ab];
-        }
+      for (std::size_t ab = 0; ab < 16; ++ab) {
+        const double rho_ab = rho[ab];
+        if (rho_ab == 0.0) continue;
+        dedd.x += 2.0 * rho_ab * d[ab];
+        dedd.y += 2.0 * rho_ab * d[16 + ab];
+        dedd.z += 2.0 * rho_ab * d[32 + ab];
       }
       local[table.j(q)] -= dedd;
       local[table.i(q)] += dedd;
@@ -102,6 +169,40 @@ std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
   for (std::size_t i = 0; i < n; ++i) forces[i] = f[i];
   if (virial != nullptr) *virial += *wpartial.reduce();
   return forces;
+}
+
+}  // namespace
+
+std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
+                                     const SparseMatrix& p, Mat3* virial) {
+  return band_forces_contract(
+      table, virial, [&table, &p](std::size_t q, double* rho) {
+        const std::size_t oi = 4 * table.i(q);
+        const std::size_t oj = 4 * table.j(q);
+        for (std::size_t a = 0; a < 4; ++a) {
+          for (std::size_t b = 0; b < 4; ++b) {
+            rho[4 * a + b] = 2.0 * p.get(oi + a, oj + b);  // spin factor
+          }
+        }
+        return true;
+      });
+}
+
+std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
+                                     const BlockSparseMatrix& p,
+                                     Mat3* virial) {
+  TBMD_REQUIRE(p.block_size() == 4 && p.size() == 4 * table.atoms(),
+               "band_forces_sparse: density matrix is not 4x4-blocked");
+  return band_forces_contract(
+      table, virial, [&table, &p](std::size_t q, double* rho) {
+        // One tile fetch covers all 16 orbital pairs of the bond.
+        const double* tile = p.find_block(table.i(q), table.j(q));
+        if (tile == nullptr) return false;
+        for (std::size_t ab = 0; ab < 16; ++ab) {
+          rho[ab] = 2.0 * tile[ab];  // spin factor
+        }
+        return true;
+      });
 }
 
 std::vector<Vec3> band_forces_sparse(const tb::TbModel& model,
@@ -140,15 +241,21 @@ ForceResult OrderNCalculator::compute(const System& system) {
                  tb::BondTable::Mode::kBlocksAndDerivatives);
   }
 
-  SparseMatrix h;
   {
     auto t = timers_.scope("hamiltonian");
-    h = build_sparse_hamiltonian(model_, system, table_);
+    build_block_hamiltonian(model_, system, table_, hamiltonian_,
+                            workspace_.scratch);
   }
 
   {
     auto t = timers_.scope("purification");
-    last_ = palser_manolopoulos(h, electrons / 2, options_.purification);
+    // Recycle the previous step's density storage (the largest buffer of
+    // the whole O(N) step) into the workspace before it is overwritten:
+    // the loop's first combine_into then reuses its capacity instead of
+    // regrowing ws.p from scratch.
+    workspace_.p = std::move(last_.density);
+    last_ = palser_manolopoulos(hamiltonian_, electrons / 2,
+                                options_.purification, &workspace_);
   }
 
   {

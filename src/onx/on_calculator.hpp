@@ -6,6 +6,7 @@
 
 #include "src/core/calculator.hpp"
 #include "src/neighbor/neighbor_list.hpp"
+#include "src/onx/block_sparse.hpp"
 #include "src/onx/purification.hpp"
 #include "src/onx/sparse.hpp"
 #include "src/tb/bond_table.hpp"
@@ -31,12 +32,32 @@ struct OrderNOptions {
                                                     const System& system,
                                                     const NeighborList& list);
 
+/// Assemble the Hamiltonian directly in block-CSR form (4x4 tiles, one per
+/// atom pair) from a prebuilt bond table -- the bond table's hopping blocks
+/// ARE the BSR tiles, so assembly is a scatter with no per-element index
+/// bookkeeping.  `out` and `ws` are reused across calls.
+void build_block_hamiltonian(const tb::TbModel& model, const System& system,
+                             const tb::BondTable& table,
+                             BlockSparseMatrix& out, BsrWorkspace& ws);
+
+/// Convenience overload returning by value.
+[[nodiscard]] BlockSparseMatrix build_block_hamiltonian(
+    const tb::TbModel& model, const System& system,
+    const tb::BondTable& table);
+
 /// Hellmann-Feynman band forces from a sparse (spinless) density matrix P
 /// (the contraction uses rho = 2 P), contracted against the bond table's
 /// derivative blocks.  When `virial` is non-null the band virial is
 /// accumulated into it.
 [[nodiscard]] std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
                                                    const SparseMatrix& p,
+                                                   Mat3* virial = nullptr);
+
+/// Blocked-density overload: one tile lookup per bond replaces 16 scalar
+/// binary searches (P must be 4x4-blocked, as produced by the purification
+/// engine for TB Hamiltonians).
+[[nodiscard]] std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
+                                                   const BlockSparseMatrix& p,
                                                    Mat3* virial = nullptr);
 
 /// Convenience overload: evaluate a derivative-carrying BondTable first.
@@ -73,6 +94,11 @@ class OrderNCalculator final : public Calculator {
   NeighborList list_;
   /// Per-step shared SK block/derivative table (storage reused per step).
   tb::BondTable table_;
+  /// Persistent blocked Hamiltonian + purification buffers: every BSR
+  /// intermediate keeps its steady-state capacity across MD steps, so the
+  /// O(N) step performs no allocation once the pattern has stabilized.
+  BlockSparseMatrix hamiltonian_;
+  PurificationWorkspace workspace_;
   PurificationResult last_;
 };
 

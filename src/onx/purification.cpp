@@ -7,18 +7,31 @@
 
 namespace tbmd::onx {
 
-PurificationResult palser_manolopoulos(const SparseMatrix& h, int n_occupied,
-                                       const PurificationOptions& options) {
+double PurificationOptions::drop_at(int it) const {
+  const double loosening =
+      schedule_loosening * std::pow(schedule_decay, it - 1);
+  return drop_tolerance * std::max(1.0, loosening);
+}
+
+std::size_t natural_block_size(std::size_t n) { return n % 4 == 0 ? 4 : 1; }
+
+PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
+                                       int n_occupied,
+                                       const PurificationOptions& options,
+                                       PurificationWorkspace* workspace) {
   const std::size_t n = h.size();
   TBMD_REQUIRE(n_occupied >= 0 &&
                    static_cast<std::size_t>(n_occupied) <= n,
                "purification: occupied count out of range");
   PurificationResult out;
   if (n == 0 || n_occupied == 0) {
-    out.density = SparseMatrix(n);
+    out.density = BlockSparseMatrix(n, h.block_size());
     out.converged = true;
     return out;
   }
+
+  PurificationWorkspace local;
+  PurificationWorkspace& ws = workspace != nullptr ? *workspace : local;
 
   const double theta =
       static_cast<double>(n_occupied) / static_cast<double>(n);
@@ -32,10 +45,12 @@ PurificationResult palser_manolopoulos(const SparseMatrix& h, int n_occupied,
   const double denom_lo = std::max(mu - bounds.lo, 1e-12);
   const double lambda = std::min(theta / denom_hi, (1.0 - theta) / denom_lo);
 
-  const SparseMatrix eye = SparseMatrix::identity(n);
+  if (ws.eye.size() != n || ws.eye.block_size() != h.block_size()) {
+    ws.eye = BlockSparseMatrix::identity(n, h.block_size());
+  }
   // P = -lambda H + (lambda mu + theta) I
-  SparseMatrix p = h.combine(-lambda, eye, lambda * mu + theta,
-                             options.drop_tolerance);
+  h.combine_into(-lambda, ws.eye, lambda * mu + theta, options.drop_tolerance,
+                 ws.p, ws.scratch);
 
   // Truncation sets a noise floor below which idempotency cannot improve:
   // converge when tr(P - P^2)/N reaches whichever is larger, the requested
@@ -45,19 +60,22 @@ PurificationResult palser_manolopoulos(const SparseMatrix& h, int n_occupied,
   double prev_idem = 1e300;
 
   for (int it = 1; it <= options.max_iterations; ++it) {
-    const SparseMatrix p2 = p.multiply(p, options.drop_tolerance);
-    const SparseMatrix p3 = p2.multiply(p, options.drop_tolerance);
+    const double drop = options.drop_at(it);
+    ws.p.multiply_into(ws.p, drop, ws.p2, ws.scratch);
+    ws.p2.multiply_into(ws.p, drop, ws.p3, ws.scratch);
 
-    const double tr_p = p.trace();
-    const double tr_p2 = p2.trace();
-    const double tr_p3 = p3.trace();
+    const double tr_p = ws.p.trace();
+    const double tr_p2 = ws.p2.trace();
+    const double tr_p3 = ws.p3.trace();
     const double idem = tr_p - tr_p2;
 
     out.iterations = it;
     out.idempotency_error = idem;
     if (std::fabs(idem) / static_cast<double>(n) < effective_tol) {
       out.converged = true;
-      p = p2.combine(3.0, p3, -2.0, options.drop_tolerance);  // final polish
+      // Final McWeeny polish at the tight tolerance.
+      ws.p2.combine_into(3.0, ws.p3, -2.0, options.drop_tolerance, ws.p,
+                         ws.scratch);
       break;
     }
     // Stagnation at the truncation noise floor also counts as converged:
@@ -74,21 +92,29 @@ PurificationResult palser_manolopoulos(const SparseMatrix& h, int n_occupied,
     if (!std::isfinite(c)) break;
 
     if (c >= 0.5) {
-      // P <- [(1+c) P^2 - P^3] / c
-      p = p2.combine((1.0 + c) / c, p3, -1.0 / c, options.drop_tolerance);
+      // P <- [(1+c) P^2 - P^3] / c   (P is not an operand: write directly)
+      ws.p2.combine_into((1.0 + c) / c, ws.p3, -1.0 / c, drop, ws.p,
+                         ws.scratch);
     } else {
       // P <- [(1-2c) P + (1+c) P^2 - P^3] / (1-c)
-      const SparseMatrix tmp =
-          p.combine((1.0 - 2.0 * c) / (1.0 - c), p2, (1.0 + c) / (1.0 - c),
-                    options.drop_tolerance);
-      p = tmp.combine(1.0, p3, -1.0 / (1.0 - c), options.drop_tolerance);
+      ws.p.combine_into((1.0 - 2.0 * c) / (1.0 - c), ws.p2,
+                        (1.0 + c) / (1.0 - c), drop, ws.tmp, ws.scratch);
+      ws.tmp.combine_into(1.0, ws.p3, -1.0 / (1.0 - c), drop, ws.p,
+                          ws.scratch);
     }
   }
 
-  out.band_energy = 2.0 * p.trace_of_product(h);
-  out.fill_fraction = p.fill_fraction();
-  out.density = std::move(p);
+  out.band_energy = 2.0 * ws.p.trace_of_product(h);
+  out.fill_fraction = ws.p.fill_fraction();
+  out.density = std::move(ws.p);
+  ws.p = BlockSparseMatrix(n, h.block_size());
   return out;
+}
+
+PurificationResult palser_manolopoulos(const SparseMatrix& h, int n_occupied,
+                                       const PurificationOptions& options) {
+  return palser_manolopoulos(h.to_block(natural_block_size(h.size())),
+                             n_occupied, options);
 }
 
 }  // namespace tbmd::onx

@@ -10,24 +10,45 @@
 /// cost per iteration is O(N) for gapped systems — this is the method the
 /// TBMD community adopted to break the O(N^3) wall that the paper's
 /// evaluation section quantifies.
+///
+/// The iteration runs on the blocked-sparse substrate (BlockSparseMatrix,
+/// 4x4 tiles for the s/p-orbital Hamiltonians); scalar CSR operands are
+/// converted on entry and stay the assembly/interchange format.
 
+#include "src/onx/block_sparse.hpp"
 #include "src/onx/sparse.hpp"
 
 namespace tbmd::onx {
 
 /// Options for the purification loop.
 struct PurificationOptions {
-  /// Magnitude below which matrix entries are dropped after each product.
-  /// 0 keeps everything (exact arithmetic up to roundoff).
+  /// Magnitude below which matrix entries (tiles, by Frobenius norm, on the
+  /// blocked path) are dropped after each product.  0 keeps everything
+  /// (exact arithmetic up to roundoff).
   double drop_tolerance = 1e-7;
   /// Converged when tr(P - P^2) / N falls below this.
   double idempotency_tolerance = 1e-10;
   int max_iterations = 100;
+
+  /// Per-iteration drop-threshold schedule: iteration `it` (1-based)
+  /// truncates at drop_tolerance * max(1, loosening * decay^(it-1)).
+  /// Early iterations are far from idempotency, so aggressive truncation
+  /// there costs no final accuracy but keeps the fill (and hence the SpMM
+  /// cost) down while the polynomial still reshapes the whole spectrum;
+  /// late iterations and the final polish run at the tight tolerance.
+  /// schedule_loosening = 1 disables the schedule.
+  double schedule_loosening = 8.0;
+  double schedule_decay = 0.5;
+
+  /// Effective tile-drop threshold for (1-based) iteration `it`.
+  [[nodiscard]] double drop_at(int it) const;
 };
 
 /// Result of a purification run.
 struct PurificationResult {
-  SparseMatrix density;          ///< spinless P: eigenvalues in [0,1], tr = n_occ
+  /// Spinless P on the blocked substrate: eigenvalues in [0,1], tr = n_occ.
+  /// Use SparseMatrix::from_block(density) for a scalar-CSR view.
+  BlockSparseMatrix density;
   double band_energy = 0.0;      ///< 2 tr(P H)  (spin degeneracy)
   int iterations = 0;
   bool converged = false;
@@ -35,12 +56,38 @@ struct PurificationResult {
   double fill_fraction = 0.0;      ///< nnz(P) / N^2
 };
 
-/// Canonical Palser-Manolopoulos purification of the (symmetric) sparse
+/// Persistent buffers for the purification loop.  A calculator that owns
+/// one across MD steps keeps every intermediate (P^2, P^3, staging rows)
+/// at steady-state capacity, so the per-step loop performs no allocation
+/// beyond the density matrix handed back in the result.
+struct PurificationWorkspace {
+  BlockSparseMatrix p, p2, p3, tmp;
+  /// Identity operand of the initial linear map, rebuilt only when the
+  /// problem size or block size changes.
+  BlockSparseMatrix eye;
+  BsrWorkspace scratch;
+};
+
+/// Canonical Palser-Manolopoulos purification of the (symmetric) blocked
 /// Hamiltonian `h` with `n_occupied` doubly-occupied states.
 ///
 /// Converges for systems with a HOMO-LUMO gap; metallic spectra stall (the
-/// result reports converged = false).
+/// result reports converged = false).  `workspace` is optional; passing a
+/// persistent one eliminates per-call allocation.
 [[nodiscard]] PurificationResult palser_manolopoulos(
-    const SparseMatrix& h, int n_occupied, const PurificationOptions& options = {});
+    const BlockSparseMatrix& h, int n_occupied,
+    const PurificationOptions& options = {},
+    PurificationWorkspace* workspace = nullptr);
+
+/// Scalar-CSR convenience overload: converts to the blocked substrate
+/// (4x4 tiles when the dimension allows, scalar tiles otherwise) and runs
+/// the blocked loop.
+[[nodiscard]] PurificationResult palser_manolopoulos(
+    const SparseMatrix& h, int n_occupied,
+    const PurificationOptions& options = {});
+
+/// Tile edge the purification engine picks for an n-dimensional operand:
+/// the natural 4x4 orbital block when it divides n, else scalar.
+[[nodiscard]] std::size_t natural_block_size(std::size_t n);
 
 }  // namespace tbmd::onx

@@ -7,26 +7,35 @@
 
 namespace tbmd::onx {
 
-PurificationResult sp2_purification(const SparseMatrix& h, int n_occupied,
-                                    const PurificationOptions& options) {
+PurificationResult sp2_purification(const BlockSparseMatrix& h,
+                                    int n_occupied,
+                                    const PurificationOptions& options,
+                                    PurificationWorkspace* workspace) {
   const std::size_t n = h.size();
   TBMD_REQUIRE(n_occupied >= 0 && static_cast<std::size_t>(n_occupied) <= n,
                "sp2: occupied count out of range");
   PurificationResult out;
   if (n == 0 || n_occupied == 0) {
-    out.density = SparseMatrix(n);
+    out.density = BlockSparseMatrix(n, h.block_size());
     out.converged = true;
     return out;
   }
+
+  PurificationWorkspace local;
+  PurificationWorkspace& ws = workspace != nullptr ? *workspace : local;
+  BlockSparseMatrix& x = ws.p;
+  BlockSparseMatrix& x2 = ws.p2;
 
   // X0 = (emax I - H) / (emax - emin): spectrum in [0, 1], with occupied
   // states mapped towards 1.  The bounds come from the shared Gershgorin
   // estimate (linalg::SpectralBounds) the dense eigensolvers also use.
   const linalg::SpectralBounds bounds = h.gershgorin_bounds();
   const double width = std::max(bounds.width(), 1e-12);
-  const SparseMatrix eye = SparseMatrix::identity(n);
-  SparseMatrix x =
-      h.combine(-1.0 / width, eye, bounds.hi / width, options.drop_tolerance);
+  if (ws.eye.size() != n || ws.eye.block_size() != h.block_size()) {
+    ws.eye = BlockSparseMatrix::identity(n, h.block_size());
+  }
+  h.combine_into(-1.0 / width, ws.eye, bounds.hi / width,
+                 options.drop_tolerance, x, ws.scratch);
 
   const double target = static_cast<double>(n_occupied);
   const double effective_tol =
@@ -34,7 +43,8 @@ PurificationResult sp2_purification(const SparseMatrix& h, int n_occupied,
   double prev_idem = 1e300;
 
   for (int it = 1; it <= options.max_iterations; ++it) {
-    const SparseMatrix x2 = x.multiply(x, options.drop_tolerance);
+    const double drop = options.drop_at(it);
+    x.multiply_into(x, drop, x2, ws.scratch);
     const double tr_x = x.trace();
     const double tr_x2 = x2.trace();
     const double idem = tr_x - tr_x2;
@@ -43,8 +53,11 @@ PurificationResult sp2_purification(const SparseMatrix& h, int n_occupied,
     out.idempotency_error = idem;
     if (std::fabs(idem) / static_cast<double>(n) < effective_tol) {
       out.converged = true;
-      x = x2.combine(3.0, x2.multiply(x, options.drop_tolerance), -2.0,
-                     options.drop_tolerance);  // final McWeeny polish
+      // Final McWeeny polish 3X^2 - 2X^3 at the tight tolerance.
+      x2.multiply_into(x, options.drop_tolerance, ws.p3, ws.scratch);
+      x2.combine_into(3.0, ws.p3, -2.0, options.drop_tolerance, ws.tmp,
+                      ws.scratch);
+      std::swap(x, ws.tmp);
       break;
     }
     if (std::fabs(idem) >= 0.5 * prev_idem &&
@@ -57,17 +70,25 @@ PurificationResult sp2_purification(const SparseMatrix& h, int n_occupied,
 
     // Choose the projection that moves tr(X) towards the target.
     if (std::fabs(tr_x2 - target) < std::fabs(2.0 * tr_x - tr_x2 - target)) {
-      x = x2;  // X <- X^2 (pushes small eigenvalues down)
+      std::swap(x, x2);  // X <- X^2 (pushes small eigenvalues down)
     } else {
-      x = x.combine(2.0, x2, -1.0,
-                    options.drop_tolerance);  // X <- 2X - X^2
+      x.combine_into(2.0, x2, -1.0, drop, ws.tmp,
+                     ws.scratch);  // X <- 2X - X^2
+      std::swap(x, ws.tmp);
     }
   }
 
   out.band_energy = 2.0 * x.trace_of_product(h);
   out.fill_fraction = x.fill_fraction();
   out.density = std::move(x);
+  x = BlockSparseMatrix(n, h.block_size());
   return out;
+}
+
+PurificationResult sp2_purification(const SparseMatrix& h, int n_occupied,
+                                    const PurificationOptions& options) {
+  return sp2_purification(h.to_block(natural_block_size(h.size())),
+                          n_occupied, options);
 }
 
 }  // namespace tbmd::onx

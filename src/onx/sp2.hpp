@@ -9,15 +9,22 @@
 /// 2X - X^2, choosing whichever moves the trace towards the occupation
 /// count.  Each iteration needs ONE sparse multiply (PM needs two), at the
 /// cost of slightly slower convergence -- an ablation axis the benchmark
-/// suite measures.
+/// suite measures.  Like PM, the iteration runs on the blocked-sparse
+/// (BSR) substrate with tile-level truncation.
 
 #include "src/onx/purification.hpp"
 
 namespace tbmd::onx {
 
-/// SP2 purification of the symmetric sparse Hamiltonian with `n_occupied`
-/// doubly occupied states.  Options and result semantics match
+/// SP2 purification of the symmetric blocked Hamiltonian with `n_occupied`
+/// doubly occupied states.  Options, result and workspace semantics match
 /// palser_manolopoulos().
+[[nodiscard]] PurificationResult sp2_purification(
+    const BlockSparseMatrix& h, int n_occupied,
+    const PurificationOptions& options = {},
+    PurificationWorkspace* workspace = nullptr);
+
+/// Scalar-CSR convenience overload (converts via SparseMatrix::to_block).
 [[nodiscard]] PurificationResult sp2_purification(
     const SparseMatrix& h, int n_occupied,
     const PurificationOptions& options = {});

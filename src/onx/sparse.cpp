@@ -27,7 +27,9 @@ SparseMatrix SparseMatrix::from_dense(const linalg::Matrix& a,
   for (std::size_t i = 0; i < n; ++i) {
     const double* arow = a.row(i);
     for (std::size_t j = 0; j < n; ++j) {
-      if (std::fabs(arow[j]) > drop_tolerance) {
+      // The != 0.0 guard keeps structurally-zero dense entries out of the
+      // pattern even when drop_tolerance is negative or -0.0 slips in.
+      if (arow[j] != 0.0 && std::fabs(arow[j]) > drop_tolerance) {
         m.col_.push_back(j);
         m.val_.push_back(arow[j]);
       }
@@ -115,7 +117,11 @@ SparseMatrix SparseMatrix::combine(double alpha, const SparseMatrix& b,
         v += beta * b.val_[kb];
         ++kb;
       }
-      if (std::fabs(v) > drop_tolerance || i == j) row.emplace_back(j, v);
+      // Diagonal entries survive truncation so traces stay exact, but an
+      // exact zero is never stored (explicit zeros would only bloat nnz).
+      if (std::fabs(v) > drop_tolerance || (i == j && v != 0.0)) {
+        row.emplace_back(j, v);
+      }
     }
   }
   return from_rows(n_, rows);
@@ -155,7 +161,9 @@ SparseMatrix SparseMatrix::multiply(const SparseMatrix& b,
       for (const std::size_t j : touched) {
         const double v = acc[j];
         acc[j] = 0.0;
-        if (std::fabs(v) > drop_tolerance || i == j) row.emplace_back(j, v);
+        if (std::fabs(v) > drop_tolerance || (i == j && v != 0.0)) {
+          row.emplace_back(j, v);
+        }
       }
     }
   }

@@ -17,7 +17,13 @@
 
 namespace tbmd::onx {
 
+class BlockSparseMatrix;
+
 /// Square CSR sparse matrix (column indices sorted within each row).
+///
+/// This is the assembly / interchange format of the O(N) layer; the
+/// purification engine itself runs on BlockSparseMatrix (block_sparse.hpp),
+/// reached through the to_block()/from_block() converters below.
 class SparseMatrix {
  public:
   SparseMatrix() = default;
@@ -28,7 +34,9 @@ class SparseMatrix {
   /// Identity.
   [[nodiscard]] static SparseMatrix identity(std::size_t n);
 
-  /// Convert from dense, dropping entries with |a_ij| <= drop_tolerance.
+  /// Convert from dense, dropping entries with |a_ij| <= drop_tolerance;
+  /// exact zeros are never stored (so from_dense(a, 0.0) keeps precisely
+  /// the nonzero pattern of `a`).
   [[nodiscard]] static SparseMatrix from_dense(const linalg::Matrix& a,
                                                double drop_tolerance = 0.0);
 
@@ -74,6 +82,15 @@ class SparseMatrix {
   /// type also used by the dense/tridiagonal eigensolvers:
   /// {min over i of (a_ii - r_i), max over i of (a_ii + r_i)}.
   [[nodiscard]] linalg::SpectralBounds gershgorin_bounds() const;
+
+  /// Repack as block-CSR with bs x bs dense tiles (bs must divide n); the
+  /// format the purification engine iterates on.  Every stored entry lands
+  /// in its tile; absent positions inside a stored tile are zero-filled.
+  [[nodiscard]] BlockSparseMatrix to_block(std::size_t block_size) const;
+
+  /// Expand a block-CSR matrix back to scalar CSR, skipping the exact
+  /// zeros that pad partially-filled tiles.
+  [[nodiscard]] static SparseMatrix from_block(const BlockSparseMatrix& b);
 
   // Raw CSR access (read-only) for kernels that stream the structure.
   [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {

@@ -55,6 +55,32 @@ TEST(Sparse, DropToleranceRemovesSmallEntries) {
   EXPECT_DOUBLE_EQ(s.get(2, 2), -2.0);
 }
 
+TEST(Sparse, FromDenseNeverStoresExplicitZeros) {
+  // Regression: from_dense(a, 0.0) must keep exactly the nonzero pattern
+  // of `a` -- structurally-zero dense entries (including -0.0) must not
+  // become explicit CSR zeros.
+  linalg::Matrix a(4, 4, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 2) = a(2, 1) = -3.5;
+  a(3, 3) = -0.0;  // negative zero is still an exact zero
+  const SparseMatrix s = SparseMatrix::from_dense(a, 0.0);
+  EXPECT_EQ(s.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(s.get(3, 3), 0.0);
+}
+
+TEST(Sparse, CombineAndMultiplyDropExactZeroDiagonals) {
+  // Diagonal entries survive *truncation* (so traces stay exact), but an
+  // entry that is exactly zero must not be stored: combining A with -A
+  // yields an empty matrix, not an explicit-zero diagonal.
+  const linalg::Matrix a = random_symmetric(8, 21);
+  const SparseMatrix sa = SparseMatrix::from_dense(a);
+  const SparseMatrix diff = sa.combine(1.0, sa, -1.0);
+  EXPECT_EQ(diff.nnz(), 0u);
+  // Multiplying by a zero matrix likewise stores nothing.
+  const SparseMatrix zero(8);
+  EXPECT_EQ(sa.multiply(zero).nnz(), 0u);
+}
+
 TEST(Sparse, IdentityAndTrace) {
   const SparseMatrix eye = SparseMatrix::identity(5);
   EXPECT_EQ(eye.nnz(), 5u);
@@ -170,7 +196,7 @@ TEST(Purification, IdempotentResult) {
   const PurificationResult pm =
       palser_manolopoulos(h, s.total_valence_electrons() / 2, {});
   ASSERT_TRUE(pm.converged);
-  const SparseMatrix p2 = pm.density.multiply(pm.density);
+  const BlockSparseMatrix p2 = pm.density.multiply(pm.density);
   EXPECT_NEAR(std::fabs(pm.density.trace() - p2.trace()), 0.0, 1e-5);
 }
 
@@ -235,8 +261,10 @@ TEST(OrderNCalculator, MatchesExactEnergyAndForces) {
 TEST(OrderNCalculator, DensityMatrixFillFractionDecreasesWithSize) {
   // Nearsightedness: with truncation, the fill *fraction* of the density
   // matrix decreases as the system grows (the retained bandwidth is set by
-  // the physical decay length, not by N).  At these miniature sizes the
-  // absolute bandwidth has not saturated yet, but the fraction must fall.
+  // the physical decay length, not by N).  The blocked engine truncates at
+  // whole-tile granularity, so the fraction only starts falling once atom
+  // pairs (not just individual orbital pairs) leave the decay range: the
+  // 2- and 3-cell boxes are still block-dense, the 4-cell box is not.
   const tb::TbModel m = tb::xwch_carbon();
   OrderNOptions opt;
   opt.purification.drop_tolerance = 1e-4;
@@ -250,8 +278,8 @@ TEST(OrderNCalculator, DensityMatrixFillFractionDecreasesWithSize) {
     return p.fill_fraction;
   };
 
-  const double fill_small = fill_of(2);  // 256 orbitals
-  const double fill_big = fill_of(3);    // 864 orbitals
+  const double fill_small = fill_of(3);  // 864 orbitals (block-dense)
+  const double fill_big = fill_of(4);    // 2048 orbitals
   EXPECT_LT(fill_big, 0.85 * fill_small);
 }
 
