@@ -225,9 +225,9 @@ BENCHMARK(BM_SparseMultiply)->Arg(2)->Arg(3)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_BsrSpMM(benchmark::State& state) {
-  // Blocked-sparse H * H on the 4x4-tiled Hamiltonian -- the SpMM kernel
-  // the purification loop spends its time in.  Compare with
-  // BM_SparseMultiply/3 (the same 216-atom product on scalar CSR).
+  // Full-pattern blocked-sparse H * H on the 4x4-tiled Hamiltonian.
+  // Compare with BM_SparseMultiply/3 (the same 216-atom product on scalar
+  // CSR) and BM_BsrSpMMSym (the symmetric-half production kernel).
   // Arg = atom count.
   System s = diamond_with_atoms(Element::C, 3.567, state.range(0));
   const tb::TbModel m = tb::xwch_carbon();
@@ -235,7 +235,8 @@ void BM_BsrSpMM(benchmark::State& state) {
   list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
   tb::BondTable table;
   table.build(m, s, list, tb::BondTable::Mode::kBlocks);
-  const onx::BlockSparseMatrix h = onx::build_block_hamiltonian(m, s, table);
+  const onx::BlockSparseMatrix h =
+      onx::build_block_hamiltonian(m, s, table).to_full();
   onx::BlockSparseMatrix out;
   onx::BsrWorkspace ws;
   for (auto _ : state) {
@@ -245,6 +246,31 @@ void BM_BsrSpMM(benchmark::State& state) {
   state.counters["blocks"] = static_cast<double>(h.block_count());
 }
 BENCHMARK(BM_BsrSpMM)->Arg(64)->Arg(216)->Unit(benchmark::kMillisecond);
+
+void BM_BsrSpMMSym(benchmark::State& state) {
+  // Symmetric-half H * H with a warm frozen pattern -- the steady-state
+  // SpMM of the purification loop: upper-triangle tiles only (half the
+  // tile products of BM_BsrSpMM) and zero symbolic-phase work after the
+  // first iteration.  Arg = atom count.
+  System s = diamond_with_atoms(Element::C, 3.567, state.range(0));
+  const tb::TbModel m = tb::xwch_carbon();
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  tb::BondTable table;
+  table.build(m, s, list, tb::BondTable::Mode::kBlocks);
+  const onx::BlockSparseMatrix h = onx::build_block_hamiltonian(m, s, table);
+  onx::BlockSparseMatrix out;
+  onx::BsrWorkspace ws;
+  onx::BsrPattern pattern;
+  h.multiply_sym_into(h, 1e-8, out, ws, &pattern);  // cold symbolic build
+  for (auto _ : state) {
+    h.multiply_sym_into(h, 1e-8, out, ws, &pattern);
+    benchmark::DoNotOptimize(out.nnz());
+  }
+  state.counters["blocks"] = static_cast<double>(h.block_count());
+  state.counters["symbolic"] = static_cast<double>(ws.stats.symbolic_builds);
+}
+BENCHMARK(BM_BsrSpMMSym)->Arg(64)->Arg(216)->Unit(benchmark::kMillisecond);
 
 void BM_TbOnStep(benchmark::State& state) {
   // Full O(N) force call (bond table, BSR assembly, PM purification on the

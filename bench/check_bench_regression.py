@@ -8,10 +8,11 @@ Usage:
 
 The default gated set covers the step-pipeline hot kernels: the
 eigensolvers, the bond-table build, the density-matrix rank-k update, the
-blocked-sparse SpMM (BM_BsrSpMM/216) and the full O(N) purification step
-(BM_TbOnStep/216).  (BM_BandForces/216 is recorded but not gated: a ~40 us
-kernel has a process-level noise floor wider than any regression worth
-gating on.)
+blocked-sparse SpMMs (full-pattern BM_BsrSpMM/216 and the symmetric-half
+warm-pattern production kernel BM_BsrSpMMSym/216) and the full O(N)
+purification step (BM_TbOnStep/216).  (BM_BandForces/216 is recorded but
+not gated: a ~40 us kernel has a process-level noise floor wider than any
+regression worth gating on.)
 
 RESULT_JSON is google-benchmark ``--benchmark_out`` output from the current
 build; the baseline is the repo's recorded BENCH_baseline.json (serial_ms
@@ -96,7 +97,8 @@ def main():
     args = ap.parse_args()
     kernels = args.kernel or ["BM_Eigh/256", "BM_EighPartial/256",
                               "BM_BondTable/216", "BM_DensityMatrix/256",
-                              "BM_BsrSpMM/216", "BM_TbOnStep/216"]
+                              "BM_BsrSpMM/216", "BM_BsrSpMMSym/216",
+                              "BM_TbOnStep/216"]
 
     current = load_result(args.result)
     baseline = load_baseline(args.baseline)

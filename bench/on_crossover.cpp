@@ -1,0 +1,112 @@
+/// \file on_crossover.cpp
+/// \brief O(N)-vs-exact crossover sweep: per-step wall time of the
+/// partial-spectrum exact path (TightBindingCalculator, SpectrumMode
+/// kPartial via the MD production configuration) against the symmetric-half
+/// O(N) purification engine at N in {64, 128, 216, 288, 512}.
+///
+/// The O(N) calculator is timed in its steady state (warm neighbor list,
+/// warm SpMM pattern cache), which is what an MD trajectory pays per step.
+/// Prints a table, writes on_crossover.csv (CI artifact of the
+/// `on-accuracy` job; the README crossover table is generated from it) and
+/// reports the interpolated crossover size.
+///
+/// Usage: on_crossover [--reps 2] [--drop 1e-6] [--max-atoms 512]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "src/io/table.hpp"
+#include "src/onx/on_calculator.hpp"
+#include "src/structures/builders.hpp"
+#include "src/tb/tb_calculator.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace tbmd;
+
+double arg_or(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+double time_force_call(Calculator& calc, System& s, int repeats) {
+  (void)calc.compute(s);  // warm: neighbor list, bond table, pattern cache
+  WallTimer t;
+  for (int q = 0; q < repeats; ++q) (void)calc.compute(s);
+  return t.seconds() * 1000.0 / repeats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = static_cast<int>(arg_or(argc, argv, "--reps", 2));
+  const double drop = arg_or(argc, argv, "--drop", 1e-6);
+  const int max_atoms =
+      static_cast<int>(arg_or(argc, argv, "--max-atoms", 512));
+
+  std::printf("O(N) crossover sweep: exact(kPartial) vs tb_on, drop = %.1e, "
+              "%d rep(s)\n\n", drop, reps);
+
+  struct Spec {
+    int nx, ny, nz;
+  };
+  const std::vector<Spec> specs{
+      {2, 2, 2}, {2, 2, 4}, {3, 3, 3}, {3, 3, 4}, {4, 4, 4}};
+
+  io::Table table({"N_atoms", "tb_exact_ms", "tb_on_ms", "on_over_exact",
+                   "pm_iterations", "fill_fraction"});
+  double prev_ratio = -1.0, prev_n = 0.0, crossover = -1.0;
+  for (const Spec& sp : specs) {
+    System s = structures::diamond(Element::C, 3.567, sp.nx, sp.ny, sp.nz);
+    if (static_cast<int>(s.size()) > max_atoms) break;
+    structures::perturb(s, 0.02, 3);
+    const double n = static_cast<double>(s.size());
+
+    // MD production configuration: no eigenvalue reporting, so kAuto takes
+    // the partial-spectrum (occupied window) path.
+    tb::TbOptions eopt;
+    eopt.report_eigenvalues = false;
+    tb::TightBindingCalculator exact(tb::xwch_carbon(), eopt);
+    const double ms_exact = time_force_call(exact, s, reps);
+
+    onx::OrderNOptions oopt;
+    oopt.purification.drop_tolerance = drop;
+    onx::OrderNCalculator on(tb::xwch_carbon(), oopt);
+    const double ms_on = time_force_call(on, s, reps);
+
+    const double ratio = ms_on / ms_exact;
+    table.add_numeric_row({n, ms_exact, ms_on, ratio,
+                           static_cast<double>(on.last_purification().iterations),
+                           on.last_purification().fill_fraction},
+                          4);
+    // Log-linear interpolation of the N where the ratio crosses 1.
+    if (prev_ratio > 1.0 && ratio <= 1.0) {
+      const double f = std::log(prev_ratio) /
+                       (std::log(prev_ratio) - std::log(ratio));
+      crossover = std::exp(std::log(prev_n) +
+                           f * (std::log(n) - std::log(prev_n)));
+    }
+    prev_ratio = ratio;
+    prev_n = n;
+  }
+
+  table.print(std::cout);
+  table.write_csv("on_crossover.csv");
+  if (crossover > 0.0) {
+    std::printf("\ncrossover: tb_on beats the exact partial-spectrum path "
+                "at N ~ %.0f atoms\n", crossover);
+  } else if (prev_ratio > 0.0 && prev_ratio <= 1.0) {
+    std::printf("\ncrossover: tb_on already ahead over the whole sweep\n");
+  } else {
+    std::printf("\ncrossover: not reached within the sweep (ratio %.2f at "
+                "N = %.0f)\n", prev_ratio, prev_n);
+  }
+  return 0;
+}

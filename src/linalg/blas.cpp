@@ -238,6 +238,89 @@ void gemm_micro_add(std::size_t bs, const double* a, const double* b,
   }
 }
 
+void gemm_micro_add_t(std::size_t bs, bool transpose_a, bool transpose_b,
+                      const double* a, const double* b, double* c) {
+  if (!transpose_a && !transpose_b) {
+    gemm_micro_add(bs, a, b, c);
+    return;
+  }
+  if (bs == 4) {
+    // Unrolled like the nn fast path: four C-row scalars in registers,
+    // k-major accumulation.  The transposed operand is read with stride 4
+    // (column walk of the stored row-major tile).
+    if (transpose_a && !transpose_b) {
+      for (std::size_t i = 0; i < 4; ++i) {
+        const double* ai = a + i;  // column i of A == row i of A^T
+        double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+        for (std::size_t k = 0; k < 4; ++k) {
+          const double aik = ai[4 * k];
+          const double* bk = b + 4 * k;
+          c0 += aik * bk[0];
+          c1 += aik * bk[1];
+          c2 += aik * bk[2];
+          c3 += aik * bk[3];
+        }
+        double* ci = c + 4 * i;
+        ci[0] += c0;
+        ci[1] += c1;
+        ci[2] += c2;
+        ci[3] += c3;
+      }
+    } else if (!transpose_a && transpose_b) {
+      for (std::size_t i = 0; i < 4; ++i) {
+        const double* ai = a + 4 * i;
+        double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+        for (std::size_t k = 0; k < 4; ++k) {
+          const double aik = ai[k];
+          const double* bk = b + k;  // column k of B == row k of B^T
+          c0 += aik * bk[0];
+          c1 += aik * bk[4];
+          c2 += aik * bk[8];
+          c3 += aik * bk[12];
+        }
+        double* ci = c + 4 * i;
+        ci[0] += c0;
+        ci[1] += c1;
+        ci[2] += c2;
+        ci[3] += c3;
+      }
+    } else {
+      for (std::size_t i = 0; i < 4; ++i) {
+        const double* ai = a + i;
+        double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+        for (std::size_t k = 0; k < 4; ++k) {
+          const double aik = ai[4 * k];
+          const double* bk = b + k;
+          c0 += aik * bk[0];
+          c1 += aik * bk[4];
+          c2 += aik * bk[8];
+          c3 += aik * bk[12];
+        }
+        double* ci = c + 4 * i;
+        ci[0] += c0;
+        ci[1] += c1;
+        ci[2] += c2;
+        ci[3] += c3;
+      }
+    }
+    return;
+  }
+  const auto at = [&](std::size_t i, std::size_t k) {
+    return transpose_a ? a[bs * k + i] : a[bs * i + k];
+  };
+  const auto bt = [&](std::size_t k, std::size_t j) {
+    return transpose_b ? b[bs * j + k] : b[bs * k + j];
+  };
+  for (std::size_t i = 0; i < bs; ++i) {
+    double* ci = c + bs * i;
+    for (std::size_t j = 0; j < bs; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < bs; ++k) s += at(i, k) * bt(k, j);
+      ci[j] += s;
+    }
+  }
+}
+
 double tile_norm2(std::size_t bs, const double* a) {
   double s = 0.0;
   for (std::size_t q = 0; q < bs * bs; ++q) s += a[q] * a[q];

@@ -55,6 +55,17 @@ void syr2k_lower(std::size_t n, std::size_t k, double alpha, const double* a,
 void gemm_micro_add(std::size_t bs, const double* a, const double* b,
                     double* c);
 
+/// Transpose-flagged variant C += op(A) * op(B) with op(X) = X or X^T per
+/// flag.  The mirrored-tile kernel of the symmetric-half block-sparse SpMM:
+/// a half-stored symmetric matrix keeps only tiles (I, J) with J >= I, so
+/// products drawing on the lower half read the stored mirror tile
+/// transposed.  All four transpose combinations are fully unrolled at
+/// bs == 4; (false, false) is exactly gemm_micro_add.  Accumulation order
+/// per output element is k-major in every variant, so results are
+/// bit-reproducible across the symbolic/numeric SpMM phases.
+void gemm_micro_add_t(std::size_t bs, bool transpose_a, bool transpose_b,
+                      const double* a, const double* b, double* c);
+
 /// Squared Frobenius norm of a bs x bs row-major tile (block truncation
 /// criterion of the block-sparse layer).
 [[nodiscard]] double tile_norm2(std::size_t bs, const double* a);

@@ -24,17 +24,41 @@ inline bool keep_tile(double norm2, std::size_t bs, double drop_tolerance) {
 
 }  // namespace
 
-BlockSparseMatrix::BlockSparseMatrix(std::size_t n, std::size_t block_size)
-    : n_(n), bs_(block_size == 0 ? 1 : block_size) {
+void BlockSparseMatrix::refingerprint() {
+  // FNV-1a over the structural identity: any pattern, dimension or storage
+  // mode change yields a different fingerprint, so a stale BsrPattern can
+  // never validate against a rebuilt operand.
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int s = 0; s < 64; s += 8) {
+      h ^= (v >> s) & 0xffu;
+      h *= kPrime;
+    }
+  };
+  mix(n_);
+  mix(bs_);
+  mix(sym_ ? 1u : 0u);
+  for (const std::size_t r : row_ptr_) mix(r);
+  for (const std::uint32_t c : col_) mix(c);
+  pattern_fingerprint_ = h;
+}
+
+BlockSparseMatrix::BlockSparseMatrix(std::size_t n, std::size_t block_size,
+                                     bool symmetric_half)
+    : n_(n), bs_(block_size == 0 ? 1 : block_size), sym_(symmetric_half) {
   TBMD_REQUIRE(n % bs_ == 0,
                "BlockSparseMatrix: block size must divide the dimension");
   nb_ = n_ / bs_;
   row_ptr_.assign(nb_ + 1, 0);
+  refingerprint();
 }
 
 BlockSparseMatrix BlockSparseMatrix::identity(std::size_t n,
-                                              std::size_t block_size) {
-  BlockSparseMatrix m(n, block_size);
+                                              std::size_t block_size,
+                                              bool symmetric_half) {
+  BlockSparseMatrix m(n, block_size, symmetric_half);
   const std::size_t bs = m.bs_;
   m.col_.resize(m.nb_);
   m.val_.assign(m.nb_ * bs * bs, 0.0);
@@ -44,6 +68,7 @@ BlockSparseMatrix BlockSparseMatrix::identity(std::size_t n,
     double* tile = m.val_.data() + bs * bs * bi;
     for (std::size_t a = 0; a < bs; ++a) tile[bs * a + a] = 1.0;
   }
+  m.refingerprint();
   return m;
 }
 
@@ -72,6 +97,7 @@ BlockSparseMatrix BlockSparseMatrix::from_dense(const linalg::Matrix& a,
     }
     m.row_ptr_[bi + 1] = m.col_.size();
   }
+  m.refingerprint();
   return m;
 }
 
@@ -85,9 +111,95 @@ linalg::Matrix BlockSparseMatrix::to_dense() const {
         double* arow = a.row(bs_ * bi + r) + bs_ * bj;
         for (std::size_t c = 0; c < bs_; ++c) arow[c] = tile[bs_ * r + c];
       }
+      if (sym_ && bj != bi) {
+        // Implicit mirror: A_JI = A_IJ^T.
+        for (std::size_t r = 0; r < bs_; ++r) {
+          for (std::size_t c = 0; c < bs_; ++c) {
+            a(bs_ * bj + c, bs_ * bi + r) = tile[bs_ * r + c];
+          }
+        }
+      }
     }
   }
   return a;
+}
+
+BlockSparseMatrix BlockSparseMatrix::to_symmetric_half() const {
+  if (sym_) return *this;
+  BlockSparseMatrix out(n_, bs_, true);
+  const std::size_t bs2 = bs_ * bs_;
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+      if (col_[k] < bi) continue;  // lower half: the stored mirror's copy
+      out.col_.push_back(col_[k]);
+      const double* tile = block(k);
+      out.val_.insert(out.val_.end(), tile, tile + bs2);
+    }
+    out.row_ptr_[bi + 1] = out.col_.size();
+  }
+  out.refingerprint();
+  return out;
+}
+
+BlockSparseMatrix BlockSparseMatrix::to_full() const {
+  if (!sym_) return *this;
+  BlockSparseMatrix out(n_, bs_, false);
+  const std::size_t bs2 = bs_ * bs_;
+  // Count: each stored tile lands in its own row, off-diagonal tiles also
+  // mirror into row J.
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    out.row_ptr_[bi + 1] += row_ptr_[bi + 1] - row_ptr_[bi];
+    for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+      if (col_[k] != bi) ++out.row_ptr_[col_[k] + 1];
+    }
+  }
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    out.row_ptr_[bi + 1] += out.row_ptr_[bi];
+  }
+  const std::size_t nblocks = out.row_ptr_[nb_];
+  out.col_.resize(nblocks);
+  out.val_.assign(nblocks * bs2, 0.0);
+  std::vector<std::size_t> fill(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+  // Mirror pass first: for target row J the mirrored columns are all < J
+  // and arrive in ascending source-row order, then the direct pass appends
+  // columns >= J in stored order, so every row comes out sorted.
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+      const std::size_t bj = col_[k];
+      if (bj == bi) continue;
+      const std::size_t slot = fill[bj]++;
+      out.col_[slot] = static_cast<std::uint32_t>(bi);
+      const double* tile = block(k);
+      double* dst = out.val_.data() + bs2 * slot;
+      for (std::size_t r = 0; r < bs_; ++r) {
+        for (std::size_t c = 0; c < bs_; ++c) {
+          dst[bs_ * c + r] = tile[bs_ * r + c];
+        }
+      }
+    }
+  }
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+      const std::size_t slot = fill[bi]++;
+      out.col_[slot] = col_[k];
+      const double* tile = block(k);
+      std::copy(tile, tile + bs2, out.val_.begin() +
+                                      static_cast<std::ptrdiff_t>(bs2 * slot));
+    }
+  }
+  out.refingerprint();
+  return out;
+}
+
+std::size_t BlockSparseMatrix::logical_block_count() const {
+  if (!sym_) return block_count();
+  std::size_t diag = 0;
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    // Columns are sorted and >= bi, so a diagonal tile is first in its row.
+    const std::size_t k = row_ptr_[bi];
+    if (k < row_ptr_[bi + 1] && col_[k] == bi) ++diag;
+  }
+  return 2 * block_count() - diag;
 }
 
 const double* BlockSparseMatrix::find_block(std::size_t bi,
@@ -101,9 +213,13 @@ const double* BlockSparseMatrix::find_block(std::size_t bi,
 }
 
 double BlockSparseMatrix::get(std::size_t i, std::size_t j) const {
-  const double* tile = find_block(i / bs_, j / bs_);
+  std::size_t r = i, c = j;
+  // Half storage: a lower-triangle query reads the stored mirror through
+  // the symmetry A[i][j] == A[j][i].
+  if (sym_ && j / bs_ < i / bs_) std::swap(r, c);
+  const double* tile = find_block(r / bs_, c / bs_);
   if (tile == nullptr) return 0.0;
-  return tile[bs_ * (i % bs_) + (j % bs_)];
+  return tile[bs_ * (r % bs_) + (c % bs_)];
 }
 
 double BlockSparseMatrix::trace() const {
@@ -119,8 +235,37 @@ double BlockSparseMatrix::trace() const {
 double BlockSparseMatrix::trace_of_product(const BlockSparseMatrix& b) const {
   TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_,
                "trace_of_product: size/block mismatch");
+  TBMD_REQUIRE(sym_ == b.sym_, "trace_of_product: storage-mode mismatch");
   double t = 0.0;
   [[maybe_unused]] const bool par = nb_ > 64;
+  if (sym_) {
+    // Single upper-half pass.  With implicit mirrors A_JI = A_IJ^T the two
+    // off-diagonal contributions tr(A_IJ B_JI) + tr(A_JI B_IJ) both reduce
+    // to the elementwise dot <A_IJ, B_IJ>, hence the factor 2; diagonal
+    // tiles contribute the plain tr(A_II B_II).
+#pragma omp parallel for reduction(+ : t) schedule(static) if (par)
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+        const std::size_t bj = col_[k];
+        const double* ta = block(k);
+        const double* tb = b.find_block(bi, bj);
+        if (tb == nullptr) continue;
+        double s = 0.0;
+        if (bj == bi) {
+          for (std::size_t a = 0; a < bs_; ++a) {
+            for (std::size_t c = 0; c < bs_; ++c) {
+              s += ta[bs_ * a + c] * tb[bs_ * c + a];
+            }
+          }
+        } else {
+          for (std::size_t q = 0; q < bs_ * bs_; ++q) s += ta[q] * tb[q];
+          s *= 2.0;
+        }
+        t += s;
+      }
+    }
+    return t;
+  }
 #pragma omp parallel for reduction(+ : t) schedule(static) if (par)
   for (std::size_t bi = 0; bi < nb_; ++bi) {
     for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
@@ -141,10 +286,11 @@ double BlockSparseMatrix::trace_of_product(const BlockSparseMatrix& b) const {
 }
 
 void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
-                  BlockSparseMatrix& out) {
+                  BlockSparseMatrix& out, bool symmetric_half) {
   out.n_ = n;
   out.bs_ = bs;
   out.nb_ = n / bs;
+  out.sym_ = symmetric_half;
   const std::size_t nb = out.nb_;
   const std::size_t bs2 = bs * bs;
   TBMD_REQUIRE(ws.row_cols.size() >= nb && ws.row_vals.size() >= nb,
@@ -165,6 +311,7 @@ void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
     std::copy(ws.row_vals[bi].begin(), ws.row_vals[bi].end(),
               out.val_.begin() + static_cast<std::ptrdiff_t>(at * bs2));
   }
+  out.refingerprint();
 }
 
 namespace {
@@ -179,13 +326,134 @@ void reset_workspace(BsrWorkspace& ws, std::size_t nb) {
   }
 }
 
+/// Mirror-expand the half pattern of `a` into a full per-row adjacency:
+/// for every block row the sorted list of neighbors, each entry naming the
+/// stored upper-half tile and whether it must be read transposed.  Two
+/// passes keep each row sorted without a per-row sort: mirrored neighbors
+/// (columns < row, ascending with the source-row scan) first, then the
+/// stored row itself (columns >= row, already sorted).
+void build_sym_adjacency(const BlockSparseMatrix& a,
+                         BsrWorkspace::SymAdjacency& adj) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& cols = a.cols();
+  const std::size_t nb = a.block_rows();
+  adj.ptr.assign(nb + 1, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    adj.ptr[bi + 1] += row_ptr[bi + 1] - row_ptr[bi];
+    for (std::size_t k = row_ptr[bi]; k < row_ptr[bi + 1]; ++k) {
+      if (cols[k] != bi) ++adj.ptr[cols[k] + 1];
+    }
+  }
+  for (std::size_t bi = 0; bi < nb; ++bi) adj.ptr[bi + 1] += adj.ptr[bi];
+  const std::size_t total = adj.ptr[nb];
+  adj.col.resize(total);
+  adj.tile.resize(total);
+  adj.trans.resize(total);
+  adj.fill.assign(adj.ptr.begin(), adj.ptr.end() - 1);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    for (std::size_t k = row_ptr[bi]; k < row_ptr[bi + 1]; ++k) {
+      const std::size_t bj = cols[k];
+      if (bj == bi) continue;
+      const std::size_t slot = adj.fill[bj]++;
+      adj.col[slot] = static_cast<std::uint32_t>(bi);
+      adj.tile[slot] = static_cast<std::uint32_t>(k);
+      adj.trans[slot] = 1;
+    }
+  }
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    for (std::size_t k = row_ptr[bi]; k < row_ptr[bi + 1]; ++k) {
+      const std::size_t slot = adj.fill[bi]++;
+      adj.col[slot] = cols[k];
+      adj.tile[slot] = static_cast<std::uint32_t>(k);
+      adj.trans[slot] = 0;
+    }
+  }
+}
+
+/// First adjacency entry of row `bk` with column >= `bi` (the J >= I
+/// restriction of the upper-half product sweep).
+inline std::size_t adj_lower_bound(const BsrWorkspace::SymAdjacency& adj,
+                                   std::size_t bk, std::size_t bi) {
+  const auto begin = adj.col.begin() + static_cast<std::ptrdiff_t>(adj.ptr[bk]);
+  const auto end =
+      adj.col.begin() + static_cast<std::ptrdiff_t>(adj.ptr[bk + 1]);
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(bi));
+  return static_cast<std::size_t>(it - adj.col.begin());
+}
+
 }  // namespace
+
+void BsrWorkspace::shrink(const BsrShrinkPolicy& policy) {
+  const std::size_t nb = policy.block_rows;
+  const std::size_t bs2 = policy.block_size * policy.block_size;
+  if (row_cols.size() > nb) row_cols.resize(nb);
+  if (row_vals.size() > nb) row_vals.resize(nb);
+  for (auto& r : row_cols) {
+    r.clear();
+    r.shrink_to_fit();
+  }
+  for (auto& r : row_vals) {
+    r.clear();
+    r.shrink_to_fit();
+  }
+  for (auto& a : acc) {
+    // Sized nb * bs2 with an all-zero invariant between uses; shrinking
+    // keeps the invariant (resize-to-smaller only drops zeros).
+    if (a.size() > nb * bs2) a.resize(nb * bs2);
+    a.shrink_to_fit();
+  }
+  for (auto& h : hit) {
+    if (h.size() > nb) h.resize(nb);
+    h.shrink_to_fit();
+  }
+  for (auto& tv : touched) {
+    tv.clear();
+    tv.shrink_to_fit();
+  }
+  for (auto* adj : {&adj_a, &adj_b}) {
+    adj->ptr.clear();
+    adj->ptr.shrink_to_fit();
+    adj->col.clear();
+    adj->col.shrink_to_fit();
+    adj->tile.clear();
+    adj->tile.shrink_to_fit();
+    adj->trans.clear();
+    adj->trans.shrink_to_fit();
+    adj->fill.clear();
+    adj->fill.shrink_to_fit();
+  }
+}
+
+std::size_t BsrWorkspace::footprint_bytes() const {
+  std::size_t total = 0;
+  const auto vec = [&total](const auto& v) {
+    total += v.capacity() * sizeof(v[0]);
+  };
+  const auto nested = [&total, &vec](const auto& outer) {
+    total += outer.capacity() * sizeof(outer[0]);
+    for (const auto& inner : outer) vec(inner);
+  };
+  nested(row_cols);
+  nested(row_vals);
+  nested(acc);
+  nested(hit);
+  nested(touched);
+  for (const auto* adj : {&adj_a, &adj_b}) {
+    vec(adj->ptr);
+    vec(adj->col);
+    vec(adj->tile);
+    vec(adj->trans);
+    vec(adj->fill);
+  }
+  return total;
+}
 
 void BlockSparseMatrix::combine_into(double alpha, const BlockSparseMatrix& b,
                                      double beta, double drop_tolerance,
                                      BlockSparseMatrix& out,
                                      BsrWorkspace& ws) const {
   TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_, "combine: size/block mismatch");
+  TBMD_REQUIRE(sym_ == b.sym_, "combine: storage-mode mismatch");
   TBMD_REQUIRE(&out != this && &out != &b,
                "combine_into: output must not alias an operand");
   const std::size_t bs2 = bs_ * bs_;
@@ -225,7 +493,7 @@ void BlockSparseMatrix::combine_into(double alpha, const BlockSparseMatrix& b,
       }
     }
   }
-  bsr_assemble(n_, bs_, ws, out);
+  bsr_assemble(n_, bs_, ws, out, sym_);
 }
 
 BlockSparseMatrix BlockSparseMatrix::combine(double alpha,
@@ -242,6 +510,11 @@ void BlockSparseMatrix::multiply_into(const BlockSparseMatrix& b,
                                       double drop_tolerance,
                                       BlockSparseMatrix& out,
                                       BsrWorkspace& ws) const {
+  if (sym_ || b.sym_) {
+    TBMD_REQUIRE(sym_ && b.sym_, "multiply: storage-mode mismatch");
+    multiply_sym_into(b, drop_tolerance, out, ws, nullptr);
+    return;
+  }
   TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_, "multiply: size/block mismatch");
   TBMD_REQUIRE(&out != this && &out != &b,
                "multiply_into: output must not alias an operand");
@@ -304,6 +577,133 @@ void BlockSparseMatrix::multiply_into(const BlockSparseMatrix& b,
   bsr_assemble(n_, bs_, ws, out);
 }
 
+void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
+                                          double drop_tolerance,
+                                          BlockSparseMatrix& out,
+                                          BsrWorkspace& ws,
+                                          BsrPattern* pattern) const {
+  TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_,
+               "multiply_sym: size/block mismatch");
+  TBMD_REQUIRE(sym_ && b.sym_,
+               "multiply_sym: operands must be symmetric-half");
+  TBMD_REQUIRE(&out != this && &out != &b,
+               "multiply_sym_into: output must not alias an operand");
+  const std::size_t bs2 = bs_ * bs_;
+
+  // Mirror-expanded adjacencies (shared when squaring).  O(stored tiles):
+  // input bookkeeping, not symbolic-phase work -- the symbolic phase below
+  // is the Gustavson discovery of the *output* pattern.
+  build_sym_adjacency(*this, ws.adj_a);
+  const BsrWorkspace::SymAdjacency& adj_a = ws.adj_a;
+  if (&b != this) build_sym_adjacency(b, ws.adj_b);
+  const BsrWorkspace::SymAdjacency& adj_b = (&b == this) ? ws.adj_a : ws.adj_b;
+
+  BsrPattern local;
+  BsrPattern& pat = pattern != nullptr ? *pattern : local;
+  const bool warm = pat.valid && pat.a_fingerprint == pattern_fingerprint_ &&
+                    pat.b_fingerprint == b.pattern_fingerprint_;
+
+  const auto nthreads = static_cast<std::size_t>(par::max_threads());
+  if (ws.acc.size() < nthreads) {
+    ws.acc.resize(nthreads);
+    ws.hit.resize(nthreads);
+    ws.touched.resize(nthreads);
+  }
+
+  if (!warm) {
+    // Symbolic phase: discover the upper-half output pattern (no flops).
+    ++ws.stats.symbolic_builds;
+    reset_workspace(ws, nb_);
+#pragma omp parallel
+    {
+      const auto tid = static_cast<std::size_t>(par::thread_id());
+      std::vector<std::uint8_t>& hit = ws.hit[tid];
+      std::vector<std::uint32_t>& touched = ws.touched[tid];
+      if (hit.size() < nb_) hit.assign(nb_, 0);
+      touched.reserve(256);
+#pragma omp for schedule(dynamic, 8)
+      for (std::size_t bi = 0; bi < nb_; ++bi) {
+        touched.clear();
+        for (std::size_t ua = adj_a.ptr[bi]; ua < adj_a.ptr[bi + 1]; ++ua) {
+          const std::size_t bk = adj_a.col[ua];
+          for (std::size_t ub = adj_lower_bound(adj_b, bk, bi);
+               ub < adj_b.ptr[bk + 1]; ++ub) {
+            const std::uint32_t bj = adj_b.col[ub];
+            if (hit[bj] == 0) {
+              hit[bj] = 1;
+              touched.push_back(bj);
+            }
+          }
+        }
+        std::sort(touched.begin(), touched.end());
+        ws.row_cols[bi].assign(touched.begin(), touched.end());
+        for (const std::uint32_t bj : touched) hit[bj] = 0;
+      }
+    }
+    pat.row_ptr.assign(nb_ + 1, 0);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      pat.row_ptr[bi + 1] = pat.row_ptr[bi] + ws.row_cols[bi].size();
+    }
+    pat.cols.resize(pat.row_ptr[nb_]);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      std::copy(ws.row_cols[bi].begin(), ws.row_cols[bi].end(),
+                pat.cols.begin() +
+                    static_cast<std::ptrdiff_t>(pat.row_ptr[bi]));
+    }
+    pat.a_fingerprint = pattern_fingerprint_;
+    pat.b_fingerprint = b.pattern_fingerprint_;
+    pat.valid = true;
+  } else {
+    ++ws.stats.numeric_reuses;
+  }
+
+  // Numeric phase on the (frozen or just-built) pattern: identical sweep
+  // and accumulation order either way, so warm results are bit-identical
+  // to cold ones.  Truncation prunes against the pattern during the
+  // gather; the pattern itself stays frozen (it describes the un-truncated
+  // Gustavson product of the operand patterns).
+  reset_workspace(ws, nb_);
+#pragma omp parallel
+  {
+    const auto tid = static_cast<std::size_t>(par::thread_id());
+    std::vector<double>& acc = ws.acc[tid];
+    if (acc.size() < nb_ * bs2) acc.assign(nb_ * bs2, 0.0);
+
+#pragma omp for schedule(dynamic, 8)
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      for (std::size_t ua = adj_a.ptr[bi]; ua < adj_a.ptr[bi + 1]; ++ua) {
+        const std::size_t bk = adj_a.col[ua];
+        const double* ta = block(adj_a.tile[ua]);
+        const bool trans_a = adj_a.trans[ua] != 0;
+        for (std::size_t ub = adj_lower_bound(adj_b, bk, bi);
+             ub < adj_b.ptr[bk + 1]; ++ub) {
+          const std::uint32_t bj = adj_b.col[ub];
+          linalg::gemm_micro_add_t(bs_, trans_a, adj_b.trans[ub] != 0, ta,
+                                   b.block(adj_b.tile[ub]),
+                                   acc.data() + bs2 * bj);
+        }
+      }
+      // Gather through the pattern row: it lists exactly the columns the
+      // products above touched, so the sweep also restores acc to zero.
+      auto& cols = ws.row_cols[bi];
+      auto& vals = ws.row_vals[bi];
+      const std::size_t pe = pat.row_ptr[bi + 1];
+      cols.reserve(pe - pat.row_ptr[bi]);
+      for (std::size_t pp = pat.row_ptr[bi]; pp < pe; ++pp) {
+        const std::uint32_t bj = pat.cols[pp];
+        double* tile = acc.data() + bs2 * bj;
+        const double norm2 = linalg::tile_norm2(bs_, tile);
+        if (keep_tile(norm2, bs_, drop_tolerance) || (bj == bi && norm2 > 0.0)) {
+          cols.push_back(bj);
+          vals.insert(vals.end(), tile, tile + bs2);
+        }
+        std::fill(tile, tile + bs2, 0.0);
+      }
+    }
+  }
+  bsr_assemble(n_, bs_, ws, out, true);
+}
+
 BlockSparseMatrix BlockSparseMatrix::multiply(const BlockSparseMatrix& b,
                                               double drop_tolerance) const {
   BlockSparseMatrix out;
@@ -313,6 +713,46 @@ BlockSparseMatrix BlockSparseMatrix::multiply(const BlockSparseMatrix& b,
 }
 
 linalg::SpectralBounds BlockSparseMatrix::gershgorin_bounds() const {
+  if (sym_) {
+    // Upper-half pass: an off-diagonal tile (I, J) contributes its row
+    // sums to the radii of block row I and -- through the implicit mirror
+    // A_JI = A_IJ^T -- its column sums to the radii of block row J.
+    std::vector<double> diag(n_, 0.0), radius(n_, 0.0);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+        const std::size_t bj = col_[k];
+        const double* tile = block(k);
+        for (std::size_t r = 0; r < bs_; ++r) {
+          for (std::size_t c = 0; c < bs_; ++c) {
+            const double v = tile[bs_ * r + c];
+            if (bj == bi) {
+              if (c == r) {
+                diag[bs_ * bi + r] = v;
+              } else {
+                radius[bs_ * bi + r] += std::fabs(v);
+              }
+            } else {
+              radius[bs_ * bi + r] += std::fabs(v);
+              radius[bs_ * bj + c] += std::fabs(v);
+            }
+          }
+        }
+      }
+    }
+    linalg::SpectralBounds bounds;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double lo = diag[i] - radius[i];
+      const double hi = diag[i] + radius[i];
+      if (i == 0) {
+        bounds.lo = lo;
+        bounds.hi = hi;
+      } else {
+        bounds.lo = std::min(bounds.lo, lo);
+        bounds.hi = std::max(bounds.hi, hi);
+      }
+    }
+    return bounds;
+  }
   linalg::SpectralBounds bounds;
   bool first = true;
   std::vector<double> diag(bs_), radius(bs_);
@@ -386,10 +826,13 @@ BlockSparseMatrix SparseMatrix::to_block(std::size_t block_size) const {
     }
     out.row_ptr_[bi + 1] = out.col_.size();
   }
+  out.refingerprint();
   return out;
 }
 
 SparseMatrix SparseMatrix::from_block(const BlockSparseMatrix& b) {
+  TBMD_REQUIRE(!b.symmetric(),
+               "from_block: expand half storage via to_full() first");
   const std::size_t bs = b.block_size();
   SparseMatrix out(b.size());
   for (std::size_t bi = 0; bi < b.block_rows(); ++bi) {

@@ -12,6 +12,26 @@
 /// inner product of two tiles dispatches to the shared
 /// linalg::gemm_micro_add micro-kernel (fully unrolled for bs == 4).
 ///
+/// Symmetric-half storage.  Every operand of the purification loop (H, P
+/// and its polynomials) is symmetric, so the engine's production mode
+/// stores only the upper block triangle: tiles (I, J) with J >= I, the
+/// mirror tile A_JI == A_IJ^T implicit.  That halves memory and -- because
+/// the product of two commuting symmetric matrices is symmetric -- halves
+/// the SpMM flops: multiply_sym_into() computes only the upper half of
+/// C = A * B, reading lower-half operand tiles through the transposed
+/// micro-kernel (linalg::gemm_micro_add_t).  Mixed full/half algebra is
+/// rejected; to_full() / to_symmetric_half() convert explicitly.
+///
+/// Pattern reuse.  multiply_sym_into() is split into a symbolic phase
+/// (Gustavson discovery of the output block pattern -- no flops) and a
+/// numeric phase (tile products + truncation on a known pattern).  The
+/// symbolic result can be cached in a BsrPattern keyed on fingerprints of
+/// the operand patterns: along an MD trajectory the bond topology -- and
+/// with it the whole chain of purification patterns -- is unchanged on the
+/// vast majority of steps, so steady-state steps re-run only the numeric
+/// phase on the frozen pattern.  Cold and warm paths execute the identical
+/// numeric sweep, so a warm result is bit-identical to a cold one.
+///
 /// Threshold truncation acts on whole tiles: a tile is dropped when its
 /// Frobenius norm satisfies ||T||_F <= bs * tol, i.e. when its RMS entry
 /// is below the tolerance (diagonal tiles are always kept so traces stay
@@ -21,7 +41,8 @@
 /// engine carry over; the criterion reduces to |v| > tol exactly at
 /// bs == 1.  For symmetric operands the Frobenius criterion is itself
 /// symmetric (||A_IJ||_F == ||A_JI^T||_F), so truncation preserves
-/// symmetric sparsity patterns.
+/// symmetric sparsity patterns -- and in half storage, symmetry of the
+/// pattern is structural.
 ///
 /// Block size is a runtime parameter: bs == 4 is the production path, and
 /// bs == 1 degenerates to scalar CSR semantics (used for operands whose
@@ -38,6 +59,28 @@ namespace tbmd::onx {
 
 class BlockSparseMatrix;
 
+/// Cached symbolic SpMM result for multiply_sym_into(): the frozen output
+/// block pattern of C = A * B, keyed on fingerprints of both operand
+/// patterns.  A call whose operands still carry the recorded fingerprints
+/// skips the symbolic phase entirely and runs the numeric sweep on the
+/// frozen pattern; any operand-pattern change falls back to a symbolic
+/// rebuild (refreshing the entry), so reuse never changes results.
+struct BsrPattern {
+  std::uint64_t a_fingerprint = 0;
+  std::uint64_t b_fingerprint = 0;
+  std::vector<std::size_t> row_ptr;    ///< nb + 1 output block-row offsets
+  std::vector<std::uint32_t> cols;     ///< output block columns (sorted)
+  bool valid = false;
+};
+
+/// How much staging capacity BsrWorkspace::shrink() keeps (the workspace
+/// otherwise grows monotonically: staging rows sized for the largest system
+/// ever processed are never released).
+struct BsrShrinkPolicy {
+  std::size_t block_rows = 0;  ///< staging rows / accumulators kept
+  std::size_t block_size = 4;  ///< tile edge the kept accumulators assume
+};
+
 /// Reusable scratch for BlockSparseMatrix::multiply_into / combine_into:
 /// per-block-row staging buffers plus the per-thread Gustavson
 /// accumulators of the SpMM, all with capacity that survives across
@@ -52,20 +95,56 @@ struct BsrWorkspace {
   std::vector<std::vector<double>> acc;
   std::vector<std::vector<std::uint8_t>> hit;
   std::vector<std::vector<std::uint32_t>> touched;
+
+  /// Mirror-expanded adjacency of a half-stored operand (the full set of
+  /// block neighbors per block row, each entry pointing at the stored
+  /// upper-half tile plus a transpose flag).  Rebuilt per multiply_sym_into
+  /// call in O(stored tiles); two slots cover the C = A * B case.
+  struct SymAdjacency {
+    std::vector<std::size_t> ptr;      ///< nb + 1 row offsets
+    std::vector<std::uint32_t> col;    ///< neighbor block column (sorted)
+    std::vector<std::uint32_t> tile;   ///< stored-tile index in the operand
+    std::vector<std::uint8_t> trans;   ///< 1: tile is the transposed mirror
+    std::vector<std::size_t> fill;     ///< per-row build cursors (scratch)
+  };
+  SymAdjacency adj_a, adj_b;
+
+  /// Symbolic-vs-numeric SpMM accounting (cumulative): a steady-state MD
+  /// step must be all `numeric_reuses` -- the CI/tests assert warm steps
+  /// perform zero symbolic-phase work through these counters.
+  struct SpmmStats {
+    std::size_t symbolic_builds = 0;  ///< Gustavson pattern discoveries
+    std::size_t numeric_reuses = 0;   ///< frozen-pattern numeric-only runs
+  };
+  SpmmStats stats;
+
+  /// Release staging capacity beyond `policy` (rows above block_rows are
+  /// freed outright, surviving buffers are shrunk to fit).  Call when the
+  /// problem size drops -- e.g. OrderNCalculator after an atom-count
+  /// decrease -- to keep the workspace footprint bounded by the *current*
+  /// system instead of the historical maximum.
+  void shrink(const BsrShrinkPolicy& policy);
+
+  /// Heap bytes currently reserved by every buffer (capacity, not size);
+  /// the bounded-footprint regression tests assert on this.
+  [[nodiscard]] std::size_t footprint_bytes() const;
 };
 
 /// Square block-CSR sparse matrix (block columns sorted within each block
-/// row; tiles stored dense, row-major).
+/// row; tiles stored dense, row-major).  In symmetric-half mode only tiles
+/// (I, J) with J >= I are stored and the mirror A_JI = A_IJ^T is implicit.
 class BlockSparseMatrix {
  public:
   BlockSparseMatrix() = default;
 
   /// n x n zero matrix with bs x bs tiles; bs must divide n.
-  BlockSparseMatrix(std::size_t n, std::size_t block_size);
+  BlockSparseMatrix(std::size_t n, std::size_t block_size,
+                    bool symmetric_half = false);
 
-  /// Identity (diagonal tiles only).
+  /// Identity (diagonal tiles only; valid in both storage modes).
   [[nodiscard]] static BlockSparseMatrix identity(std::size_t n,
-                                                  std::size_t block_size);
+                                                  std::size_t block_size,
+                                                  bool symmetric_half = false);
 
   /// Convert from dense, dropping tiles with Frobenius norm <=
   /// drop_tolerance (diagonal tiles with any nonzero entry are kept).
@@ -75,35 +154,68 @@ class BlockSparseMatrix {
 
   [[nodiscard]] linalg::Matrix to_dense() const;
 
+  /// Half-stored view of a full-stored symmetric matrix (keeps the upper
+  /// block triangle; the caller asserts A == A^T -- the lower half is
+  /// simply discarded).
+  [[nodiscard]] BlockSparseMatrix to_symmetric_half() const;
+
+  /// Mirror-expand a half-stored matrix back to full storage.
+  [[nodiscard]] BlockSparseMatrix to_full() const;
+
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] std::size_t block_size() const { return bs_; }
   [[nodiscard]] std::size_t block_rows() const { return nb_; }
+  [[nodiscard]] bool symmetric() const { return sym_; }
+
+  /// Stored tiles (half storage counts the upper triangle only).
   [[nodiscard]] std::size_t block_count() const { return col_.size(); }
+
+  /// Logical tiles: stored tiles plus the implicit mirrors in half mode.
+  [[nodiscard]] std::size_t logical_block_count() const;
 
   /// Stored scalar entries (tiles are dense, so block_count * bs^2).
   [[nodiscard]] std::size_t nnz() const { return val_.size(); }
 
-  /// Fraction of stored entries relative to a dense matrix.
+  /// Fraction of *logical* entries relative to a dense matrix (half
+  /// storage counts each mirrored tile once per side, so the fraction is
+  /// comparable across storage modes).
   [[nodiscard]] double fill_fraction() const {
     return n_ == 0 ? 0.0
-                   : static_cast<double>(nnz()) /
+                   : static_cast<double>(logical_block_count() * bs_ * bs_) /
                          (static_cast<double>(n_) * static_cast<double>(n_));
   }
 
-  /// Tile (bi, bj) (binary search within the block row); nullptr if absent.
+  /// Fingerprint of the block pattern (FNV-1a over dimensions, storage
+  /// mode, row offsets and column indices) -- the key the BsrPattern cache
+  /// validates against.  Recomputed whenever the structure is rebuilt.
+  [[nodiscard]] std::uint64_t pattern_fingerprint() const {
+    return pattern_fingerprint_;
+  }
+
+  /// Tile (bi, bj) (binary search within the block row); nullptr if
+  /// absent.  Half storage holds bj >= bi only: mirrored positions return
+  /// nullptr -- fetch the stored (bj, bi) tile and transpose, as get()
+  /// does, or keep queries in the upper triangle (the bond table's half
+  /// pairs always have i < j, so the force contraction needs no mirror).
   [[nodiscard]] const double* find_block(std::size_t bi, std::size_t bj) const;
 
-  /// Scalar element lookup; 0 for absent entries.
+  /// Scalar element lookup (mirror-aware in half storage); 0 for absent
+  /// entries.
   [[nodiscard]] double get(std::size_t i, std::size_t j) const;
 
   /// Sum of diagonal entries.
   [[nodiscard]] double trace() const;
 
-  /// tr(A * B); both must have the same size and block size.
+  /// tr(A * B); both must have the same size, block size and storage mode.
+  /// The symmetric-half case runs a single upper-half pass with 2x weight
+  /// on off-diagonal tiles: tr(A_IJ B_JI) + tr(A_JI B_IJ) collapses to
+  /// twice the elementwise tile dot product when the mirrors are implicit
+  /// transposes, so the estimate costs half the full-pattern walk.
   [[nodiscard]] double trace_of_product(const BlockSparseMatrix& b) const;
 
   /// Linear combination alpha*this + beta*b (block-pattern union), dropping
   /// tiles with Frobenius norm <= drop_tolerance (diagonal tiles kept).
+  /// Operands must share the storage mode; the result inherits it.
   [[nodiscard]] BlockSparseMatrix combine(double alpha,
                                           const BlockSparseMatrix& b,
                                           double beta,
@@ -116,13 +228,28 @@ class BlockSparseMatrix {
 
   /// Block-sparse product this * b with tile-level Frobenius truncation.
   /// Gustavson row-merge over block rows, OpenMP-parallel; tile products
-  /// run on linalg::gemm_micro_add (unrolled 4x4 fast path).
+  /// run on linalg::gemm_micro_add (unrolled 4x4 fast path).  Half-stored
+  /// operands dispatch to multiply_sym_into (the product must then be
+  /// symmetric, i.e. the operands commute -- true for the purification
+  /// polynomials, which are all polynomials of the same H).
   [[nodiscard]] BlockSparseMatrix multiply(const BlockSparseMatrix& b,
                                            double drop_tolerance = 0.0) const;
 
   /// multiply() writing into `out`, reusing its storage and `ws`.
   void multiply_into(const BlockSparseMatrix& b, double drop_tolerance,
                      BlockSparseMatrix& out, BsrWorkspace& ws) const;
+
+  /// Symmetric-half product C = this * b (both operands and the result
+  /// half-stored; this and b must commute so that C is symmetric).  Only
+  /// the upper block triangle of C is computed -- half the flops of the
+  /// full-pattern SpMM -- with mirrored operand tiles read through the
+  /// transposed micro-kernel.  When `pattern` is non-null the symbolic
+  /// phase is skipped whenever the operands still match the recorded
+  /// fingerprints (ws.stats counts both outcomes); the numeric sweep is
+  /// identical either way, so warm results are bit-identical to cold ones.
+  void multiply_sym_into(const BlockSparseMatrix& b, double drop_tolerance,
+                         BlockSparseMatrix& out, BsrWorkspace& ws,
+                         BsrPattern* pattern = nullptr) const;
 
   /// Gershgorin enclosure of the spectrum (shared linalg interval type).
   [[nodiscard]] linalg::SpectralBounds gershgorin_bounds() const;
@@ -142,19 +269,25 @@ class BlockSparseMatrix {
  private:
   friend class SparseMatrix;
   friend void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
-                           BlockSparseMatrix& out);
+                           BlockSparseMatrix& out, bool symmetric_half);
+
+  /// Recompute pattern_fingerprint_ from the current structure; every
+  /// builder calls this exactly once after the pattern is final.
+  void refingerprint();
 
   std::size_t n_ = 0;   ///< scalar dimension
   std::size_t bs_ = 1;  ///< tile edge
   std::size_t nb_ = 0;  ///< block rows (n / bs)
+  bool sym_ = false;    ///< symmetric-half storage (tiles J >= I only)
   std::vector<std::size_t> row_ptr_;   ///< nb + 1 block-row offsets
   std::vector<std::uint32_t> col_;     ///< block-column index per tile
   std::vector<double> val_;            ///< bs^2 doubles per tile
+  std::uint64_t pattern_fingerprint_ = 0;
 };
 
 /// Direct mutable access for assembly code (onx Hamiltonian builder): set
 /// the structure in one shot from per-row staging buffers in `ws`.
 void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
-                  BlockSparseMatrix& out);
+                  BlockSparseMatrix& out, bool symmetric_half = false);
 
 }  // namespace tbmd::onx

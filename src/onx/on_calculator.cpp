@@ -71,10 +71,11 @@ void build_block_hamiltonian(const tb::TbModel& model, const System& system,
   if (ws.row_cols.size() < n) ws.row_cols.resize(n);
   if (ws.row_vals.size() < n) ws.row_vals.resize(n);
 
-  // One 4x4 tile per atom pair within hopping range plus the diagonal
-  // onsite tile; the adjacency is sorted by neighbor, so each block row
-  // comes out ordered in one pass.  `transposed` entries read the shared
-  // half-bond block column-major (B^T).
+  // Symmetric-half assembly: the diagonal onsite tile plus one 4x4 tile
+  // per atom pair within hopping range with neighbor > i.  Half pairs are
+  // stored with i < j, so every kept adjacency entry reads its hopping
+  // block untransposed, and the onsite tile (column i) leads each sorted
+  // block row.
 #pragma omp parallel for schedule(dynamic, 16)
   for (std::size_t i = 0; i < n; ++i) {
     const double onsite[4] = {model.e_s, model.e_p, model.e_p, model.e_p};
@@ -82,18 +83,12 @@ void build_block_hamiltonian(const tb::TbModel& model, const System& system,
     auto& vals = ws.row_vals[i];
     cols.clear();
     vals.clear();
-    bool onsite_done = false;
-    auto emit_onsite = [&] {
-      cols.push_back(static_cast<std::uint32_t>(i));
-      const std::size_t at = vals.size();
-      vals.resize(at + 16, 0.0);
-      for (std::size_t a = 0; a < 4; ++a) vals[at + 5 * a] = onsite[a];
-      onsite_done = true;
-    };
+    cols.push_back(static_cast<std::uint32_t>(i));
+    vals.resize(16, 0.0);
+    for (std::size_t a = 0; a < 4; ++a) vals[5 * a] = onsite[a];
     for (const tb::BondTable::AtomBond* ab = table.atom_begin(i);
          ab != table.atom_end(i); ++ab) {
-      if (table.hopping_zero(ab->bond)) continue;
-      if (!onsite_done && ab->neighbor > i) emit_onsite();
+      if (ab->neighbor < i || table.hopping_zero(ab->bond)) continue;
       const double* b = table.block(ab->bond);
       cols.push_back(ab->neighbor);
       const std::size_t at = vals.size();
@@ -107,9 +102,8 @@ void build_block_hamiltonian(const tb::TbModel& model, const System& system,
         std::copy(b, b + 16, tile);
       }
     }
-    if (!onsite_done) emit_onsite();
   }
-  bsr_assemble(4 * n, 4, ws, out);
+  bsr_assemble(4 * n, 4, ws, out, /*symmetric_half=*/true);
 }
 
 BlockSparseMatrix build_block_hamiltonian(const tb::TbModel& model,
@@ -195,7 +189,10 @@ std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
                "band_forces_sparse: density matrix is not 4x4-blocked");
   return band_forces_contract(
       table, virial, [&table, &p](std::size_t q, double* rho) {
-        // One tile fetch covers all 16 orbital pairs of the bond.
+        // One tile fetch covers all 16 orbital pairs of the bond.  Half
+        // pairs satisfy i < j, so the fetch is always an upper-triangle
+        // tile: the contraction reads the symmetric-half density matrix
+        // directly and never needs a full-pattern (mirror-expanded) copy.
         const double* tile = p.find_block(table.i(q), table.j(q));
         if (tile == nullptr) return false;
         for (std::size_t ab = 0; ab < 16; ++ab) {
@@ -240,6 +237,16 @@ ForceResult OrderNCalculator::compute(const System& system) {
     table_.build(model_, system, list_,
                  tb::BondTable::Mode::kBlocksAndDerivatives);
   }
+
+  // An atom-count shrink would otherwise leave the workspace staging rows
+  // sized for the historical maximum forever; the pattern cache is keyed
+  // on the topology stamp, which an atom-count change always bumps.
+  if (n < last_atoms_) {
+    workspace_.scratch.shrink({n, 4});
+  }
+  last_atoms_ = n;
+  workspace_.patterns.set_topology(table_.topology_version());
+  if (!options_.reuse_patterns) workspace_.patterns.invalidate();
 
   {
     auto t = timers_.scope("hamiltonian");

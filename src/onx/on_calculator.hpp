@@ -18,6 +18,12 @@ namespace tbmd::onx {
 struct OrderNOptions {
   double skin = 0.5;                  ///< Verlet skin (A)
   PurificationOptions purification;   ///< truncation / convergence controls
+  /// Reuse the symbolic SpMM patterns of previous steps while the bond
+  /// topology is unchanged (the steady-state fast path).  false forces a
+  /// cold symbolic rebuild every step -- results are bit-identical either
+  /// way (the cold and warm paths run the same numeric sweep); the switch
+  /// exists for ablation and the bit-identity regression tests.
+  bool reuse_patterns = true;
 };
 
 /// Assemble the tight-binding Hamiltonian directly in CSR form from a
@@ -32,10 +38,12 @@ struct OrderNOptions {
                                                     const System& system,
                                                     const NeighborList& list);
 
-/// Assemble the Hamiltonian directly in block-CSR form (4x4 tiles, one per
-/// atom pair) from a prebuilt bond table -- the bond table's hopping blocks
-/// ARE the BSR tiles, so assembly is a scatter with no per-element index
-/// bookkeeping.  `out` and `ws` are reused across calls.
+/// Assemble the Hamiltonian directly in symmetric-half block-CSR form (4x4
+/// tiles, one per atom pair with j >= i) from a prebuilt bond table -- the
+/// bond table's hopping blocks ARE the BSR tiles, so assembly is a scatter
+/// with no per-element index bookkeeping, and because half pairs are
+/// stored with i < j, no tile is ever transposed on the way in.  `out` and
+/// `ws` are reused across calls.  (Use .to_full() for a full-stored view.)
 void build_block_hamiltonian(const tb::TbModel& model, const System& system,
                              const tb::BondTable& table,
                              BlockSparseMatrix& out, BsrWorkspace& ws);
@@ -86,6 +94,26 @@ class OrderNCalculator final : public Calculator {
     return last_;
   }
 
+  /// Symbolic-vs-numeric SpMM accounting (cumulative across steps): the
+  /// pattern-reuse tests assert that a steady-state step adds only
+  /// numeric_reuses.
+  [[nodiscard]] const BsrWorkspace::SpmmStats& spmm_stats() const {
+    return workspace_.scratch.stats;
+  }
+
+  /// Topology stamp of the current bond table (what the pattern cache is
+  /// keyed on).
+  [[nodiscard]] std::uint64_t topology_version() const {
+    return table_.topology_version();
+  }
+
+  /// Heap bytes reserved by the shared BSR scratch workspace (the
+  /// bounded-footprint regression tests assert on this after an
+  /// atom-count shrink).
+  [[nodiscard]] std::size_t workspace_footprint_bytes() const {
+    return workspace_.scratch.footprint_bytes();
+  }
+
   [[nodiscard]] const tb::TbModel& model() const { return model_; }
 
  private:
@@ -100,6 +128,10 @@ class OrderNCalculator final : public Calculator {
   BlockSparseMatrix hamiltonian_;
   PurificationWorkspace workspace_;
   PurificationResult last_;
+  /// Atom count of the previous compute(): a shrink triggers
+  /// BsrWorkspace::shrink so the workspace footprint tracks the current
+  /// system instead of the historical maximum.
+  std::size_t last_atoms_ = 0;
 };
 
 }  // namespace tbmd::onx

@@ -25,7 +25,7 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
                "purification: occupied count out of range");
   PurificationResult out;
   if (n == 0 || n_occupied == 0) {
-    out.density = BlockSparseMatrix(n, h.block_size());
+    out.density = BlockSparseMatrix(n, h.block_size(), true);
     out.converged = true;
     return out;
   }
@@ -33,10 +33,20 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
   PurificationWorkspace local;
   PurificationWorkspace& ws = workspace != nullptr ? *workspace : local;
 
+  // The loop runs entirely in symmetric-half storage; a full-stored
+  // operand (convenience callers) is halved on entry.
+  BlockSparseMatrix h_half_storage;
+  const BlockSparseMatrix* hp = &h;
+  if (!h.symmetric()) {
+    h_half_storage = h.to_symmetric_half();
+    hp = &h_half_storage;
+  }
+  const BlockSparseMatrix& hh = *hp;
+
   const double theta =
       static_cast<double>(n_occupied) / static_cast<double>(n);
-  const linalg::SpectralBounds bounds = h.gershgorin_bounds();
-  const double mu = h.trace() / static_cast<double>(n);
+  const linalg::SpectralBounds bounds = hh.gershgorin_bounds();
+  const double mu = hh.trace() / static_cast<double>(n);
 
   // Initial guess P0 = lambda (mu I - H) + theta I with spectrum in [0,1]
   // and trace exactly n_occupied; the spectral extent comes from the shared
@@ -45,12 +55,13 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
   const double denom_lo = std::max(mu - bounds.lo, 1e-12);
   const double lambda = std::min(theta / denom_hi, (1.0 - theta) / denom_lo);
 
-  if (ws.eye.size() != n || ws.eye.block_size() != h.block_size()) {
-    ws.eye = BlockSparseMatrix::identity(n, h.block_size());
+  if (ws.eye.size() != n || ws.eye.block_size() != hh.block_size() ||
+      !ws.eye.symmetric()) {
+    ws.eye = BlockSparseMatrix::identity(n, hh.block_size(), true);
   }
   // P = -lambda H + (lambda mu + theta) I
-  h.combine_into(-lambda, ws.eye, lambda * mu + theta, options.drop_tolerance,
-                 ws.p, ws.scratch);
+  hh.combine_into(-lambda, ws.eye, lambda * mu + theta,
+                  options.drop_tolerance, ws.p, ws.scratch);
 
   // Truncation sets a noise floor below which idempotency cannot improve:
   // converge when tr(P - P^2)/N reaches whichever is larger, the requested
@@ -59,10 +70,12 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
       std::max(options.idempotency_tolerance, options.drop_tolerance);
   double prev_idem = 1e300;
 
+  ws.patterns.begin_run();
   for (int it = 1; it <= options.max_iterations; ++it) {
     const double drop = options.drop_at(it);
-    ws.p.multiply_into(ws.p, drop, ws.p2, ws.scratch);
-    ws.p2.multiply_into(ws.p, drop, ws.p3, ws.scratch);
+    ws.p.multiply_sym_into(ws.p, drop, ws.p2, ws.scratch, ws.patterns.next());
+    ws.p2.multiply_sym_into(ws.p, drop, ws.p3, ws.scratch,
+                            ws.patterns.next());
 
     const double tr_p = ws.p.trace();
     const double tr_p2 = ws.p2.trace();
@@ -104,17 +117,20 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
     }
   }
 
-  out.band_energy = 2.0 * ws.p.trace_of_product(h);
+  // Band energy through the symmetric-half trace_of_product specialization
+  // (single upper-half pass, 2x off-diagonal weight).
+  out.band_energy = 2.0 * ws.p.trace_of_product(hh);
   out.fill_fraction = ws.p.fill_fraction();
   out.density = std::move(ws.p);
-  ws.p = BlockSparseMatrix(n, h.block_size());
+  ws.p = BlockSparseMatrix(n, hh.block_size(), true);
   return out;
 }
 
 PurificationResult palser_manolopoulos(const SparseMatrix& h, int n_occupied,
                                        const PurificationOptions& options) {
-  return palser_manolopoulos(h.to_block(natural_block_size(h.size())),
-                             n_occupied, options);
+  return palser_manolopoulos(
+      h.to_block(natural_block_size(h.size())).to_symmetric_half(),
+      n_occupied, options);
 }
 
 }  // namespace tbmd::onx

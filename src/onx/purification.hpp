@@ -12,8 +12,17 @@
 /// evaluation section quantifies.
 ///
 /// The iteration runs on the blocked-sparse substrate (BlockSparseMatrix,
-/// 4x4 tiles for the s/p-orbital Hamiltonians); scalar CSR operands are
-/// converted on entry and stay the assembly/interchange format.
+/// 4x4 tiles for the s/p-orbital Hamiltonians) in symmetric-half storage:
+/// H, P and every polynomial of P are symmetric, so only upper-half tiles
+/// are stored and multiplied (multiply_sym_into — half the memory and
+/// flops of the full-pattern engine).  Each multiply's symbolic phase is
+/// cached in the workspace PatternCache keyed on operand-pattern
+/// fingerprints: along an MD trajectory the bond topology is unchanged on
+/// almost every step, so steady-state steps re-run only the numeric phase
+/// on frozen patterns (bit-identical to a cold run).  Scalar CSR operands
+/// are converted on entry and stay the assembly/interchange format.
+
+#include <cstdint>
 
 #include "src/onx/block_sparse.hpp"
 #include "src/onx/sparse.hpp"
@@ -46,14 +55,49 @@ struct PurificationOptions {
 
 /// Result of a purification run.
 struct PurificationResult {
-  /// Spinless P on the blocked substrate: eigenvalues in [0,1], tr = n_occ.
-  /// Use SparseMatrix::from_block(density) for a scalar-CSR view.
+  /// Spinless P on the blocked substrate, symmetric-half stored
+  /// (eigenvalues in [0,1], tr = n_occ).  Use
+  /// SparseMatrix::from_block(density.to_full()) for a scalar-CSR view.
   BlockSparseMatrix density;
   double band_energy = 0.0;      ///< 2 tr(P H)  (spin degeneracy)
   int iterations = 0;
   bool converged = false;
   double idempotency_error = 0.0;  ///< final tr(P - P^2)
-  double fill_fraction = 0.0;      ///< nnz(P) / N^2
+  double fill_fraction = 0.0;      ///< logical nnz(P) / N^2
+};
+
+/// Cross-step cache of the SpMM symbolic phases of a purification run,
+/// indexed by multiply order within the run (first P*P, first P^2*P, ...):
+/// successive runs on an unchanged bond topology walk the same pattern
+/// sequence, so every multiply validates against its recorded operand
+/// fingerprints and reuses the frozen output pattern.  The owner (e.g.
+/// OrderNCalculator) stamps the cache with the BondTable topology version;
+/// a topology change — neighbor-list rebuild, a bond crossing the hopping
+/// cutoff, an atom-count change — drops every entry.  Entries that fail
+/// fingerprint validation are rebuilt in place, so reuse is always safe;
+/// the stamp only bounds cache growth and makes invalidation eager.
+struct PatternCache {
+  std::vector<BsrPattern> entries;
+  std::size_t cursor = 0;       ///< next entry of the current run
+  std::uint64_t topology = 0;   ///< BondTable stamp the entries belong to
+  bool stamped = false;
+
+  /// Adopt a topology stamp, dropping all entries when it changed.
+  void set_topology(std::uint64_t version) {
+    if (!stamped || version != topology) invalidate();
+    topology = version;
+    stamped = true;
+  }
+  void invalidate() {
+    entries.clear();
+    cursor = 0;
+  }
+  void begin_run() { cursor = 0; }
+  /// Entry for the next multiply of the run (appended on first use).
+  [[nodiscard]] BsrPattern* next() {
+    if (cursor == entries.size()) entries.emplace_back();
+    return &entries[cursor++];
+  }
 };
 
 /// Persistent buffers for the purification loop.  A calculator that owns
@@ -66,22 +110,26 @@ struct PurificationWorkspace {
   /// problem size or block size changes.
   BlockSparseMatrix eye;
   BsrWorkspace scratch;
+  /// Frozen symbolic SpMM patterns reused across runs (see PatternCache).
+  PatternCache patterns;
 };
 
 /// Canonical Palser-Manolopoulos purification of the (symmetric) blocked
-/// Hamiltonian `h` with `n_occupied` doubly-occupied states.
+/// Hamiltonian `h` with `n_occupied` doubly-occupied states.  Half-stored
+/// operands run directly; full-stored ones are converted on entry.
 ///
 /// Converges for systems with a HOMO-LUMO gap; metallic spectra stall (the
 /// result reports converged = false).  `workspace` is optional; passing a
-/// persistent one eliminates per-call allocation.
+/// persistent one eliminates per-call allocation and enables cross-run
+/// pattern reuse.
 [[nodiscard]] PurificationResult palser_manolopoulos(
     const BlockSparseMatrix& h, int n_occupied,
     const PurificationOptions& options = {},
     PurificationWorkspace* workspace = nullptr);
 
-/// Scalar-CSR convenience overload: converts to the blocked substrate
-/// (4x4 tiles when the dimension allows, scalar tiles otherwise) and runs
-/// the blocked loop.
+/// Scalar-CSR convenience overload: converts to the blocked symmetric-half
+/// substrate (4x4 tiles when the dimension allows, scalar tiles otherwise)
+/// and runs the blocked loop.
 [[nodiscard]] PurificationResult palser_manolopoulos(
     const SparseMatrix& h, int n_occupied,
     const PurificationOptions& options = {});

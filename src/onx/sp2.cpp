@@ -16,7 +16,7 @@ PurificationResult sp2_purification(const BlockSparseMatrix& h,
                "sp2: occupied count out of range");
   PurificationResult out;
   if (n == 0 || n_occupied == 0) {
-    out.density = BlockSparseMatrix(n, h.block_size());
+    out.density = BlockSparseMatrix(n, h.block_size(), true);
     out.converged = true;
     return out;
   }
@@ -26,25 +26,36 @@ PurificationResult sp2_purification(const BlockSparseMatrix& h,
   BlockSparseMatrix& x = ws.p;
   BlockSparseMatrix& x2 = ws.p2;
 
+  // Like PM, the iteration runs entirely in symmetric-half storage.
+  BlockSparseMatrix h_half_storage;
+  const BlockSparseMatrix* hp = &h;
+  if (!h.symmetric()) {
+    h_half_storage = h.to_symmetric_half();
+    hp = &h_half_storage;
+  }
+  const BlockSparseMatrix& hh = *hp;
+
   // X0 = (emax I - H) / (emax - emin): spectrum in [0, 1], with occupied
   // states mapped towards 1.  The bounds come from the shared Gershgorin
   // estimate (linalg::SpectralBounds) the dense eigensolvers also use.
-  const linalg::SpectralBounds bounds = h.gershgorin_bounds();
+  const linalg::SpectralBounds bounds = hh.gershgorin_bounds();
   const double width = std::max(bounds.width(), 1e-12);
-  if (ws.eye.size() != n || ws.eye.block_size() != h.block_size()) {
-    ws.eye = BlockSparseMatrix::identity(n, h.block_size());
+  if (ws.eye.size() != n || ws.eye.block_size() != hh.block_size() ||
+      !ws.eye.symmetric()) {
+    ws.eye = BlockSparseMatrix::identity(n, hh.block_size(), true);
   }
-  h.combine_into(-1.0 / width, ws.eye, bounds.hi / width,
-                 options.drop_tolerance, x, ws.scratch);
+  hh.combine_into(-1.0 / width, ws.eye, bounds.hi / width,
+                  options.drop_tolerance, x, ws.scratch);
 
   const double target = static_cast<double>(n_occupied);
   const double effective_tol =
       std::max(options.idempotency_tolerance, options.drop_tolerance);
   double prev_idem = 1e300;
 
+  ws.patterns.begin_run();
   for (int it = 1; it <= options.max_iterations; ++it) {
     const double drop = options.drop_at(it);
-    x.multiply_into(x, drop, x2, ws.scratch);
+    x.multiply_sym_into(x, drop, x2, ws.scratch, ws.patterns.next());
     const double tr_x = x.trace();
     const double tr_x2 = x2.trace();
     const double idem = tr_x - tr_x2;
@@ -53,8 +64,10 @@ PurificationResult sp2_purification(const BlockSparseMatrix& h,
     out.idempotency_error = idem;
     if (std::fabs(idem) / static_cast<double>(n) < effective_tol) {
       out.converged = true;
-      // Final McWeeny polish 3X^2 - 2X^3 at the tight tolerance.
-      x2.multiply_into(x, options.drop_tolerance, ws.p3, ws.scratch);
+      // Final McWeeny polish 3X^2 - 2X^3 at the tight tolerance (X and X^2
+      // are polynomials of the same H, so their product is symmetric).
+      x2.multiply_sym_into(x, options.drop_tolerance, ws.p3, ws.scratch,
+                           ws.patterns.next());
       x2.combine_into(3.0, ws.p3, -2.0, options.drop_tolerance, ws.tmp,
                       ws.scratch);
       std::swap(x, ws.tmp);
@@ -78,17 +91,18 @@ PurificationResult sp2_purification(const BlockSparseMatrix& h,
     }
   }
 
-  out.band_energy = 2.0 * x.trace_of_product(h);
+  out.band_energy = 2.0 * x.trace_of_product(hh);
   out.fill_fraction = x.fill_fraction();
   out.density = std::move(x);
-  x = BlockSparseMatrix(n, h.block_size());
+  x = BlockSparseMatrix(n, hh.block_size(), true);
   return out;
 }
 
 PurificationResult sp2_purification(const SparseMatrix& h, int n_occupied,
                                     const PurificationOptions& options) {
-  return sp2_purification(h.to_block(natural_block_size(h.size())),
-                          n_occupied, options);
+  return sp2_purification(
+      h.to_block(natural_block_size(h.size())).to_symmetric_half(),
+      n_occupied, options);
 }
 
 }  // namespace tbmd::onx

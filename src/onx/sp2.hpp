@@ -10,7 +10,8 @@
 /// count.  Each iteration needs ONE sparse multiply (PM needs two), at the
 /// cost of slightly slower convergence -- an ablation axis the benchmark
 /// suite measures.  Like PM, the iteration runs on the blocked-sparse
-/// (BSR) substrate with tile-level truncation.
+/// (BSR) substrate in symmetric-half storage with tile-level truncation
+/// and cached SpMM patterns (see purification.hpp).
 
 #include "src/onx/purification.hpp"
 

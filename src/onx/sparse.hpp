@@ -84,12 +84,15 @@ class SparseMatrix {
   [[nodiscard]] linalg::SpectralBounds gershgorin_bounds() const;
 
   /// Repack as block-CSR with bs x bs dense tiles (bs must divide n); the
-  /// format the purification engine iterates on.  Every stored entry lands
-  /// in its tile; absent positions inside a stored tile are zero-filled.
+  /// format the purification engine iterates on (chain .to_symmetric_half()
+  /// for the engine's half-stored production mode).  Every stored entry
+  /// lands in its tile; absent positions inside a stored tile are
+  /// zero-filled.
   [[nodiscard]] BlockSparseMatrix to_block(std::size_t block_size) const;
 
-  /// Expand a block-CSR matrix back to scalar CSR, skipping the exact
-  /// zeros that pad partially-filled tiles.
+  /// Expand a full-stored block-CSR matrix back to scalar CSR, skipping
+  /// the exact zeros that pad partially-filled tiles.  Half-stored
+  /// matrices must be mirror-expanded first: from_block(b.to_full()).
   [[nodiscard]] static SparseMatrix from_block(const BlockSparseMatrix& b);
 
   // Raw CSR access (read-only) for kernels that stream the structure.

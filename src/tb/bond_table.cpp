@@ -15,6 +15,12 @@ void BondTable::build(const TbModel& model, const System& system,
   check_species(model, system);
   const auto& pairs = list.half_pairs();
   const auto& pos = system.positions();
+  // Topology-change detection: a different pair count or atom count is a
+  // change outright; otherwise the batched pass below compares every
+  // bond's endpoints and hopping_zero flag against the previous build
+  // (reading the old SoA values just before overwriting them).
+  const bool same_shape =
+      nbonds_ == pairs.size() && natoms_ == system.size();
   nbonds_ = pairs.size();
   natoms_ = system.size();
   TBMD_REQUIRE(list.size() == natoms_,
@@ -36,11 +42,18 @@ void BondTable::build(const TbModel& model, const System& system,
   // The batched pass: geometry, hopping block (+ derivative) and repulsive
   // radial per bond, each written straight into the SoA arrays.  Pairs are
   // independent, so a static schedule keeps every thread streaming.
-#pragma omp parallel for schedule(static)
+  int topo_changed = same_shape ? 0 : 1;
+#pragma omp parallel for schedule(static) reduction(| : topo_changed)
   for (std::size_t p = 0; p < nbonds_; ++p) {
     const NeighborPair& pr = pairs[p];
     const Vec3 b = pos[pr.j] + pr.shift - pos[pr.i];
     const double r = norm(b);
+    const std::uint8_t hz = r >= model.hopping.r_cut ? 1 : 0;
+    if (same_shape && (i_[p] != static_cast<std::uint32_t>(pr.i) ||
+                       j_[p] != static_cast<std::uint32_t>(pr.j) ||
+                       hop_zero_[p] != hz)) {
+      topo_changed = 1;
+    }
     i_[p] = static_cast<std::uint32_t>(pr.i);
     j_[p] = static_cast<std::uint32_t>(pr.j);
     bond_[p] = b;
@@ -49,13 +62,14 @@ void BondTable::build(const TbModel& model, const System& system,
       sk_block_into(model, b, r, h_.data() + 16 * p,
                     derivs ? dh_.data() + 48 * p : nullptr);
     }
-    hop_zero_[p] = r >= model.hopping.r_cut ? 1 : 0;
+    hop_zero_[p] = hz;
     if (rep) {
       const RadialValue rv = evaluate_scaling(model.repulsive, r);
       rep_val_[p] = model.phi0 * rv.value;
       rep_der_[p] = model.phi0 * rv.derivative;
     }
   }
+  if (topo_changed != 0 || topology_version_ == 0) ++topology_version_;
 
   // Per-atom CSR adjacency (counting sort over both bond endpoints), each
   // atom's segment sorted by neighbor index so CSR-building consumers can

@@ -66,6 +66,19 @@ class BondTable {
   void build(const TbModel& model, const System& system,
              const NeighborList& list, Mode mode = Mode::kBlocksAndDerivatives);
 
+  /// Monotonic stamp of the bond *topology*: bumped by build() whenever
+  /// the pair list (endpoints), the atom count or any hopping_zero flag
+  /// changed relative to the previous build -- i.e. whenever the sparsity
+  /// pattern of the assembled Hamiltonian may differ.  Steady MD steps
+  /// (values change, topology does not) keep the stamp, which is what lets
+  /// the O(N) engine's SpMM pattern cache survive across steps; a bond
+  /// crossing the hopping cutoff inside the Verlet skin bumps it even
+  /// though the neighbor list itself was not rebuilt.  0 only before the
+  /// first build.
+  [[nodiscard]] std::uint64_t topology_version() const {
+    return topology_version_;
+  }
+
   /// Number of half bonds (== list.half_pairs().size() at build time).
   [[nodiscard]] std::size_t size() const { return nbonds_; }
 
@@ -123,6 +136,7 @@ class BondTable {
  private:
   std::size_t nbonds_ = 0;
   std::size_t natoms_ = 0;
+  std::uint64_t topology_version_ = 0;
   std::vector<std::uint32_t> i_, j_;
   std::vector<Vec3> bond_;
   std::vector<double> r_;

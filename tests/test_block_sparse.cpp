@@ -1,12 +1,14 @@
 // Tests for the blocked-sparse (BSR) substrate of the O(N) engine:
 // CSR <-> BSR round trips, blocked SpMM against the dense GEMM reference,
-// tile-threshold truncation symmetry, and SP2 purification running
-// directly on BSR operands.
+// tile-threshold truncation symmetry, the symmetric-half storage mode
+// (round trips, half SpMM, frozen-pattern reuse, workspace shrink), and
+// SP2 purification running directly on BSR operands.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "src/linalg/blas.hpp"
 #include "src/linalg/eigen_sym.hpp"
@@ -240,6 +242,215 @@ TEST(BlockSparse, MultiplyIntoReusesWorkspace) {
                Error);
 }
 
+// --- symmetric-half storage ----------------------------------------------
+
+TEST(BlockSparseSym, HalfRoundTripsOnRandomPatterns) {
+  // full -> half -> full -> dense must be an identity for any symmetric
+  // operand at every admissible block size, with mirror-aware element
+  // access and mode-independent fill accounting.
+  for (const std::uint64_t seed : {4u, 5u, 6u}) {
+    for (const std::size_t bs : {1u, 2u, 4u}) {
+      const linalg::Matrix a = random_block_symmetric(24, bs, seed, 0.5);
+      const BlockSparseMatrix full = BlockSparseMatrix::from_dense(a, bs);
+      const BlockSparseMatrix half = full.to_symmetric_half();
+      EXPECT_TRUE(half.symmetric());
+      EXPECT_LE(half.block_count(), full.block_count());
+      EXPECT_EQ(half.logical_block_count(), full.block_count());
+      EXPECT_DOUBLE_EQ(half.fill_fraction(), full.fill_fraction());
+      EXPECT_LT(linalg::max_abs(half.to_dense() - a), 1e-15)
+          << "bs " << bs << " seed " << seed;
+      const BlockSparseMatrix back = half.to_full();
+      EXPECT_FALSE(back.symmetric());
+      EXPECT_EQ(back.block_count(), full.block_count());
+      EXPECT_LT(linalg::max_abs(back.to_dense() - a), 1e-15);
+      // Mirror-aware scalar lookup covers the implicit lower triangle.
+      for (std::size_t i = 0; i < 24; i += 5) {
+        for (std::size_t j = 0; j < 24; j += 3) {
+          EXPECT_DOUBLE_EQ(half.get(i, j), a(i, j)) << i << "," << j;
+        }
+      }
+      EXPECT_DOUBLE_EQ(half.trace(), full.trace());
+    }
+  }
+}
+
+TEST(BlockSparseSym, TransposedMicroKernelMatchesGenericReference) {
+  // All four transpose combinations of gemm_micro_add_t against a plain
+  // triple-loop reference, at the unrolled bs == 4 and a generic size.
+  Rng rng(77);
+  for (const std::size_t bs : {3u, 4u}) {
+    std::vector<double> a(bs * bs), b(bs * bs);
+    for (auto& v : a) v = rng.uniform(-1, 1);
+    for (auto& v : b) v = rng.uniform(-1, 1);
+    for (const bool ta : {false, true}) {
+      for (const bool tb : {false, true}) {
+        std::vector<double> c(bs * bs, 0.5), ref(bs * bs, 0.5);
+        linalg::gemm_micro_add_t(bs, ta, tb, a.data(), b.data(), c.data());
+        for (std::size_t i = 0; i < bs; ++i) {
+          for (std::size_t j = 0; j < bs; ++j) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < bs; ++k) {
+              const double av = ta ? a[bs * k + i] : a[bs * i + k];
+              const double bv = tb ? b[bs * j + k] : b[bs * k + j];
+              s += av * bv;
+            }
+            ref[bs * i + j] += s;
+          }
+        }
+        for (std::size_t q = 0; q < bs * bs; ++q) {
+          // Not bit-exact: -march=native FP contraction fuses the kernel
+          // and the reference loop differently.  Bit-reproducibility is
+          // only promised (and tested) within one kernel across the
+          // cold/warm SpMM paths.
+          EXPECT_NEAR(c[q], ref[q], 1e-12)
+              << "bs " << bs << " ta " << ta << " tb " << tb << " q " << q;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockSparseSym, MultiplySymMatchesDenseGemm) {
+  // C = A * A and C = A^2 * A (commuting symmetric operands) in half
+  // storage against the dense reference, across block sizes and scalar-
+  // granular patterns.
+  for (const std::size_t n : {8u, 16u, 48u, 92u}) {
+    for (const std::size_t bs : {1u, 2u, 4u}) {
+      if (n % bs != 0) continue;
+      const linalg::Matrix a = random_symmetric(n, 300 + n + bs);
+      const linalg::Matrix a2 = linalg::matmul(a, a);
+      const BlockSparseMatrix ha =
+          BlockSparseMatrix::from_dense(a, bs).to_symmetric_half();
+      const BlockSparseMatrix ha2 =
+          BlockSparseMatrix::from_dense(a2, bs).to_symmetric_half();
+      BlockSparseMatrix out;
+      BsrWorkspace ws;
+      ha.multiply_sym_into(ha, 0.0, out, ws);
+      EXPECT_TRUE(out.symmetric());
+      EXPECT_LT(linalg::max_abs(out.to_dense() - a2), 1e-12)
+          << "n " << n << " bs " << bs;
+      ha2.multiply_sym_into(ha, 0.0, out, ws);
+      EXPECT_LT(linalg::max_abs(out.to_dense() - linalg::matmul(a2, a)),
+                1e-11)
+          << "n " << n << " bs " << bs;
+      // multiply() dispatches half-stored operands to the same kernel.
+      const BlockSparseMatrix prod = ha.multiply(ha);
+      EXPECT_TRUE(prod.symmetric());
+      EXPECT_LT(linalg::max_abs(prod.to_dense() - a2), 1e-12);
+    }
+  }
+}
+
+TEST(BlockSparseSym, AlgebraMatchesDenseInHalfStorage) {
+  const linalg::Matrix a = random_symmetric(32, 41);
+  const linalg::Matrix b = random_symmetric(32, 42);
+  const BlockSparseMatrix ha =
+      BlockSparseMatrix::from_dense(a, 4).to_symmetric_half();
+  const BlockSparseMatrix hb =
+      BlockSparseMatrix::from_dense(b, 4).to_symmetric_half();
+  // combine stays in half storage.
+  const BlockSparseMatrix hc = ha.combine(2.0, hb, -0.5);
+  EXPECT_TRUE(hc.symmetric());
+  EXPECT_LT(linalg::max_abs(hc.to_dense() - (a * 2.0 + b * (-0.5))), 1e-13);
+  // Specialized single-upper-pass trace of product (2x off-diagonal).
+  EXPECT_NEAR(ha.trace_of_product(hb), linalg::trace_of_product(a, b), 1e-11);
+  const BlockSparseMatrix fa = BlockSparseMatrix::from_dense(a, 4);
+  const BlockSparseMatrix fb = BlockSparseMatrix::from_dense(b, 4);
+  EXPECT_DOUBLE_EQ(ha.trace_of_product(hb), fa.trace_of_product(fb));
+  // Gershgorin interval equals the full-storage one.
+  const auto [hlo, hhi] = ha.gershgorin_bounds();
+  const auto [flo, fhi] = fa.gershgorin_bounds();
+  EXPECT_DOUBLE_EQ(hlo, flo);
+  EXPECT_DOUBLE_EQ(hhi, fhi);
+  // Mixed-mode algebra is rejected rather than silently wrong.
+  EXPECT_THROW((void)ha.combine(1.0, fb, 1.0), Error);
+  EXPECT_THROW((void)ha.trace_of_product(fb), Error);
+  EXPECT_THROW((void)ha.multiply(fb), Error);
+  EXPECT_THROW((void)SparseMatrix::from_block(ha), Error);
+}
+
+TEST(BlockSparseSym, TruncationDropsMirrorPairsStructurally) {
+  // In half storage a dropped upper tile removes the mirror by
+  // construction: the truncated product is exactly symmetric.
+  const linalg::Matrix s = random_block_symmetric(24, 4, 51, 0.4);
+  const BlockSparseMatrix hs =
+      BlockSparseMatrix::from_dense(s, 4).to_symmetric_half();
+  for (const double drop : {1e-3, 3e-2}) {
+    const BlockSparseMatrix prod = hs.multiply(hs, drop);
+    const linalg::Matrix d = prod.to_dense();
+    for (std::size_t i = 0; i < d.rows(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        EXPECT_EQ(d(i, j), d(j, i)) << "drop " << drop;
+      }
+    }
+    // Diagonal tiles survive: the trace is the untruncated one.
+    EXPECT_NEAR(prod.trace(), hs.multiply(hs, 0.0).trace(), 1e-10);
+  }
+}
+
+TEST(BlockSparseSym, PatternCacheSkipsSymbolicPhaseAndStaysBitIdentical) {
+  const linalg::Matrix a = random_symmetric(48, 61);
+  const BlockSparseMatrix ha =
+      BlockSparseMatrix::from_dense(a, 4).to_symmetric_half();
+  BsrWorkspace ws;
+  BsrPattern pat;
+  BlockSparseMatrix cold, warm;
+  ha.multiply_sym_into(ha, 1e-8, cold, ws, &pat);
+  EXPECT_EQ(ws.stats.symbolic_builds, 1u);
+  EXPECT_EQ(ws.stats.numeric_reuses, 0u);
+  EXPECT_TRUE(pat.valid);
+
+  // Same operands: the symbolic phase is skipped and the result is
+  // bit-identical (identical numeric sweep on the frozen pattern).
+  ha.multiply_sym_into(ha, 1e-8, warm, ws, &pat);
+  EXPECT_EQ(ws.stats.symbolic_builds, 1u);
+  EXPECT_EQ(ws.stats.numeric_reuses, 1u);
+  ASSERT_EQ(warm.block_count(), cold.block_count());
+  EXPECT_EQ(warm.cols(), cold.cols());
+  EXPECT_EQ(warm.values(), cold.values());
+
+  // A pattern change in the operand (tile dropped by truncation) fails
+  // fingerprint validation and rebuilds the entry -- never stale reuse.
+  const BlockSparseMatrix hb = ha.multiply(ha, 3e-1);
+  ASSERT_NE(hb.pattern_fingerprint(), ha.pattern_fingerprint());
+  BlockSparseMatrix out;
+  hb.multiply_sym_into(hb, 1e-8, out, ws, &pat);
+  EXPECT_EQ(ws.stats.symbolic_builds, 2u);
+  EXPECT_EQ(ws.stats.numeric_reuses, 1u);
+  EXPECT_LT(linalg::max_abs(out.to_dense() -
+                            linalg::matmul(hb.to_dense(), hb.to_dense())),
+            1e-11);
+}
+
+TEST(BlockSparseSym, WorkspaceShrinkReleasesStagingMemory) {
+  // Regression: staging rows grew monotonically and were never released
+  // across system-size changes.  shrink() must bound the footprint by the
+  // policy size while keeping the workspace usable.
+  const linalg::Matrix big = random_symmetric(96, 71, 0.3);
+  const BlockSparseMatrix hb =
+      BlockSparseMatrix::from_dense(big, 4).to_symmetric_half();
+  BsrWorkspace ws;
+  BlockSparseMatrix out;
+  hb.multiply_sym_into(hb, 0.0, out, ws);
+  const std::size_t grown = ws.footprint_bytes();
+  ASSERT_GT(grown, 0u);
+
+  ws.shrink({2, 4});  // keep capacity for a 2-block-row (n = 8) problem
+  const std::size_t shrunk = ws.footprint_bytes();
+  EXPECT_LT(shrunk, grown / 4);
+
+  // Still fully functional after the shrink (buffers regrow on demand).
+  const linalg::Matrix small = random_symmetric(8, 72);
+  const BlockSparseMatrix hs =
+      BlockSparseMatrix::from_dense(small, 4).to_symmetric_half();
+  hs.multiply_sym_into(hs, 0.0, out, ws);
+  EXPECT_LT(linalg::max_abs(out.to_dense() - linalg::matmul(small, small)),
+            1e-12);
+  hb.multiply_sym_into(hb, 0.0, out, ws);
+  EXPECT_LT(linalg::max_abs(out.to_dense() - linalg::matmul(big, big)),
+            1e-11);
+}
+
 // --- SP2 on the blocked substrate ----------------------------------------
 
 class Sp2OnBsr : public ::testing::TestWithParam<double> {};
@@ -267,6 +478,9 @@ TEST_P(Sp2OnBsr, IdempotentWithExactTraceOnDiamond) {
   const PurificationResult r = sp2_purification(h, nocc, opt, &ws);
   ASSERT_TRUE(r.converged);
   EXPECT_EQ(r.density.block_size(), 4u);
+  // The engine runs -- and hands back -- symmetric-half storage.
+  EXPECT_TRUE(h.symmetric());
+  EXPECT_TRUE(r.density.symmetric());
 
   // Trace pins the electron count.
   EXPECT_NEAR(r.density.trace(), static_cast<double>(nocc), 1e-5);

@@ -131,6 +131,49 @@ TEST(BondTable, AdjacencyCoversEveryBondTwiceSortedByNeighbor) {
   for (const int count : seen) EXPECT_EQ(count, 2);
 }
 
+TEST(BondTable, TopologyVersionTracksPatternChangesOnly) {
+  // The stamp feeds the O(N) engine's SpMM pattern cache: it must stay
+  // put across value-only rebuilds (atoms jiggle, bonds persist) and bump
+  // for anything that can change the Hamiltonian pattern -- including a
+  // bond crossing the hopping cutoff with the pair list unchanged.
+  const TbModel m = xwch_carbon();
+  System s = structures::dimer(m.element, 0.8 * m.hopping.r_cut);
+  NeighborList list;
+  const double skin = 0.6 * m.hopping.r_cut;  // pair survives the crossing
+  list.build(s.positions(), s.cell(), {m.cutoff(), skin});
+
+  BondTable table;
+  EXPECT_EQ(table.topology_version(), 0u);  // only before the first build
+  table.build(m, s, list, BondTable::Mode::kBlocks);
+  const std::uint64_t v1 = table.topology_version();
+  EXPECT_GT(v1, 0u);
+
+  // Rebuild at identical positions: same topology, same stamp.
+  table.build(m, s, list, BondTable::Mode::kBlocks);
+  EXPECT_EQ(table.topology_version(), v1);
+
+  // Stretch the bond (the dimer lies along z) but stay inside the hopping
+  // cutoff: values change, topology does not.
+  s.positions()[1].z = s.positions()[0].z + 0.9 * m.hopping.r_cut;
+  table.build(m, s, list, BondTable::Mode::kBlocks);
+  EXPECT_EQ(table.topology_version(), v1);
+  ASSERT_FALSE(table.hopping_zero(0));
+
+  // Push the bond just past the hopping cutoff WITHOUT rebuilding the
+  // neighbor list (the pair persists inside cutoff + skin): the
+  // hopping_zero flip alone must bump the stamp.
+  s.positions()[1].z = s.positions()[0].z + 1.05 * m.hopping.r_cut;
+  table.build(m, s, list, BondTable::Mode::kBlocks);
+  ASSERT_TRUE(table.hopping_zero(0));
+  const std::uint64_t v2 = table.topology_version();
+  EXPECT_GT(v2, v1);
+
+  // A different pair list (atom-count change) bumps it too.
+  GasSetup gas = random_setup(m, 12, 3);
+  table.build(m, gas.system, gas.list, BondTable::Mode::kBlocks);
+  EXPECT_GT(table.topology_version(), v2);
+}
+
 TEST(BondTable, HamiltonianFromTableMatchesDirectAssembly) {
   const TbModel m = xwch_carbon();
   GasSetup s = random_setup(m, 40, 31);

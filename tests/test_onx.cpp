@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "src/linalg/blas.hpp"
 #include "src/linalg/eigen_sym.hpp"
+#include "src/md/md_driver.hpp"
+#include "src/md/velocities.hpp"
 #include "src/neighbor/neighbor_list.hpp"
 #include "src/onx/on_calculator.hpp"
 #include "src/onx/purification.hpp"
@@ -281,6 +284,122 @@ TEST(OrderNCalculator, DensityMatrixFillFractionDecreasesWithSize) {
   const double fill_small = fill_of(3);  // 864 orbitals (block-dense)
   const double fill_big = fill_of(4);    // 2048 orbitals
   EXPECT_LT(fill_big, 0.85 * fill_small);
+}
+
+TEST(OrderNCalculator, WarmStepsPerformZeroSymbolicWork) {
+  // With an unchanged bond topology every SpMM of a repeated step must
+  // validate against the cached pattern: only numeric_reuses may grow.
+  const tb::TbModel m = tb::xwch_carbon();
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  structures::perturb(s, 0.03, 17);
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-6;
+  OrderNCalculator calc(m, opt);
+
+  (void)calc.compute(s);
+  const auto cold = calc.spmm_stats();
+  EXPECT_GT(cold.symbolic_builds, 0u);
+  const std::uint64_t topo = calc.topology_version();
+
+  (void)calc.compute(s);
+  const auto warm = calc.spmm_stats();
+  EXPECT_EQ(calc.topology_version(), topo);
+  EXPECT_EQ(warm.symbolic_builds, cold.symbolic_builds);
+  EXPECT_GT(warm.numeric_reuses, cold.numeric_reuses);
+  // Steady state never materializes a full-pattern density matrix.
+  EXPECT_TRUE(calc.last_purification().density.symmetric());
+}
+
+TEST(OrderNCalculator, TopologyChangeInvalidatesPatternCache) {
+  // Moving an atom across the hopping cutoff mid-trajectory changes the
+  // Hamiltonian pattern: the bond-table stamp must bump and the next step
+  // must rebuild its symbolic patterns instead of reusing stale ones.
+  const tb::TbModel m = tb::xwch_carbon();
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-6;
+  OrderNCalculator calc(m, opt);
+
+  (void)calc.compute(s);
+  (void)calc.compute(s);  // warm the cache
+  const auto warm = calc.spmm_stats();
+  const std::uint64_t topo = calc.topology_version();
+  const ForceResult before = calc.compute(s);
+
+  System moved = s;
+  moved.positions()[3] += Vec3{0.9, 0.7, 0.5};  // crosses the cutoff shell
+  const ForceResult after = calc.compute(moved);
+  EXPECT_NE(calc.topology_version(), topo);
+  const auto rebuilt = calc.spmm_stats();
+  EXPECT_GT(rebuilt.symbolic_builds, warm.symbolic_builds);
+  // The move genuinely changed the electronic structure.
+  EXPECT_NE(before.energy, after.energy);
+  EXPECT_TRUE(calc.last_purification().converged);
+}
+
+TEST(OrderNCalculator, ColdAndWarmPatternNveSlicesAreBitIdentical) {
+  // The warm path must not change physics at all: an NVE slice computed
+  // with cross-step pattern reuse produces bit-identical energies to one
+  // that rebuilds every pattern from scratch each step (the numeric sweep
+  // is shared, so this is an equality, not a tolerance).
+  const tb::TbModel m = tb::xwch_carbon();
+  const long steps = 4;
+
+  auto trajectory = [&](bool reuse) {
+    System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
+    structures::perturb(s, 0.02, 23);
+    md::maxwell_boltzmann_velocities(s, 300.0, 5);
+    OrderNOptions opt;
+    opt.purification.drop_tolerance = 1e-6;
+    opt.reuse_patterns = reuse;
+    OrderNCalculator calc(m, opt);
+    md::MdDriver driver(s, calc, {1.0, nullptr});
+    std::vector<double> energies;
+    driver.run(steps, [&](const md::MdDriver& d, long) {
+      energies.push_back(d.total_energy());
+    });
+    return energies;
+  };
+
+  const std::vector<double> warm = trajectory(true);
+  const std::vector<double> cold = trajectory(false);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(warm[i], cold[i]) << "step " << i;
+  }
+}
+
+TEST(OrderNCalculator, WorkspaceFootprintBoundedAfterAtomCountShrink) {
+  // Regression: the BSR staging rows grew monotonically and were never
+  // released, so one large system pinned the workspace at its high-water
+  // mark forever.  After computing a smaller system the footprint must
+  // drop back towards what a fresh small-system calculator uses.
+  const tb::TbModel m = tb::xwch_carbon();
+  OrderNOptions opt;
+  // Loose tolerance: shrink behavior is tolerance-independent and the big
+  // system stays cheap (the 2-cell box is the smallest admissible
+  // periodic supercell, so "small" cannot go below 64 atoms).
+  opt.purification.drop_tolerance = 1e-4;
+
+  System big = structures::diamond(Element::C, 3.567, 3, 3, 3);    // 216
+  System small = structures::diamond(Element::C, 3.567, 2, 2, 2);  // 64
+
+  OrderNCalculator fresh(m, opt);
+  (void)fresh.compute(small);
+  const std::size_t fresh_small = fresh.workspace_footprint_bytes();
+
+  OrderNCalculator calc(m, opt);
+  (void)calc.compute(big);
+  const std::size_t after_big = calc.workspace_footprint_bytes();
+  (void)calc.compute(small);
+  const std::size_t after_shrink = calc.workspace_footprint_bytes();
+
+  EXPECT_LT(after_shrink, after_big / 2);
+  EXPECT_LE(after_shrink, 4 * fresh_small);
+  // And the shrunken workspace still produces correct physics.
+  const ForceResult rs = calc.compute(small);
+  const ForceResult rf = fresh.compute(small);
+  EXPECT_DOUBLE_EQ(rs.energy, rf.energy);
 }
 
 TEST(OrderNCalculator, RejectsOddElectronCount) {
