@@ -272,6 +272,62 @@ void BM_BsrSpMMSym(benchmark::State& state) {
 }
 BENCHMARK(BM_BsrSpMMSym)->Arg(64)->Arg(216)->Unit(benchmark::kMillisecond);
 
+void BM_BsrSpMMSym_spd(benchmark::State& state) {
+  // Symmetric-half SpMM on a *mixed* block layout: fcc Au (9x9 spd tiles)
+  // with every 4th site substituted by an s-only impurity, so the product
+  // exercises the 9x9 unrolled micro-kernel, the generic rectangular path
+  // (1x9 / 9x1 tiles) and the variable-layout symbolic machinery at once.
+  // Arg = fcc cells per edge (3 -> 108 atoms, 4 -> 256 atoms; 2 cells
+  // would undercut the 2*(r_cut+skin) minimum image height).
+  const int nx = static_cast<int>(state.range(0));
+  tb::TbModel m = tb::kirchhoff_gold();
+  {
+    const tb::PairParams au_au = m.pair(0, 0);
+    tb::SpeciesParams au = m.species[0];
+    tb::SpeciesParams h;
+    h.element = Element::H;
+    h.orbitals = 1;
+    h.e_s = -6.0;
+    m.set_species({au, h});
+    m.set_pair(0, 0, au_au);
+    tb::PairParams au_h;
+    au_h.integrals.sss = -1.0;
+    au_h.integrals.pss = -1.3;
+    au_h.integrals.dss = -0.5;
+    au_h.hopping = au_au.hopping;
+    au_h.phi0 = au_au.phi0;
+    au_h.repulsive = au_au.repulsive;
+    m.set_pair(0, 1, au_h);
+    tb::PairParams h_h;
+    h_h.integrals.sss = -0.8;
+    h_h.hopping = au_au.hopping;
+    h_h.phi0 = au_au.phi0;
+    h_h.repulsive = au_au.repulsive;
+    m.set_pair(1, 1, h_h);
+  }
+  System s = structures::fcc(Element::Au, 4.08, nx, nx, nx);
+  std::vector<std::size_t> sites;
+  for (std::size_t i = 0; i < s.size(); i += 4) sites.push_back(i);
+  structures::substitute(s, sites, Element::H);
+  structures::perturb(s, 0.02, 7);
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  tb::BondTable table;
+  table.build(m, s, list, tb::BondTable::Mode::kBlocks);
+  const onx::BlockSparseMatrix h = onx::build_block_hamiltonian(m, s, table);
+  onx::BlockSparseMatrix out;
+  onx::BsrWorkspace ws;
+  onx::BsrPattern pattern;
+  h.multiply_sym_into(h, 1e-8, out, ws, &pattern);  // cold symbolic build
+  for (auto _ : state) {
+    h.multiply_sym_into(h, 1e-8, out, ws, &pattern);
+    benchmark::DoNotOptimize(out.nnz());
+  }
+  state.counters["atoms"] = static_cast<double>(s.size());
+  state.counters["blocks"] = static_cast<double>(h.block_count());
+}
+BENCHMARK(BM_BsrSpMMSym_spd)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_TbOnStep(benchmark::State& state) {
   // Full O(N) force call (bond table, BSR assembly, PM purification on the
   // blocked substrate, blocked force contraction) at the exp_f1 production

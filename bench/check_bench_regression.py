@@ -82,10 +82,12 @@ def main():
     ap.add_argument("result", help="google-benchmark JSON from this build")
     ap.add_argument("--baseline", default="BENCH_baseline.json")
     ap.add_argument("--kernel", action="append", default=[],
-                    help="kernel(s) to gate; default: eigensolvers, bond "
-                         "table, density matrix, blocked SpMM and the full "
-                         "O(N) step (BM_BandForces is recorded but ungated: "
-                         "too noisy at ~40 us)")
+                    help="kernel(s) to gate, optionally NAME=FRAC to give "
+                         "one kernel a tighter limit than --max-regression; "
+                         "default: eigensolvers, bond table, density matrix, "
+                         "blocked SpMM and the full O(N) step "
+                         "(BM_BandForces is recorded but ungated: too noisy "
+                         "at ~40 us)")
     ap.add_argument("--max-regression", type=float, default=0.25,
                     help="allowed fractional slowdown (default 0.25)")
     ap.add_argument("--normalize-by", default="median",
@@ -95,10 +97,17 @@ def main():
     ap.add_argument("--no-normalize", action="store_true",
                     help="compare raw milliseconds instead")
     args = ap.parse_args()
-    kernels = args.kernel or ["BM_Eigh/256", "BM_EighPartial/256",
-                              "BM_BondTable/216", "BM_DensityMatrix/256",
-                              "BM_BsrSpMM/216", "BM_BsrSpMMSym/216",
-                              "BM_TbOnStep/216"]
+    # BM_BsrSpMMSym/216 carries a tighter 5% limit: it is the steady-state
+    # purification kernel on the uniform sp fast path, and the variable-
+    # block generalization must stay effectively free for carbon/silicon.
+    specs = args.kernel or ["BM_Eigh/256", "BM_EighPartial/256",
+                            "BM_BondTable/216", "BM_DensityMatrix/256",
+                            "BM_BsrSpMM/216", "BM_BsrSpMMSym/216=0.05",
+                            "BM_TbOnStep/216"]
+    kernels = []
+    for spec in specs:  # NAME or NAME=FRAC (per-kernel limit override)
+        name, _, frac = spec.partition("=")
+        kernels.append((name, float(frac) if frac else args.max_regression))
 
     current = load_result(args.result)
     baseline = load_baseline(args.baseline)
@@ -128,7 +137,7 @@ def main():
                   f"baseline {ref_base:.3f} ms")
 
     failed = False
-    for name in kernels:
+    for name, limit in kernels:
         if name not in current:
             print(f"error: {name} missing from benchmark output")
             return 2
@@ -138,12 +147,12 @@ def main():
         score = current[name] / ref_cur
         base_score = baseline[name] / ref_base
         ratio = score / base_score
-        verdict = "FAIL" if ratio > 1.0 + args.max_regression else "ok"
+        verdict = "FAIL" if ratio > 1.0 + limit else "ok"
         failed |= verdict == "FAIL"
         print(f"{verdict:4} {name}: current {current[name]:.3f} ms, "
               f"baseline {baseline[name]:.3f} ms, "
               f"normalized ratio {ratio:.3f} "
-              f"(limit {1.0 + args.max_regression:.2f})")
+              f"(limit {1.0 + limit:.2f})")
     return 1 if failed else 0
 
 

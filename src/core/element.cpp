@@ -24,6 +24,8 @@ double atomic_mass_amu(Element e) {
       return 72.630;
     case Element::Ar:
       return 39.948;
+    case Element::Au:
+      return 196.966570;
   }
   throw Error("atomic_mass_amu: unsupported element");
 }
@@ -50,6 +52,8 @@ std::string_view element_symbol(Element e) {
       return "Ge";
     case Element::Ar:
       return "Ar";
+    case Element::Au:
+      return "Au";
   }
   throw Error("element_symbol: unsupported element");
 }
@@ -64,6 +68,7 @@ Element element_from_symbol(std::string_view symbol) {
   if (s == "si") return Element::Si;
   if (s == "ge") return Element::Ge;
   if (s == "ar") return Element::Ar;
+  if (s == "au") return Element::Au;
   throw Error("element_from_symbol: unknown symbol '" + std::string(symbol) +
               "'");
 }
@@ -86,6 +91,8 @@ int valence_electrons(Element e) {
       return 4;
     case Element::Ar:
       return 8;
+    case Element::Au:
+      return 11;  // 5d^10 6s^1 in the spd-valent picture
   }
   throw Error("valence_electrons: unsupported element");
 }

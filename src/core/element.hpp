@@ -19,6 +19,7 @@ enum class Element : int {
   Si = 14,
   Ge = 32,
   Ar = 18,
+  Au = 79,
 };
 
 /// Atomic mass in amu (IUPAC conventional values).
@@ -34,7 +35,8 @@ enum class Element : int {
 /// unknown symbols.
 [[nodiscard]] Element element_from_symbol(std::string_view symbol);
 
-/// Number of valence electrons in the sp-valent tight-binding picture.
+/// Number of valence electrons in the tight-binding picture (sp-valent for
+/// the light elements, spd-valent for the noble metals).
 [[nodiscard]] int valence_electrons(Element e);
 
 }  // namespace tbmd

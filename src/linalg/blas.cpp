@@ -202,8 +202,35 @@ void syr2k_lower(std::size_t n, std::size_t k, double alpha, const double* a,
   rank_k_lower<true>(n, k, alpha, a, lda, b, ldb, c, ldc);
 }
 
+namespace {
+
+/// Compile-time-sized square tile product C += op(A) * op(B) with k-major
+/// accumulation per output row (an N-wide accumulator the compiler keeps in
+/// registers).  Instantiated at N == 9 for the spd orbital block; the sp
+/// block keeps its hand-unrolled kernels below so that path's code is
+/// byte-for-byte what it was before the variable-block refactor.
+template <std::size_t N>
+inline void micro_add_square(bool transpose_a, bool transpose_b,
+                             const double* a, const double* b, double* c) {
+  for (std::size_t i = 0; i < N; ++i) {
+    double acc[N] = {};
+    for (std::size_t k = 0; k < N; ++k) {
+      const double aik = transpose_a ? a[N * k + i] : a[N * i + k];
+      const double* bk = transpose_b ? b + k : b + N * k;
+      const std::size_t bstep = transpose_b ? N : 1;
+      for (std::size_t j = 0; j < N; ++j) acc[j] += aik * bk[bstep * j];
+    }
+    double* ci = c + N * i;
+    for (std::size_t j = 0; j < N; ++j) ci[j] += acc[j];
+  }
+}
+
+}  // namespace
+
 void gemm_micro_add(std::size_t bs, const double* a, const double* b,
                     double* c) {
+  // bs == 4 tested first: the legacy sp models make it by far the hottest
+  // tile edge, so it pays exactly one predicted branch.
   if (bs == 4) {
     // Fully unrolled 4x4x4: each output row is accumulated in four scalars
     // (registers), reading each A entry once and streaming B's rows.
@@ -224,6 +251,14 @@ void gemm_micro_add(std::size_t bs, const double* a, const double* b,
       ci[2] += c2;
       ci[3] += c3;
     }
+    return;
+  }
+  if (bs == 1) {
+    c[0] += a[0] * b[0];
+    return;
+  }
+  if (bs == 9) {
+    micro_add_square<9>(false, false, a, b, c);
     return;
   }
   for (std::size_t i = 0; i < bs; ++i) {
@@ -305,6 +340,14 @@ void gemm_micro_add_t(std::size_t bs, bool transpose_a, bool transpose_b,
     }
     return;
   }
+  if (bs == 1) {
+    c[0] += a[0] * b[0];  // a 1 x 1 tile is its own transpose
+    return;
+  }
+  if (bs == 9) {
+    micro_add_square<9>(transpose_a, transpose_b, a, b, c);
+    return;
+  }
   const auto at = [&](std::size_t i, std::size_t k) {
     return transpose_a ? a[bs * k + i] : a[bs * i + k];
   };
@@ -321,9 +364,42 @@ void gemm_micro_add_t(std::size_t bs, bool transpose_a, bool transpose_b,
   }
 }
 
+void gemm_micro_add_rect(std::size_t m, std::size_t k, std::size_t n,
+                         bool transpose_a, bool transpose_b, const double* a,
+                         const double* b, double* c) {
+  if (m == k && k == n) {
+    gemm_micro_add_t(m, transpose_a, transpose_b, a, b, c);
+    return;
+  }
+  // Generic rectangular fallback.  The stored tile of a transposed operand
+  // has the swapped shape, so op(A)(i, q) walks it with the strides below.
+  const std::size_t a_row = transpose_a ? 1 : k;
+  const std::size_t a_col = transpose_a ? m : 1;
+  const std::size_t b_row = transpose_b ? 1 : n;
+  const std::size_t b_col = transpose_b ? k : 1;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a + a_row * i;
+    double* ci = c + n * i;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bj = b + b_col * j;
+      double s = 0.0;
+      for (std::size_t q = 0; q < k; ++q) {
+        s += ai[a_col * q] * bj[b_row * q];
+      }
+      ci[j] += s;
+    }
+  }
+}
+
 double tile_norm2(std::size_t bs, const double* a) {
   double s = 0.0;
   for (std::size_t q = 0; q < bs * bs; ++q) s += a[q] * a[q];
+  return s;
+}
+
+double tile_norm2_rect(std::size_t m, std::size_t n, const double* a) {
+  double s = 0.0;
+  for (std::size_t q = 0; q < m * n; ++q) s += a[q] * a[q];
   return s;
 }
 

@@ -48,10 +48,11 @@ void syr2k_lower(std::size_t n, std::size_t k, double alpha, const double* a,
                  std::size_t ldc);
 
 /// Tiny dense tile product C += A * B for bs x bs row-major blocks (the
-/// inner kernel of the block-sparse SpMM in src/onx).  The bs == 4 case --
-/// the natural s/p orbital block of the tight-binding models -- is fully
-/// unrolled so the compiler keeps the 4-wide C row in registers; other
-/// sizes fall back to the generic triple loop.
+/// inner kernel of the block-sparse SpMM in src/onx).  Dispatch table over
+/// the orbital block sizes of the shipped models: bs == 1 (s-only), bs == 4
+/// (sp, fully unrolled so the compiler keeps the 4-wide C row in registers)
+/// and bs == 9 (spd) each get a dedicated path; other sizes fall back to
+/// the generic triple loop.
 void gemm_micro_add(std::size_t bs, const double* a, const double* b,
                     double* c);
 
@@ -60,15 +61,33 @@ void gemm_micro_add(std::size_t bs, const double* a, const double* b,
 /// a half-stored symmetric matrix keeps only tiles (I, J) with J >= I, so
 /// products drawing on the lower half read the stored mirror tile
 /// transposed.  All four transpose combinations are fully unrolled at
-/// bs == 4; (false, false) is exactly gemm_micro_add.  Accumulation order
+/// bs == 4, with dedicated bs == 1 and bs == 9 paths like gemm_micro_add;
+/// (false, false) is exactly gemm_micro_add.  Accumulation order
 /// per output element is k-major in every variant, so results are
 /// bit-reproducible across the symbolic/numeric SpMM phases.
 void gemm_micro_add_t(std::size_t bs, bool transpose_a, bool transpose_b,
                       const double* a, const double* b, double* c);
 
+/// Rectangular tile product C += op(A) * op(B) for the variable-block
+/// (mixed-orbital) block-sparse SpMM: op(A) is m x k, op(B) is k x n and C
+/// is m x n, all row-major with their natural leading dimensions (the
+/// stored tile of a transposed operand is k x m resp. n x k).  Dispatches
+/// to the fully unrolled square kernels when m == k == n (1, 4 and 9 -- the
+/// s, sp and spd orbital blocks -- are unrolled; see gemm_micro_add) and to
+/// a generic loop otherwise.  Accumulation order per output element is
+/// k-major in every path, so mixed-tile products are bit-reproducible
+/// across the symbolic/numeric SpMM phases just like the uniform ones.
+void gemm_micro_add_rect(std::size_t m, std::size_t k, std::size_t n,
+                         bool transpose_a, bool transpose_b, const double* a,
+                         const double* b, double* c);
+
 /// Squared Frobenius norm of a bs x bs row-major tile (block truncation
 /// criterion of the block-sparse layer).
 [[nodiscard]] double tile_norm2(std::size_t bs, const double* a);
+
+/// Squared Frobenius norm of an m x n row-major tile (mixed-block variant).
+[[nodiscard]] double tile_norm2_rect(std::size_t m, std::size_t n,
+                                     const double* a);
 
 /// y = A * x.
 [[nodiscard]] std::vector<double> matvec(const Matrix& a,

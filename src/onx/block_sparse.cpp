@@ -22,6 +22,25 @@ inline bool keep_tile(double norm2, std::size_t bs, double drop_tolerance) {
   return norm2 > scaled * scaled;
 }
 
+/// The rectangular-tile form of keep_tile: `count` is the tile's entry
+/// count, so sqrt(count) plays the role the edge bs plays for square
+/// tiles (they agree when count == bs^2, up to rounding -- which is why
+/// the uniform paths keep calling keep_tile unchanged).
+inline bool keep_tile_rect(double norm2, std::size_t count,
+                           double drop_tolerance) {
+  const double scaled =
+      std::sqrt(static_cast<double>(count)) * drop_tolerance;
+  return norm2 > scaled * scaled;
+}
+
+/// All entries equal (an all-equal dims vector normalizes to uniform mode)?
+inline bool dims_uniform(const std::vector<std::uint32_t>& dims) {
+  for (const std::uint32_t d : dims) {
+    if (d != dims.front()) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 void BlockSparseMatrix::refingerprint() {
@@ -40,6 +59,10 @@ void BlockSparseMatrix::refingerprint() {
   mix(n_);
   mix(bs_);
   mix(sym_ ? 1u : 0u);
+  // Variable mode: the per-row dims are part of the structure (bs_ == 0
+  // there, so a variable matrix can never collide with a uniform one; the
+  // loop is empty in uniform mode and fingerprints are unchanged).
+  for (const std::uint32_t d : dims_) mix(d);
   for (const std::size_t r : row_ptr_) mix(r);
   for (const std::uint32_t c : col_) mix(c);
   pattern_fingerprint_ = h;
@@ -47,10 +70,42 @@ void BlockSparseMatrix::refingerprint() {
 
 BlockSparseMatrix::BlockSparseMatrix(std::size_t n, std::size_t block_size,
                                      bool symmetric_half)
-    : n_(n), bs_(block_size == 0 ? 1 : block_size), sym_(symmetric_half) {
+    : n_(n), bs_(block_size == 0 ? 1 : block_size), max_bs_(bs_),
+      sym_(symmetric_half) {
   TBMD_REQUIRE(n % bs_ == 0,
                "BlockSparseMatrix: block size must divide the dimension");
   nb_ = n_ / bs_;
+  row_ptr_.assign(nb_ + 1, 0);
+  refingerprint();
+}
+
+BlockSparseMatrix::BlockSparseMatrix(const std::vector<std::uint32_t>& dims,
+                                     bool symmetric_half)
+    : sym_(symmetric_half) {
+  TBMD_REQUIRE(!dims.empty(), "BlockSparseMatrix: empty block layout");
+  std::size_t n = 0;
+  std::uint32_t widest = 0;
+  for (const std::uint32_t d : dims) {
+    TBMD_REQUIRE(d > 0, "BlockSparseMatrix: zero block dimension");
+    n += d;
+    widest = std::max(widest, d);
+  }
+  n_ = n;
+  nb_ = dims.size();
+  if (dims_uniform(dims)) {
+    bs_ = dims.front();
+    max_bs_ = bs_;
+  } else {
+    bs_ = 0;
+    max_bs_ = widest;
+    dims_ = dims;
+    offs_.resize(nb_ + 1);
+    offs_[0] = 0;
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      offs_[bi + 1] = offs_[bi] + dims[bi];
+    }
+    val_ptr_.assign(1, 0);
+  }
   row_ptr_.assign(nb_ + 1, 0);
   refingerprint();
 }
@@ -70,6 +125,43 @@ BlockSparseMatrix BlockSparseMatrix::identity(std::size_t n,
   }
   m.refingerprint();
   return m;
+}
+
+BlockSparseMatrix BlockSparseMatrix::identity(
+    const std::vector<std::uint32_t>& dims, bool symmetric_half) {
+  BlockSparseMatrix m(dims, symmetric_half);
+  if (m.uniform_blocks()) return identity(m.n_, m.bs_, symmetric_half);
+  m.col_.resize(m.nb_);
+  m.val_ptr_.resize(m.nb_ + 1);
+  m.val_ptr_[0] = 0;
+  for (std::size_t bi = 0; bi < m.nb_; ++bi) {
+    const std::size_t d = dims[bi];
+    m.val_ptr_[bi + 1] = m.val_ptr_[bi] + d * d;
+  }
+  m.val_.assign(m.val_ptr_[m.nb_], 0.0);
+  for (std::size_t bi = 0; bi < m.nb_; ++bi) {
+    m.col_[bi] = static_cast<std::uint32_t>(bi);
+    m.row_ptr_[bi + 1] = bi + 1;
+    const std::size_t d = dims[bi];
+    double* tile = m.val_.data() + m.val_ptr_[bi];
+    for (std::size_t a = 0; a < d; ++a) tile[d * a + a] = 1.0;
+  }
+  m.refingerprint();
+  return m;
+}
+
+BlockSparseMatrix BlockSparseMatrix::identity_like(
+    const BlockSparseMatrix& like) {
+  if (like.uniform_blocks()) return identity(like.n_, like.bs_, like.sym_);
+  return identity(like.dims_, like.sym_);
+}
+
+BlockSparseMatrix BlockSparseMatrix::zeros_like(
+    const BlockSparseMatrix& like) {
+  if (like.uniform_blocks()) {
+    return BlockSparseMatrix(like.n_, like.bs_, like.sym_);
+  }
+  return BlockSparseMatrix(like.dims_, like.sym_);
 }
 
 BlockSparseMatrix BlockSparseMatrix::from_dense(const linalg::Matrix& a,
@@ -101,7 +193,68 @@ BlockSparseMatrix BlockSparseMatrix::from_dense(const linalg::Matrix& a,
   return m;
 }
 
+BlockSparseMatrix BlockSparseMatrix::from_dense(
+    const linalg::Matrix& a, const std::vector<std::uint32_t>& dims,
+    double drop_tolerance) {
+  BlockSparseMatrix m(dims, /*symmetric_half=*/false);
+  if (m.uniform_blocks()) return from_dense(a, m.bs_, drop_tolerance);
+  TBMD_REQUIRE(a.rows() == a.cols() && a.rows() == m.n_,
+               "BlockSparseMatrix: dense/layout size mismatch");
+  std::vector<double> tile(m.max_bs_ * m.max_bs_);
+  for (std::size_t bi = 0; bi < m.nb_; ++bi) {
+    const std::size_t di = m.dims_[bi];
+    const std::size_t oi = m.offs_[bi];
+    for (std::size_t bj = 0; bj < m.nb_; ++bj) {
+      const std::size_t dj = m.dims_[bj];
+      const std::size_t oj = m.offs_[bj];
+      double norm2 = 0.0;
+      for (std::size_t r = 0; r < di; ++r) {
+        const double* arow = a.row(oi + r) + oj;
+        for (std::size_t c = 0; c < dj; ++c) {
+          tile[dj * r + c] = arow[c];
+          norm2 += arow[c] * arow[c];
+        }
+      }
+      if (keep_tile_rect(norm2, di * dj, drop_tolerance) ||
+          (bi == bj && norm2 > 0.0)) {
+        m.col_.push_back(static_cast<std::uint32_t>(bj));
+        m.val_.insert(m.val_.end(), tile.begin(),
+                      tile.begin() + static_cast<std::ptrdiff_t>(di * dj));
+        m.val_ptr_.push_back(m.val_.size());
+      }
+    }
+    m.row_ptr_[bi + 1] = m.col_.size();
+  }
+  m.refingerprint();
+  return m;
+}
+
 linalg::Matrix BlockSparseMatrix::to_dense() const {
+  if (!uniform_blocks()) {
+    linalg::Matrix a(n_, n_, 0.0);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = dims_[bi];
+      const std::size_t oi = offs_[bi];
+      for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+        const std::size_t bj = col_[k];
+        const std::size_t dj = dims_[bj];
+        const std::size_t oj = offs_[bj];
+        const double* tile = block(k);
+        for (std::size_t r = 0; r < di; ++r) {
+          double* arow = a.row(oi + r) + oj;
+          for (std::size_t c = 0; c < dj; ++c) arow[c] = tile[dj * r + c];
+        }
+        if (sym_ && bj != bi) {
+          for (std::size_t r = 0; r < di; ++r) {
+            for (std::size_t c = 0; c < dj; ++c) {
+              a(oj + c, oi + r) = tile[dj * r + c];
+            }
+          }
+        }
+      }
+    }
+    return a;
+  }
   linalg::Matrix a(n_, n_, 0.0);
   for (std::size_t bi = 0; bi < nb_; ++bi) {
     for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
@@ -126,6 +279,22 @@ linalg::Matrix BlockSparseMatrix::to_dense() const {
 
 BlockSparseMatrix BlockSparseMatrix::to_symmetric_half() const {
   if (sym_) return *this;
+  if (!uniform_blocks()) {
+    BlockSparseMatrix out(dims_, true);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = dims_[bi];
+      for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+        if (col_[k] < bi) continue;  // lower half: the stored mirror's copy
+        out.col_.push_back(col_[k]);
+        const double* tile = block(k);
+        out.val_.insert(out.val_.end(), tile, tile + di * dims_[col_[k]]);
+        out.val_ptr_.push_back(out.val_.size());
+      }
+      out.row_ptr_[bi + 1] = out.col_.size();
+    }
+    out.refingerprint();
+    return out;
+  }
   BlockSparseMatrix out(n_, bs_, true);
   const std::size_t bs2 = bs_ * bs_;
   for (std::size_t bi = 0; bi < nb_; ++bi) {
@@ -143,6 +312,77 @@ BlockSparseMatrix BlockSparseMatrix::to_symmetric_half() const {
 
 BlockSparseMatrix BlockSparseMatrix::to_full() const {
   if (!sym_) return *this;
+  if (!uniform_blocks()) {
+    BlockSparseMatrix out(dims_, false);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      out.row_ptr_[bi + 1] += row_ptr_[bi + 1] - row_ptr_[bi];
+      for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+        if (col_[k] != bi) ++out.row_ptr_[col_[k] + 1];
+      }
+    }
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      out.row_ptr_[bi + 1] += out.row_ptr_[bi];
+    }
+    const std::size_t nblocks = out.row_ptr_[nb_];
+    out.col_.resize(nblocks);
+    // Pattern passes first (mirror then direct, same ordering as the
+    // uniform path so every row comes out sorted) ...
+    std::vector<std::size_t> fill(out.row_ptr_.begin(),
+                                  out.row_ptr_.end() - 1);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+        if (col_[k] == bi) continue;
+        out.col_[fill[col_[k]]++] = static_cast<std::uint32_t>(bi);
+      }
+    }
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+        out.col_[fill[bi]++] = col_[k];
+      }
+    }
+    // ... then the per-tile value offsets the fills scatter through.
+    out.val_ptr_.assign(nblocks + 1, 0);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      for (std::size_t k = out.row_ptr_[bi]; k < out.row_ptr_[bi + 1]; ++k) {
+        out.val_ptr_[k + 1] =
+            static_cast<std::size_t>(dims_[bi]) * dims_[out.col_[k]];
+      }
+    }
+    for (std::size_t k = 0; k < nblocks; ++k) {
+      out.val_ptr_[k + 1] += out.val_ptr_[k];
+    }
+    out.val_.assign(out.val_ptr_[nblocks], 0.0);
+    fill.assign(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = dims_[bi];
+      for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+        const std::size_t bj = col_[k];
+        if (bj == bi) continue;
+        const std::size_t dj = dims_[bj];
+        const std::size_t slot = fill[bj]++;
+        const double* tile = block(k);
+        double* dst = out.val_.data() + out.val_ptr_[slot];
+        for (std::size_t r = 0; r < di; ++r) {
+          for (std::size_t c = 0; c < dj; ++c) {
+            dst[di * c + r] = tile[dj * r + c];
+          }
+        }
+      }
+    }
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = dims_[bi];
+      for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+        const std::size_t sz = di * dims_[col_[k]];
+        const std::size_t slot = fill[bi]++;
+        const double* tile = block(k);
+        std::copy(tile, tile + sz,
+                  out.val_.begin() +
+                      static_cast<std::ptrdiff_t>(out.val_ptr_[slot]));
+      }
+    }
+    out.refingerprint();
+    return out;
+  }
   BlockSparseMatrix out(n_, bs_, false);
   const std::size_t bs2 = bs_ * bs_;
   // Count: each stored tile lands in its own row, off-diagonal tiles also
@@ -202,6 +442,26 @@ std::size_t BlockSparseMatrix::logical_block_count() const {
   return 2 * block_count() - diag;
 }
 
+std::size_t BlockSparseMatrix::logical_nnz() const {
+  if (uniform_blocks()) return logical_block_count() * bs_ * bs_;
+  if (!sym_) return val_.size();
+  // Half storage: every stored entry mirrors except those of diagonal
+  // tiles.
+  std::size_t diag = 0;
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    const std::size_t k = row_ptr_[bi];
+    if (k < row_ptr_[bi + 1] && col_[k] == bi) {
+      diag += static_cast<std::size_t>(dims_[bi]) * dims_[bi];
+    }
+  }
+  return 2 * val_.size() - diag;
+}
+
+std::size_t BlockSparseMatrix::block_index_of(std::size_t i) const {
+  const auto it = std::upper_bound(offs_.begin(), offs_.end(), i);
+  return static_cast<std::size_t>(it - offs_.begin()) - 1;
+}
+
 const double* BlockSparseMatrix::find_block(std::size_t bi,
                                             std::size_t bj) const {
   const auto begin = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[bi]);
@@ -213,6 +473,21 @@ const double* BlockSparseMatrix::find_block(std::size_t bi,
 }
 
 double BlockSparseMatrix::get(std::size_t i, std::size_t j) const {
+  if (!uniform_blocks()) {
+    std::size_t bi = block_index_of(i);
+    std::size_t bj = block_index_of(j);
+    std::size_t r = i - offs_[bi];
+    std::size_t c = j - offs_[bj];
+    // Half storage: a lower-triangle query reads the stored mirror through
+    // the symmetry A[i][j] == A[j][i].
+    if (sym_ && bj < bi) {
+      std::swap(bi, bj);
+      std::swap(r, c);
+    }
+    const double* tile = find_block(bi, bj);
+    if (tile == nullptr) return 0.0;
+    return tile[dims_[bj] * r + c];
+  }
   std::size_t r = i, c = j;
   // Half storage: a lower-triangle query reads the stored mirror through
   // the symmetry A[i][j] == A[j][i].
@@ -227,14 +502,14 @@ double BlockSparseMatrix::trace() const {
   for (std::size_t bi = 0; bi < nb_; ++bi) {
     const double* tile = find_block(bi, bi);
     if (tile == nullptr) continue;
-    for (std::size_t a = 0; a < bs_; ++a) t += tile[bs_ * a + a];
+    const std::size_t d = row_dim(bi);
+    for (std::size_t a = 0; a < d; ++a) t += tile[d * a + a];
   }
   return t;
 }
 
 double BlockSparseMatrix::trace_of_product(const BlockSparseMatrix& b) const {
-  TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_,
-               "trace_of_product: size/block mismatch");
+  TBMD_REQUIRE(layout_matches(b), "trace_of_product: size/block mismatch");
   TBMD_REQUIRE(sym_ == b.sym_, "trace_of_product: storage-mode mismatch");
   double t = 0.0;
   [[maybe_unused]] const bool par = nb_ > 64;
@@ -245,6 +520,7 @@ double BlockSparseMatrix::trace_of_product(const BlockSparseMatrix& b) const {
     // tiles contribute the plain tr(A_II B_II).
 #pragma omp parallel for reduction(+ : t) schedule(static) if (par)
     for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = row_dim(bi);
       for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
         const std::size_t bj = col_[k];
         const double* ta = block(k);
@@ -252,13 +528,14 @@ double BlockSparseMatrix::trace_of_product(const BlockSparseMatrix& b) const {
         if (tb == nullptr) continue;
         double s = 0.0;
         if (bj == bi) {
-          for (std::size_t a = 0; a < bs_; ++a) {
-            for (std::size_t c = 0; c < bs_; ++c) {
-              s += ta[bs_ * a + c] * tb[bs_ * c + a];
+          for (std::size_t a = 0; a < di; ++a) {
+            for (std::size_t c = 0; c < di; ++c) {
+              s += ta[di * a + c] * tb[di * c + a];
             }
           }
         } else {
-          for (std::size_t q = 0; q < bs_ * bs_; ++q) s += ta[q] * tb[q];
+          const std::size_t sz = di * row_dim(bj);
+          for (std::size_t q = 0; q < sz; ++q) s += ta[q] * tb[q];
           s *= 2.0;
         }
         t += s;
@@ -268,15 +545,17 @@ double BlockSparseMatrix::trace_of_product(const BlockSparseMatrix& b) const {
   }
 #pragma omp parallel for reduction(+ : t) schedule(static) if (par)
   for (std::size_t bi = 0; bi < nb_; ++bi) {
+    const std::size_t di = row_dim(bi);
     for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+      const std::size_t dj = row_dim(col_[k]);
       const double* ta = block(k);
       const double* tb = b.find_block(col_[k], bi);
       if (tb == nullptr) continue;
       // sum_ab A_IJ[a,b] * B_JI[b,a]
       double s = 0.0;
-      for (std::size_t a = 0; a < bs_; ++a) {
-        for (std::size_t c = 0; c < bs_; ++c) {
-          s += ta[bs_ * a + c] * tb[bs_ * c + a];
+      for (std::size_t a = 0; a < di; ++a) {
+        for (std::size_t c = 0; c < dj; ++c) {
+          s += ta[dj * a + c] * tb[di * c + a];
         }
       }
       t += s;
@@ -289,8 +568,13 @@ void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
                   BlockSparseMatrix& out, bool symmetric_half) {
   out.n_ = n;
   out.bs_ = bs;
+  out.max_bs_ = bs;
   out.nb_ = n / bs;
   out.sym_ = symmetric_half;
+  // A reused output may carry a variable layout from a previous life.
+  out.dims_.clear();
+  out.offs_.clear();
+  out.val_ptr_.clear();
   const std::size_t nb = out.nb_;
   const std::size_t bs2 = bs * bs;
   TBMD_REQUIRE(ws.row_cols.size() >= nb && ws.row_vals.size() >= nb,
@@ -310,6 +594,66 @@ void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
               out.col_.begin() + static_cast<std::ptrdiff_t>(at));
     std::copy(ws.row_vals[bi].begin(), ws.row_vals[bi].end(),
               out.val_.begin() + static_cast<std::ptrdiff_t>(at * bs2));
+  }
+  out.refingerprint();
+}
+
+void bsr_assemble(const std::vector<std::uint32_t>& dims, BsrWorkspace& ws,
+                  BlockSparseMatrix& out, bool symmetric_half) {
+  TBMD_REQUIRE(!dims.empty(), "bsr_assemble: empty block layout");
+  std::size_t n = 0;
+  std::uint32_t widest = 0;
+  for (const std::uint32_t d : dims) {
+    n += d;
+    widest = std::max(widest, d);
+  }
+  if (dims_uniform(dims)) {
+    bsr_assemble(n, dims.front(), ws, out, symmetric_half);
+    return;
+  }
+  const std::size_t nb = dims.size();
+  TBMD_REQUIRE(ws.row_cols.size() >= nb && ws.row_vals.size() >= nb,
+               "bsr_assemble: workspace rows missing");
+  out.n_ = n;
+  out.bs_ = 0;
+  out.max_bs_ = widest;
+  out.nb_ = nb;
+  out.sym_ = symmetric_half;
+  out.dims_ = dims;
+  out.offs_.resize(nb + 1);
+  out.offs_[0] = 0;
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    out.offs_[bi + 1] = out.offs_[bi] + dims[bi];
+  }
+  out.row_ptr_.assign(nb + 1, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    out.row_ptr_[bi + 1] = out.row_ptr_[bi] + ws.row_cols[bi].size();
+  }
+  const std::size_t nblocks = out.row_ptr_[nb];
+  out.col_.resize(nblocks);
+  out.val_ptr_.assign(nblocks + 1, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    const std::size_t at = out.row_ptr_[bi];
+    std::copy(ws.row_cols[bi].begin(), ws.row_cols[bi].end(),
+              out.col_.begin() + static_cast<std::ptrdiff_t>(at));
+    for (std::size_t k = at; k < out.row_ptr_[bi + 1]; ++k) {
+      out.val_ptr_[k + 1] =
+          static_cast<std::size_t>(dims[bi]) * dims[out.col_[k]];
+    }
+  }
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    out.val_ptr_[k + 1] += out.val_ptr_[k];
+  }
+  out.val_.resize(out.val_ptr_[nblocks]);
+  [[maybe_unused]] const bool par = nb > 64;
+#pragma omp parallel for schedule(static) if (par)
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    const std::size_t at = out.val_ptr_[out.row_ptr_[bi]];
+    TBMD_REQUIRE(ws.row_vals[bi].size() ==
+                     out.val_ptr_[out.row_ptr_[bi + 1]] - at,
+                 "bsr_assemble: staged row size does not match the layout");
+    std::copy(ws.row_vals[bi].begin(), ws.row_vals[bi].end(),
+              out.val_.begin() + static_cast<std::ptrdiff_t>(at));
   }
   out.refingerprint();
 }
@@ -452,10 +796,57 @@ void BlockSparseMatrix::combine_into(double alpha, const BlockSparseMatrix& b,
                                      double beta, double drop_tolerance,
                                      BlockSparseMatrix& out,
                                      BsrWorkspace& ws) const {
-  TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_, "combine: size/block mismatch");
+  TBMD_REQUIRE(layout_matches(b), "combine: size/block mismatch");
   TBMD_REQUIRE(sym_ == b.sym_, "combine: storage-mode mismatch");
   TBMD_REQUIRE(&out != this && &out != &b,
                "combine_into: output must not alias an operand");
+  if (!uniform_blocks()) {
+    reset_workspace(ws, nb_);
+#pragma omp parallel for schedule(static) if (nb_ > 64)
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = dims_[bi];
+      auto& cols = ws.row_cols[bi];
+      auto& vals = ws.row_vals[bi];
+      std::size_t ka = row_ptr_[bi], ea = row_ptr_[bi + 1];
+      std::size_t kb = b.row_ptr_[bi], eb = b.row_ptr_[bi + 1];
+      while (ka < ea || kb < eb) {
+        std::uint32_t bj;
+        if (ka < ea && (kb >= eb || col_[ka] <= b.col_[kb])) {
+          bj = col_[ka];
+        } else {
+          bj = b.col_[kb];
+        }
+        const std::size_t dj = dims_[bj];
+        const std::size_t sz = di * dj;
+        const std::size_t at = vals.size();
+        vals.resize(at + sz, 0.0);
+        double* tile = vals.data() + at;
+        if (ka < ea && col_[ka] == bj) {
+          const double* ta = block(ka);
+          for (std::size_t q = 0; q < sz; ++q) tile[q] = alpha * ta[q];
+          ++ka;
+          if (kb < eb && b.col_[kb] == bj) {
+            const double* tb = b.block(kb);
+            for (std::size_t q = 0; q < sz; ++q) tile[q] += beta * tb[q];
+            ++kb;
+          }
+        } else {
+          const double* tb = b.block(kb);
+          for (std::size_t q = 0; q < sz; ++q) tile[q] = beta * tb[q];
+          ++kb;
+        }
+        const double norm2 = linalg::tile_norm2_rect(di, dj, tile);
+        if (keep_tile_rect(norm2, sz, drop_tolerance) ||
+            (bj == bi && norm2 > 0.0)) {
+          cols.push_back(bj);
+        } else {
+          vals.resize(at);  // rejected: roll the staged tile back
+        }
+      }
+    }
+    bsr_assemble(dims_, ws, out, sym_);
+    return;
+  }
   const std::size_t bs2 = bs_ * bs_;
   reset_workspace(ws, nb_);
 #pragma omp parallel for schedule(static) if (nb_ > 64)
@@ -515,10 +906,11 @@ void BlockSparseMatrix::multiply_into(const BlockSparseMatrix& b,
     multiply_sym_into(b, drop_tolerance, out, ws, nullptr);
     return;
   }
-  TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_, "multiply: size/block mismatch");
+  TBMD_REQUIRE(layout_matches(b), "multiply: size/block mismatch");
   TBMD_REQUIRE(&out != this && &out != &b,
                "multiply_into: output must not alias an operand");
-  const std::size_t bs2 = bs_ * bs_;
+  const std::size_t bs2 = max_bs_ * max_bs_;  // accumulator tile stride
+  const bool var = !uniform_blocks();
   reset_workspace(ws, nb_);
   const auto nthreads = static_cast<std::size_t>(par::max_threads());
   if (ws.acc.size() < nthreads) {
@@ -544,9 +936,11 @@ void BlockSparseMatrix::multiply_into(const BlockSparseMatrix& b,
 
 #pragma omp for schedule(dynamic, 8)
     for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = row_dim(bi);
       touched.clear();
       for (std::size_t ka = row_ptr_[bi]; ka < row_ptr_[bi + 1]; ++ka) {
         const std::size_t bk = col_[ka];
+        const std::size_t dk = row_dim(bk);
         const double* ta = block(ka);
         for (std::size_t kb = b.row_ptr_[bk]; kb < b.row_ptr_[bk + 1]; ++kb) {
           const std::uint32_t bj = b.col_[kb];
@@ -554,8 +948,14 @@ void BlockSparseMatrix::multiply_into(const BlockSparseMatrix& b,
             hit[bj] = 1;
             touched.push_back(bj);
           }
-          linalg::gemm_micro_add(bs_, ta, b.block(kb),
-                                 acc.data() + bs2 * bj);
+          if (var) {
+            linalg::gemm_micro_add_rect(di, dk, row_dim(bj), false, false,
+                                        ta, b.block(kb),
+                                        acc.data() + bs2 * bj);
+          } else {
+            linalg::gemm_micro_add(bs_, ta, b.block(kb),
+                                   acc.data() + bs2 * bj);
+          }
         }
       }
       std::sort(touched.begin(), touched.end());
@@ -564,17 +964,34 @@ void BlockSparseMatrix::multiply_into(const BlockSparseMatrix& b,
       cols.reserve(touched.size());
       for (const std::uint32_t bj : touched) {
         double* tile = acc.data() + bs2 * bj;
-        const double norm2 = linalg::tile_norm2(bs_, tile);
-        if (keep_tile(norm2, bs_, drop_tolerance) || (bj == bi && norm2 > 0.0)) {
-          cols.push_back(bj);
-          vals.insert(vals.end(), tile, tile + bs2);
+        if (var) {
+          const std::size_t dj = dims_[bj];
+          const std::size_t sz = di * dj;
+          const double norm2 = linalg::tile_norm2_rect(di, dj, tile);
+          if (keep_tile_rect(norm2, sz, drop_tolerance) ||
+              (bj == bi && norm2 > 0.0)) {
+            cols.push_back(bj);
+            vals.insert(vals.end(), tile, tile + sz);
+          }
+          std::fill(tile, tile + sz, 0.0);
+        } else {
+          const double norm2 = linalg::tile_norm2(bs_, tile);
+          if (keep_tile(norm2, bs_, drop_tolerance) ||
+              (bj == bi && norm2 > 0.0)) {
+            cols.push_back(bj);
+            vals.insert(vals.end(), tile, tile + bs2);
+          }
+          std::fill(tile, tile + bs2, 0.0);
         }
-        std::fill(tile, tile + bs2, 0.0);
         hit[bj] = 0;
       }
     }
   }
-  bsr_assemble(n_, bs_, ws, out);
+  if (var) {
+    bsr_assemble(dims_, ws, out);
+  } else {
+    bsr_assemble(n_, bs_, ws, out);
+  }
 }
 
 void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
@@ -582,13 +999,13 @@ void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
                                           BlockSparseMatrix& out,
                                           BsrWorkspace& ws,
                                           BsrPattern* pattern) const {
-  TBMD_REQUIRE(n_ == b.n_ && bs_ == b.bs_,
-               "multiply_sym: size/block mismatch");
+  TBMD_REQUIRE(layout_matches(b), "multiply_sym: size/block mismatch");
   TBMD_REQUIRE(sym_ && b.sym_,
                "multiply_sym: operands must be symmetric-half");
   TBMD_REQUIRE(&out != this && &out != &b,
                "multiply_sym_into: output must not alias an operand");
-  const std::size_t bs2 = bs_ * bs_;
+  const std::size_t bs2 = max_bs_ * max_bs_;  // accumulator tile stride
+  const bool var = !uniform_blocks();
 
   // Mirror-expanded adjacencies (shared when squaring).  O(stored tiles):
   // input bookkeeping, not symbolic-phase work -- the symbolic phase below
@@ -671,16 +1088,25 @@ void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
 
 #pragma omp for schedule(dynamic, 8)
     for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = row_dim(bi);
       for (std::size_t ua = adj_a.ptr[bi]; ua < adj_a.ptr[bi + 1]; ++ua) {
         const std::size_t bk = adj_a.col[ua];
+        const std::size_t dk = row_dim(bk);
         const double* ta = block(adj_a.tile[ua]);
         const bool trans_a = adj_a.trans[ua] != 0;
         for (std::size_t ub = adj_lower_bound(adj_b, bk, bi);
              ub < adj_b.ptr[bk + 1]; ++ub) {
           const std::uint32_t bj = adj_b.col[ub];
-          linalg::gemm_micro_add_t(bs_, trans_a, adj_b.trans[ub] != 0, ta,
-                                   b.block(adj_b.tile[ub]),
-                                   acc.data() + bs2 * bj);
+          if (var) {
+            linalg::gemm_micro_add_rect(di, dk, row_dim(bj), trans_a,
+                                        adj_b.trans[ub] != 0, ta,
+                                        b.block(adj_b.tile[ub]),
+                                        acc.data() + bs2 * bj);
+          } else {
+            linalg::gemm_micro_add_t(bs_, trans_a, adj_b.trans[ub] != 0, ta,
+                                     b.block(adj_b.tile[ub]),
+                                     acc.data() + bs2 * bj);
+          }
         }
       }
       // Gather through the pattern row: it lists exactly the columns the
@@ -692,16 +1118,33 @@ void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
       for (std::size_t pp = pat.row_ptr[bi]; pp < pe; ++pp) {
         const std::uint32_t bj = pat.cols[pp];
         double* tile = acc.data() + bs2 * bj;
-        const double norm2 = linalg::tile_norm2(bs_, tile);
-        if (keep_tile(norm2, bs_, drop_tolerance) || (bj == bi && norm2 > 0.0)) {
-          cols.push_back(bj);
-          vals.insert(vals.end(), tile, tile + bs2);
+        if (var) {
+          const std::size_t dj = dims_[bj];
+          const std::size_t sz = di * dj;
+          const double norm2 = linalg::tile_norm2_rect(di, dj, tile);
+          if (keep_tile_rect(norm2, sz, drop_tolerance) ||
+              (bj == bi && norm2 > 0.0)) {
+            cols.push_back(bj);
+            vals.insert(vals.end(), tile, tile + sz);
+          }
+          std::fill(tile, tile + sz, 0.0);
+        } else {
+          const double norm2 = linalg::tile_norm2(bs_, tile);
+          if (keep_tile(norm2, bs_, drop_tolerance) ||
+              (bj == bi && norm2 > 0.0)) {
+            cols.push_back(bj);
+            vals.insert(vals.end(), tile, tile + bs2);
+          }
+          std::fill(tile, tile + bs2, 0.0);
         }
-        std::fill(tile, tile + bs2, 0.0);
       }
     }
   }
-  bsr_assemble(n_, bs_, ws, out, true);
+  if (var) {
+    bsr_assemble(dims_, ws, out, true);
+  } else {
+    bsr_assemble(n_, bs_, ws, out, true);
+  }
 }
 
 BlockSparseMatrix BlockSparseMatrix::multiply(const BlockSparseMatrix& b,
@@ -719,21 +1162,25 @@ linalg::SpectralBounds BlockSparseMatrix::gershgorin_bounds() const {
     // A_JI = A_IJ^T -- its column sums to the radii of block row J.
     std::vector<double> diag(n_, 0.0), radius(n_, 0.0);
     for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = row_dim(bi);
+      const std::size_t oi = row_offset(bi);
       for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
         const std::size_t bj = col_[k];
+        const std::size_t dj = row_dim(bj);
+        const std::size_t oj = row_offset(bj);
         const double* tile = block(k);
-        for (std::size_t r = 0; r < bs_; ++r) {
-          for (std::size_t c = 0; c < bs_; ++c) {
-            const double v = tile[bs_ * r + c];
+        for (std::size_t r = 0; r < di; ++r) {
+          for (std::size_t c = 0; c < dj; ++c) {
+            const double v = tile[dj * r + c];
             if (bj == bi) {
               if (c == r) {
-                diag[bs_ * bi + r] = v;
+                diag[oi + r] = v;
               } else {
-                radius[bs_ * bi + r] += std::fabs(v);
+                radius[oi + r] += std::fabs(v);
               }
             } else {
-              radius[bs_ * bi + r] += std::fabs(v);
-              radius[bs_ * bj + c] += std::fabs(v);
+              radius[oi + r] += std::fabs(v);
+              radius[oj + c] += std::fabs(v);
             }
           }
         }
@@ -755,16 +1202,18 @@ linalg::SpectralBounds BlockSparseMatrix::gershgorin_bounds() const {
   }
   linalg::SpectralBounds bounds;
   bool first = true;
-  std::vector<double> diag(bs_), radius(bs_);
+  std::vector<double> diag(max_bs_), radius(max_bs_);
   for (std::size_t bi = 0; bi < nb_; ++bi) {
+    const std::size_t di = row_dim(bi);
     std::fill(diag.begin(), diag.end(), 0.0);
     std::fill(radius.begin(), radius.end(), 0.0);
     for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
       const std::size_t bj = col_[k];
+      const std::size_t dj = row_dim(bj);
       const double* tile = block(k);
-      for (std::size_t r = 0; r < bs_; ++r) {
-        for (std::size_t c = 0; c < bs_; ++c) {
-          const double v = tile[bs_ * r + c];
+      for (std::size_t r = 0; r < di; ++r) {
+        for (std::size_t c = 0; c < dj; ++c) {
+          const double v = tile[dj * r + c];
           if (bj == bi && c == r) {
             diag[r] = v;
           } else {
@@ -773,7 +1222,7 @@ linalg::SpectralBounds BlockSparseMatrix::gershgorin_bounds() const {
         }
       }
     }
-    for (std::size_t r = 0; r < bs_; ++r) {
+    for (std::size_t r = 0; r < di; ++r) {
       const double lo = diag[r] - radius[r];
       const double hi = diag[r] + radius[r];
       if (first) {
@@ -830,27 +1279,82 @@ BlockSparseMatrix SparseMatrix::to_block(std::size_t block_size) const {
   return out;
 }
 
+BlockSparseMatrix SparseMatrix::to_block(
+    const std::vector<std::uint32_t>& dims) const {
+  BlockSparseMatrix out(dims);
+  if (out.uniform_blocks()) return to_block(out.block_size());
+  TBMD_REQUIRE(out.size() == n_, "to_block: block dims do not sum to n");
+  const std::size_t nb = out.nb_;
+  // Scalar column -> block column, precomputed once for the scatter.
+  std::vector<std::uint32_t> blk_of(n_);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    for (std::size_t q = 0; q < dims[bi]; ++q) {
+      blk_of[out.offs_[bi] + q] = static_cast<std::uint32_t>(bi);
+    }
+  }
+  std::vector<std::uint32_t> cols;
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    const std::size_t di = out.dims_[bi];
+    const std::size_t oi = out.offs_[bi];
+    // Union of the block columns touched by the di scalar rows of this
+    // block row (each scalar row's columns are already sorted).
+    cols.clear();
+    for (std::size_t r = 0; r < di; ++r) {
+      const std::size_t row = oi + r;
+      for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+        cols.push_back(blk_of[col_[k]]);
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+
+    const std::size_t base = out.col_.size();
+    out.col_.insert(out.col_.end(), cols.begin(), cols.end());
+    for (const std::uint32_t bj : cols) {
+      out.val_ptr_.push_back(out.val_ptr_.back() + di * out.dims_[bj]);
+    }
+    out.val_.resize(out.val_ptr_.back(), 0.0);
+    for (std::size_t r = 0; r < di; ++r) {
+      const std::size_t row = oi + r;
+      for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+        const std::uint32_t bj = blk_of[col_[k]];
+        const auto it = std::lower_bound(cols.begin(), cols.end(), bj);
+        const std::size_t slot =
+            base + static_cast<std::size_t>(it - cols.begin());
+        out.val_[out.val_ptr_[slot] + out.dims_[bj] * r +
+                 (col_[k] - out.offs_[bj])] = val_[k];
+      }
+    }
+    out.row_ptr_[bi + 1] = out.col_.size();
+  }
+  out.refingerprint();
+  return out;
+}
+
 SparseMatrix SparseMatrix::from_block(const BlockSparseMatrix& b) {
   TBMD_REQUIRE(!b.symmetric(),
                "from_block: expand half storage via to_full() first");
-  const std::size_t bs = b.block_size();
   SparseMatrix out(b.size());
   for (std::size_t bi = 0; bi < b.block_rows(); ++bi) {
-    for (std::size_t r = 0; r < bs; ++r) {
+    const std::size_t di = b.row_dim(bi);
+    const std::size_t oi = b.row_offset(bi);
+    for (std::size_t r = 0; r < di; ++r) {
       for (std::size_t k = b.row_ptr()[bi]; k < b.row_ptr()[bi + 1]; ++k) {
         const std::size_t bj = b.cols()[k];
+        const std::size_t dj = b.row_dim(bj);
+        const std::size_t oj = b.row_offset(bj);
         const double* tile = b.block(k);
-        for (std::size_t c = 0; c < bs; ++c) {
-          const double v = tile[bs * r + c];
+        for (std::size_t c = 0; c < dj; ++c) {
+          const double v = tile[dj * r + c];
           // Tiles are dense; structurally-zero entries inside a stored
           // tile must not become explicit CSR zeros.
           if (v != 0.0) {
-            out.col_.push_back(bs * bj + c);
+            out.col_.push_back(oj + c);
             out.val_.push_back(v);
           }
         }
       }
-      out.row_ptr_[bs * bi + r + 1] = out.col_.size();
+      out.row_ptr_[oi + r + 1] = out.col_.size();
     }
   }
   return out;

@@ -47,6 +47,19 @@
 /// Block size is a runtime parameter: bs == 4 is the production path, and
 /// bs == 1 degenerates to scalar CSR semantics (used for operands whose
 /// dimension is not a multiple of 4).
+///
+/// Variable-block-row mode.  Multi-species models carry a per-atom orbital
+/// count (1 for s-only, 4 for sp, 9 for spd), so the natural tiling has
+/// per-block-row dimensions: tile (I, J) is dims[I] x dims[J].  Matrices
+/// built from a dims vector store the per-row dims, the scalar row offsets
+/// and a per-tile value offset table; block_size() reports 0 in this mode
+/// and the micro-kernel dispatch falls through to the rectangular fallback
+/// (linalg::gemm_micro_add_rect).  A dims vector whose entries all agree is
+/// normalized to uniform mode on construction, so homogeneous systems --
+/// carbon, silicon -- always run the unrolled uniform fast paths and their
+/// results are unchanged by the generalization.  The truncation criterion
+/// becomes ||T||_F <= sqrt(dims[I] * dims[J]) * tol, the same RMS-entry
+/// rule the uniform criterion expresses with bs.
 
 #include <cstddef>
 #include <cstdint>
@@ -141,16 +154,43 @@ class BlockSparseMatrix {
   BlockSparseMatrix(std::size_t n, std::size_t block_size,
                     bool symmetric_half = false);
 
+  /// Zero matrix with per-block-row tile dimensions (tile (I, J) is
+  /// dims[I] x dims[J]).  A dims vector whose entries all agree is
+  /// normalized to uniform mode, so homogeneous layouts keep the unrolled
+  /// fast paths.
+  explicit BlockSparseMatrix(const std::vector<std::uint32_t>& dims,
+                             bool symmetric_half = false);
+
   /// Identity (diagonal tiles only; valid in both storage modes).
   [[nodiscard]] static BlockSparseMatrix identity(std::size_t n,
                                                   std::size_t block_size,
                                                   bool symmetric_half = false);
+
+  /// Identity on a variable block layout.
+  [[nodiscard]] static BlockSparseMatrix identity(
+      const std::vector<std::uint32_t>& dims, bool symmetric_half = false);
+
+  /// Identity sharing `like`'s dimension, block layout and storage mode --
+  /// what the purification workspaces rebuild their cached I from when the
+  /// operand layout changes.
+  [[nodiscard]] static BlockSparseMatrix identity_like(
+      const BlockSparseMatrix& like);
+
+  /// Empty (all-zero) matrix sharing `like`'s dimension, block layout and
+  /// storage mode.
+  [[nodiscard]] static BlockSparseMatrix zeros_like(
+      const BlockSparseMatrix& like);
 
   /// Convert from dense, dropping tiles with Frobenius norm <=
   /// drop_tolerance (diagonal tiles with any nonzero entry are kept).
   [[nodiscard]] static BlockSparseMatrix from_dense(const linalg::Matrix& a,
                                                     std::size_t block_size,
                                                     double drop_tolerance = 0.0);
+
+  /// from_dense() on a variable block layout.
+  [[nodiscard]] static BlockSparseMatrix from_dense(
+      const linalg::Matrix& a, const std::vector<std::uint32_t>& dims,
+      double drop_tolerance = 0.0);
 
   [[nodiscard]] linalg::Matrix to_dense() const;
 
@@ -163,9 +203,39 @@ class BlockSparseMatrix {
   [[nodiscard]] BlockSparseMatrix to_full() const;
 
   [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Uniform tile edge; 0 in variable-block-row mode (query row_dim()
+  /// there).
   [[nodiscard]] std::size_t block_size() const { return bs_; }
   [[nodiscard]] std::size_t block_rows() const { return nb_; }
   [[nodiscard]] bool symmetric() const { return sym_; }
+
+  /// All block rows share one tile edge (bs_ is meaningful)?
+  [[nodiscard]] bool uniform_blocks() const { return dims_.empty(); }
+
+  /// Widest tile edge (== block_size() in uniform mode) -- what per-tile
+  /// scratch must be sized for.
+  [[nodiscard]] std::size_t max_block_size() const { return max_bs_; }
+
+  /// Tile edge of block row `bi`.
+  [[nodiscard]] std::size_t row_dim(std::size_t bi) const {
+    return dims_.empty() ? bs_ : dims_[bi];
+  }
+
+  /// First scalar row of block row `bi`.
+  [[nodiscard]] std::size_t row_offset(std::size_t bi) const {
+    return dims_.empty() ? bs_ * bi : offs_[bi];
+  }
+
+  /// Per-row tile dims (empty in uniform mode).
+  [[nodiscard]] const std::vector<std::uint32_t>& block_dims() const {
+    return dims_;
+  }
+
+  /// Same dimension and block layout as `b` (tiles line up entrywise)?
+  [[nodiscard]] bool layout_matches(const BlockSparseMatrix& b) const {
+    return n_ == b.n_ && bs_ == b.bs_ && dims_ == b.dims_;
+  }
 
   /// Stored tiles (half storage counts the upper triangle only).
   [[nodiscard]] std::size_t block_count() const { return col_.size(); }
@@ -173,15 +243,20 @@ class BlockSparseMatrix {
   /// Logical tiles: stored tiles plus the implicit mirrors in half mode.
   [[nodiscard]] std::size_t logical_block_count() const;
 
-  /// Stored scalar entries (tiles are dense, so block_count * bs^2).
+  /// Stored scalar entries (tiles are dense; block_count * bs^2 in uniform
+  /// mode, the sum of the per-tile areas otherwise).
   [[nodiscard]] std::size_t nnz() const { return val_.size(); }
+
+  /// Logical scalar entries: stored tile areas plus the implicit mirrors
+  /// in half mode.
+  [[nodiscard]] std::size_t logical_nnz() const;
 
   /// Fraction of *logical* entries relative to a dense matrix (half
   /// storage counts each mirrored tile once per side, so the fraction is
   /// comparable across storage modes).
   [[nodiscard]] double fill_fraction() const {
     return n_ == 0 ? 0.0
-                   : static_cast<double>(logical_block_count() * bs_ * bs_) /
+                   : static_cast<double>(logical_nnz()) /
                          (static_cast<double>(n_) * static_cast<double>(n_));
   }
 
@@ -261,33 +336,51 @@ class BlockSparseMatrix {
   [[nodiscard]] const std::vector<std::uint32_t>& cols() const { return col_; }
   [[nodiscard]] const std::vector<double>& values() const { return val_; }
 
-  /// Tile payload of the k-th stored block (bs^2 doubles, row-major).
+  /// Tile payload of the k-th stored block (row-major; row_dim(I) x
+  /// row_dim(J) doubles for a tile in block row I, column J).
   [[nodiscard]] const double* block(std::size_t k) const {
-    return val_.data() + bs_ * bs_ * k;
+    return val_.data() + (dims_.empty() ? bs_ * bs_ * k : val_ptr_[k]);
   }
 
  private:
   friend class SparseMatrix;
   friend void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
                            BlockSparseMatrix& out, bool symmetric_half);
+  friend void bsr_assemble(const std::vector<std::uint32_t>& dims,
+                           BsrWorkspace& ws, BlockSparseMatrix& out,
+                           bool symmetric_half);
 
   /// Recompute pattern_fingerprint_ from the current structure; every
   /// builder calls this exactly once after the pattern is final.
   void refingerprint();
 
-  std::size_t n_ = 0;   ///< scalar dimension
-  std::size_t bs_ = 1;  ///< tile edge
-  std::size_t nb_ = 0;  ///< block rows (n / bs)
-  bool sym_ = false;    ///< symmetric-half storage (tiles J >= I only)
+  /// Block row containing scalar row `i` (variable mode only).
+  [[nodiscard]] std::size_t block_index_of(std::size_t i) const;
+
+  std::size_t n_ = 0;       ///< scalar dimension
+  std::size_t bs_ = 1;      ///< uniform tile edge (0: variable mode)
+  std::size_t max_bs_ = 1;  ///< widest tile edge (== bs_ when uniform)
+  std::size_t nb_ = 0;      ///< block rows
+  bool sym_ = false;        ///< symmetric-half storage (tiles J >= I only)
   std::vector<std::size_t> row_ptr_;   ///< nb + 1 block-row offsets
   std::vector<std::uint32_t> col_;     ///< block-column index per tile
-  std::vector<double> val_;            ///< bs^2 doubles per tile
+  std::vector<double> val_;            ///< dense row-major tile payloads
+  std::vector<std::uint32_t> dims_;    ///< per-row tile dims (empty: uniform)
+  std::vector<std::size_t> offs_;      ///< nb + 1 scalar row offsets (var)
+  std::vector<std::size_t> val_ptr_;   ///< per-tile value offsets (var)
   std::uint64_t pattern_fingerprint_ = 0;
 };
 
 /// Direct mutable access for assembly code (onx Hamiltonian builder): set
 /// the structure in one shot from per-row staging buffers in `ws`.
 void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
+                  BlockSparseMatrix& out, bool symmetric_half = false);
+
+/// bsr_assemble() on a variable block layout: tile (I, J) in the staging
+/// rows is dims[I] x dims[J].  A dims vector whose entries all agree is
+/// routed through the uniform assembler, so the output normalizes exactly
+/// like the constructors do.
+void bsr_assemble(const std::vector<std::uint32_t>& dims, BsrWorkspace& ws,
                   BlockSparseMatrix& out, bool symmetric_half = false);
 
 }  // namespace tbmd::onx

@@ -19,33 +19,41 @@ SparseMatrix build_sparse_hamiltonian(const tb::TbModel& model,
   TBMD_REQUIRE(table.has_blocks(),
                "build_sparse_hamiltonian: bond table was built without blocks");
   const std::size_t n = system.size();
-  const std::size_t norb = 4 * n;
+  const std::size_t norb = table.orbital_count();
 
   std::vector<std::vector<std::pair<std::size_t, double>>> rows(norb);
 
   // The table's per-atom adjacency is already sorted by neighbor index, so
   // each CSR row comes out ordered in one pass; `transposed` entries read
-  // the shared half-bond block column-major (B^T).
+  // the shared half-bond block column-major (B^T).  Stored blocks are
+  // orbs_i x orbs_j row-major, so a transposed read of (my orbital a,
+  // neighbor orbital c) indexes row c with my orbital count as the stride.
 #pragma omp parallel for schedule(dynamic, 16)
   for (std::size_t i = 0; i < n; ++i) {
-    const double onsite[4] = {model.e_s, model.e_p, model.e_p, model.e_p};
-    for (int a = 0; a < 4; ++a) {
-      auto& row = rows[4 * i + a];
+    const std::size_t oi = table.orbital_offset(i);
+    const int bsi = table.atom_orbitals(i);
+    const auto si =
+        static_cast<std::size_t>(model.species_index(system.species()[i]));
+    for (int a = 0; a < bsi; ++a) {
+      auto& row = rows[oi + a];
+      const double ea = model.onsite_energy(si, a);
       bool onsite_done = false;
       for (const tb::BondTable::AtomBond* ab = table.atom_begin(i);
            ab != table.atom_end(i); ++ab) {
         if (table.hopping_zero(ab->bond)) continue;
         if (!onsite_done && ab->neighbor > i) {
-          row.emplace_back(4 * i + a, onsite[a]);
+          row.emplace_back(oi + a, ea);
           onsite_done = true;
         }
         const double* b = table.block(ab->bond);
-        for (int c = 0; c < 4; ++c) {
-          const double v = ab->transposed ? b[4 * c + a] : b[4 * a + c];
-          if (v != 0.0) row.emplace_back(4 * ab->neighbor + c, v);
+        const std::size_t oj = table.orbital_offset(ab->neighbor);
+        const int bsj = table.atom_orbitals(ab->neighbor);
+        for (int c = 0; c < bsj; ++c) {
+          const double v = ab->transposed ? b[bsi * c + a] : b[bsj * a + c];
+          if (v != 0.0) row.emplace_back(oj + c, v);
         }
       }
-      if (!onsite_done) row.emplace_back(4 * i + a, onsite[a]);
+      if (!onsite_done) row.emplace_back(oi + a, ea);
     }
   }
 
@@ -71,39 +79,49 @@ void build_block_hamiltonian(const tb::TbModel& model, const System& system,
   if (ws.row_cols.size() < n) ws.row_cols.resize(n);
   if (ws.row_vals.size() < n) ws.row_vals.resize(n);
 
-  // Symmetric-half assembly: the diagonal onsite tile plus one 4x4 tile
-  // per atom pair within hopping range with neighbor > i.  Half pairs are
-  // stored with i < j, so every kept adjacency entry reads its hopping
-  // block untransposed, and the onsite tile (column i) leads each sorted
-  // block row.
+  // Symmetric-half assembly: the diagonal onsite tile plus one
+  // orbs(i) x orbs(j) tile per atom pair within hopping range with
+  // neighbor > i.  Half pairs are stored with i < j, so every kept
+  // adjacency entry reads its hopping block untransposed, and the onsite
+  // tile (column i) leads each sorted block row.
 #pragma omp parallel for schedule(dynamic, 16)
   for (std::size_t i = 0; i < n; ++i) {
-    const double onsite[4] = {model.e_s, model.e_p, model.e_p, model.e_p};
+    const auto bsi = static_cast<std::size_t>(table.atom_orbitals(i));
+    const auto si =
+        static_cast<std::size_t>(model.species_index(system.species()[i]));
     auto& cols = ws.row_cols[i];
     auto& vals = ws.row_vals[i];
     cols.clear();
     vals.clear();
     cols.push_back(static_cast<std::uint32_t>(i));
-    vals.resize(16, 0.0);
-    for (std::size_t a = 0; a < 4; ++a) vals[5 * a] = onsite[a];
+    vals.resize(bsi * bsi, 0.0);
+    for (std::size_t a = 0; a < bsi; ++a) {
+      vals[(bsi + 1) * a] = model.onsite_energy(si, static_cast<int>(a));
+    }
     for (const tb::BondTable::AtomBond* ab = table.atom_begin(i);
          ab != table.atom_end(i); ++ab) {
       if (ab->neighbor < i || table.hopping_zero(ab->bond)) continue;
       const double* b = table.block(ab->bond);
+      const auto bsj =
+          static_cast<std::size_t>(table.atom_orbitals(ab->neighbor));
       cols.push_back(ab->neighbor);
       const std::size_t at = vals.size();
-      vals.resize(at + 16);
+      vals.resize(at + bsi * bsj);
       double* tile = vals.data() + at;
       if (ab->transposed != 0) {
-        for (std::size_t a = 0; a < 4; ++a) {
-          for (std::size_t c = 0; c < 4; ++c) tile[4 * a + c] = b[4 * c + a];
+        // Stored block is orbs(neighbor) x orbs(i) row-major (stride bsi).
+        for (std::size_t a = 0; a < bsi; ++a) {
+          for (std::size_t c = 0; c < bsj; ++c) {
+            tile[bsj * a + c] = b[bsi * c + a];
+          }
         }
       } else {
-        std::copy(b, b + 16, tile);
+        std::copy(b, b + bsi * bsj, tile);
       }
     }
   }
-  bsr_assemble(4 * n, 4, ws, out, /*symmetric_half=*/true);
+  bsr_assemble(tb::orbital_block_dims(model, system), ws, out,
+               /*symmetric_half=*/true);
 }
 
 BlockSparseMatrix build_block_hamiltonian(const tb::TbModel& model,
@@ -118,11 +136,12 @@ BlockSparseMatrix build_block_hamiltonian(const tb::TbModel& model,
 namespace {
 
 /// Shared Hellmann-Feynman contraction skeleton of the two
-/// band_forces_sparse overloads.  `rho_tile(q, rho)` fills rho[16] with
-/// the spin-summed density block 2 * P(4i+a, 4j+b) of bond q (row-major
-/// [a][b]) and returns false when the bond is absent from P; everything
-/// else -- the derivative contraction, the force sign convention and the
-/// virial accumulation -- lives only here.
+/// band_forces_sparse overloads.  `rho_tile(q, rho, sz)` fills rho[sz]
+/// (sz = orbs_i(q) * orbs_j(q), at most 81) with the spin-summed density
+/// block 2 * P(oi+a, oj+b) of bond q (row-major [a][b]) and returns false
+/// when the bond is absent from P; everything else -- the derivative
+/// contraction, the force sign convention and the virial accumulation --
+/// lives only here.
 template <typename RhoTile>
 std::vector<Vec3> band_forces_contract(const tb::BondTable& table,
                                        Mat3* virial, const RhoTile& rho_tile) {
@@ -143,16 +162,31 @@ std::vector<Vec3> band_forces_contract(const tb::BondTable& table,
     for (std::size_t q = 0; q < table.size(); ++q) {
       if (table.hopping_zero(q)) continue;
 
-      double rho[16];
-      if (!rho_tile(q, rho)) continue;
+      const std::size_t sz = static_cast<std::size_t>(table.orbs_i(q)) *
+                             static_cast<std::size_t>(table.orbs_j(q));
+      double rho[81];
+      if (!rho_tile(q, rho, sz)) continue;
       const double* d = table.derivative(q, 0);
       Vec3 dedd{};
-      for (std::size_t ab = 0; ab < 16; ++ab) {
-        const double rho_ab = rho[ab];
-        if (rho_ab == 0.0) continue;
-        dedd.x += 2.0 * rho_ab * d[ab];
-        dedd.y += 2.0 * rho_ab * d[16 + ab];
-        dedd.z += 2.0 * rho_ab * d[32 + ab];
+      if (sz == 16) {
+        // Compile-time trip counts keep the uniform sp contraction's code
+        // generation (and thus its floating-point summation order)
+        // bit-identical to the pre-variable-block kernel.
+        for (std::size_t ab = 0; ab < 16; ++ab) {
+          const double rho_ab = rho[ab];
+          if (rho_ab == 0.0) continue;
+          dedd.x += 2.0 * rho_ab * d[ab];
+          dedd.y += 2.0 * rho_ab * d[16 + ab];
+          dedd.z += 2.0 * rho_ab * d[32 + ab];
+        }
+      } else {
+        for (std::size_t ab = 0; ab < sz; ++ab) {
+          const double rho_ab = rho[ab];
+          if (rho_ab == 0.0) continue;
+          dedd.x += 2.0 * rho_ab * d[ab];
+          dedd.y += 2.0 * rho_ab * d[sz + ab];
+          dedd.z += 2.0 * rho_ab * d[2 * sz + ab];
+        }
       }
       local[table.j(q)] -= dedd;
       local[table.i(q)] += dedd;
@@ -170,12 +204,15 @@ std::vector<Vec3> band_forces_contract(const tb::BondTable& table,
 std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
                                      const SparseMatrix& p, Mat3* virial) {
   return band_forces_contract(
-      table, virial, [&table, &p](std::size_t q, double* rho) {
-        const std::size_t oi = 4 * table.i(q);
-        const std::size_t oj = 4 * table.j(q);
-        for (std::size_t a = 0; a < 4; ++a) {
-          for (std::size_t b = 0; b < 4; ++b) {
-            rho[4 * a + b] = 2.0 * p.get(oi + a, oj + b);  // spin factor
+      table, virial,
+      [&table, &p](std::size_t q, double* rho, std::size_t /*sz*/) {
+        const std::size_t oi = table.orbital_offset(table.i(q));
+        const std::size_t oj = table.orbital_offset(table.j(q));
+        const auto bsi = static_cast<std::size_t>(table.orbs_i(q));
+        const auto bsj = static_cast<std::size_t>(table.orbs_j(q));
+        for (std::size_t a = 0; a < bsi; ++a) {
+          for (std::size_t b = 0; b < bsj; ++b) {
+            rho[bsj * a + b] = 2.0 * p.get(oi + a, oj + b);  // spin factor
           }
         }
         return true;
@@ -185,17 +222,23 @@ std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
 std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
                                      const BlockSparseMatrix& p,
                                      Mat3* virial) {
-  TBMD_REQUIRE(p.block_size() == 4 && p.size() == 4 * table.atoms(),
-               "band_forces_sparse: density matrix is not 4x4-blocked");
+  // One block row per atom (true for the legacy uniform 4x4 layout and
+  // for every per-atom variable layout, including all-equal dims that
+  // normalized to uniform storage).
+  TBMD_REQUIRE(p.size() == table.orbital_count() &&
+                   p.block_rows() == table.atoms(),
+               "band_forces_sparse: density matrix layout does not match "
+               "the bond table's orbital blocks");
   return band_forces_contract(
-      table, virial, [&table, &p](std::size_t q, double* rho) {
-        // One tile fetch covers all 16 orbital pairs of the bond.  Half
-        // pairs satisfy i < j, so the fetch is always an upper-triangle
-        // tile: the contraction reads the symmetric-half density matrix
-        // directly and never needs a full-pattern (mirror-expanded) copy.
+      table, virial,
+      [&table, &p](std::size_t q, double* rho, std::size_t sz) {
+        // One tile fetch covers all orbital pairs of the bond.  Half pairs
+        // satisfy i < j, so the fetch is always an upper-triangle tile:
+        // the contraction reads the symmetric-half density matrix directly
+        // and never needs a full-pattern (mirror-expanded) copy.
         const double* tile = p.find_block(table.i(q), table.j(q));
         if (tile == nullptr) return false;
-        for (std::size_t ab = 0; ab < 16; ++ab) {
+        for (std::size_t ab = 0; ab < sz; ++ab) {
           rho[ab] = 2.0 * tile[ab];  // spin factor
         }
         return true;
@@ -242,7 +285,11 @@ ForceResult OrderNCalculator::compute(const System& system) {
   // sized for the historical maximum forever; the pattern cache is keyed
   // on the topology stamp, which an atom-count change always bumps.
   if (n < last_atoms_) {
-    workspace_.scratch.shrink({n, 4});
+    std::size_t max_bs = tb::TbModel::kOrbitalsPerAtom;
+    for (const tb::SpeciesParams& sp : model_.species) {
+      max_bs = std::max(max_bs, static_cast<std::size_t>(sp.orbitals));
+    }
+    workspace_.scratch.shrink({n, max_bs});
   }
   last_atoms_ = n;
   workspace_.patterns.set_topology(table_.topology_version());

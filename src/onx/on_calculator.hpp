@@ -38,8 +38,10 @@ struct OrderNOptions {
                                                     const System& system,
                                                     const NeighborList& list);
 
-/// Assemble the Hamiltonian directly in symmetric-half block-CSR form (4x4
-/// tiles, one per atom pair with j >= i) from a prebuilt bond table -- the
+/// Assemble the Hamiltonian directly in symmetric-half block-CSR form
+/// (one orbs(i) x orbs(j) tile per atom pair with j >= i: uniform 4x4 for
+/// the legacy sp models, mixed 1/4/9 tiles for multi-species models) from
+/// a prebuilt bond table -- the
 /// bond table's hopping blocks ARE the BSR tiles, so assembly is a scatter
 /// with no per-element index bookkeeping, and because half pairs are
 /// stored with i < j, no tile is ever transposed on the way in.  `out` and
@@ -61,9 +63,10 @@ void build_block_hamiltonian(const tb::TbModel& model, const System& system,
                                                    const SparseMatrix& p,
                                                    Mat3* virial = nullptr);
 
-/// Blocked-density overload: one tile lookup per bond replaces 16 scalar
-/// binary searches (P must be 4x4-blocked, as produced by the purification
-/// engine for TB Hamiltonians).
+/// Blocked-density overload: one tile lookup per bond replaces up to 81
+/// scalar binary searches (P must carry one block row per atom with the
+/// table's orbital counts, as produced by the purification engine for TB
+/// Hamiltonians).
 [[nodiscard]] std::vector<Vec3> band_forces_sparse(const tb::BondTable& table,
                                                    const BlockSparseMatrix& p,
                                                    Mat3* virial = nullptr);

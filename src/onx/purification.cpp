@@ -25,7 +25,9 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
                "purification: occupied count out of range");
   PurificationResult out;
   if (n == 0 || n_occupied == 0) {
-    out.density = BlockSparseMatrix(n, h.block_size(), true);
+    out.density = h.uniform_blocks()
+                      ? BlockSparseMatrix(n, h.block_size(), true)
+                      : BlockSparseMatrix(h.block_dims(), true);
     out.converged = true;
     return out;
   }
@@ -55,9 +57,8 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
   const double denom_lo = std::max(mu - bounds.lo, 1e-12);
   const double lambda = std::min(theta / denom_hi, (1.0 - theta) / denom_lo);
 
-  if (ws.eye.size() != n || ws.eye.block_size() != hh.block_size() ||
-      !ws.eye.symmetric()) {
-    ws.eye = BlockSparseMatrix::identity(n, hh.block_size(), true);
+  if (!ws.eye.symmetric() || !ws.eye.layout_matches(hh)) {
+    ws.eye = BlockSparseMatrix::identity_like(hh);
   }
   // P = -lambda H + (lambda mu + theta) I
   hh.combine_into(-lambda, ws.eye, lambda * mu + theta,
@@ -122,7 +123,7 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
   out.band_energy = 2.0 * ws.p.trace_of_product(hh);
   out.fill_fraction = ws.p.fill_fraction();
   out.density = std::move(ws.p);
-  ws.p = BlockSparseMatrix(n, hh.block_size(), true);
+  ws.p = BlockSparseMatrix::zeros_like(hh);
   return out;
 }
 
@@ -131,6 +132,135 @@ PurificationResult palser_manolopoulos(const SparseMatrix& h, int n_occupied,
   return palser_manolopoulos(
       h.to_block(natural_block_size(h.size())).to_symmetric_half(),
       n_occupied, options);
+}
+
+PurificationResult palser_manolopoulos(
+    const SparseMatrix& h, const std::vector<std::uint32_t>& block_dims,
+    int n_occupied, const PurificationOptions& options) {
+  return palser_manolopoulos(h.to_block(block_dims).to_symmetric_half(),
+                             n_occupied, options);
+}
+
+PurificationResult purify_grand_canonical(const BlockSparseMatrix& h,
+                                          double mu,
+                                          const PurificationOptions& options,
+                                          PurificationWorkspace* workspace) {
+  const std::size_t n = h.size();
+  PurificationResult out;
+  out.mu = mu;
+  if (n == 0) {
+    out.converged = true;
+    return out;
+  }
+
+  PurificationWorkspace local;
+  PurificationWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  BlockSparseMatrix h_half_storage;
+  const BlockSparseMatrix* hp = &h;
+  if (!h.symmetric()) {
+    h_half_storage = h.to_symmetric_half();
+    hp = &h_half_storage;
+  }
+  const BlockSparseMatrix& hh = *hp;
+
+  // Step-function seed X0 = 1/2 I + (mu I - H) / (2 W).  W is the largest
+  // distance from mu to the Gershgorin enclosure, so every eigenvalue of X0
+  // lands in [0, 1] with the occupied/empty split exactly at 1/2; the
+  // trace-free McWeeny polynomial then sharpens the step without moving it.
+  const linalg::SpectralBounds bounds = hh.gershgorin_bounds();
+  const double w = std::max({bounds.hi - mu, mu - bounds.lo, 1e-12});
+  if (!ws.eye.symmetric() || !ws.eye.layout_matches(hh)) {
+    ws.eye = BlockSparseMatrix::identity_like(hh);
+  }
+  hh.combine_into(-0.5 / w, ws.eye, 0.5 + 0.5 * mu / w,
+                  options.drop_tolerance, ws.p, ws.scratch);
+
+  const double effective_tol =
+      std::max(options.idempotency_tolerance, options.drop_tolerance);
+  double prev_idem = 1e300;
+
+  ws.patterns.begin_run();
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    const double drop = options.drop_at(it);
+    ws.p.multiply_sym_into(ws.p, drop, ws.p2, ws.scratch, ws.patterns.next());
+    ws.p2.multiply_sym_into(ws.p, drop, ws.p3, ws.scratch,
+                            ws.patterns.next());
+
+    const double idem = ws.p.trace() - ws.p2.trace();
+    out.iterations = it;
+    out.idempotency_error = idem;
+    const bool at_floor = std::fabs(idem) >= 0.5 * prev_idem &&
+                          std::fabs(idem) / static_cast<double>(n) <
+                              50.0 * options.drop_tolerance;
+    if (std::fabs(idem) / static_cast<double>(n) < effective_tol ||
+        at_floor) {
+      out.converged = true;
+    }
+    prev_idem = std::fabs(idem);
+
+    // X <- 3 X^2 - 2 X^3 (also serves as the final polish on convergence).
+    ws.p2.combine_into(3.0, ws.p3, -2.0,
+                       out.converged ? options.drop_tolerance : drop, ws.p,
+                       ws.scratch);
+    if (out.converged) break;
+  }
+
+  out.band_energy = 2.0 * ws.p.trace_of_product(hh);
+  out.fill_fraction = ws.p.fill_fraction();
+  out.density = std::move(ws.p);
+  ws.p = BlockSparseMatrix::zeros_like(hh);
+  return out;
+}
+
+PurificationResult purify_with_chemical_potential(
+    const BlockSparseMatrix& h, int n_occupied,
+    const PurificationOptions& options, PurificationWorkspace* workspace) {
+  const std::size_t n = h.size();
+  TBMD_REQUIRE(n_occupied >= 0 &&
+                   static_cast<std::size_t>(n_occupied) <= n,
+               "purification: occupied count out of range");
+  if (n == 0 || n_occupied == 0) {
+    return purify_grand_canonical(h, 0.0, options, workspace);
+  }
+
+  // tr P(mu) counts the eigenvalues below mu, a step-wise nondecreasing
+  // function of mu: plain bisection between the Gershgorin bounds brackets
+  // the Fermi level.  Accept when the count lands within a quarter state —
+  // tighter than any truncation noise, loose enough that gapped systems
+  // terminate in a handful of purification runs.
+  const linalg::SpectralBounds bounds =
+      h.symmetric() ? h.gershgorin_bounds()
+                    : h.to_symmetric_half().gershgorin_bounds();
+  double lo = bounds.lo;
+  double hi = bounds.hi;
+  const double target = static_cast<double>(n_occupied);
+
+  PurificationResult best;
+  double best_miss = 1e300;
+  for (int step = 0; step < 48; ++step) {
+    const double mu = 0.5 * (lo + hi);
+    PurificationResult r = purify_grand_canonical(h, mu, options, workspace);
+    const double count = r.density.trace();
+    const double miss = std::fabs(count - target);
+    if (miss < best_miss) {
+      best_miss = miss;
+      best = std::move(r);
+    }
+    if (best_miss <= 0.25 && best.converged) break;
+    if (count < target) {
+      lo = mu;
+    } else {
+      hi = mu;
+    }
+    if (hi - lo < 1e-12 * std::max(1.0, std::fabs(hi) + std::fabs(lo))) {
+      break;
+    }
+  }
+  // A count that never matched (mu trapped inside a band at T = 0) is a
+  // metallic failure mode: report the closest run, unconverged.
+  if (best_miss > 0.25) best.converged = false;
+  return best;
 }
 
 }  // namespace tbmd::onx

@@ -12,7 +12,8 @@
 /// evaluation section quantifies.
 ///
 /// The iteration runs on the blocked-sparse substrate (BlockSparseMatrix,
-/// 4x4 tiles for the s/p-orbital Hamiltonians) in symmetric-half storage:
+/// one tile per atom pair: 4x4 for sp models, mixed 1/4/9 tiles for
+/// multi-species s/sp/spd models) in symmetric-half storage:
 /// H, P and every polynomial of P are symmetric, so only upper-half tiles
 /// are stored and multiplied (multiply_sym_into — half the memory and
 /// flops of the full-pattern engine).  Each multiply's symbolic phase is
@@ -64,6 +65,9 @@ struct PurificationResult {
   bool converged = false;
   double idempotency_error = 0.0;  ///< final tr(P - P^2)
   double fill_fraction = 0.0;      ///< logical nnz(P) / N^2
+  /// Chemical potential used (grand-canonical runs only; the canonical
+  /// Palser-Manolopoulos iteration never forms an explicit mu).
+  double mu = 0.0;
 };
 
 /// Cross-step cache of the SpMM symbolic phases of a purification run,
@@ -129,13 +133,52 @@ struct PurificationWorkspace {
 
 /// Scalar-CSR convenience overload: converts to the blocked symmetric-half
 /// substrate (4x4 tiles when the dimension allows, scalar tiles otherwise)
-/// and runs the blocked loop.
+/// and runs the blocked loop.  Prefer the block_dims overload when the
+/// orbital structure is known — see natural_block_size().
 [[nodiscard]] PurificationResult palser_manolopoulos(
     const SparseMatrix& h, int n_occupied,
     const PurificationOptions& options = {});
 
-/// Tile edge the purification engine picks for an n-dimensional operand:
-/// the natural 4x4 orbital block when it divides n, else scalar.
+/// Scalar-CSR overload with an explicit per-atom block layout (for a
+/// tight-binding Hamiltonian: tb::orbital_block_dims(model, system)).
+/// This is the correct entry point for multi-species models — the block
+/// structure is a property of the model, never of the dimension.
+[[nodiscard]] PurificationResult palser_manolopoulos(
+    const SparseMatrix& h, const std::vector<std::uint32_t>& block_dims,
+    int n_occupied, const PurificationOptions& options = {});
+
+/// Grand-canonical McWeeny purification at fixed chemical potential `mu`:
+/// start from the Gershgorin-scaled step-function seed
+///   X0 = 1/2 I + (mu I - H) / (2 W),  W = max(hi - mu, mu - lo),
+/// and iterate X <- 3 X^2 - 2 X^3, which drives every eigenvalue
+/// monotonically to 1 (below mu) or 0 (above mu).  Unlike the canonical
+/// loop the electron count is an *output* (tr P), so this is the building
+/// block for fractional-occupation / Fermi-level searches on systems whose
+/// integer filling is not known a priori.  result.mu echoes `mu`.
+[[nodiscard]] PurificationResult purify_grand_canonical(
+    const BlockSparseMatrix& h, double mu,
+    const PurificationOptions& options = {},
+    PurificationWorkspace* workspace = nullptr);
+
+/// Chemical-potential search: bisect mu within the Gershgorin bounds of
+/// `h` until the grand-canonical purification at mu yields
+/// tr(P) = n_occupied (within 0.25 states), then return that run's result
+/// (result.mu holds the located Fermi level).  Needs a gap at the Fermi
+/// level to land on an integer count — metallic spectra at T = 0 report
+/// converged = false when the count cannot be matched.  Finite-T
+/// (Fermi-Dirac) occupations inside the O(N) loop are out of scope here;
+/// the exact-diagonalization path owns fractional occupation (see
+/// tb::occupy in src/tb/occupations.hpp).
+[[nodiscard]] PurificationResult purify_with_chemical_potential(
+    const BlockSparseMatrix& h, int n_occupied,
+    const PurificationOptions& options = {},
+    PurificationWorkspace* workspace = nullptr);
+
+/// Tile edge the modelless CSR overload falls back on for an n-dimensional
+/// operand: the 4x4 orbital block of the legacy sp models when it divides
+/// n, else scalar.  Model-aware callers should pass
+/// tb::orbital_block_dims() to the block_dims overload instead of using
+/// this guess.
 [[nodiscard]] std::size_t natural_block_size(std::size_t n);
 
 }  // namespace tbmd::onx

@@ -16,7 +16,9 @@ PurificationResult sp2_purification(const BlockSparseMatrix& h,
                "sp2: occupied count out of range");
   PurificationResult out;
   if (n == 0 || n_occupied == 0) {
-    out.density = BlockSparseMatrix(n, h.block_size(), true);
+    out.density = h.uniform_blocks()
+                      ? BlockSparseMatrix(n, h.block_size(), true)
+                      : BlockSparseMatrix(h.block_dims(), true);
     out.converged = true;
     return out;
   }
@@ -40,9 +42,8 @@ PurificationResult sp2_purification(const BlockSparseMatrix& h,
   // estimate (linalg::SpectralBounds) the dense eigensolvers also use.
   const linalg::SpectralBounds bounds = hh.gershgorin_bounds();
   const double width = std::max(bounds.width(), 1e-12);
-  if (ws.eye.size() != n || ws.eye.block_size() != hh.block_size() ||
-      !ws.eye.symmetric()) {
-    ws.eye = BlockSparseMatrix::identity(n, hh.block_size(), true);
+  if (!ws.eye.symmetric() || !ws.eye.layout_matches(hh)) {
+    ws.eye = BlockSparseMatrix::identity_like(hh);
   }
   hh.combine_into(-1.0 / width, ws.eye, bounds.hi / width,
                   options.drop_tolerance, x, ws.scratch);
@@ -94,7 +95,7 @@ PurificationResult sp2_purification(const BlockSparseMatrix& h,
   out.band_energy = 2.0 * x.trace_of_product(hh);
   out.fill_fraction = x.fill_fraction();
   out.density = std::move(x);
-  x = BlockSparseMatrix(n, hh.block_size(), true);
+  x = BlockSparseMatrix::zeros_like(hh);
   return out;
 }
 
@@ -103,6 +104,13 @@ PurificationResult sp2_purification(const SparseMatrix& h, int n_occupied,
   return sp2_purification(
       h.to_block(natural_block_size(h.size())).to_symmetric_half(),
       n_occupied, options);
+}
+
+PurificationResult sp2_purification(
+    const SparseMatrix& h, const std::vector<std::uint32_t>& block_dims,
+    int n_occupied, const PurificationOptions& options) {
+  return sp2_purification(h.to_block(block_dims).to_symmetric_half(),
+                          n_occupied, options);
 }
 
 }  // namespace tbmd::onx

@@ -10,6 +10,7 @@
 /// are dropped ("nearsightedness").
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/linalg/matrix.hpp"
@@ -89,6 +90,13 @@ class SparseMatrix {
   /// lands in its tile; absent positions inside a stored tile are
   /// zero-filled.
   [[nodiscard]] BlockSparseMatrix to_block(std::size_t block_size) const;
+
+  /// to_block() on a variable block layout (tile (I, J) is
+  /// dims[I] x dims[J]; the dims must sum to n).  The block structure
+  /// comes from the caller -- for a Hamiltonian that is
+  /// tb::orbital_block_dims() -- never inferred from n.
+  [[nodiscard]] BlockSparseMatrix to_block(
+      const std::vector<std::uint32_t>& dims) const;
 
   /// Expand a full-stored block-CSR matrix back to scalar CSR, skipping
   /// the exact zeros that pad partially-filled tiles.  Half-stored

@@ -19,6 +19,9 @@ Vec3 fractional_to_k(const Cell& cell, const Vec3& k_frac) {
 BlochMatrix build_bloch_hamiltonian(const TbModel& model, const System& system,
                                     const Vec3& k) {
   check_species(model, system);
+  TBMD_REQUIRE(!model.multi_species(),
+               "bloch: k-space assembly still assumes the legacy uniform sp "
+               "block (multi-species models are real-space only for now)");
   const Cell& cell = system.cell();
   TBMD_REQUIRE(cell.periodic(), "bloch: system must be periodic");
 

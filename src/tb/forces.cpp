@@ -11,7 +11,8 @@ std::vector<Vec3> band_forces(const BondTable& table, const linalg::Matrix& rho,
   TBMD_REQUIRE(table.has_derivatives(),
                "band_forces: bond table was built without derivatives");
   const std::size_t n = table.atoms();
-  TBMD_REQUIRE(rho.rows() == 4 * n && rho.cols() == 4 * n,
+  const std::size_t norb = table.orbital_count();
+  TBMD_REQUIRE(rho.rows() == norb && rho.cols() == norb,
                "band_forces: density matrix size mismatch");
   std::vector<Vec3> forces(n, Vec3{});
   if (table.size() == 0) return forces;
@@ -29,23 +30,41 @@ std::vector<Vec3> band_forces(const BondTable& table, const linalg::Matrix& rho,
     for (std::size_t p = 0; p < table.size(); ++p) {
       if (table.hopping_zero(p)) continue;  // skin-only pair: dB/dd == 0
 
-      // dE/dd_g = 2 sum_ab rho(i a, j b) dB(a,b)/dd_g.  Gather the 4x4
+      // dE/dd_g = 2 sum_ab rho(i a, j b) dB(a,b)/dd_g.  Gather the bond's
       // density block once, then contract the three contiguous derivative
-      // blocks against it.
-      const std::size_t oi = 4 * table.i(p);
-      const std::size_t oj = 4 * table.j(p);
-      double rb[16];
-      for (int a = 0; a < 4; ++a) {
-        const double* rrow = rho.row(oi + a) + oj;
-        for (int b = 0; b < 4; ++b) rb[4 * a + b] = rrow[b];
-      }
+      // blocks against it (at most 9 x 9 = 81 entries).
+      const std::size_t oi = table.orbital_offset(table.i(p));
+      const std::size_t oj = table.orbital_offset(table.j(p));
+      const int bsi = table.orbs_i(p);
+      const int bsj = table.orbs_j(p);
+      const int sz_b = bsi * bsj;
+      double rb[81];
       const double* d = table.derivative(p, 0);  // [gamma][alpha][beta]
       Vec3 dedd{};
       double sx = 0.0, sy = 0.0, sz = 0.0;
-      for (int ab = 0; ab < 16; ++ab) {
-        sx += rb[ab] * d[ab];
-        sy += rb[ab] * d[16 + ab];
-        sz += rb[ab] * d[32 + ab];
+      if (sz_b == 16) {
+        // Compile-time trip counts keep the uniform sp contraction's code
+        // generation (and thus its floating-point summation order)
+        // bit-identical to the pre-variable-block kernel.
+        for (int a = 0; a < 4; ++a) {
+          const double* rrow = rho.row(oi + a) + oj;
+          for (int b = 0; b < 4; ++b) rb[4 * a + b] = rrow[b];
+        }
+        for (int ab = 0; ab < 16; ++ab) {
+          sx += rb[ab] * d[ab];
+          sy += rb[ab] * d[16 + ab];
+          sz += rb[ab] * d[32 + ab];
+        }
+      } else {
+        for (int a = 0; a < bsi; ++a) {
+          const double* rrow = rho.row(oi + a) + oj;
+          for (int b = 0; b < bsj; ++b) rb[bsj * a + b] = rrow[b];
+        }
+        for (int ab = 0; ab < sz_b; ++ab) {
+          sx += rb[ab] * d[ab];
+          sy += rb[ab] * d[sz_b + ab];
+          sz += rb[ab] * d[2 * sz_b + ab];
+        }
       }
       dedd.x = 2.0 * sx;
       dedd.y = 2.0 * sy;

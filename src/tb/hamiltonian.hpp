@@ -3,6 +3,9 @@
 /// \file hamiltonian.hpp
 /// \brief Assembly of the dense tight-binding Hamiltonian.
 
+#include <cstdint>
+#include <vector>
+
 #include "src/core/system.hpp"
 #include "src/linalg/matrix.hpp"
 #include "src/neighbor/neighbor_list.hpp"
@@ -12,19 +15,18 @@ namespace tbmd::tb {
 
 class BondTable;
 
-/// Assemble the dense 4N x 4N tight-binding Hamiltonian from a prebuilt
-/// bond table (the step-pipeline hot path: the table's blocks are shared
-/// with the force contraction and the repulsive term).  Orbital (i, alpha)
-/// maps to row 4*i + alpha.  `model` supplies the on-site energies; the
-/// hopping blocks come from the table.
+/// Assemble the dense tight-binding Hamiltonian from a prebuilt bond table
+/// (the step-pipeline hot path: the table's blocks are shared with the
+/// force contraction and the repulsive term).  Orbital (i, alpha) maps to
+/// row table.orbital_offset(i) + alpha (= 4*i + alpha for the legacy sp
+/// models).  `model` supplies the on-site energies; the hopping blocks
+/// come from the table.
 [[nodiscard]] linalg::Matrix build_hamiltonian(const TbModel& model,
                                                const System& system,
                                                const BondTable& table);
 
 /// Convenience overload: evaluate a blocks-only BondTable from `list` and
-/// assemble from it.  Every atom must match the model's element (the
-/// shipped models are single-element; heteronuclear parameterizations
-/// would extend the BondIntegrals lookup, not this assembly).
+/// assemble from it.  Every atom's element must be covered by the model.
 [[nodiscard]] linalg::Matrix build_hamiltonian(const TbModel& model,
                                                const System& system,
                                                const NeighborList& list);
@@ -32,5 +34,16 @@ class BondTable;
 /// Validate that every atom in `system` is handled by `model`; throws
 /// tbmd::Error otherwise.
 void check_species(const TbModel& model, const System& system);
+
+/// Per-atom orbital counts of `system` under `model` -- the BSR block
+/// dimensions of the system's Hamiltonian (all 4 for the legacy sp
+/// models).  This is the authoritative source the block-sparse layer's
+/// converters take their block structure from.
+[[nodiscard]] std::vector<std::uint32_t> orbital_block_dims(
+    const TbModel& model, const System& system);
+
+/// Total orbital count (the Hamiltonian dimension).
+[[nodiscard]] std::size_t orbital_count(const TbModel& model,
+                                        const System& system);
 
 }  // namespace tbmd::tb

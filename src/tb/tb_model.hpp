@@ -22,7 +22,10 @@
 /// DESIGN.md and validated by the cohesion tests).
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/core/element.hpp"
 
@@ -54,7 +57,74 @@ enum class RepulsionKind {
   kEmbeddedPolynomial,  ///< E_rep = sum_i f( sum_j phi(r_ij) )     (XWCH)
 };
 
-/// Complete single-element sp3 tight-binding model.
+/// The full set of two-center Slater-Koster integrals an spd x spd pair can
+/// carry, at the pair's reference distance hopping.r0 (eV).  The first
+/// letter is the bra shell (on the bond's *first* atom), the second the ket
+/// shell (on the second atom), the third the bond symmetry -- so for an
+/// ordered pair A->B, `sps` couples A's s to B's p while `pss` couples A's
+/// p to B's s.  Shells a species does not have simply leave their entries
+/// at zero.  Hermiticity ties the two orderings of a pair together
+/// (PairParams::reversed()); for a homonuclear pair that reduces to
+/// pss == sps, dss == sds, dps == pds, dpp == pdp.
+struct SkIntegrals {
+  double sss = 0.0;  ///< V_ss_sigma
+  double sps = 0.0;  ///< V_sp_sigma (bra s, ket p)
+  double pss = 0.0;  ///< V_ps_sigma (bra p, ket s)
+  double pps = 0.0;  ///< V_pp_sigma
+  double ppp = 0.0;  ///< V_pp_pi
+  double sds = 0.0;  ///< V_sd_sigma (bra s, ket d)
+  double dss = 0.0;  ///< V_ds_sigma (bra d, ket s)
+  double pds = 0.0;  ///< V_pd_sigma (bra p, ket d)
+  double pdp = 0.0;  ///< V_pd_pi
+  double dps = 0.0;  ///< V_dp_sigma (bra d, ket p)
+  double dpp = 0.0;  ///< V_dp_pi
+  double dds = 0.0;  ///< V_dd_sigma
+  double ddp = 0.0;  ///< V_dd_pi
+  double ddd = 0.0;  ///< V_dd_delta
+};
+
+/// One species of a multi-element model: which element it represents, how
+/// many orbitals it carries (1 = s, 4 = sp, 9 = spd; this is the BSR block
+/// dimension of its atoms) and the on-site energies of the shells present.
+struct SpeciesParams {
+  Element element = Element::C;
+  int orbitals = 4;   ///< 1 (s-only), 4 (sp) or 9 (spd)
+  double e_s = 0.0;   ///< on-site s energy (eV)
+  double e_p = 0.0;   ///< on-site p energy (eV; orbitals >= 4)
+  double e_d = 0.0;   ///< on-site d energy (eV; orbitals == 9)
+};
+
+/// Interaction parameters of one *ordered* species pair (bra, ket): the SK
+/// integrals at hopping.r0, their shared GSP radial scaling, and the
+/// repulsive pair function phi(r) = phi0 * s_rep(r).  The repulsive part is
+/// symmetric in the two species by construction; the hopping integrals of
+/// the reversed ordering follow from Hermiticity via reversed().
+struct PairParams {
+  SkIntegrals integrals;
+  RadialScaling hopping;
+  double phi0 = 0.0;        ///< repulsive prefactor (eV)
+  RadialScaling repulsive;  ///< scaling of phi
+
+  /// Parameters of the reversed ordering (B, A): the mixed-shell integral
+  /// slots swap (sps <-> pss, sds <-> dss, pds <-> dps, pdp <-> dpp); the
+  /// symmetric slots and the radial/repulsive parts are shared.  The sign
+  /// conventions of odd-parity blocks are handled by the SK evaluator, not
+  /// here (see sk_pair_block_into).
+  [[nodiscard]] PairParams reversed() const;
+};
+
+/// Complete tight-binding model.
+///
+/// Two layers of description coexist:
+///   * The legacy single-element sp3 fields (element, e_s/e_p, bonds,
+///     hopping, ...) -- used whenever `species` is empty.  The shipped
+///     carbon and silicon models live here and keep their fast, fully
+///     unrolled 4x4 code paths.
+///   * The multi-species extension: a species table (each with its own
+///     orbital count, 1/4/9) plus an ns x ns table of ordered-pair
+///     parameters with heteronuclear SK integrals.  Populated via
+///     set_species()/set_pair(); pair (j, i) is derived from (i, j) by
+///     Hermiticity automatically.
 struct TbModel {
   std::string name;
   Element element = Element::C;
@@ -71,13 +141,48 @@ struct TbModel {
   /// Embedding polynomial f(x) = sum_k coeff[k] x^k (kEmbeddedPolynomial).
   std::array<double, 5> embed_coeff{0, 1, 0, 0, 0};
 
-  /// Orbitals per atom (sp3 = 4).
+  /// Orbitals per atom of the legacy sp3 layer (sp3 = 4).
   static constexpr int kOrbitalsPerAtom = 4;
 
-  /// Interaction cutoff: the larger of the two radial cutoffs (A).
-  [[nodiscard]] double cutoff() const {
-    return hopping.r_cut > repulsive.r_cut ? hopping.r_cut : repulsive.r_cut;
-  }
+  /// Multi-species extension; empty means "legacy single-element sp model".
+  std::vector<SpeciesParams> species;
+  /// Ordered-pair table, row-major [bra * species_count() + ket]; sized by
+  /// set_species().
+  std::vector<PairParams> pairs;
+
+  /// True when the model carries an explicit species table.
+  [[nodiscard]] bool multi_species() const { return !species.empty(); }
+
+  /// True when every atom carries the uniform 4-orbital sp block -- the
+  /// predicate the engine uses to route through the legacy unrolled paths.
+  [[nodiscard]] bool uniform_sp() const;
+
+  [[nodiscard]] std::size_t species_count() const { return species.size(); }
+
+  /// Species-table index of an element, or -1 when the model has no
+  /// parameters for it.  Legacy models report index 0 for their element.
+  [[nodiscard]] int species_index(Element e) const;
+
+  /// Orbitals per atom of species `s` (1, 4 or 9).
+  [[nodiscard]] int orbitals(std::size_t s) const;
+
+  /// On-site energy of orbital `orb` (0 = s, 1..3 = p, 4..8 = d) of
+  /// species `s`.
+  [[nodiscard]] double onsite_energy(std::size_t s, int orb) const;
+
+  /// Ordered-pair parameters (bra species, ket species).
+  [[nodiscard]] const PairParams& pair(std::size_t bra, std::size_t ket) const;
+
+  /// Define the species table (resizes the pair table to ns x ns).
+  void set_species(std::vector<SpeciesParams> table);
+
+  /// Set the parameters of ordered pair (bra, ket); (ket, bra) is filled
+  /// with p.reversed() so Hermiticity holds by construction.
+  void set_pair(std::size_t bra, std::size_t ket, const PairParams& p);
+
+  /// Interaction cutoff: the larger of the two radial cutoffs (A), taken
+  /// over all pairs for a multi-species model.
+  [[nodiscard]] double cutoff() const;
 };
 
 /// Xu-Wang-Chan-Ho orthogonal sp3 carbon model.
@@ -86,7 +191,15 @@ struct TbModel {
 /// Goodwin-Skinner-Pettifor orthogonal sp3 silicon model.
 [[nodiscard]] TbModel gsp_silicon();
 
-/// Look up a shipped model by name ("xwch-carbon", "gsp-silicon").
+/// Orthogonal spd gold model in the spirit of Kirchhoff et al., Phys. Rev.
+/// B 63, 195101 (2001): a 9-orbital species with GSP-scaled two-center spd
+/// integrals and a steep pair-sum repulsion, cut off between the first and
+/// second fcc neighbor shells.  The integrals are a compact refit around
+/// canonical Au two-center values, not the published NRL tables.
+[[nodiscard]] TbModel kirchhoff_gold();
+
+/// Look up a shipped model by name ("xwch-carbon", "gsp-silicon",
+/// "kirchhoff-gold").
 [[nodiscard]] TbModel model_by_name(const std::string& name);
 
 }  // namespace tbmd::tb

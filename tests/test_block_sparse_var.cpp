@@ -1,0 +1,256 @@
+// Tests for the variable-block-row (mixed-tile) mode of BlockSparseMatrix:
+// uniform normalization, dense/CSR round trips, algebra against the dense
+// reference, symmetric-half storage with frozen-pattern reuse, and the
+// rectangular truncation criterion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/linalg/blas.hpp"
+#include "src/onx/block_sparse.hpp"
+#include "src/onx/sparse.hpp"
+#include "src/util/random.hpp"
+
+namespace tbmd::onx {
+namespace {
+
+/// A mixed 1/4/9 layout, the orbital-count triple of an s / sp / spd
+/// species mix.
+std::vector<std::uint32_t> mixed_dims() { return {4, 1, 9, 4, 1, 9, 4}; }
+
+std::size_t dims_sum(const std::vector<std::uint32_t>& dims) {
+  std::size_t n = 0;
+  for (const std::uint32_t d : dims) n += d;
+  return n;
+}
+
+/// Random symmetric matrix whose sparsity pattern is granular in the
+/// *variable* tiles of `dims`: a tile is dense or absent as a whole,
+/// mirrored across the diagonal.
+linalg::Matrix random_var_symmetric(const std::vector<std::uint32_t>& dims,
+                                    std::uint64_t seed,
+                                    double block_sparsity = 0.5) {
+  Rng rng(seed);
+  const std::size_t nb = dims.size();
+  std::vector<std::size_t> off(nb + 1, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi) off[bi + 1] = off[bi] + dims[bi];
+  linalg::Matrix m(off[nb], off[nb], 0.0);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    for (std::size_t bj = 0; bj <= bi; ++bj) {
+      if (bi != bj && rng.uniform() < block_sparsity) continue;
+      for (std::size_t r = 0; r < dims[bi]; ++r) {
+        for (std::size_t c = 0; c < dims[bj]; ++c) {
+          if (bi == bj && c > r) continue;
+          const double v = rng.uniform(-1, 1);
+          m(off[bi] + r, off[bj] + c) = v;
+          m(off[bj] + c, off[bi] + r) = v;
+        }
+      }
+    }
+  }
+  return m;
+}
+
+TEST(BlockSparseVar, UniformDimsNormalizeToUniformMode) {
+  const std::vector<std::uint32_t> dims = {4, 4, 4};
+  const BlockSparseMatrix m(dims);
+  EXPECT_TRUE(m.uniform_blocks());
+  EXPECT_EQ(m.block_size(), 4u);
+  EXPECT_EQ(m.max_block_size(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_TRUE(m.block_dims().empty());
+
+  const BlockSparseMatrix id = BlockSparseMatrix::identity(dims);
+  EXPECT_TRUE(id.uniform_blocks());
+  EXPECT_NEAR(id.trace(), 12.0, 1e-15);
+}
+
+TEST(BlockSparseVar, MixedLayoutBasics) {
+  const auto dims = mixed_dims();
+  const BlockSparseMatrix m(dims);
+  EXPECT_FALSE(m.uniform_blocks());
+  EXPECT_EQ(m.block_size(), 0u);
+  EXPECT_EQ(m.max_block_size(), 9u);
+  EXPECT_EQ(m.size(), dims_sum(dims));
+  EXPECT_EQ(m.block_rows(), dims.size());
+  EXPECT_EQ(m.row_dim(2), 9u);
+  EXPECT_EQ(m.row_offset(2), 5u);
+}
+
+TEST(BlockSparseVar, IdentityAndIdentityLike) {
+  const auto dims = mixed_dims();
+  const BlockSparseMatrix id = BlockSparseMatrix::identity(dims);
+  const std::size_t n = dims_sum(dims);
+  EXPECT_NEAR(id.trace(), static_cast<double>(n), 1e-15);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(id.get(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+  const BlockSparseMatrix half = BlockSparseMatrix::identity(dims, true);
+  const BlockSparseMatrix like = BlockSparseMatrix::identity_like(half);
+  EXPECT_TRUE(like.symmetric());
+  EXPECT_EQ(like.pattern_fingerprint(), half.pattern_fingerprint());
+  EXPECT_NEAR(like.trace(), static_cast<double>(n), 1e-15);
+}
+
+TEST(BlockSparseVar, DenseRoundTrip) {
+  const auto dims = mixed_dims();
+  const linalg::Matrix a = random_var_symmetric(dims, 3);
+  const BlockSparseMatrix b = BlockSparseMatrix::from_dense(a, dims);
+  EXPECT_FALSE(b.uniform_blocks());
+  EXPECT_LT(linalg::max_abs(b.to_dense() - a), 1e-15);
+
+  // Entrywise lookup agrees on both triangles.
+  for (std::size_t i = 0; i < a.rows(); i += 3) {
+    for (std::size_t j = 0; j < a.cols(); j += 2) {
+      EXPECT_EQ(b.get(i, j), a(i, j));
+    }
+  }
+}
+
+TEST(BlockSparseVar, HalfStorageRoundTrip) {
+  const auto dims = mixed_dims();
+  const linalg::Matrix a = random_var_symmetric(dims, 7);
+  const BlockSparseMatrix full = BlockSparseMatrix::from_dense(a, dims);
+  const BlockSparseMatrix half = full.to_symmetric_half();
+  EXPECT_TRUE(half.symmetric());
+  EXPECT_LT(half.block_count(), full.block_count());
+  EXPECT_LT(linalg::max_abs(half.to_dense() - a), 1e-15);
+  const BlockSparseMatrix back = half.to_full();
+  EXPECT_FALSE(back.symmetric());
+  EXPECT_LT(linalg::max_abs(back.to_dense() - a), 1e-15);
+  EXPECT_EQ(back.block_count(), full.block_count());
+  // Mirror-aware scalar lookups on the half form.
+  for (std::size_t i = 0; i < a.rows(); i += 2) {
+    for (std::size_t j = 0; j < a.cols(); j += 3) {
+      EXPECT_EQ(half.get(i, j), a(i, j));
+    }
+  }
+}
+
+TEST(BlockSparseVar, CsrRoundTrip) {
+  const auto dims = mixed_dims();
+  const linalg::Matrix a = random_var_symmetric(dims, 13);
+  const SparseMatrix s = SparseMatrix::from_dense(a);
+  const BlockSparseMatrix b = s.to_block(dims);
+  EXPECT_FALSE(b.uniform_blocks());
+  EXPECT_LT(linalg::max_abs(b.to_dense() - a), 1e-15);
+  const SparseMatrix back = SparseMatrix::from_block(b);
+  EXPECT_LT(linalg::max_abs(back.to_dense() - a), 1e-15);
+}
+
+TEST(BlockSparseVar, TraceOfProductMatchesDense) {
+  const auto dims = mixed_dims();
+  const linalg::Matrix a = random_var_symmetric(dims, 17);
+  const linalg::Matrix c = random_var_symmetric(dims, 19);
+  const double ref = linalg::trace_of_product(a, c);
+  const BlockSparseMatrix ba = BlockSparseMatrix::from_dense(a, dims);
+  const BlockSparseMatrix bc = BlockSparseMatrix::from_dense(c, dims);
+  EXPECT_NEAR(ba.trace_of_product(bc), ref, 1e-11);
+  EXPECT_NEAR(ba.to_symmetric_half().trace_of_product(bc.to_symmetric_half()),
+              ref, 1e-11);
+}
+
+TEST(BlockSparseVar, CombineMatchesDense) {
+  const auto dims = mixed_dims();
+  const linalg::Matrix a = random_var_symmetric(dims, 23);
+  const linalg::Matrix c = random_var_symmetric(dims, 29);
+  const BlockSparseMatrix ba = BlockSparseMatrix::from_dense(a, dims);
+  const BlockSparseMatrix bc = BlockSparseMatrix::from_dense(c, dims);
+  const BlockSparseMatrix r = ba.combine(1.5, bc, -0.5);
+  linalg::Matrix ref(a.rows(), a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      ref(i, j) = 1.5 * a(i, j) - 0.5 * c(i, j);
+    }
+  }
+  EXPECT_LT(linalg::max_abs(r.to_dense() - ref), 1e-14);
+}
+
+TEST(BlockSparseVar, MultiplyMatchesDenseGemm) {
+  const auto dims = mixed_dims();
+  const linalg::Matrix a = random_var_symmetric(dims, 31);
+  const BlockSparseMatrix ba = BlockSparseMatrix::from_dense(a, dims);
+  const BlockSparseMatrix p = ba.multiply(ba);
+  const linalg::Matrix ref = linalg::matmul(a, a);
+  EXPECT_LT(linalg::max_abs(p.to_dense() - ref), 1e-12);
+}
+
+TEST(BlockSparseVar, SymmetricHalfMultiplyMatchesFull) {
+  const auto dims = mixed_dims();
+  const linalg::Matrix a = random_var_symmetric(dims, 37);
+  const BlockSparseMatrix full = BlockSparseMatrix::from_dense(a, dims);
+  const BlockSparseMatrix half = full.to_symmetric_half();
+  BlockSparseMatrix out;
+  BsrWorkspace ws;
+  half.multiply_sym_into(half, 0.0, out, ws, nullptr);
+  EXPECT_TRUE(out.symmetric());
+  const linalg::Matrix ref = linalg::matmul(a, a);
+  EXPECT_LT(linalg::max_abs(out.to_dense() - ref), 1e-12);
+}
+
+TEST(BlockSparseVar, FrozenPatternReuseIsBitIdentical) {
+  const auto dims = mixed_dims();
+  const linalg::Matrix a = random_var_symmetric(dims, 41);
+  const BlockSparseMatrix half =
+      BlockSparseMatrix::from_dense(a, dims).to_symmetric_half();
+  BsrWorkspace ws;
+  BsrPattern pattern;
+  BlockSparseMatrix cold, warm;
+  half.multiply_sym_into(half, 1e-8, cold, ws, &pattern);
+  EXPECT_EQ(ws.stats.symbolic_builds, 1u);
+  half.multiply_sym_into(half, 1e-8, warm, ws, &pattern);
+  EXPECT_EQ(ws.stats.symbolic_builds, 1u);
+  EXPECT_EQ(ws.stats.numeric_reuses, 1u);
+  ASSERT_EQ(warm.values().size(), cold.values().size());
+  for (std::size_t q = 0; q < cold.values().size(); ++q) {
+    EXPECT_EQ(warm.values()[q], cold.values()[q]);  // bit-identical
+  }
+}
+
+TEST(BlockSparseVar, RectTruncationDropsSmallTiles) {
+  // Two tiles: a 4x9 tile of entries eps/2 must be dropped at tolerance
+  // eps (RMS below eps), a tile with one large entry must survive.
+  const std::vector<std::uint32_t> dims = {4, 9};
+  linalg::Matrix a(13, 13, 0.0);
+  const double eps = 1e-6;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 4; c < 13; ++c) {
+      a(r, c) = 0.5 * eps;
+      a(c, r) = 0.5 * eps;
+    }
+  }
+  a(0, 0) = 1.0;
+  a(4, 4) = 1.0;
+  const BlockSparseMatrix kept = BlockSparseMatrix::from_dense(a, dims, 0.0);
+  EXPECT_EQ(kept.block_count(), 4u);  // two diagonal + both mirrors
+  const BlockSparseMatrix trunc =
+      BlockSparseMatrix::from_dense(a, dims, eps);
+  EXPECT_EQ(trunc.block_count(), 2u);  // diagonal tiles only
+}
+
+TEST(BlockSparseVar, GershgorinContainsSpectrumEdges) {
+  const auto dims = mixed_dims();
+  const linalg::Matrix a = random_var_symmetric(dims, 43);
+  const BlockSparseMatrix full = BlockSparseMatrix::from_dense(a, dims);
+  const auto bf = full.gershgorin_bounds();
+  const auto bh = full.to_symmetric_half().gershgorin_bounds();
+  EXPECT_NEAR(bf.lo, bh.lo, 1e-12);
+  EXPECT_NEAR(bf.hi, bh.hi, 1e-12);
+  // Row sums bound the spectrum: check against the largest |row sum|.
+  double max_abs_row = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += std::fabs(a(i, j));
+    max_abs_row = std::max(max_abs_row, s);
+  }
+  EXPECT_GE(bf.hi, -max_abs_row);
+  EXPECT_LE(bf.lo, max_abs_row);
+}
+
+}  // namespace
+}  // namespace tbmd::onx

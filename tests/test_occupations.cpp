@@ -6,7 +6,12 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/linalg/eigen_sym.hpp"
+#include "src/neighbor/neighbor_list.hpp"
+#include "src/structures/builders.hpp"
+#include "src/tb/hamiltonian.hpp"
 #include "src/tb/occupations.hpp"
+#include "src/tb/tb_model.hpp"
 #include "src/util/error.hpp"
 #include "src/util/units.hpp"
 
@@ -120,6 +125,47 @@ TEST(FiniteTemperatureBehavior, BandEnergyAboveGroundStateAtFiniteT) {
   EXPECT_GT(hot.band_energy, cold.band_energy - 1e-12);
   // But the free energy E + (-TS) must stay below E_hot (variational).
   EXPECT_LE(hot.band_energy + hot.entropy_term, hot.band_energy);
+}
+
+/// Fermi smearing on the 216-atom carbon gate system (the spectrum every
+/// accuracy CI gate runs on): electron-count conservation, the Mermin
+/// entropy term in the free energy, and the T -> 0 limit reproducing the
+/// integer-occupation aufbau path.
+TEST(GateSystem, FermiSmearingOn216AtomDiamond) {
+  const tb::TbModel model = xwch_carbon();
+  System s = structures::diamond(Element::C, 3.567, 3, 3, 3);
+  structures::perturb(s, 0.02, 13);
+  ASSERT_EQ(s.size(), 216u);
+  NeighborList list;
+  list.ensure(s.positions(), s.cell(), {model.cutoff(), 0.3});
+  const linalg::Matrix h = build_hamiltonian(model, s, list);
+  const linalg::SymmetricEigenSolution sol = linalg::eigh(h);
+  const int ne = s.total_valence_electrons();
+  ASSERT_EQ(ne, 4 * 216);
+
+  const Occupations cold = occupy(sol.values, ne, 0.0);
+  for (const double kelvin : {100.0, 300.0, 2000.0}) {
+    const Occupations occ = occupy(sol.values, ne, kelvin);
+    // Sum-to-N: the bisected chemical potential conserves the count.
+    EXPECT_NEAR(total_weight(occ), static_cast<double>(ne), 1e-7)
+        << "T = " << kelvin;
+    // The Mermin term is nonpositive and the free energy variational:
+    // E - TS <= E at the same occupations.
+    EXPECT_LE(occ.entropy_term, 0.0);
+    EXPECT_LE(occ.band_energy + occ.entropy_term, occ.band_energy + 1e-12);
+    // Smearing can only raise the band energy above the aufbau minimum.
+    EXPECT_GE(occ.band_energy, cold.band_energy - 1e-9);
+  }
+
+  // T -> 0 limit: diamond is gapped, so low-temperature smearing must
+  // reproduce the integer-occupation path exactly (weights, band energy,
+  // vanishing entropy).
+  const Occupations t0 = occupy(sol.values, ne, 1.0);
+  EXPECT_NEAR(t0.band_energy, cold.band_energy, 1e-8);
+  EXPECT_NEAR(t0.entropy_term, 0.0, 1e-10);
+  for (std::size_t k = 0; k < t0.weights.size(); ++k) {
+    EXPECT_NEAR(t0.weights[k], cold.weights[k], 1e-9) << "state " << k;
+  }
 }
 
 TEST(FiniteTemperatureBehavior, DegenerateLevelsShareOccupation) {
