@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
   tb::TightBindingCalculator calc(model, opt);
   io::Table table({"step", "time_fs", "total_eV", "potential_eV",
                    "kinetic_eV", "drift_eV_atom"});
-  md::MdDriver driver(bulk, calc, {dt, nullptr});
+  md::MdDriver driver(bulk, calc, {dt});
   const double e0 = driver.total_energy();
   double worst_drift = 0.0;
   driver.run(steps, [&](const md::MdDriver& d, long step) {

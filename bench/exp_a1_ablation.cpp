@@ -39,7 +39,7 @@ int main() {
       potentials::TersoffParams p = potentials::tersoff_silicon();
       p.skin = skin;
       potentials::TersoffCalculator calc(p);
-      md::MdDriver driver(s, calc, {1.0, nullptr});
+      md::MdDriver driver(s, calc, {1.0});
       WallTimer w;
       driver.run(200);
       // Count rebuilds via a fresh probe list (the calculator's list is
@@ -50,7 +50,7 @@ int main() {
       System replay = structures::diamond(Element::Si, 5.431, 3, 3, 3);
       md::maxwell_boltzmann_velocities(replay, 800.0, 17);
       potentials::TersoffCalculator calc2(p);
-      md::MdDriver replay_driver(replay, calc2, {1.0, nullptr});
+      md::MdDriver replay_driver(replay, calc2, {1.0});
       std::size_t builds = 0;
       replay_driver.run(200, [&](const md::MdDriver& d, long) {
         if (probe.ensure(d.system().positions(), d.system().cell(), opt)) {
@@ -142,7 +142,7 @@ int main() {
             sum2 += de * de;
           }
         } else {
-          md::MdDriver driver(s, calc, {dt, nullptr});
+          md::MdDriver driver(s, calc, {dt});
           const double e0 = driver.total_energy();
           for (long q = 0; q < steps; ++q) {
             driver.step();

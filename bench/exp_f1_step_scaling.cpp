@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "src/core/calculator_spec.hpp"
 #include "src/io/table.hpp"
 #include "src/onx/on_calculator.hpp"
 #include "src/potentials/tersoff.hpp"
@@ -76,18 +77,18 @@ int main() {
 
     double ms_exact = -1.0;
     if (sp.run_exact) {
-      tb::TightBindingCalculator exact(tb::xwch_carbon());
-      ms_exact = time_force_call(exact, s, 1);
+      const auto exact =
+          make_calculator(tb::xwch_carbon(), s, CalculatorSpec::exact());
+      ms_exact = time_force_call(*exact, s, 1);
       ns.push_back(n);
       t_exact.push_back(ms_exact);
     }
 
     double ms_on = -1.0;
     if (sp.run_on) {
-      onx::OrderNOptions oopt;
-      oopt.purification.drop_tolerance = 1e-6;
-      onx::OrderNCalculator on(tb::xwch_carbon(), oopt);
-      ms_on = time_force_call(on, s, 1);
+      const auto on =
+          make_calculator(tb::xwch_carbon(), s, CalculatorSpec::order_n(1e-6));
+      ms_on = time_force_call(*on, s, 1);
       n_on.push_back(n);
       t_on.push_back(ms_on);
     }

@@ -32,7 +32,7 @@ int main() {
     System s = structures::diamond(Element::Si, 5.431, 2, 2, 2);
     md::maxwell_boltzmann_velocities(s, 300.0, 21);
     tb::TightBindingCalculator calc(tb::gsp_silicon());
-    md::MdDriver driver(s, calc, {dt, nullptr});
+    md::MdDriver driver(s, calc, {dt});
 
     const double e0 = driver.total_energy();
     const long steps = static_cast<long>(total_time_fs / dt);
@@ -62,7 +62,7 @@ int main() {
   tb::TightBindingCalculator calc(tb::gsp_silicon());
   md::MdOptions opt;
   opt.dt = 1.0;
-  opt.thermostat = std::make_unique<md::NoseHooverThermostat>(300.0, 50.0, 2);
+  opt.thermostat = md::ThermostatSpec::nose_hoover(300.0, 50.0, 2);
   md::MdDriver driver(s, calc, std::move(opt));
 
   const double h0 = driver.conserved_quantity();

@@ -52,7 +52,7 @@ int main() {
   opt.dt = 1.5;
   // Stiff coupling (tau = 20 fs): the 300 -> 3500 K ramp must drag the
   // system along within the simulated ps.
-  opt.thermostat = std::make_unique<md::NoseHooverThermostat>(300.0, 20.0, 2);
+  opt.thermostat = md::ThermostatSpec::nose_hoover(300.0, 20.0, 2);
   md::MdDriver driver(s, calc, std::move(opt));
 
   io::Table table({"phase", "r_A", "g"});

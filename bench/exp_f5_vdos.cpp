@@ -49,7 +49,7 @@ int main() {
     const Vec3 axis = normalized(dimer.displacement(0, 1));
     dimer.positions()[1] += 0.02 * req * axis;
 
-    md::MdDriver driver(dimer, calc, {0.25, nullptr});
+    md::MdDriver driver(dimer, calc, {0.25});
     analysis::VacfAccumulator vacf(0.25);
     driver.run(1600, [&](const md::MdDriver& d, long) {
       vacf.add_frame(d.system());
@@ -69,7 +69,7 @@ int main() {
     System si = structures::diamond(Element::Si, 5.431, 2, 2, 2);
     md::maxwell_boltzmann_velocities(si, 300.0, 41);
     tb::TightBindingCalculator calc(tb::gsp_silicon());
-    md::MdDriver driver(si, calc, {2.0, nullptr});
+    md::MdDriver driver(si, calc, {2.0});
     driver.run(50);  // microcanonical equilibration
 
     analysis::VacfAccumulator vacf(2.0);

@@ -35,7 +35,7 @@ int main() {
                                    spec.nz);
     md::maxwell_boltzmann_velocities(s, 300.0, 7);
     tb::TightBindingCalculator calc(tb::xwch_carbon());
-    md::MdDriver driver(s, calc, {1.0, nullptr});
+    md::MdDriver driver(s, calc, {1.0});
 
     calc.phase_timers().reset();
     const int steps = 3;

@@ -19,6 +19,7 @@
 #include <iostream>
 #include <vector>
 
+#include "src/core/calculator_spec.hpp"
 #include "src/io/table.hpp"
 #include "src/onx/on_calculator.hpp"
 #include "src/structures/builders.hpp"
@@ -71,14 +72,14 @@ int main(int argc, char** argv) {
 
     // MD production configuration: no eigenvalue reporting, so kAuto takes
     // the partial-spectrum (occupied window) path.
-    tb::TbOptions eopt;
-    eopt.report_eigenvalues = false;
-    tb::TightBindingCalculator exact(tb::xwch_carbon(), eopt);
-    const double ms_exact = time_force_call(exact, s, reps);
+    CalculatorSpec espec = CalculatorSpec::exact();
+    espec.report_eigenvalues = false;
+    const auto exact = make_calculator(tb::xwch_carbon(), s, espec);
+    const double ms_exact = time_force_call(*exact, s, reps);
 
-    onx::OrderNOptions oopt;
-    oopt.purification.drop_tolerance = drop;
-    onx::OrderNCalculator on(tb::xwch_carbon(), oopt);
+    const auto on_calc =
+        make_calculator(tb::xwch_carbon(), s, CalculatorSpec::order_n(drop));
+    auto& on = static_cast<onx::OrderNCalculator&>(*on_calc);
     const double ms_on = time_force_call(on, s, reps);
 
     const double ratio = ms_on / ms_exact;

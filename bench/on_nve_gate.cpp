@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/calculator_spec.hpp"
 #include "src/io/table.hpp"
 #include "src/md/md_driver.hpp"
 #include "src/md/velocities.hpp"
@@ -66,13 +67,12 @@ int main(int argc, char** argv) {
   const double n = static_cast<double>(s.size());
 
   // --- 1+2: O(N) forces and energy vs exact diagonalization -------------
-  tb::TightBindingCalculator exact(model);
-  onx::OrderNOptions oopt;
-  oopt.purification.drop_tolerance = drop;
-  onx::OrderNCalculator on(model, oopt);
+  const auto exact = make_calculator(model, s, CalculatorSpec::exact());
+  const auto on_calc = make_calculator(model, s, CalculatorSpec::order_n(drop));
+  auto& on = static_cast<onx::OrderNCalculator&>(*on_calc);
 
   WallTimer t_exact;
-  const ForceResult re = exact.compute(s);
+  const ForceResult re = exact->compute(s);
   const double ms_exact = t_exact.seconds() * 1000.0;
   WallTimer t_on;
   const ForceResult ro = on.compute(s);
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
   // --- 3: NVE conservation slice on the O(N) engine ----------------------
   io::Table table({"step", "time_fs", "total_eV", "potential_eV",
                    "kinetic_eV", "drift_eV_atom"});
-  md::MdDriver driver(s, on, {dt, nullptr});
+  md::MdDriver driver(s, on, {dt});
   // Baseline BEFORE the first step (the driver's constructor has already
   // evaluated forces), so a one-time energy jump in step 1 is gated too.
   const double e0 = driver.total_energy();

@@ -1,0 +1,108 @@
+/// \file traj_io.cpp
+/// \brief Binary (.tbt) vs text XYZ trajectory output: size and speed.
+///
+/// Records the acceptance numbers for the compact trajectory format: a
+/// 216-atom, 100-frame room-temperature run written as delta-encoded
+/// binary must come out >= 5x smaller than the same run as text XYZ, and
+/// writing it must be faster.  The frames come from a short Tersoff NVT
+/// run so inter-frame displacements are realistic thermal ones -- the
+/// regime the varint delta encoding is designed for.
+///
+/// Usage:  ./traj_io [frames]
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/io/binary_trajectory.hpp"
+#include "src/io/xyz.hpp"
+#include "src/md/md_driver.hpp"
+#include "src/md/velocities.hpp"
+#include "src/potentials/tersoff.hpp"
+#include "src/structures/builders.hpp"
+#include "src/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tbmd;
+  namespace fs = std::filesystem;
+  const long frames = argc > 1 ? std::atol(argv[1]) : 100;
+
+  System s = structures::diamond(Element::C, 3.567, 3, 3, 3);
+  md::maxwell_boltzmann_velocities(s, 300.0, 11);
+  potentials::TersoffCalculator calc(potentials::tersoff_carbon());
+  md::MdOptions opt;
+  opt.dt = 1.0;
+  opt.thermostat = md::ThermostatSpec::nose_hoover(300.0, 50.0, 2);
+  md::MdDriver driver(s, calc, opt);
+
+  // Collect the frames first so both writers see identical work.
+  std::vector<System> snapshots;
+  snapshots.reserve(static_cast<std::size_t>(frames));
+  for (long f = 0; f < frames; ++f) {
+    driver.step();
+    snapshots.push_back(s);
+  }
+  std::printf("traj-io bench: %zu atoms, %ld frames\n\n", s.size(), frames);
+
+  const std::string xyz_path = "traj_io_bench.xyz";
+  const std::string tbt_path = "traj_io_bench.tbt";
+
+  WallTimer t_text;
+  {
+    io::TrajectoryWriter w(xyz_path);
+    for (long f = 0; f < frames; ++f) {
+      w.add_frame(snapshots[static_cast<std::size_t>(f)],
+                  "step=" + std::to_string(f));
+    }
+  }
+  const double s_text = t_text.seconds();
+
+  WallTimer t_bin;
+  {
+    io::BinaryTrajectoryWriter w(tbt_path, s);
+    for (long f = 0; f < frames; ++f) {
+      w.add_frame(snapshots[static_cast<std::size_t>(f)], f);
+    }
+  }
+  const double s_bin = t_bin.seconds();
+
+  const auto bytes_text = fs::file_size(xyz_path);
+  const auto bytes_bin = fs::file_size(tbt_path);
+  const double ratio =
+      static_cast<double>(bytes_text) / static_cast<double>(bytes_bin);
+
+  // Read-back sanity: every frame decodes with the header atom count.
+  std::size_t read_frames = 0;
+  {
+    io::BinaryTrajectoryReader r(tbt_path);
+    io::TrajectoryFrame frame;
+    while (r.next(frame)) {
+      if (frame.positions.size() != s.size()) {
+        std::fprintf(stderr, "FAIL: frame %zu has %zu atoms\n", read_frames,
+                     frame.positions.size());
+        return 1;
+      }
+      ++read_frames;
+    }
+  }
+
+  std::printf("  text XYZ : %9ju bytes  (%6.1f ms, %5.1f B/atom/frame)\n",
+              static_cast<std::uintmax_t>(bytes_text), s_text * 1000.0,
+              static_cast<double>(bytes_text) /
+                  static_cast<double>(s.size()) / static_cast<double>(frames));
+  std::printf("  binary   : %9ju bytes  (%6.1f ms, %5.1f B/atom/frame)\n",
+              static_cast<std::uintmax_t>(bytes_bin), s_bin * 1000.0,
+              static_cast<double>(bytes_bin) /
+                  static_cast<double>(s.size()) / static_cast<double>(frames));
+  std::printf("  size ratio: %.2fx smaller   write speedup: %.2fx   "
+              "frames read back: %zu\n\n",
+              ratio, s_text / s_bin, read_frames);
+
+  const bool pass = ratio >= 5.0 && s_bin < s_text &&
+                    read_frames == static_cast<std::size_t>(frames);
+  std::printf("traj-io gate: %s (need >= 5x smaller and faster)\n",
+              pass ? "PASS" : "FAIL");
+  fs::remove(xyz_path);
+  fs::remove(tbt_path);
+  return pass ? 0 : 1;
+}

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   md::MdOptions opt;
   opt.dt = 1.0;
   opt.thermostat =
-      std::make_unique<md::NoseHooverThermostat>(anneal_t, 40.0, 2);
+      md::ThermostatSpec::nose_hoover(anneal_t, 40.0, 2);
   md::MdDriver driver(c60, calc, std::move(opt));
   driver.run(500, [](const md::MdDriver& d, long step) {
     if (step % 100 == 0) {

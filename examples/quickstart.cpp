@@ -41,7 +41,7 @@ int main() {
   md::maxwell_boltzmann_velocities(system, 300.0, /*seed=*/2024);
   md::MdOptions opt;
   opt.dt = 1.0;  // fs
-  opt.thermostat = std::make_unique<md::NoseHooverThermostat>(300.0, 50.0, 2);
+  opt.thermostat = md::ThermostatSpec::nose_hoover(300.0, 50.0, 2);
   md::MdDriver driver(system, calc, std::move(opt));
 
   io::Table table({"time_fs", "T_K", "E_pot_eV", "conserved_eV"});

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   tb::TightBindingCalculator calc(tb::gsp_silicon());
   md::MdOptions opt;
   opt.dt = 1.5;
-  opt.thermostat = std::make_unique<md::NoseHooverThermostat>(300.0, 60.0, 2);
+  opt.thermostat = md::ThermostatSpec::nose_hoover(300.0, 60.0, 2);
   md::MdDriver driver(si, calc, std::move(opt));
 
   io::TrajectoryWriter traj("si_melt_quench.xyz");

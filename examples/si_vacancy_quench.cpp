@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   // Stage 1: cold crystal (no velocities) -- the frozen-topology steady
   // state: one symbolic build on the first step, numeric-only after.
   {
-    md::MdDriver driver(si, on, {1.5, nullptr});
+    md::MdDriver driver(si, on, {1.5});
     driver.run(stage_steps);
     report_stage("crystal 0 K", on, mark);
   }
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   const std::uint64_t stamp_before = on.topology_version();
   si = structures::with_vacancy(si, si.size() / 2);
   {
-    md::MdDriver driver(si, on, {1.5, nullptr});
+    md::MdDriver driver(si, on, {1.5});
     driver.run(stage_steps);
     report_stage("vacancy (relaxing)", on, mark);
   }
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
     md::MdOptions opt;
     opt.dt = 1.0;
     opt.thermostat =
-        std::make_unique<md::NoseHooverThermostat>(2500.0, 40.0, 2);
+        md::ThermostatSpec::nose_hoover(2500.0, 40.0, 2);
     md::MdDriver driver(si, on, std::move(opt));
     driver.ramp_temperature(2500.0, stage_steps);
     driver.run(stage_steps);
@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
     md::MdOptions opt;
     opt.dt = 1.0;
     opt.thermostat =
-        std::make_unique<md::NoseHooverThermostat>(300.0, 40.0, 2);
+        md::ThermostatSpec::nose_hoover(300.0, 40.0, 2);
     md::MdDriver driver(si, on, std::move(opt));
     driver.ramp_temperature(300.0, 2 * stage_steps);
     driver.run(stage_steps, [&](const md::MdDriver& d, long step) {

@@ -32,6 +32,8 @@
 #include <memory>
 
 #include "src/analysis/thermo.hpp"
+#include "src/core/calculator_spec.hpp"
+#include "src/io/binary_trajectory.hpp"
 #include "src/io/config.hpp"
 #include "src/io/logger.hpp"
 #include "src/io/table.hpp"
@@ -39,14 +41,13 @@
 #include "src/md/md_driver.hpp"
 #include "src/md/thermostat.hpp"
 #include "src/md/velocities.hpp"
-#include "src/onx/on_calculator.hpp"
 #include "src/potentials/lennard_jones.hpp"
 #include "src/potentials/tersoff.hpp"
 #include "src/relax/relax.hpp"
 #include "src/structures/builders.hpp"
 #include "src/structures/fullerene.hpp"
 #include "src/structures/nanotube.hpp"
-#include "src/tb/tb_calculator.hpp"
+#include "src/tb/tb_model.hpp"
 #include "src/util/error.hpp"
 #include "src/util/string_util.hpp"
 
@@ -92,17 +93,15 @@ std::unique_ptr<Calculator> build_calculator(const io::Config& cfg,
   const std::string kind = to_lower(cfg.get_string("model", "tb-exact"));
   const Element elem = system.species().empty() ? Element::Si
                                                 : system.species().front();
-  if (kind == "tb-exact") {
-    tb::TbOptions opt;
-    opt.electronic_temperature = cfg.get_double("electronic_temperature", 0.0);
-    return std::make_unique<tb::TightBindingCalculator>(
-        tb::model_by_name(std::string(element_symbol(elem))), opt);
-  }
-  if (kind == "tb-on") {
-    onx::OrderNOptions opt;
-    opt.purification.drop_tolerance = cfg.get_double("drop_tolerance", 1e-7);
-    return std::make_unique<onx::OrderNCalculator>(
-        tb::model_by_name(std::string(element_symbol(elem))), opt);
+  if (kind == "tb-exact" || kind == "tb-on") {
+    CalculatorSpec spec;
+    spec.mode = CalculatorSpec::mode_by_name(kind);
+    spec.skin = cfg.get_double("skin", spec.skin);
+    spec.electronic_temperature = cfg.get_double("electronic_temperature", 0.0);
+    spec.drop_tolerance = cfg.get_double("drop_tolerance", spec.drop_tolerance);
+    const std::string model_name =
+        cfg.get_string("tb_model", std::string(element_symbol(elem)));
+    return make_calculator(tb::model_by_name(model_name), system, spec);
   }
   if (kind == "tersoff") {
     return std::make_unique<potentials::TersoffCalculator>(
@@ -157,18 +156,24 @@ int main(int argc, char** argv) {
     mdopt.dt = dt;
     const std::string ensemble = to_lower(cfg.get_string("ensemble", "nvt"));
     if (ensemble == "nvt") {
-      mdopt.thermostat = std::make_unique<md::NoseHooverThermostat>(
+      mdopt.thermostat = md::ThermostatSpec::nose_hoover(
           temperature, cfg.get_double("thermostat_tau", 50.0), 2);
     } else {
       TBMD_REQUIRE(ensemble == "nve", "config: ensemble must be nve or nvt");
     }
 
-    md::MdDriver driver(system, *calc, std::move(mdopt));
+    md::MdDriver driver(system, *calc, mdopt);
 
+    // Trajectory output: a .tbt path selects the compact binary format.
     std::unique_ptr<io::TrajectoryWriter> traj;
+    std::unique_ptr<io::BinaryTrajectoryWriter> btraj;
     if (cfg.has("trajectory")) {
-      traj = std::make_unique<io::TrajectoryWriter>(
-          cfg.require_string("trajectory"));
+      const std::string path = cfg.require_string("trajectory");
+      if (path.size() > 4 && path.substr(path.size() - 4) == ".tbt") {
+        btraj = std::make_unique<io::BinaryTrajectoryWriter>(path, system);
+      } else {
+        traj = std::make_unique<io::TrajectoryWriter>(path);
+      }
     }
 
     io::Table table({"time_fs", "T_K", "E_pot_eV", "E_tot_eV", "P_GPa"});
@@ -183,6 +188,7 @@ int main(int argc, char** argv) {
                              d.last_result().energy, d.total_energy(), p_gpa},
                             6);
       if (traj) traj->add_frame(d.system(), "t=" + std::to_string(d.time_fs()));
+      if (btraj) btraj->add_frame(d.system(), step);
     });
     table.print(std::cout);
 
@@ -190,6 +196,10 @@ int main(int argc, char** argv) {
       io::write_xyz_file(cfg.require_string("restart"), system, "restart",
                          /*with_velocities=*/true);
       io::log_info("restart written to ", cfg.require_string("restart"));
+    }
+
+    for (const std::string& key : cfg.unused_keys()) {
+      io::log_warn("config: unused key '", key, "' at ", cfg.where(key));
     }
     return 0;
   } catch (const std::exception& e) {

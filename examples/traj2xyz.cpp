@@ -1,0 +1,23 @@
+/// \file traj2xyz.cpp
+/// \brief Convert a binary .tbt trajectory to (extended-)XYZ text.
+///
+/// Usage:  ./traj2xyz run.tbt run.xyz
+
+#include <cstdio>
+
+#include "src/io/binary_trajectory.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s trajectory.tbt output.xyz\n", argv[0]);
+    return 2;
+  }
+  try {
+    const std::size_t frames = tbmd::io::trajectory_to_xyz(argv[1], argv[2]);
+    std::printf("wrote %zu frame(s) to %s\n", frames, argv[2]);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,88 @@
+#include "src/core/calculator_spec.hpp"
+
+#include <sstream>
+
+#include "src/onx/on_calculator.hpp"
+#include "src/tb/tb_calculator.hpp"
+#include "src/tb/tb_model.hpp"
+#include "src/util/error.hpp"
+#include "src/util/string_util.hpp"
+
+namespace tbmd {
+
+CalcMode CalculatorSpec::mode_by_name(const std::string& name) {
+  const std::string mode = to_lower(name);
+  if (mode == "exact" || mode == "tb-exact") return CalcMode::kExact;
+  if (mode == "on" || mode == "tb-on" || mode == "order-n") {
+    return CalcMode::kOrderN;
+  }
+  throw Error("CalculatorSpec: unknown mode '" + name + "'");
+}
+
+std::string CalculatorSpec::mode_name() const {
+  return mode == CalcMode::kExact ? "exact" : "on";
+}
+
+std::string CalculatorSpec::fingerprint() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << mode_name() << ";skin=" << skin
+     << ";etemp=" << electronic_temperature;
+  if (mode == CalcMode::kExact) {
+    os << ";spectrum="
+       << (spectrum == SpectrumPolicy::kAuto
+               ? "auto"
+               : (spectrum == SpectrumPolicy::kFull ? "full" : "partial"))
+       << ";eigenvalues=" << (report_eigenvalues ? 1 : 0);
+  } else {
+    os << ";tol=" << drop_tolerance
+       << ";reuse=" << (reuse_patterns ? 1 : 0);
+  }
+  return os.str();
+}
+
+std::unique_ptr<Calculator> make_calculator(const tb::TbModel& model,
+                                            const CalculatorSpec& spec) {
+  if (spec.mode == CalcMode::kExact) {
+    tb::TbOptions opt;
+    opt.skin = spec.skin;
+    opt.electronic_temperature = spec.electronic_temperature;
+    opt.report_eigenvalues = spec.report_eigenvalues;
+    switch (spec.spectrum) {
+      case SpectrumPolicy::kAuto:
+        opt.spectrum = tb::SpectrumMode::kAuto;
+        break;
+      case SpectrumPolicy::kFull:
+        opt.spectrum = tb::SpectrumMode::kFull;
+        break;
+      case SpectrumPolicy::kPartial:
+        opt.spectrum = tb::SpectrumMode::kPartial;
+        break;
+    }
+    return std::make_unique<tb::TightBindingCalculator>(model, opt);
+  }
+  // The canonical purification loop fills an integer number of states: a
+  // smeared-occupation request must not be silently downgraded to T = 0.
+  TBMD_REQUIRE(spec.electronic_temperature == 0.0,
+               "make_calculator: the O(N) engine integrates at T_el = 0; "
+               "use mode = exact for Fermi-Dirac smearing");
+  onx::OrderNOptions opt;
+  opt.skin = spec.skin;
+  opt.purification.drop_tolerance = spec.drop_tolerance;
+  opt.reuse_patterns = spec.reuse_patterns;
+  return std::make_unique<onx::OrderNCalculator>(model, opt);
+}
+
+std::unique_ptr<Calculator> make_calculator(const tb::TbModel& model,
+                                            const System& system,
+                                            const CalculatorSpec& spec) {
+  for (const Element e : system.species()) {
+    TBMD_REQUIRE(model.species_index(e) >= 0,
+                 std::string("make_calculator: model '") + model.name +
+                     "' has no parameters for element " +
+                     std::string(element_symbol(e)));
+  }
+  return make_calculator(model, spec);
+}
+
+}  // namespace tbmd

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file calculator_spec.hpp
+/// \brief Declarative calculator construction: one spec, both TB engines.
+///
+/// The exact-diagonalization and O(N) purification calculators grew
+/// separate option structs (tb::TbOptions, onx::OrderNOptions).  Callers
+/// that must choose an engine at runtime -- the config runner, the job
+/// runner, every crossover/ablation bench -- previously hand-rolled both
+/// construction paths.  CalculatorSpec is the single declarative
+/// description (engine mode, accuracy knobs, electronic temperature) and
+/// make_calculator() the one factory that resolves it against a model, so
+/// "which engine" becomes data instead of code.
+
+#include <memory>
+#include <string>
+
+#include "src/core/calculator.hpp"
+
+namespace tbmd {
+
+namespace tb {
+struct TbModel;
+}  // namespace tb
+
+/// Which energy/force engine a CalculatorSpec resolves to.
+enum class CalcMode {
+  kExact,   ///< tb::TightBindingCalculator (O(N^3) diagonalization)
+  kOrderN,  ///< onx::OrderNCalculator (density-matrix purification)
+};
+
+/// Spectrum policy of the exact engine (mirrors tb::SpectrumMode without
+/// making core depend on the tb headers).
+enum class SpectrumPolicy { kAuto, kFull, kPartial };
+
+/// Declarative calculator description.  Fields irrelevant to the chosen
+/// mode are ignored by the factory; defaults match the engines' own
+/// defaults, so CalculatorSpec{} builds the library's standard exact
+/// calculator.
+struct CalculatorSpec {
+  CalcMode mode = CalcMode::kExact;
+  /// Verlet skin added to the model cutoff for the neighbor list (A).
+  double skin = 0.5;
+  /// Electronic temperature for Fermi-Dirac smearing (K); 0 = aufbau.
+  double electronic_temperature = 0.0;
+
+  // --- exact engine ---
+  SpectrumPolicy spectrum = SpectrumPolicy::kAuto;
+  /// Copy the eigenvalue spectrum into each ForceResult.
+  bool report_eigenvalues = true;
+
+  // --- O(N) engine ---
+  /// Purification tile-drop tolerance.
+  double drop_tolerance = 1e-7;
+  /// Reuse symbolic SpMM patterns across steps (ablation switch; results
+  /// are bit-identical either way).
+  bool reuse_patterns = true;
+
+  [[nodiscard]] static CalculatorSpec exact() { return {}; }
+
+  [[nodiscard]] static CalculatorSpec order_n(double drop_tolerance = 1e-7) {
+    CalculatorSpec s;
+    s.mode = CalcMode::kOrderN;
+    s.drop_tolerance = drop_tolerance;
+    return s;
+  }
+
+  /// Mode from its config spelling ("exact"/"tb-exact", "on"/"tb-on");
+  /// throws tbmd::Error on unknown names.
+  [[nodiscard]] static CalcMode mode_by_name(const std::string& name);
+
+  /// Config spelling of mode (round-trips through mode_by_name).
+  [[nodiscard]] std::string mode_name() const;
+
+  /// Stable one-line encoding of every field.  Two specs with equal
+  /// fingerprints construct interchangeable calculators -- the job runner
+  /// keys its per-worker calculator cache on (model name, fingerprint).
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Build the calculator a spec describes for `model`.  `system` supplies
+/// construction-time context (currently only sanity checks: every species
+/// present must be parameterized by the model); the returned calculator is
+/// system-agnostic and may be reused across systems, like the engines it
+/// wraps.
+[[nodiscard]] std::unique_ptr<Calculator> make_calculator(
+    const tb::TbModel& model, const System& system,
+    const CalculatorSpec& spec);
+
+/// Overload without construction-time checks.
+[[nodiscard]] std::unique_ptr<Calculator> make_calculator(
+    const tb::TbModel& model, const CalculatorSpec& spec);
+
+}  // namespace tbmd

@@ -45,6 +45,15 @@ Vec3 Cell::minimum_image(Vec3 dr) const {
   return to_cartesian(s);
 }
 
+Vec3 Cell::image_shift(const Vec3& raw) const {
+  if (!periodic()) return {};
+  const Vec3 s = to_fractional(raw);
+  const int n1 = periodic_[0] ? static_cast<int>(-std::round(s.x)) : 0;
+  const int n2 = periodic_[1] ? static_cast<int>(-std::round(s.y)) : 0;
+  const int n3 = periodic_[2] ? static_cast<int>(-std::round(s.z)) : 0;
+  return shift_vector(n1, n2, n3);
+}
+
 Vec3 Cell::wrap(const Vec3& r) const {
   if (!periodic()) return r;
   Vec3 s = to_fractional(r);

@@ -75,6 +75,15 @@ class Cell {
   /// Minimum-image displacement equivalent to dr.
   [[nodiscard]] Vec3 minimum_image(Vec3 dr) const;
 
+  /// Lattice translation that maps `raw` onto its minimum image, as the
+  /// exact integer combination of cell vectors: raw + image_shift(raw) is
+  /// the minimum-image displacement.  Unlike `minimum_image(raw) - raw`,
+  /// the result carries no rounding noise from `raw` itself, so two
+  /// displacements with the same image indices get bit-identical shifts --
+  /// the property the neighbor list needs so that stored shifts (and hence
+  /// forces) do not depend on when the list was rebuilt.
+  [[nodiscard]] Vec3 image_shift(const Vec3& raw) const;
+
   /// Wrap a position into the home cell along periodic axes.
   [[nodiscard]] Vec3 wrap(const Vec3& r) const;
 

@@ -5,7 +5,10 @@
 namespace tbmd::md {
 
 MdDriver::MdDriver(System& system, Calculator& calculator, MdOptions options)
-    : system_(&system), calculator_(&calculator), options_(std::move(options)) {
+    : system_(&system),
+      calculator_(&calculator),
+      options_(options),
+      thermostat_(options.thermostat.resolve()) {
   TBMD_REQUIRE(options_.dt > 0.0, "MdDriver: timestep must be positive");
   // Initial force evaluation so the first step has forces available.
   result_ = calculator_->compute(*system_);
@@ -19,7 +22,7 @@ void MdDriver::step() {
   auto& vel = sys.velocities();
   auto& pos = sys.positions();
 
-  if (options_.thermostat) options_.thermostat->begin_step(sys, dt);
+  if (thermostat_) thermostat_->begin_step(sys, dt);
 
   // First half-kick + drift.
   for (std::size_t i = 0; i < sys.size(); ++i) {
@@ -37,7 +40,7 @@ void MdDriver::step() {
     vel[i] += (0.5 * dt / sys.mass(i)) * result_.forces[i];
   }
 
-  if (options_.thermostat) options_.thermostat->end_step(sys, dt);
+  if (thermostat_) thermostat_->end_step(sys, dt);
   ++step_count_;
 }
 
@@ -50,19 +53,29 @@ void MdDriver::run(long n_steps, const Observer& observer) {
 
 void MdDriver::ramp_temperature(double kelvin, long n_steps,
                                 const Observer& observer) {
-  if (!options_.thermostat || n_steps <= 0) return;
-  const double t0 = options_.thermostat->target();
+  if (!thermostat_ || n_steps <= 0) return;
+  const double t0 = thermostat_->target();
   for (long s = 1; s <= n_steps; ++s) {
     const double frac = static_cast<double>(s) / static_cast<double>(n_steps);
-    options_.thermostat->set_target(t0 + frac * (kelvin - t0));
+    thermostat_->set_target(t0 + frac * (kelvin - t0));
     step();
     if (observer) observer(*this, step_count_);
   }
 }
 
+void MdDriver::restore(long step_count, double thermostat_target,
+                       const std::vector<double>& thermostat_state) {
+  TBMD_REQUIRE(step_count >= 0, "MdDriver::restore: negative step count");
+  step_count_ = step_count;
+  if (thermostat_) {
+    thermostat_->set_target(thermostat_target);
+    thermostat_->set_state(thermostat_state);
+  }
+}
+
 double MdDriver::conserved_quantity() const {
   double e = total_energy();
-  if (options_.thermostat) e += options_.thermostat->energy(*system_);
+  if (thermostat_) e += thermostat_->energy(*system_);
   return e;
 }
 

@@ -17,10 +17,20 @@
 namespace tbmd::md {
 
 /// Integration options.
+///
+/// A plain copyable value: the thermostat is described declaratively by a
+/// ThermostatSpec (kind + parameters) and resolved into a concrete
+/// Thermostat by the driver.  Job workers copy one MdOptions per
+/// trajectory and checkpoint code serializes it without touching any
+/// owning pointer.
 struct MdOptions {
-  double dt = 1.0;  ///< timestep (fs)
-  /// Thermostat; null runs NVE.  Owned by the driver.
-  std::unique_ptr<Thermostat> thermostat;
+  MdOptions() = default;
+  // Implicit from a timestep: `MdDriver driver(s, calc, {2.0})` runs NVE.
+  MdOptions(double dt_fs, ThermostatSpec thermostat_spec = {})
+      : dt(dt_fs), thermostat(thermostat_spec) {}
+
+  double dt = 1.0;            ///< timestep (fs)
+  ThermostatSpec thermostat;  ///< kNone runs NVE
 };
 
 /// Velocity-Verlet MD driver.
@@ -65,16 +75,31 @@ class MdDriver {
     return static_cast<double>(step_count_) * options_.dt;
   }
 
+  /// Restore the integration bookkeeping of a checkpointed run: the step
+  /// counter plus (when a thermostat is active) its target temperature and
+  /// internal state.  The caller must have restored the System's positions
+  /// and velocities before constructing the driver, so the cached forces
+  /// (recomputed in the constructor) already match the checkpoint.
+  void restore(long step_count, double thermostat_target = 0.0,
+               const std::vector<double>& thermostat_state = {});
+
   [[nodiscard]] System& system() { return *system_; }
   [[nodiscard]] const System& system() const { return *system_; }
   [[nodiscard]] Calculator& calculator() { return *calculator_; }
+  [[nodiscard]] const MdOptions& options() const { return options_; }
 
-  [[nodiscard]] Thermostat* thermostat() { return options_.thermostat.get(); }
+  /// Resolved thermostat (null for NVE).
+  [[nodiscard]] Thermostat* thermostat() { return thermostat_.get(); }
+  [[nodiscard]] const Thermostat* thermostat() const {
+    return thermostat_.get();
+  }
 
  private:
   System* system_;
   Calculator* calculator_;
   MdOptions options_;
+  /// Concrete thermostat resolved from options_.thermostat (owned).
+  std::unique_ptr<Thermostat> thermostat_;
   ForceResult result_;
   long step_count_ = 0;
 };

@@ -3,9 +3,62 @@
 #include <cmath>
 
 #include "src/util/error.hpp"
+#include "src/util/string_util.hpp"
 #include "src/util/units.hpp"
 
 namespace tbmd::md {
+
+void Thermostat::set_state(const std::vector<double>& state) {
+  TBMD_REQUIRE(state.empty(),
+               name() + ": stateless thermostat given nonempty state");
+}
+
+std::unique_ptr<Thermostat> ThermostatSpec::resolve() const {
+  switch (kind) {
+    case ThermostatKind::kNone:
+      return nullptr;
+    case ThermostatKind::kRescale:
+      return std::make_unique<VelocityRescaleThermostat>(target_kelvin,
+                                                         interval);
+    case ThermostatKind::kBerendsen:
+      return std::make_unique<BerendsenThermostat>(target_kelvin, tau_fs);
+    case ThermostatKind::kNoseHoover:
+      return std::make_unique<NoseHooverThermostat>(target_kelvin, tau_fs,
+                                                    chain_length);
+  }
+  throw Error("ThermostatSpec: invalid kind");
+}
+
+ThermostatSpec ThermostatSpec::by_name(const std::string& name,
+                                       double target_kelvin) {
+  const std::string kind = to_lower(name);
+  if (kind == "none" || kind == "nve") return none();
+  if (kind == "rescale") return rescale(target_kelvin);
+  if (kind == "berendsen") return berendsen(target_kelvin);
+  if (kind == "nose-hoover" || kind == "nosehoover" || kind == "nvt") {
+    return nose_hoover(target_kelvin);
+  }
+  throw Error("ThermostatSpec: unknown thermostat '" + name + "'");
+}
+
+std::string ThermostatSpec::kind_name() const {
+  switch (kind) {
+    case ThermostatKind::kNone:
+      return "none";
+    case ThermostatKind::kRescale:
+      return "rescale";
+    case ThermostatKind::kBerendsen:
+      return "berendsen";
+    case ThermostatKind::kNoseHoover:
+      return "nose-hoover";
+  }
+  throw Error("ThermostatSpec: invalid kind");
+}
+
+void VelocityRescaleThermostat::set_state(const std::vector<double>& state) {
+  TBMD_REQUIRE(state.size() == 1, "rescale: state must be {step}");
+  step_ = static_cast<long>(state[0]);
+}
 
 void VelocityRescaleThermostat::end_step(System& system, double /*dt*/) {
   if (interval_ > 1 && (step_++ % interval_) != 0) return;
@@ -87,6 +140,23 @@ void NoseHooverThermostat::chain_step(System& system, double dt) {
       veta_[k] += gk * dt4;
     }
   }
+}
+
+std::vector<double> NoseHooverThermostat::state() const {
+  std::vector<double> s;
+  s.reserve(2 * eta_.size());
+  s.insert(s.end(), eta_.begin(), eta_.end());
+  s.insert(s.end(), veta_.begin(), veta_.end());
+  return s;
+}
+
+void NoseHooverThermostat::set_state(const std::vector<double>& state) {
+  TBMD_REQUIRE(state.size() == 2 * eta_.size(),
+               "nose-hoover: state must be {eta..., veta...} for the "
+               "configured chain length");
+  const std::size_t m = eta_.size();
+  for (std::size_t k = 0; k < m; ++k) eta_[k] = state[k];
+  for (std::size_t k = 0; k < m; ++k) veta_[k] = state[m + k];
 }
 
 double NoseHooverThermostat::energy(const System& system) const {

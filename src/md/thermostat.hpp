@@ -9,6 +9,7 @@
 /// rescaling and Berendsen are included as simpler baselines and for
 /// equilibration.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,9 +38,89 @@ class Thermostat {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Internal dynamical state as a flat vector (Nose-Hoover chain
+  /// positions/velocities, rescale step counter, ...).  Together with
+  /// target(), this is everything a checkpoint must carry to resume the
+  /// extended-system dynamics bit-identically.  Stateless thermostats
+  /// return an empty vector.
+  [[nodiscard]] virtual std::vector<double> state() const { return {}; }
+
+  /// Restore a snapshot taken with state().  Throws tbmd::Error when the
+  /// vector does not match this thermostat's layout.
+  virtual void set_state(const std::vector<double>& state);
+
  protected:
   explicit Thermostat(double target_kelvin) : target_(target_kelvin) {}
   double target_;
+};
+
+/// Which thermostat a ThermostatSpec resolves to.
+enum class ThermostatKind {
+  kNone,         ///< no thermostat: NVE
+  kRescale,      ///< VelocityRescaleThermostat
+  kBerendsen,    ///< BerendsenThermostat
+  kNoseHoover,   ///< NoseHooverThermostat
+};
+
+/// Declarative, value-semantic thermostat description (kind + parameters).
+///
+/// MdOptions carries one of these instead of an owned Thermostat pointer,
+/// so integration options can be copied, compared, serialized into job
+/// specs and checkpoints, and stamped out once per worker by the job
+/// runner.  The driver resolves the spec into a concrete Thermostat with
+/// resolve(); fields irrelevant to the chosen kind are ignored.
+struct ThermostatSpec {
+  ThermostatKind kind = ThermostatKind::kNone;
+  double target_kelvin = 300.0;
+  double tau_fs = 50.0;    ///< coupling time constant (Berendsen/Nose-Hoover)
+  int interval = 1;        ///< rescale cadence (VelocityRescale)
+  int chain_length = 2;    ///< Nose-Hoover chain length
+
+  /// NVE (no thermostat).
+  [[nodiscard]] static ThermostatSpec none() { return {}; }
+
+  [[nodiscard]] static ThermostatSpec rescale(double target_kelvin,
+                                              int interval = 1) {
+    ThermostatSpec s;
+    s.kind = ThermostatKind::kRescale;
+    s.target_kelvin = target_kelvin;
+    s.interval = interval;
+    return s;
+  }
+
+  [[nodiscard]] static ThermostatSpec berendsen(double target_kelvin,
+                                                double tau_fs = 100.0) {
+    ThermostatSpec s;
+    s.kind = ThermostatKind::kBerendsen;
+    s.target_kelvin = target_kelvin;
+    s.tau_fs = tau_fs;
+    return s;
+  }
+
+  [[nodiscard]] static ThermostatSpec nose_hoover(double target_kelvin,
+                                                  double tau_fs = 50.0,
+                                                  int chain_length = 2) {
+    ThermostatSpec s;
+    s.kind = ThermostatKind::kNoseHoover;
+    s.target_kelvin = target_kelvin;
+    s.tau_fs = tau_fs;
+    s.chain_length = chain_length;
+    return s;
+  }
+
+  /// True when the spec resolves to an actual thermostat (NVT ensemble).
+  [[nodiscard]] bool active() const { return kind != ThermostatKind::kNone; }
+
+  /// Construct the thermostat this spec describes; nullptr for kNone.
+  [[nodiscard]] std::unique_ptr<Thermostat> resolve() const;
+
+  /// Spec from its config spelling ("none"/"nve", "rescale", "berendsen",
+  /// "nose-hoover"); throws tbmd::Error on unknown names.
+  [[nodiscard]] static ThermostatSpec by_name(const std::string& name,
+                                              double target_kelvin);
+
+  /// Config spelling of kind (round-trips through by_name).
+  [[nodiscard]] std::string kind_name() const;
 };
 
 /// Hard velocity rescaling to the exact target temperature every
@@ -53,6 +134,10 @@ class VelocityRescaleThermostat final : public Thermostat {
   void end_step(System& system, double dt) override;
   [[nodiscard]] double energy(const System&) const override { return 0.0; }
   [[nodiscard]] std::string name() const override { return "rescale"; }
+  [[nodiscard]] std::vector<double> state() const override {
+    return {static_cast<double>(step_)};
+  }
+  void set_state(const std::vector<double>& state) override;
 
  private:
   int interval_;
@@ -103,6 +188,10 @@ class NoseHooverThermostat final : public Thermostat {
   /// Thermostat degrees of freedom (for tests/diagnostics).
   [[nodiscard]] const std::vector<double>& positions() const { return eta_; }
   [[nodiscard]] const std::vector<double>& velocities() const { return veta_; }
+
+  /// Chain state as {eta_1..eta_m, veta_1..veta_m}.
+  [[nodiscard]] std::vector<double> state() const override;
+  void set_state(const std::vector<double>& state) override;
 
  private:
   void chain_step(System& system, double dt);

@@ -36,9 +36,9 @@ std::vector<NeighborPair> brute_force_pairs(const std::vector<Vec3>& positions,
   for (std::size_t i = 0; i < positions.size(); ++i) {
     for (std::size_t j = i + 1; j < positions.size(); ++j) {
       const Vec3 raw = positions[j] - positions[i];
-      const Vec3 dr = cell.minimum_image(raw);
-      if (norm2_sq(dr) < rc2) {
-        pairs.push_back({i, j, dr - raw});
+      const Vec3 shift = cell.image_shift(raw);
+      if (norm2_sq(raw + shift) < rc2) {
+        pairs.push_back({i, j, shift});
       }
     }
   }
@@ -71,6 +71,20 @@ void NeighborList::build(const std::vector<Vec3>& positions, const Cell& cell,
 
   if (binnable) {
     build_binned(positions, cell);
+    // Canonicalize row order: the binned scan visits neighbors in bin order,
+    // which depends on where the atom sits relative to bin boundaries and
+    // hence on *when* the list was rebuilt.  Force accumulation must be a
+    // pure function of the positions, so sort every row by neighbor index
+    // (the cell-height precondition guarantees at most one image per pair,
+    // so the index alone is a total order).  Brute-force rows are already
+    // sorted by construction.
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < full_.size(); ++i) {
+      std::sort(full_[i].begin(), full_[i].end(),
+                [](const NeighborEntry& a, const NeighborEntry& b) {
+                  return a.j < b.j;
+                });
+    }
   } else {
     build_brute_force(positions, cell);
   }
@@ -92,9 +106,12 @@ void NeighborList::build_brute_force(const std::vector<Vec3>& positions,
   for (std::size_t i = 0; i < positions.size(); ++i) {
     for (std::size_t j = i + 1; j < positions.size(); ++j) {
       const Vec3 raw = positions[j] - positions[i];
-      const Vec3 dr = cell.minimum_image(raw);
-      if (norm2_sq(dr) < rc2) {
-        const Vec3 shift = dr - raw;
+      // image_shift, not minimum_image(raw) - raw: the stored shift must
+      // be the exact lattice translation so that forces recomputed from
+      // `pos[j] + shift - pos[i]` are a pure function of the positions,
+      // independent of the positions the list happened to be built at.
+      const Vec3 shift = cell.image_shift(raw);
+      if (norm2_sq(raw + shift) < rc2) {
         full_[i].push_back({j, shift});
         full_[j].push_back({i, -shift});
       }
@@ -194,9 +211,10 @@ void NeighborList::build_binned(const std::vector<Vec3>& positions,
           for (const std::size_t j : bins[flat(bx, by, bz)]) {
             if (j == i) continue;
             const Vec3 raw = positions[j] - positions[i];
-            const Vec3 dr = cell.minimum_image(raw);
-            if (norm2_sq(dr) < rc2) {
-              list.push_back({j, dr - raw});
+            // Exact lattice-translation shift; see build_brute_force.
+            const Vec3 shift = cell.image_shift(raw);
+            if (norm2_sq(raw + shift) < rc2) {
+              list.push_back({j, shift});
             }
           }
         }

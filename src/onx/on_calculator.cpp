@@ -154,12 +154,22 @@ std::vector<Vec3> band_forces_contract(const tb::BondTable& table,
   par::ThreadPartials<Vec3> fpartial(n);
   par::ThreadPartials<Mat3> wpartial(1);
 
+  // Atom-indexed static partition over the neighbor-sorted adjacency
+  // (each bond once, from its i endpoint) rather than a dynamic chunking
+  // of the flat bond list: both the dynamic assignment and the bond count
+  // (which tracks the Verlet rebuild history) would otherwise change the
+  // per-thread summation order between runs, breaking checkpoint
+  // bit-identity.
 #pragma omp parallel
   {
     Vec3* local = fpartial.local();
     Mat3& wlocal = *wpartial.local();
-#pragma omp for schedule(dynamic, 32) nowait
-    for (std::size_t q = 0; q < table.size(); ++q) {
+#pragma omp for schedule(static) nowait
+    for (std::size_t atom = 0; atom < n; ++atom)
+    for (const tb::BondTable::AtomBond* nb = table.atom_begin(atom);
+         nb != table.atom_end(atom); ++nb) {
+      if (nb->transposed != 0) continue;  // count each bond once
+      const std::size_t q = nb->bond;
       if (table.hopping_zero(q)) continue;
 
       const std::size_t sz = static_cast<std::size_t>(table.orbs_i(q)) *

@@ -111,7 +111,10 @@ ForceResult TersoffCalculator::compute(const System& system) {
     Mat3& wlocal = *wpartial.local();
     double elocal = 0.0;
 
-#pragma omp for schedule(dynamic, 16) nowait
+    // schedule(static), not dynamic: the thread-to-atom assignment must be
+    // a pure function of the atom count so per-thread partial sums (and
+    // hence the reduced forces) are reproducible across runs and restarts.
+#pragma omp for schedule(static) nowait
     for (std::size_t i = 0; i < natoms; ++i) {
       const auto& nbrs = list_.neighbors(i);
       // Cache bond vectors and distances for atom i's neighborhood.

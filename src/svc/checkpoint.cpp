@@ -1,0 +1,143 @@
+#include "src/svc/checkpoint.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "src/util/error.hpp"
+
+namespace tbmd::svc {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'B', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T value;
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  TBMD_REQUIRE(is.gcount() == static_cast<std::streamsize>(sizeof(T)),
+               "checkpoint: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void write_checkpoint(const std::string& path, const Checkpoint& ck) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    TBMD_REQUIRE(os.good(), "checkpoint: cannot open '" + tmp + "'");
+    os.write(kMagic, 4);
+    put<std::uint32_t>(os, kVersion);
+    put<std::int64_t>(os, ck.step);
+    put<std::int64_t>(os, ck.total_steps);
+
+    // System.
+    const System& sys = ck.system;
+    put<std::uint64_t>(os, sys.size());
+    const Mat3& h = sys.cell().h();
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) put<double>(os, h(i, j));
+    }
+    for (int axis = 0; axis < 3; ++axis) {
+      put<std::uint8_t>(os, sys.cell().periodic(axis) ? 1 : 0);
+    }
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      put<std::uint8_t>(
+          os, static_cast<std::uint8_t>(static_cast<int>(sys.species()[i])));
+      put<std::uint8_t>(os, sys.frozen(i) ? 1 : 0);
+      const Vec3& r = sys.positions()[i];
+      const Vec3& v = sys.velocities()[i];
+      put<double>(os, r.x);
+      put<double>(os, r.y);
+      put<double>(os, r.z);
+      put<double>(os, v.x);
+      put<double>(os, v.y);
+      put<double>(os, v.z);
+    }
+
+    // Thermostat.
+    put<double>(os, ck.thermostat_target);
+    put<std::uint32_t>(os,
+                       static_cast<std::uint32_t>(ck.thermostat_state.size()));
+    for (const double s : ck.thermostat_state) put<double>(os, s);
+
+    // RNG.
+    for (int k = 0; k < 4; ++k) put<std::uint64_t>(os, ck.rng.s[k]);
+    put<std::uint8_t>(os, ck.rng.have_cached ? 1 : 0);
+    put<double>(os, ck.rng.cached);
+
+    os.flush();
+    TBMD_REQUIRE(os.good(), "checkpoint: write failed for '" + tmp + "'");
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+Checkpoint read_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TBMD_REQUIRE(is.good(), "checkpoint: cannot open '" + path + "'");
+  char magic[4];
+  is.read(magic, 4);
+  TBMD_REQUIRE(is.gcount() == 4 && std::memcmp(magic, kMagic, 4) == 0,
+               "checkpoint: bad magic in '" + path + "'");
+  const auto version = get<std::uint32_t>(is);
+  TBMD_REQUIRE(version == kVersion, "checkpoint: unsupported version " +
+                                        std::to_string(version));
+  Checkpoint ck;
+  ck.step = static_cast<long>(get<std::int64_t>(is));
+  ck.total_steps = static_cast<long>(get<std::int64_t>(is));
+
+  const auto natoms = get<std::uint64_t>(is);
+  double h[9];
+  for (double& v : h) v = get<double>(is);
+  bool pbc[3];
+  for (bool& p : pbc) p = get<std::uint8_t>(is) != 0;
+  Cell cell;
+  if (pbc[0] || pbc[1] || pbc[2]) {
+    cell = Cell({h[0], h[1], h[2]}, {h[3], h[4], h[5]}, {h[6], h[7], h[8]},
+                pbc[0], pbc[1], pbc[2]);
+  }
+  System sys(cell);
+  for (std::uint64_t i = 0; i < natoms; ++i) {
+    const auto species = static_cast<Element>(get<std::uint8_t>(is));
+    const bool frozen = get<std::uint8_t>(is) != 0;
+    Vec3 r, v;
+    r.x = get<double>(is);
+    r.y = get<double>(is);
+    r.z = get<double>(is);
+    v.x = get<double>(is);
+    v.y = get<double>(is);
+    v.z = get<double>(is);
+    const std::size_t at = sys.add_atom(species, r, v);
+    if (frozen) sys.set_frozen(at, true);
+  }
+  ck.system = std::move(sys);
+
+  ck.thermostat_target = get<double>(is);
+  const auto nstate = get<std::uint32_t>(is);
+  ck.thermostat_state.resize(nstate);
+  for (double& s : ck.thermostat_state) s = get<double>(is);
+
+  for (int k = 0; k < 4; ++k) ck.rng.s[k] = get<std::uint64_t>(is);
+  ck.rng.have_cached = get<std::uint8_t>(is) != 0;
+  ck.rng.cached = get<double>(is);
+  return ck;
+}
+
+bool is_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  char magic[4];
+  is.read(magic, 4);
+  return is.gcount() == 4 && std::memcmp(magic, kMagic, 4) == 0;
+}
+
+}  // namespace tbmd::svc

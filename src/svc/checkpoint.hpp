@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// \brief Deterministic binary MD checkpoints (.ckpt) for kill-and-resume.
+///
+/// A checkpoint captures everything the job runner needs to continue a
+/// trajectory bit-identically after a crash or preemption: the full System
+/// (cell, species, frozen flags, positions, velocities as raw IEEE
+/// doubles -- no decimal round trip), the thermostat's target and internal
+/// chain state, the integrator step count, and the job RNG state.  Forces
+/// are deliberately NOT stored: the calculators recompute them
+/// bit-identically from the restored positions (the cold-vs-warm identity
+/// guaranteed since the PR-5 pattern-cache work), which keeps checkpoints
+/// small and independent of the engine in use.
+///
+/// Writes are atomic (temp file + rename), so a kill during checkpointing
+/// leaves the previous checkpoint intact.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/system.hpp"
+#include "src/util/random.hpp"
+
+namespace tbmd::svc {
+
+/// Snapshot of one trajectory's integration state.
+struct Checkpoint {
+  /// Steps completed when the snapshot was taken.
+  long step = 0;
+  /// Total steps the job plans to run (lets a resumed sweep tell a
+  /// completed job from an interrupted one without re-parsing the spec).
+  long total_steps = 0;
+  System system;
+  /// Thermostat target (K) at the snapshot; 0 when running NVE.
+  double thermostat_target = 0.0;
+  /// Thermostat internal state (md::Thermostat::state()).
+  std::vector<double> thermostat_state;
+  /// Job RNG state (velocity seeding and any stochastic protocol steps).
+  RngState rng;
+
+  [[nodiscard]] bool complete() const {
+    return total_steps > 0 && step >= total_steps;
+  }
+};
+
+/// Serialize atomically to `path` (writes `path`.tmp, then renames).
+/// Throws tbmd::Error on I/O failure.
+void write_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Deserialize; throws tbmd::Error on missing/corrupt/mismatched files.
+[[nodiscard]] Checkpoint read_checkpoint(const std::string& path);
+
+/// True when `path` exists and starts with the checkpoint magic.
+[[nodiscard]] bool is_checkpoint_file(const std::string& path);
+
+}  // namespace tbmd::svc

@@ -1,0 +1,246 @@
+#include "src/svc/job_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/io/binary_trajectory.hpp"
+#include "src/io/logger.hpp"
+#include "src/md/md_driver.hpp"
+#include "src/md/velocities.hpp"
+#include "src/svc/checkpoint.hpp"
+#include "src/util/error.hpp"
+#include "src/util/random.hpp"
+#include "src/util/timer.hpp"
+
+namespace tbmd::svc {
+
+namespace {
+
+/// Per-worker calculator cache: one engine instance per distinct
+/// calculator key, reused across the jobs this worker picks up.
+struct WorkerContext {
+  std::map<std::string, std::unique_ptr<Calculator>> calculators;
+
+  Calculator& calculator(const JobSpec& spec, const System& system) {
+    const std::string key = spec.calculator_key();
+    auto it = calculators.find(key);
+    if (it == calculators.end()) {
+      it = calculators.emplace(key, spec.make_calculator(system)).first;
+    }
+    return *it->second;
+  }
+};
+
+/// Claim one MD step from the shared budget (null = unlimited).
+bool take_step(std::atomic<long>* budget) {
+  if (budget == nullptr) return true;
+  long current = budget->load(std::memory_order_relaxed);
+  while (current > 0) {
+    if (budget->compare_exchange_weak(current, current - 1)) return true;
+  }
+  return false;
+}
+
+JobResult run_job(const JobSpec& spec, WorkerContext& ctx,
+                  const SweepOptions& options, std::atomic<long>* budget) {
+  namespace fs = std::filesystem;
+  WallTimer timer;
+  JobResult res;
+  res.name = spec.name;
+  const std::string ckpt_path =
+      (fs::path(options.output_dir) / (spec.name + ".ckpt")).string();
+  const std::string traj_path =
+      (fs::path(options.output_dir) / (spec.name + ".tbt")).string();
+
+  System system;
+  Rng rng(spec.seed);
+  long start_step = 0;
+  double thermo_target = 0.0;
+  std::vector<double> thermo_state;
+
+  if (options.resume && fs::exists(ckpt_path)) {
+    Checkpoint ck = read_checkpoint(ckpt_path);
+    TBMD_REQUIRE(ck.total_steps == spec.steps,
+                 "job '" + spec.name + "': checkpoint expects " +
+                     std::to_string(ck.total_steps) +
+                     " total steps but the spec asks for " +
+                     std::to_string(spec.steps));
+    system = std::move(ck.system);
+    start_step = ck.step;
+    thermo_target = ck.thermostat_target;
+    thermo_state = std::move(ck.thermostat_state);
+    rng.set_state(ck.rng);
+    res.resumed = true;
+  } else {
+    system = spec.build_system();
+    md::maxwell_boltzmann_velocities(system, spec.temperature, spec.seed);
+  }
+
+  Calculator& calc = ctx.calculator(spec, system);
+  md::MdOptions mdopt;
+  mdopt.dt = spec.dt;
+  mdopt.thermostat = spec.thermostat;
+  md::MdDriver driver(system, calc, mdopt);
+  if (res.resumed) driver.restore(start_step, thermo_target, thermo_state);
+
+  io::BinaryTrajectoryOptions topt;
+  topt.velocities = spec.traj_velocities;
+  topt.lossless = spec.traj_lossless;
+  std::unique_ptr<io::BinaryTrajectoryWriter> traj;
+  if (spec.sample_every > 0) {
+    if (res.resumed && fs::exists(traj_path)) {
+      traj = std::make_unique<io::BinaryTrajectoryWriter>(
+          io::BinaryTrajectoryWriter::resume(traj_path, system, start_step,
+                                             topt));
+    } else {
+      traj = std::make_unique<io::BinaryTrajectoryWriter>(traj_path, system,
+                                                          topt);
+      if (!res.resumed) traj->add_frame(system, 0);
+    }
+  }
+
+  const auto save = [&](long step) {
+    if (traj) traj->flush();
+    Checkpoint ck;
+    ck.step = step;
+    ck.total_steps = spec.steps;
+    ck.system = system;
+    if (const md::Thermostat* t = driver.thermostat()) {
+      ck.thermostat_target = t->target();
+      ck.thermostat_state = t->state();
+    }
+    ck.rng = rng.state();
+    write_checkpoint(ckpt_path, ck);
+  };
+
+  long step = start_step;
+  while (step < spec.steps) {
+    if (!take_step(budget)) {
+      save(step);
+      res.status = JobStatus::kPreempted;
+      break;
+    }
+    // The ramp target is a pure function of the step index, so a resumed
+    // run applies the same schedule an uninterrupted one would.
+    if (md::Thermostat* t = driver.thermostat()) {
+      t->set_target(spec.target_at(step));
+    }
+    driver.step();
+    step = driver.step_count();
+    res.steps_run += 1;
+    if (traj && step % spec.sample_every == 0) traj->add_frame(system, step);
+    const bool final_step = step >= spec.steps;
+    if (final_step || (spec.checkpoint_every > 0 &&
+                       step % spec.checkpoint_every == 0)) {
+      save(step);
+    }
+  }
+
+  res.steps_done = step;
+  res.final_energy = driver.total_energy();
+  res.final_temperature = system.temperature();
+  res.wall_seconds = timer.seconds();
+  return res;
+}
+
+std::string csv_safe(std::string text) {
+  for (char& c : text) {
+    if (c == ',' || c == '\n' || c == '\r') c = ';';
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string_view job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kCompleted:
+      return "completed";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kPreempted:
+      return "preempted";
+  }
+  return "unknown";
+}
+
+JobRunner::JobRunner(std::vector<JobSpec> jobs, SweepOptions options)
+    : jobs_(std::move(jobs)), options_(std::move(options)) {
+  TBMD_REQUIRE(!jobs_.empty(), "JobRunner: no jobs");
+}
+
+std::vector<JobResult> JobRunner::run() {
+  namespace fs = std::filesystem;
+  fs::create_directories(options_.output_dir);
+
+  std::vector<JobResult> results(jobs_.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<long> budget{options_.step_budget};
+  std::atomic<long>* budget_ptr =
+      options_.step_budget >= 0 ? &budget : nullptr;
+  std::mutex log_mutex;
+
+  const auto worker = [&]() {
+    WorkerContext ctx;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs_.size()) return;
+      const JobSpec& spec = jobs_[i];
+      JobResult& res = results[i];
+      try {
+        res = run_job(spec, ctx, options_, budget_ptr);
+      } catch (const std::exception& e) {
+        res = JobResult{};
+        res.name = spec.name;
+        res.status = JobStatus::kFailed;
+        res.error = e.what();
+      }
+      if (options_.verbose) {
+        const std::lock_guard<std::mutex> lock(log_mutex);
+        io::log_info("job '", res.name, "': ", job_status_name(res.status),
+                     " at step ", res.steps_done, "/", spec.steps, " (",
+                     res.steps_run, " steps this run, ", res.wall_seconds,
+                     " s)", res.error.empty() ? "" : " -- ", res.error);
+      }
+    }
+  };
+
+  const int workers = std::max(
+      1, std::min(options_.workers, static_cast<int>(jobs_.size())));
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  write_summary((fs::path(options_.output_dir) / "sweep_summary.csv").string(),
+                results);
+  return results;
+}
+
+void JobRunner::write_summary(const std::string& path,
+                              const std::vector<JobResult>& results) {
+  std::ofstream os(path, std::ios::trunc);
+  TBMD_REQUIRE(os.good(), "write_summary: cannot open '" + path + "'");
+  os << "name,status,resumed,steps_done,steps_run,final_energy_eV,"
+        "final_temperature_K,wall_s,error\n";
+  os.precision(17);
+  for (const JobResult& r : results) {
+    os << csv_safe(r.name) << ',' << job_status_name(r.status) << ','
+       << (r.resumed ? 1 : 0) << ',' << r.steps_done << ',' << r.steps_run
+       << ',' << r.final_energy << ',' << r.final_temperature << ','
+       << r.wall_seconds << ',' << csv_safe(r.error) << '\n';
+  }
+  TBMD_REQUIRE(os.good(), "write_summary: write failed for '" + path + "'");
+}
+
+}  // namespace tbmd::svc

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file job_runner.hpp
+/// \brief Concurrent batched-trajectory runner with checkpoint/restart.
+///
+/// The runner pulls jobs from a shared queue onto M worker threads.  Each
+/// worker owns its calculators (cached by JobSpec::calculator_key(), so a
+/// sweep of same-engine jobs pays the Hamiltonian workspace setup once per
+/// worker) and runs one trajectory at a time:
+///
+///   * fresh jobs build the structure, seed Maxwell-Boltzmann velocities
+///     from the spec seed, and integrate from step 0;
+///   * when resume is enabled and `<name>.ckpt` exists, the System,
+///     thermostat state, RNG state, and step counter are restored and the
+///     binary trajectory is reopened with frames past the checkpoint
+///     truncated -- the continued run is bit-identical to an uninterrupted
+///     one (tested at %.17g on energies and every force component);
+///   * a throwing job is recorded as failed with its message and the
+///     worker moves to the next job -- one bad trajectory cannot take down
+///     a sweep.
+///
+/// Preemption: a non-negative `step_budget` bounds the MD steps the whole
+/// sweep may take in this invocation.  When the budget runs out every job
+/// checkpoints and reports kPreempted; re-running the same sweep command
+/// picks all of them up from their checkpoints.  This is how the CI
+/// kill-and-resume job and the tests exercise restart determinism.
+
+#include <string>
+#include <vector>
+
+#include "src/svc/job_spec.hpp"
+
+namespace tbmd::svc {
+
+/// Runner-level options (the sweep file populates workers/output/resume).
+struct SweepOptions {
+  int workers = 1;
+  /// Directory for checkpoints, trajectories, and the summary CSV.
+  std::string output_dir = "sweep_out";
+  /// Pick up existing checkpoints instead of restarting from scratch.
+  bool resume = true;
+  /// Total MD steps this invocation may execute across all jobs
+  /// (< 0 = unlimited).  Used to force mid-sweep preemption.
+  long step_budget = -1;
+  /// Log per-job progress lines.
+  bool verbose = true;
+};
+
+enum class JobStatus {
+  kCompleted,  ///< ran (or had already run) to its final step
+  kFailed,     ///< threw; see JobResult::error
+  kPreempted,  ///< stopped early by the step budget, checkpoint on disk
+};
+
+/// Outcome of one job in one runner invocation.
+struct JobResult {
+  std::string name;
+  JobStatus status = JobStatus::kCompleted;
+  std::string error;
+  /// True when the job started from an existing checkpoint.
+  bool resumed = false;
+  /// Trajectory position (steps) when the job exited.
+  long steps_done = 0;
+  /// Steps actually integrated in this invocation.
+  long steps_run = 0;
+  /// Total (kinetic + potential) energy at exit (eV).
+  double final_energy = 0.0;
+  /// Instantaneous temperature at exit (K).
+  double final_temperature = 0.0;
+  double wall_seconds = 0.0;
+};
+
+[[nodiscard]] std::string_view job_status_name(JobStatus status);
+
+/// Runs a batch of jobs; see file docs.
+class JobRunner {
+ public:
+  JobRunner(std::vector<JobSpec> jobs, SweepOptions options);
+
+  /// Run (or resume) every job; blocks until the queue drains.  Writes
+  /// `sweep_summary.csv` into the output directory and returns one result
+  /// per job, in job order.
+  std::vector<JobResult> run();
+
+  /// Write the summary CSV for `results` to `path`.
+  static void write_summary(const std::string& path,
+                            const std::vector<JobResult>& results);
+
+ private:
+  std::vector<JobSpec> jobs_;
+  SweepOptions options_;
+};
+
+}  // namespace tbmd::svc

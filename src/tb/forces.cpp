@@ -19,6 +19,13 @@ std::vector<Vec3> band_forces(const BondTable& table, const linalg::Matrix& rho,
 
   // Per-thread force partials merged by a parallel tree reduction -- no
   // critical section, and the merge itself scales with the thread count.
+  //
+  // The loop walks the per-atom adjacency (each bond once, from its i
+  // endpoint) rather than the flat bond list: the bond count depends on
+  // when the Verlet list was last rebuilt, so a bond-indexed partition
+  // would give a warm run and a checkpoint-resumed run different
+  // per-thread summation orders.  An atom-indexed static partition over
+  // neighbor-sorted rows makes the forces a pure function of positions.
   par::ThreadPartials<Vec3> fpartial(n);
   par::ThreadPartials<Mat3> wpartial(1);
 
@@ -27,7 +34,11 @@ std::vector<Vec3> band_forces(const BondTable& table, const linalg::Matrix& rho,
     Vec3* local = fpartial.local();
     Mat3& wlocal = *wpartial.local();
 #pragma omp for schedule(static) nowait
-    for (std::size_t p = 0; p < table.size(); ++p) {
+    for (std::size_t atom = 0; atom < n; ++atom)
+    for (const BondTable::AtomBond* nb = table.atom_begin(atom);
+         nb != table.atom_end(atom); ++nb) {
+      if (nb->transposed != 0) continue;  // count each bond once
+      const std::size_t p = nb->bond;
       if (table.hopping_zero(p)) continue;  // skin-only pair: dB/dd == 0
 
       // dE/dd_g = 2 sum_ab rho(i a, j b) dB(a,b)/dd_g.  Gather the bond's

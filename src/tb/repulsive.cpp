@@ -23,6 +23,11 @@ RepulsiveResult repulsive_energy_forces(const TbModel& model,
   par::ThreadPartials<Vec3> fpartial(n);
   par::ThreadPartials<Mat3> wpartial(1);
 
+  // Both bond loops below walk the per-atom adjacency (each bond once,
+  // from its i endpoint) with a static schedule instead of partitioning
+  // the flat bond list: the bond count depends on the Verlet rebuild
+  // history, so a bond-indexed partition would give a warm run and a
+  // checkpoint-resumed run different per-thread summation orders.
   if (model.repulsion_kind == RepulsionKind::kPairSum) {
     par::ThreadPartials<double> epartial(1);
 #pragma omp parallel
@@ -31,7 +36,11 @@ RepulsiveResult repulsive_energy_forces(const TbModel& model,
       Mat3& wlocal = *wpartial.local();
       double elocal = 0.0;
 #pragma omp for schedule(static) nowait
-      for (std::size_t p = 0; p < nb; ++p) {
+      for (std::size_t atom = 0; atom < n; ++atom)
+      for (const BondTable::AtomBond* ab = table.atom_begin(atom);
+           ab != table.atom_end(atom); ++ab) {
+        if (ab->transposed != 0) continue;  // count each bond once
+        const std::size_t p = ab->bond;
         const double der = table.repulsive_derivative(p);
         const double val = table.repulsive_value(p);
         if (val == 0.0 && der == 0.0) continue;  // at/beyond repulsive cutoff
@@ -78,7 +87,11 @@ RepulsiveResult repulsive_energy_forces(const TbModel& model,
     Vec3* local = fpartial.local();
     Mat3& wlocal = *wpartial.local();
 #pragma omp for schedule(static) nowait
-    for (std::size_t p = 0; p < nb; ++p) {
+    for (std::size_t atom = 0; atom < n; ++atom)
+    for (const BondTable::AtomBond* ab = table.atom_begin(atom);
+         ab != table.atom_end(atom); ++ab) {
+      if (ab->transposed != 0) continue;  // count each bond once
+      const std::size_t p = ab->bond;
       const double der = table.repulsive_derivative(p);
       if (der == 0.0 && table.repulsive_value(p) == 0.0) continue;
       const double w =

@@ -96,7 +96,7 @@ TEST(Gear, TracksVerletTrajectoryAtSmallTimestep) {
   p.skin = 0.4;
   potentials::LennardJonesCalculator c1(p), c2(p);
   md::GearDriver gear(s1, c1, 0.5);
-  md::MdDriver verlet(s2, c2, {0.5, nullptr});
+  md::MdDriver verlet(s2, c2, {0.5});
   gear.run(100);
   verlet.run(100);
 
@@ -173,7 +173,8 @@ TEST(Config, SyntaxErrorsAreReportedWithLineNumbers) {
     (void)io::Config::parse_string("ok = 1\nbroken line\n");
     FAIL();
   } catch (const Error& e) {
-    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    // Errors carry "source:line" prefixes (e.g. "<config>:2: ...").
+    EXPECT_NE(std::string(e.what()).find(":2"), std::string::npos);
   }
 }
 
@@ -182,6 +183,48 @@ TEST(Config, BadTypedValuesThrow) {
   EXPECT_THROW((void)cfg.get_double("x", 0.0), Error);
   EXPECT_THROW((void)cfg.get_long("x", 0), Error);
   EXPECT_THROW((void)cfg.get_bool("b", false), Error);
+}
+
+TEST(Config, TypedRequireAccessors) {
+  const auto cfg = io::Config::parse_string(
+      "n = 5\nx = 2.5\nflag = true\nv = 1.0 2.0 3.0\nname = melt\n");
+  EXPECT_EQ(cfg.require_long("n"), 5);
+  EXPECT_EQ(cfg.require_double("x"), 2.5);
+  EXPECT_TRUE(cfg.require_bool("flag"));
+  EXPECT_EQ(cfg.require_string("name"), "melt");
+  EXPECT_EQ(cfg.require_doubles("v", 3), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_THROW((void)cfg.require_doubles("v", 2), Error);  // wrong count
+  EXPECT_THROW((void)cfg.require_long("x"), Error);        // wrong type
+  EXPECT_THROW((void)cfg.require_long("absent"), Error);   // missing
+}
+
+TEST(Config, ErrorsCarryFileAndLine) {
+  const auto cfg =
+      io::Config::parse_string("a = 1\nb = oops\n", "demo.cfg");
+  EXPECT_EQ(cfg.where("b"), "demo.cfg:2");
+  EXPECT_EQ(cfg.line("a"), 1);
+  EXPECT_EQ(cfg.line("absent"), 0);
+  try {
+    (void)cfg.require_long("b");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("demo.cfg:2"), std::string::npos);
+  }
+}
+
+TEST(Config, UnusedKeysAreTracked) {
+  const auto cfg = io::Config::parse_string("a = 1\ntypo = 2\n");
+  (void)cfg.get_long("a", 0);
+  EXPECT_EQ(cfg.unused_keys(), (std::vector<std::string>{"typo"}));
+  try {
+    cfg.require_all_used("test config");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("typo"), std::string::npos);
+  }
+  (void)cfg.get_long("typo", 0);
+  EXPECT_TRUE(cfg.unused_keys().empty());
+  cfg.require_all_used("test config");  // no longer throws
 }
 
 // --- restart I/O (velocities in XYZ) --------------------------------------
@@ -223,18 +266,18 @@ TEST(RestartXyz, RestartContinuesTrajectoryExactly) {
   p.skin = 0.4;
 
   potentials::LennardJonesCalculator c1(p);
-  md::MdDriver d1(s1, c1, {2.0, nullptr});
+  md::MdDriver d1(s1, c1, {2.0});
   d1.run(20);
 
   potentials::LennardJonesCalculator c2(p);
-  md::MdDriver d2(s2, c2, {2.0, nullptr});
+  md::MdDriver d2(s2, c2, {2.0});
   d2.run(10);
   std::stringstream ss;
   io::write_xyz(ss, s2, "half", true);
   System resumed;
   ASSERT_TRUE(io::read_xyz(ss, resumed));
   potentials::LennardJonesCalculator c3(p);
-  md::MdDriver d3(resumed, c3, {2.0, nullptr});
+  md::MdDriver d3(resumed, c3, {2.0});
   d3.run(10);
 
   double worst = 0.0;

@@ -34,7 +34,7 @@ TEST(Workflow, NvtTbmdSiliconStaysCrystallineAt300K) {
   tb::TightBindingCalculator calc(tb::gsp_silicon());
   md::MdOptions opt;
   opt.dt = 1.0;
-  opt.thermostat = std::make_unique<md::NoseHooverThermostat>(300.0, 50.0, 2);
+  opt.thermostat = md::ThermostatSpec::nose_hoover(300.0, 50.0, 2);
   md::MdDriver driver(s, calc, std::move(opt));
 
   analysis::MsdTracker msd(s);
@@ -53,7 +53,7 @@ TEST(Workflow, NveTbmdConservedQuantityTracksPaperCriterion) {
   System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
   md::maxwell_boltzmann_velocities(s, 500.0, 2);
   tb::TightBindingCalculator calc(tb::xwch_carbon());
-  md::MdDriver driver(s, calc, {0.5, nullptr});
+  md::MdDriver driver(s, calc, {0.5});
 
   const double e0 = driver.total_energy();
   double worst = 0.0;
@@ -69,7 +69,7 @@ TEST(Workflow, GrapheneSheetSurvivesRoomTemperatureMd) {
   tb::TightBindingCalculator calc(tb::xwch_carbon());
   md::MdOptions opt;
   opt.dt = 1.0;
-  opt.thermostat = std::make_unique<md::NoseHooverThermostat>(300.0, 50.0, 2);
+  opt.thermostat = md::ThermostatSpec::nose_hoover(300.0, 50.0, 2);
   md::MdDriver driver(s, calc, std::move(opt));
   driver.run(100);
   const auto coord = analysis::coordination_numbers(s, 1.75);
@@ -94,7 +94,7 @@ TEST(Workflow, RelaxThenMdRoundTripThroughXyz) {
 
   md::maxwell_boltzmann_velocities(loaded, 300.0, 5);
   tb::TightBindingCalculator calc2(tb::xwch_carbon());
-  md::MdDriver driver(loaded, calc2, {1.0, nullptr});
+  md::MdDriver driver(loaded, calc2, {1.0});
   driver.run(30);
   EXPECT_EQ(analysis::bond_count(loaded, 1.44 * 1.15), 90u);  // cage intact
 }
@@ -117,7 +117,7 @@ TEST(Workflow, FrozenEdgeNanotubeMd) {
   tb::TightBindingCalculator calc(tb::xwch_carbon());
   md::MdOptions opt;
   opt.dt = 1.0;
-  opt.thermostat = std::make_unique<md::NoseHooverThermostat>(500.0, 40.0, 2);
+  opt.thermostat = md::ThermostatSpec::nose_hoover(500.0, 40.0, 2);
   md::MdDriver driver(s, calc, std::move(opt));
   driver.run(60);
 
@@ -160,8 +160,8 @@ TEST(Workflow, OrderNMdMatchesExactMdShortRun) {
   oopt.purification.drop_tolerance = 1e-9;
   onx::OrderNCalculator fast(tb::xwch_carbon(), oopt);
 
-  md::MdDriver d1(s1, exact, {1.0, nullptr});
-  md::MdDriver d2(s2, fast, {1.0, nullptr});
+  md::MdDriver d1(s1, exact, {1.0});
+  md::MdDriver d2(s2, fast, {1.0});
   d1.run(10);
   d2.run(10);
 
@@ -244,7 +244,7 @@ TEST(Workflow, HeatingRampRaisesTemperature) {
   tb::TightBindingCalculator calc(tb::gsp_silicon());
   md::MdOptions opt;
   opt.dt = 1.0;
-  opt.thermostat = std::make_unique<md::NoseHooverThermostat>(300.0, 30.0, 2);
+  opt.thermostat = md::ThermostatSpec::nose_hoover(300.0, 30.0, 2);
   md::MdDriver driver(s, calc, std::move(opt));
 
   // Ramp 300 K -> 400 K over 200 fs (0.5 K/fs).

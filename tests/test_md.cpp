@@ -67,7 +67,7 @@ TEST(NveDynamics, ConservesEnergyLennardJones) {
   System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
   maxwell_boltzmann_velocities(s, 60.0, 11);
   potentials::LennardJonesCalculator calc(small_cell_lj());
-  MdDriver driver(s, calc, {2.0, nullptr});  // 2 fs is small for argon
+  MdDriver driver(s, calc, {2.0});  // 2 fs is small for argon
   const double e0 = driver.total_energy();
   driver.run(250);
   EXPECT_NEAR(driver.total_energy(), e0, 2e-4 * s.size());
@@ -77,7 +77,7 @@ TEST(NveDynamics, ConservesEnergyTightBinding) {
   System s = structures::diamond(Element::Si, 5.431, 2, 2, 2);
   maxwell_boltzmann_velocities(s, 300.0, 13);
   tb::TightBindingCalculator calc(tb::gsp_silicon());
-  MdDriver driver(s, calc, {1.0, nullptr});
+  MdDriver driver(s, calc, {1.0});
   const double e0 = driver.total_energy();
   driver.run(40);
   // Literature-standard criterion: drift well under 1 meV/atom over 40 fs.
@@ -91,7 +91,7 @@ TEST(NveDynamics, EnergyErrorShrinksQuadraticallyWithTimestep) {
     System s = structures::fcc(Element::Ar, 5.26, 2, 2, 2);
     maxwell_boltzmann_velocities(s, 40.0, 17);
     potentials::LennardJonesCalculator calc(small_cell_lj());
-    MdDriver driver(s, calc, {dt, nullptr});
+    MdDriver driver(s, calc, {dt});
     const double e0 = driver.total_energy();
     double worst = 0.0;
     const long steps = static_cast<long>(40.0 / dt);
@@ -112,7 +112,7 @@ TEST(NveDynamics, FrozenAtomsDoNotMove) {
   const Vec3 pinned = s.positions()[2];
   maxwell_boltzmann_velocities(s, 80.0, 19);
   potentials::LennardJonesCalculator calc(small_cell_lj());
-  MdDriver driver(s, calc, {2.0, nullptr});
+  MdDriver driver(s, calc, {2.0});
   driver.run(50);
   EXPECT_EQ(s.positions()[2], pinned);
 }
@@ -120,7 +120,7 @@ TEST(NveDynamics, FrozenAtomsDoNotMove) {
 TEST(NveDynamics, TimeBookkeeping) {
   System s = structures::dimer(Element::Ar, 3.8);
   potentials::LennardJonesCalculator calc;
-  MdDriver driver(s, calc, {0.5, nullptr});
+  MdDriver driver(s, calc, {0.5});
   driver.run(10);
   EXPECT_EQ(driver.step_count(), 10);
   EXPECT_DOUBLE_EQ(driver.time_fs(), 5.0);
@@ -132,7 +132,7 @@ TEST(Thermostats, RescaleReachesTargetExactly) {
   potentials::LennardJonesCalculator calc(small_cell_lj());
   MdOptions opt;
   opt.dt = 2.0;
-  opt.thermostat = std::make_unique<VelocityRescaleThermostat>(90.0);
+  opt.thermostat = ThermostatSpec::rescale(90.0);
   MdDriver driver(s, calc, std::move(opt));
   driver.run(5);
   EXPECT_NEAR(s.temperature(), 90.0, 1e-9);
@@ -144,7 +144,7 @@ TEST(Thermostats, BerendsenRelaxesTowardsTarget) {
   potentials::LennardJonesCalculator calc(small_cell_lj());
   MdOptions opt;
   opt.dt = 2.0;
-  opt.thermostat = std::make_unique<BerendsenThermostat>(100.0, 50.0);
+  opt.thermostat = ThermostatSpec::berendsen(100.0, 50.0);
   MdDriver driver(s, calc, std::move(opt));
   driver.run(200);
   EXPECT_GT(s.temperature(), 60.0);
@@ -157,7 +157,7 @@ TEST(Thermostats, NoseHooverSamplesTargetTemperature) {
   potentials::LennardJonesCalculator calc(small_cell_lj());
   MdOptions opt;
   opt.dt = 2.0;
-  opt.thermostat = std::make_unique<NoseHooverThermostat>(100.0, 100.0, 2);
+  opt.thermostat = ThermostatSpec::nose_hoover(100.0, 100.0, 2);
   MdDriver driver(s, calc, std::move(opt));
 
   driver.run(200);  // equilibrate
@@ -177,7 +177,7 @@ TEST(Thermostats, NoseHooverConservedQuantityIsStable) {
   potentials::LennardJonesCalculator calc(small_cell_lj());
   MdOptions opt;
   opt.dt = 2.0;
-  opt.thermostat = std::make_unique<NoseHooverThermostat>(80.0, 100.0, 2);
+  opt.thermostat = ThermostatSpec::nose_hoover(80.0, 100.0, 2);
   MdDriver driver(s, calc, std::move(opt));
   const double h0 = driver.conserved_quantity();
   double worst = 0.0;
@@ -197,7 +197,7 @@ TEST(Thermostats, NoseHooverHeatsSystemFromCold) {
   opt.dt = 2.0;
   // Stiff coupling (tau = 15 fs) so the cold, nearly-harmonic crystal
   // thermalizes within the test budget.
-  opt.thermostat = std::make_unique<NoseHooverThermostat>(120.0, 15.0, 2);
+  opt.thermostat = ThermostatSpec::nose_hoover(120.0, 15.0, 2);
   MdDriver driver(s, calc, std::move(opt));
   driver.run(1200);
   EXPECT_GT(s.temperature(), 60.0);
@@ -209,7 +209,7 @@ TEST(Thermostats, TemperatureRampFollowsSchedule) {
   potentials::LennardJonesCalculator calc(small_cell_lj());
   MdOptions opt;
   opt.dt = 2.0;
-  opt.thermostat = std::make_unique<NoseHooverThermostat>(50.0, 60.0, 2);
+  opt.thermostat = ThermostatSpec::nose_hoover(50.0, 60.0, 2);
   MdDriver driver(s, calc, std::move(opt));
   driver.ramp_temperature(150.0, 200);
   EXPECT_NEAR(driver.thermostat()->target(), 150.0, 1e-12);
@@ -226,16 +226,54 @@ TEST(Thermostats, ChainLengthOneIsPlainNoseHoover) {
   EXPECT_TRUE(std::isfinite(s.velocities()[0].x));
 }
 
+TEST(Thermostats, SpecsAreCopyableValues) {
+  MdOptions a;
+  a.dt = 0.5;
+  a.thermostat = ThermostatSpec::nose_hoover(200.0, 40.0, 3);
+  const MdOptions b = a;  // plain copy: no owned pointers in options
+  EXPECT_EQ(b.thermostat.kind, ThermostatKind::kNoseHoover);
+  EXPECT_EQ(b.thermostat.target_kelvin, 200.0);
+  const auto resolved = b.thermostat.resolve();
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(resolved->target(), 200.0);
+  EXPECT_EQ(resolved->state().size(), 6u);  // 3 chain positions + 3 rates
+
+  EXPECT_FALSE(ThermostatSpec::none().active());
+  EXPECT_EQ(ThermostatSpec::none().resolve(), nullptr);
+  EXPECT_EQ(ThermostatSpec::by_name("nvt", 300.0).kind,
+            ThermostatKind::kNoseHoover);
+  EXPECT_EQ(ThermostatSpec::by_name("berendsen", 300.0).kind,
+            ThermostatKind::kBerendsen);
+  EXPECT_THROW((void)ThermostatSpec::by_name("bogus", 1.0), Error);
+}
+
+TEST(Thermostats, StateRoundTripRestoresChains) {
+  System s = structures::fcc(Element::Ar, 5.26, 1, 1, 2);
+  maxwell_boltzmann_velocities(s, 140.0, 21);
+  NoseHooverThermostat nh(100.0, 50.0, 2);
+  for (int k = 0; k < 5; ++k) {
+    nh.begin_step(s, 1.0);
+    nh.end_step(s, 1.0);
+  }
+  const std::vector<double> snapshot = nh.state();
+  ASSERT_EQ(snapshot.size(), 4u);
+
+  NoseHooverThermostat fresh(100.0, 50.0, 2);
+  fresh.set_state(snapshot);
+  EXPECT_EQ(fresh.state(), snapshot);
+  EXPECT_THROW(fresh.set_state({1.0}), Error);  // wrong layout
+}
+
 TEST(MdDriver, RejectsNonPositiveTimestep) {
   System s = structures::dimer(Element::Ar, 3.8);
   potentials::LennardJonesCalculator calc;
-  EXPECT_THROW(MdDriver(s, calc, {0.0, nullptr}), Error);
+  EXPECT_THROW(MdDriver(s, calc, {0.0}), Error);
 }
 
 TEST(MdDriver, ObserverSeesEveryStep) {
   System s = structures::dimer(Element::Ar, 3.8);
   potentials::LennardJonesCalculator calc;
-  MdDriver driver(s, calc, {1.0, nullptr});
+  MdDriver driver(s, calc, {1.0});
   long count = 0;
   driver.run(17, [&](const MdDriver&, long) { ++count; });
   EXPECT_EQ(count, 17);

@@ -353,7 +353,7 @@ TEST(OrderNCalculator, ColdAndWarmPatternNveSlicesAreBitIdentical) {
     opt.purification.drop_tolerance = 1e-6;
     opt.reuse_patterns = reuse;
     OrderNCalculator calc(m, opt);
-    md::MdDriver driver(s, calc, {1.0, nullptr});
+    md::MdDriver driver(s, calc, {1.0});
     std::vector<double> energies;
     driver.run(steps, [&](const md::MdDriver& d, long) {
       energies.push_back(d.total_energy());

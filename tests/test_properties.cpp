@@ -150,7 +150,7 @@ TEST(Dynamics, VelocityVerletIsTimeReversible) {
   p.cutoff = 4.8;
   p.skin = 0.0;  // keep the force field exactly deterministic in r
   potentials::LennardJonesCalculator calc(p);
-  md::MdDriver driver(s, calc, {2.0, nullptr});
+  md::MdDriver driver(s, calc, {2.0});
   driver.run(50);
   for (Vec3& v : s.velocities()) v = -v;
   driver.run(50);
@@ -166,7 +166,7 @@ TEST(Dynamics, NveConservesLinearMomentum) {
   System s = structures::diamond(Element::Si, 5.431, 2, 2, 2);
   md::maxwell_boltzmann_velocities(s, 400.0, 19);
   tb::TightBindingCalculator calc(tb::gsp_silicon());
-  md::MdDriver driver(s, calc, {1.0, nullptr});
+  md::MdDriver driver(s, calc, {1.0});
   driver.run(25);
   Vec3 total{};
   for (std::size_t i = 0; i < s.size(); ++i) {
@@ -180,7 +180,7 @@ TEST(Dynamics, DeterministicGivenSeed) {
     System s = structures::diamond(Element::C, 3.567, 2, 2, 2);
     md::maxwell_boltzmann_velocities(s, 500.0, 23);
     tb::TightBindingCalculator calc(tb::xwch_carbon());
-    md::MdDriver driver(s, calc, {1.0, nullptr});
+    md::MdDriver driver(s, calc, {1.0});
     driver.run(10);
     return s.positions();
   };
