@@ -7,9 +7,17 @@
 ///
 /// The headline figure of the paper: the O(N^3) wall, where the O(N)
 /// method crosses it, and how far below both the classical baseline sits.
+///
+/// Usage: exp_f1_step_scaling [--max-atoms 1024] [--threads N]
+///
+/// --max-atoms extends the O(N) series up to 21952 atoms (the 1k/5k/20k
+/// scale-evidence points of the CI `scaling` job); --threads pins the
+/// OpenMP team size for the whole run.
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -19,11 +27,19 @@
 #include "src/potentials/tersoff.hpp"
 #include "src/structures/builders.hpp"
 #include "src/tb/tb_calculator.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/timer.hpp"
 
 namespace {
 
 using namespace tbmd;
+
+double arg_or(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
 
 double time_force_call(Calculator& calc, System& s, int repeats) {
   (void)calc.compute(s);  // warm the neighbor list
@@ -50,8 +66,13 @@ double loglog_slope(const std::vector<double>& n,
 
 }  // namespace
 
-int main() {
-  std::printf("EXP-F1: time per force evaluation vs N (log-log series)\n\n");
+int main(int argc, char** argv) {
+  const int max_atoms =
+      static_cast<int>(arg_or(argc, argv, "--max-atoms", 1024));
+  const int threads = static_cast<int>(arg_or(argc, argv, "--threads", 0));
+  if (threads > 0) par::set_num_threads(threads);
+  std::printf("EXP-F1: time per force evaluation vs N (log-log series, "
+              "%d thread(s))\n\n", par::max_threads());
 
   io::Table table({"N_atoms", "tb_exact_ms", "tb_on_ms", "tersoff_ms"});
   std::vector<double> ns, t_exact, t_on, t_ters;
@@ -61,18 +82,28 @@ int main() {
     bool run_exact;
     bool run_on;
   };
-  // Exact diagonalization is capped at 288 atoms and O(N) purification at
-  // 512 so the harness completes in minutes on a laptop-class machine; the
-  // Tersoff baseline runs to 1024 to anchor the O(N) classical floor.
+  // Exact diagonalization is capped at 288 atoms so the harness completes
+  // in minutes on a laptop-class machine; the default --max-atoms 1024
+  // ends the O(N) series at 1000 atoms with the Tersoff baseline anchoring
+  // the classical floor.  The 5832/21952-atom specs are opt-in via
+  // --max-atoms: at drop 1e-6 the density matrix's localization radius puts
+  // fill near 30% at 5832 atoms, so a single step runs for hours -- that
+  // cost is the target of the mixed-precision / halo-exchange roadmap
+  // items, not something to burn CI time on today.
   const std::vector<Spec> specs{
-      {2, 2, 2, true, true},  {2, 2, 4, true, true},
-      {3, 3, 3, true, true},  {3, 3, 4, true, true},
-      {4, 4, 4, false, true}, {4, 4, 8, false, false}};
+      {2, 2, 2, true, true},    {2, 2, 4, true, true},
+      {3, 3, 3, true, true},    {3, 3, 4, true, true},
+      {4, 4, 4, false, true},   {5, 5, 5, false, true},
+      {4, 4, 8, false, false},  {9, 9, 9, false, true},
+      {14, 14, 14, false, true}};
 
   std::vector<double> n_on;
+  std::vector<double> n_all;
   for (const Spec& sp : specs) {
     System s = structures::diamond(Element::C, 3.567, sp.nx, sp.ny, sp.nz);
+    if (static_cast<int>(s.size()) > max_atoms) continue;
     structures::perturb(s, 0.02, 3);
+    n_all.push_back(static_cast<double>(s.size()));
     const double n = static_cast<double>(s.size());
 
     double ms_exact = -1.0;
@@ -105,10 +136,6 @@ int main() {
   table.print(std::cout);
   table.write_csv("exp_f1_step_scaling.csv");
 
-  std::vector<double> n_all;
-  for (const Spec& sp : specs) {
-    n_all.push_back(8.0 * sp.nx * sp.ny * sp.nz);
-  }
   std::printf("\nfitted log-log slopes (expected: exact ~2.5-3, on ~1-1.5,"
               " tersoff ~1):\n");
   std::printf("  tb-exact : %.2f\n", loglog_slope(ns, t_exact));

@@ -2,7 +2,8 @@
 /// \brief Batched-trajectory sweep runner with checkpoint/restart.
 ///
 /// Usage:  ./sweep_run sweep.cfg [--workers N] [--output DIR]
-///                     [--no-resume] [--step-budget N] [--quiet]
+///                     [--no-resume] [--step-budget N] [--threads N]
+///                     [--quiet]
 ///
 /// Example sweep file:
 /// \code
@@ -21,12 +22,14 @@
 /// continue), 1 = at least one job failed.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/io/logger.hpp"
 #include "src/svc/job_runner.hpp"
 #include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/string_util.hpp"
 
 int main(int argc, char** argv) {
@@ -34,7 +37,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s sweep.cfg [--workers N] [--output DIR] "
-                 "[--no-resume] [--step-budget N] [--quiet]\n",
+                 "[--no-resume] [--step-budget N] [--threads N] [--quiet]\n",
                  argv[0]);
     return 2;
   }
@@ -44,6 +47,13 @@ int main(int argc, char** argv) {
     opt.workers = sweep.workers;
     opt.output_dir = sweep.output_dir;
     opt.resume = sweep.resume;
+
+    // Ambient team size for all jobs without a per-job `threads` key:
+    // TBMD_THREADS env var, overridden by --threads below.
+    long ambient_threads = 0;
+    if (const char* env = std::getenv("TBMD_THREADS")) {
+      ambient_threads = parse_long(env, "TBMD_THREADS");
+    }
 
     for (int i = 2; i < argc; ++i) {
       const std::string flag = argv[i];
@@ -59,6 +69,8 @@ int main(int argc, char** argv) {
         opt.resume = false;
       } else if (flag == "--step-budget") {
         opt.step_budget = parse_long(value(), flag);
+      } else if (flag == "--threads") {
+        ambient_threads = parse_long(value(), flag);
       } else if (flag == "--quiet") {
         opt.verbose = false;
       } else {
@@ -66,8 +78,11 @@ int main(int argc, char** argv) {
       }
     }
 
+    opt.threads = static_cast<int>(ambient_threads);
     io::log_info("sweep: ", sweep.jobs.size(), " job(s), ", opt.workers,
-                 " worker(s), output '", opt.output_dir, "'");
+                 " worker(s), ",
+                 opt.threads > 0 ? opt.threads : par::max_threads(),
+                 " thread(s)/job, output '", opt.output_dir, "'");
     svc::JobRunner runner(std::move(sweep.jobs), opt);
     const std::vector<svc::JobResult> results = runner.run();
 

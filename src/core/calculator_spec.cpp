@@ -36,8 +36,12 @@ std::string CalculatorSpec::fingerprint() const {
        << ";eigenvalues=" << (report_eigenvalues ? 1 : 0);
   } else {
     os << ";tol=" << drop_tolerance
-       << ";reuse=" << (reuse_patterns ? 1 : 0);
+       << ";reuse=" << (reuse_patterns ? 1 : 0) << ";domains=" << domains
+       << ";cachebounds=" << (cache_spectral_bounds ? 1 : 0);
   }
+  // `threads` is deliberately absent: it is an execution-resource hint
+  // (see the field's doc), and two specs differing only there must share
+  // a cached calculator.
   return os.str();
 }
 
@@ -70,6 +74,8 @@ std::unique_ptr<Calculator> make_calculator(const tb::TbModel& model,
   opt.skin = spec.skin;
   opt.purification.drop_tolerance = spec.drop_tolerance;
   opt.reuse_patterns = spec.reuse_patterns;
+  opt.domains = spec.domains;
+  opt.cache_spectral_bounds = spec.cache_spectral_bounds;
   return std::make_unique<onx::OrderNCalculator>(model, opt);
 }
 

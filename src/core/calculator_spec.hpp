@@ -55,6 +55,25 @@ struct CalculatorSpec {
   /// Reuse symbolic SpMM patterns across steps (ablation switch; results
   /// are bit-identical either way).
   bool reuse_patterns = true;
+  /// Block-row domain count for the sharded O(N) sweeps (0 = auto-size
+  /// from the thread count, 1 = off, >= 2 explicit); scheduling-level
+  /// only, results are bit-identical at any value.
+  int domains = 0;
+  /// Cache Gershgorin spectral bounds across steps (norm-widened on
+  /// pattern hits).  Saves an O(nnz) pass per warm step but makes the
+  /// purification seed history-dependent, so checkpoint kill-and-resume
+  /// is no longer bit-reproducible with this on; default off.
+  bool cache_spectral_bounds = false;
+
+  // --- execution (any engine) ---
+  /// OpenMP threads to pin while this calculator's jobs run: 0 inherits
+  /// the worker's ambient team size, > 0 overrides it per job (the
+  /// `TBMD_THREADS`-style knob for sweep workers).  An execution-resource
+  /// hint, not part of the calculator's identity: it never changes
+  /// results (every kernel is thread-count invariant), so fingerprint()
+  /// deliberately excludes it and jobs differing only in `threads` share
+  /// a cached calculator.
+  int threads = 0;
 
   [[nodiscard]] static CalculatorSpec exact() { return {}; }
 

@@ -511,16 +511,21 @@ double BlockSparseMatrix::trace() const {
 double BlockSparseMatrix::trace_of_product(const BlockSparseMatrix& b) const {
   TBMD_REQUIRE(layout_matches(b), "trace_of_product: size/block mismatch");
   TBMD_REQUIRE(sym_ == b.sym_, "trace_of_product: storage-mode mismatch");
-  double t = 0.0;
+  // Per-block-row partials are filled in parallel (each slot written by
+  // exactly one row) and summed serially in row order, so the trace is
+  // bit-identical at any OMP_NUM_THREADS.  A reduction(+) clause would
+  // group terms by thread and change the rounding with the team size.
+  std::vector<double> row_t(nb_, 0.0);
   [[maybe_unused]] const bool par = nb_ > 64;
   if (sym_) {
     // Single upper-half pass.  With implicit mirrors A_JI = A_IJ^T the two
     // off-diagonal contributions tr(A_IJ B_JI) + tr(A_JI B_IJ) both reduce
     // to the elementwise dot <A_IJ, B_IJ>, hence the factor 2; diagonal
     // tiles contribute the plain tr(A_II B_II).
-#pragma omp parallel for reduction(+ : t) schedule(static) if (par)
+#pragma omp parallel for schedule(static) if (par)
     for (std::size_t bi = 0; bi < nb_; ++bi) {
       const std::size_t di = row_dim(bi);
+      double tr = 0.0;
       for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
         const std::size_t bj = col_[k];
         const double* ta = block(k);
@@ -538,29 +543,34 @@ double BlockSparseMatrix::trace_of_product(const BlockSparseMatrix& b) const {
           for (std::size_t q = 0; q < sz; ++q) s += ta[q] * tb[q];
           s *= 2.0;
         }
-        t += s;
+        tr += s;
       }
+      row_t[bi] = tr;
     }
-    return t;
-  }
-#pragma omp parallel for reduction(+ : t) schedule(static) if (par)
-  for (std::size_t bi = 0; bi < nb_; ++bi) {
-    const std::size_t di = row_dim(bi);
-    for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
-      const std::size_t dj = row_dim(col_[k]);
-      const double* ta = block(k);
-      const double* tb = b.find_block(col_[k], bi);
-      if (tb == nullptr) continue;
-      // sum_ab A_IJ[a,b] * B_JI[b,a]
-      double s = 0.0;
-      for (std::size_t a = 0; a < di; ++a) {
-        for (std::size_t c = 0; c < dj; ++c) {
-          s += ta[dj * a + c] * tb[di * c + a];
+  } else {
+#pragma omp parallel for schedule(static) if (par)
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = row_dim(bi);
+      double tr = 0.0;
+      for (std::size_t k = row_ptr_[bi]; k < row_ptr_[bi + 1]; ++k) {
+        const std::size_t dj = row_dim(col_[k]);
+        const double* ta = block(k);
+        const double* tb = b.find_block(col_[k], bi);
+        if (tb == nullptr) continue;
+        // sum_ab A_IJ[a,b] * B_JI[b,a]
+        double s = 0.0;
+        for (std::size_t a = 0; a < di; ++a) {
+          for (std::size_t c = 0; c < dj; ++c) {
+            s += ta[dj * a + c] * tb[di * c + a];
+          }
         }
+        tr += s;
       }
-      t += s;
+      row_t[bi] = tr;
     }
   }
+  double t = 0.0;
+  for (std::size_t bi = 0; bi < nb_; ++bi) t += row_t[bi];
   return t;
 }
 
@@ -766,6 +776,10 @@ void BsrWorkspace::shrink(const BsrShrinkPolicy& policy) {
     adj->fill.clear();
     adj->fill.shrink_to_fit();
   }
+  // Stale domain cuts would reference rows beyond the shrunk system; the
+  // owner re-derives them per step anyway.
+  domains.clear();
+  domains.shrink_to_fit();
 }
 
 std::size_t BsrWorkspace::footprint_bytes() const {
@@ -789,6 +803,7 @@ std::size_t BsrWorkspace::footprint_bytes() const {
     vec(adj->trans);
     vec(adj->fill);
   }
+  vec(domains);
   return total;
 }
 
@@ -1027,6 +1042,15 @@ void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
     ws.touched.resize(nthreads);
   }
 
+  // Optional contiguous row-domain decomposition (ws.domains): both phases
+  // then sweep whole domains with a static round-robin so thread t owns
+  // the same rows every call (cache/NUMA affinity across purification
+  // iterations).  Per-row work is untouched, so the output is
+  // bit-identical with or without sharding at any thread count.
+  const std::vector<std::size_t>& dom = ws.domains;
+  const bool sharded =
+      dom.size() > 2 && dom.front() == 0 && dom.back() == nb_;
+
   if (!warm) {
     // Symbolic phase: discover the upper-half output pattern (no flops).
     ++ws.stats.symbolic_builds;
@@ -1038,8 +1062,10 @@ void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
       std::vector<std::uint32_t>& touched = ws.touched[tid];
       if (hit.size() < nb_) hit.assign(nb_, 0);
       touched.reserve(256);
-#pragma omp for schedule(dynamic, 8)
-      for (std::size_t bi = 0; bi < nb_; ++bi) {
+      // always_inline: keeps the row body a leaf of the outlined parallel
+      // region instead of a separately-emitted lambda call.
+      const auto symbolic_row = [&](std::size_t bi)
+          __attribute__((always_inline)) {
         touched.clear();
         for (std::size_t ua = adj_a.ptr[bi]; ua < adj_a.ptr[bi + 1]; ++ua) {
           const std::size_t bk = adj_a.col[ua];
@@ -1055,6 +1081,17 @@ void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
         std::sort(touched.begin(), touched.end());
         ws.row_cols[bi].assign(touched.begin(), touched.end());
         for (const std::uint32_t bj : touched) hit[bj] = 0;
+      };
+      if (sharded) {
+#pragma omp for schedule(static, 1)
+        for (std::size_t d = 0; d < dom.size() - 1; ++d) {
+          for (std::size_t bi = dom[d]; bi < dom[d + 1]; ++bi) {
+            symbolic_row(bi);
+          }
+        }
+      } else {
+#pragma omp for schedule(dynamic, 8)
+        for (std::size_t bi = 0; bi < nb_; ++bi) symbolic_row(bi);
       }
     }
     pat.row_ptr.assign(nb_ + 1, 0);
@@ -1080,64 +1117,86 @@ void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
   // gather; the pattern itself stays frozen (it describes the un-truncated
   // Gustavson product of the operand patterns).
   reset_workspace(ws, nb_);
-#pragma omp parallel
-  {
-    const auto tid = static_cast<std::size_t>(par::thread_id());
-    std::vector<double>& acc = ws.acc[tid];
-    if (acc.size() < nb_ * bs2) acc.assign(nb_ * bs2, 0.0);
-
-#pragma omp for schedule(dynamic, 8)
-    for (std::size_t bi = 0; bi < nb_; ++bi) {
-      const std::size_t di = row_dim(bi);
-      for (std::size_t ua = adj_a.ptr[bi]; ua < adj_a.ptr[bi + 1]; ++ua) {
-        const std::size_t bk = adj_a.col[ua];
-        const std::size_t dk = row_dim(bk);
-        const double* ta = block(adj_a.tile[ua]);
-        const bool trans_a = adj_a.trans[ua] != 0;
-        for (std::size_t ub = adj_lower_bound(adj_b, bk, bi);
-             ub < adj_b.ptr[bk + 1]; ++ub) {
-          const std::uint32_t bj = adj_b.col[ub];
-          if (var) {
-            linalg::gemm_micro_add_rect(di, dk, row_dim(bj), trans_a,
-                                        adj_b.trans[ub] != 0, ta,
-                                        b.block(adj_b.tile[ub]),
-                                        acc.data() + bs2 * bj);
-          } else {
-            linalg::gemm_micro_add_t(bs_, trans_a, adj_b.trans[ub] != 0, ta,
-                                     b.block(adj_b.tile[ub]),
-                                     acc.data() + bs2 * bj);
-          }
-        }
-      }
-      // Gather through the pattern row: it lists exactly the columns the
-      // products above touched, so the sweep also restores acc to zero.
-      auto& cols = ws.row_cols[bi];
-      auto& vals = ws.row_vals[bi];
-      const std::size_t pe = pat.row_ptr[bi + 1];
-      cols.reserve(pe - pat.row_ptr[bi]);
-      for (std::size_t pp = pat.row_ptr[bi]; pp < pe; ++pp) {
-        const std::uint32_t bj = pat.cols[pp];
-        double* tile = acc.data() + bs2 * bj;
+  // The row body lives in one always_inline lambda (per-thread accumulator
+  // passed as an argument) and each scheduling variant gets its own
+  // parallel region, so the default path's outlined function holds exactly
+  // the pre-sharding single loop -- the hot sweep's codegen cannot be
+  // perturbed by the opt-in domain branch (interleaved A/B on
+  // BM_BsrSpMMSym/216 confirms parity with the pre-sharding kernel).
+  const auto numeric_row = [&](std::size_t bi, std::vector<double>& acc)
+      __attribute__((always_inline)) {
+    const std::size_t di = row_dim(bi);
+    for (std::size_t ua = adj_a.ptr[bi]; ua < adj_a.ptr[bi + 1]; ++ua) {
+      const std::size_t bk = adj_a.col[ua];
+      const std::size_t dk = row_dim(bk);
+      const double* ta = block(adj_a.tile[ua]);
+      const bool trans_a = adj_a.trans[ua] != 0;
+      for (std::size_t ub = adj_lower_bound(adj_b, bk, bi);
+           ub < adj_b.ptr[bk + 1]; ++ub) {
+        const std::uint32_t bj = adj_b.col[ub];
         if (var) {
-          const std::size_t dj = dims_[bj];
-          const std::size_t sz = di * dj;
-          const double norm2 = linalg::tile_norm2_rect(di, dj, tile);
-          if (keep_tile_rect(norm2, sz, drop_tolerance) ||
-              (bj == bi && norm2 > 0.0)) {
-            cols.push_back(bj);
-            vals.insert(vals.end(), tile, tile + sz);
-          }
-          std::fill(tile, tile + sz, 0.0);
+          linalg::gemm_micro_add_rect(di, dk, row_dim(bj), trans_a,
+                                      adj_b.trans[ub] != 0, ta,
+                                      b.block(adj_b.tile[ub]),
+                                      acc.data() + bs2 * bj);
         } else {
-          const double norm2 = linalg::tile_norm2(bs_, tile);
-          if (keep_tile(norm2, bs_, drop_tolerance) ||
-              (bj == bi && norm2 > 0.0)) {
-            cols.push_back(bj);
-            vals.insert(vals.end(), tile, tile + bs2);
-          }
-          std::fill(tile, tile + bs2, 0.0);
+          linalg::gemm_micro_add_t(bs_, trans_a, adj_b.trans[ub] != 0, ta,
+                                   b.block(adj_b.tile[ub]),
+                                   acc.data() + bs2 * bj);
         }
       }
+    }
+    // Gather through the pattern row: it lists exactly the columns the
+    // products above touched, so the sweep also restores acc to zero.
+    auto& cols = ws.row_cols[bi];
+    auto& vals = ws.row_vals[bi];
+    const std::size_t pe = pat.row_ptr[bi + 1];
+    cols.reserve(pe - pat.row_ptr[bi]);
+    for (std::size_t pp = pat.row_ptr[bi]; pp < pe; ++pp) {
+      const std::uint32_t bj = pat.cols[pp];
+      double* tile = acc.data() + bs2 * bj;
+      if (var) {
+        const std::size_t dj = dims_[bj];
+        const std::size_t sz = di * dj;
+        const double norm2 = linalg::tile_norm2_rect(di, dj, tile);
+        if (keep_tile_rect(norm2, sz, drop_tolerance) ||
+            (bj == bi && norm2 > 0.0)) {
+          cols.push_back(bj);
+          vals.insert(vals.end(), tile, tile + sz);
+        }
+        std::fill(tile, tile + sz, 0.0);
+      } else {
+        const double norm2 = linalg::tile_norm2(bs_, tile);
+        if (keep_tile(norm2, bs_, drop_tolerance) ||
+            (bj == bi && norm2 > 0.0)) {
+          cols.push_back(bj);
+          vals.insert(vals.end(), tile, tile + bs2);
+        }
+        std::fill(tile, tile + bs2, 0.0);
+      }
+    }
+  };
+  if (sharded) {
+#pragma omp parallel
+    {
+      const auto tid = static_cast<std::size_t>(par::thread_id());
+      std::vector<double>& acc = ws.acc[tid];
+      if (acc.size() < nb_ * bs2) acc.assign(nb_ * bs2, 0.0);
+#pragma omp for schedule(static, 1)
+      for (std::size_t d = 0; d < dom.size() - 1; ++d) {
+        for (std::size_t bi = dom[d]; bi < dom[d + 1]; ++bi) {
+          numeric_row(bi, acc);
+        }
+      }
+    }
+  } else {
+#pragma omp parallel
+    {
+      const auto tid = static_cast<std::size_t>(par::thread_id());
+      std::vector<double>& acc = ws.acc[tid];
+      if (acc.size() < nb_ * bs2) acc.assign(nb_ * bs2, 0.0);
+#pragma omp for schedule(dynamic, 8)
+      for (std::size_t bi = 0; bi < nb_; ++bi) numeric_row(bi, acc);
     }
   }
   if (var) {

@@ -131,6 +131,16 @@ struct BsrWorkspace {
   };
   SpmmStats stats;
 
+  /// Optional contiguous block-row domain decomposition: when non-empty it
+  /// must be a monotone chunk list {0, ..., nb} and the SpMM / assembly
+  /// row sweeps iterate domain-by-domain with a `schedule(static, 1)`
+  /// round-robin (stable thread -> domain ownership for cache/NUMA
+  /// affinity) instead of the default dynamic row chunking.  Purely a
+  /// scheduling hint: per-row results are unchanged, so outputs stay
+  /// bit-identical with or without domains at any thread count.  Owners
+  /// (OrderNCalculator) refresh it per step from the spatial partition.
+  std::vector<std::size_t> domains;
+
   /// Release staging capacity beyond `policy` (rows above block_rows are
   /// freed outright, surviving buffers are shrunk to fit).  Call when the
   /// problem size drops -- e.g. OrderNCalculator after an atom-count

@@ -83,41 +83,57 @@ void build_block_hamiltonian(const tb::TbModel& model, const System& system,
   // orbs(i) x orbs(j) tile per atom pair within hopping range with
   // neighbor > i.  Half pairs are stored with i < j, so every kept
   // adjacency entry reads its hopping block untransposed, and the onsite
-  // tile (column i) leads each sorted block row.
-#pragma omp parallel for schedule(dynamic, 16)
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto bsi = static_cast<std::size_t>(table.atom_orbitals(i));
-    const auto si =
-        static_cast<std::size_t>(model.species_index(system.species()[i]));
-    auto& cols = ws.row_cols[i];
-    auto& vals = ws.row_vals[i];
-    cols.clear();
-    vals.clear();
-    cols.push_back(static_cast<std::uint32_t>(i));
-    vals.resize(bsi * bsi, 0.0);
-    for (std::size_t a = 0; a < bsi; ++a) {
-      vals[(bsi + 1) * a] = model.onsite_energy(si, static_cast<int>(a));
-    }
-    for (const tb::BondTable::AtomBond* ab = table.atom_begin(i);
-         ab != table.atom_end(i); ++ab) {
-      if (ab->neighbor < i || table.hopping_zero(ab->bond)) continue;
-      const double* b = table.block(ab->bond);
-      const auto bsj =
-          static_cast<std::size_t>(table.atom_orbitals(ab->neighbor));
-      cols.push_back(ab->neighbor);
-      const std::size_t at = vals.size();
-      vals.resize(at + bsi * bsj);
-      double* tile = vals.data() + at;
-      if (ab->transposed != 0) {
-        // Stored block is orbs(neighbor) x orbs(i) row-major (stride bsi).
-        for (std::size_t a = 0; a < bsi; ++a) {
-          for (std::size_t c = 0; c < bsj; ++c) {
-            tile[bsj * a + c] = b[bsi * c + a];
-          }
-        }
-      } else {
-        std::copy(b, b + bsi * bsj, tile);
+  // tile (column i) leads each sorted block row.  A non-empty ws.domains
+  // chunk list shards the sweep domain-by-domain (same rows, same
+  // per-row work -> bit-identical output) so first-touch of the staging
+  // rows matches the SpMM's stable thread -> domain ownership.
+  const std::vector<std::size_t>& dom = ws.domains;
+  const bool sharded = dom.size() > 2 && dom.front() == 0 && dom.back() == n;
+#pragma omp parallel
+  {
+    const auto assemble_row = [&](std::size_t i) {
+      const auto bsi = static_cast<std::size_t>(table.atom_orbitals(i));
+      const auto si =
+          static_cast<std::size_t>(model.species_index(system.species()[i]));
+      auto& cols = ws.row_cols[i];
+      auto& vals = ws.row_vals[i];
+      cols.clear();
+      vals.clear();
+      cols.push_back(static_cast<std::uint32_t>(i));
+      vals.resize(bsi * bsi, 0.0);
+      for (std::size_t a = 0; a < bsi; ++a) {
+        vals[(bsi + 1) * a] = model.onsite_energy(si, static_cast<int>(a));
       }
+      for (const tb::BondTable::AtomBond* ab = table.atom_begin(i);
+           ab != table.atom_end(i); ++ab) {
+        if (ab->neighbor < i || table.hopping_zero(ab->bond)) continue;
+        const double* b = table.block(ab->bond);
+        const auto bsj =
+            static_cast<std::size_t>(table.atom_orbitals(ab->neighbor));
+        cols.push_back(ab->neighbor);
+        const std::size_t at = vals.size();
+        vals.resize(at + bsi * bsj);
+        double* tile = vals.data() + at;
+        if (ab->transposed != 0) {
+          // Stored block is orbs(neighbor) x orbs(i) row-major (stride bsi).
+          for (std::size_t a = 0; a < bsi; ++a) {
+            for (std::size_t c = 0; c < bsj; ++c) {
+              tile[bsj * a + c] = b[bsi * c + a];
+            }
+          }
+        } else {
+          std::copy(b, b + bsi * bsj, tile);
+        }
+      }
+    };
+    if (sharded) {
+#pragma omp for schedule(static, 1)
+      for (std::size_t d = 0; d < dom.size() - 1; ++d) {
+        for (std::size_t i = dom[d]; i < dom[d + 1]; ++i) assemble_row(i);
+      }
+    } else {
+#pragma omp for schedule(dynamic, 16)
+      for (std::size_t i = 0; i < n; ++i) assemble_row(i);
     }
   }
   bsr_assemble(tb::orbital_block_dims(model, system), ws, out,
@@ -151,24 +167,23 @@ std::vector<Vec3> band_forces_contract(const tb::BondTable& table,
   std::vector<Vec3> forces(n, Vec3{});
   if (table.size() == 0) return forces;
 
-  par::ThreadPartials<Vec3> fpartial(n);
-  par::ThreadPartials<Mat3> wpartial(1);
+  // Two-pass contraction, bit-identical at any OMP_NUM_THREADS and across
+  // checkpoint kill-and-resume: pass 1 computes each bond's dE/dd exactly
+  // once (owned by its i endpoint in the neighbor-sorted adjacency) into a
+  // per-bond slot plus a per-atom virial partial -- every slot has exactly
+  // one writer -- and pass 2 gathers each atom's force over its full
+  // adjacency in sorted neighbor order.  No summation order depends on the
+  // thread partition, unlike a ThreadPartials scatter whose tree reduction
+  // regroups terms with the team size.
+  std::vector<Vec3> dedd_bond(table.size(), Vec3{});
+  std::vector<Mat3> watom(virial != nullptr ? n : 0, Mat3{});
 
-  // Atom-indexed static partition over the neighbor-sorted adjacency
-  // (each bond once, from its i endpoint) rather than a dynamic chunking
-  // of the flat bond list: both the dynamic assignment and the bond count
-  // (which tracks the Verlet rebuild history) would otherwise change the
-  // per-thread summation order between runs, breaking checkpoint
-  // bit-identity.
-#pragma omp parallel
-  {
-    Vec3* local = fpartial.local();
-    Mat3& wlocal = *wpartial.local();
-#pragma omp for schedule(static) nowait
-    for (std::size_t atom = 0; atom < n; ++atom)
+#pragma omp parallel for schedule(static)
+  for (std::size_t atom = 0; atom < n; ++atom) {
+    Mat3 w{};
     for (const tb::BondTable::AtomBond* nb = table.atom_begin(atom);
          nb != table.atom_end(atom); ++nb) {
-      if (nb->transposed != 0) continue;  // count each bond once
+      if (nb->transposed != 0) continue;  // compute each bond once
       const std::size_t q = nb->bond;
       if (table.hopping_zero(q)) continue;
 
@@ -198,14 +213,35 @@ std::vector<Vec3> band_forces_contract(const tb::BondTable& table,
           dedd.z += 2.0 * rho_ab * d[2 * sz + ab];
         }
       }
-      local[table.j(q)] -= dedd;
-      local[table.i(q)] += dedd;
-      wlocal -= outer(table.bond(q), dedd);
+      dedd_bond[q] = dedd;
+      if (virial != nullptr) w -= outer(table.bond(q), dedd);
     }
+    if (virial != nullptr) watom[atom] = w;
   }
-  const Vec3* f = fpartial.reduce();
-  for (std::size_t i = 0; i < n; ++i) forces[i] = f[i];
-  if (virial != nullptr) *virial += *wpartial.reduce();
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t atom = 0; atom < n; ++atom) {
+    Vec3 f{};
+    for (const tb::BondTable::AtomBond* nb = table.atom_begin(atom);
+         nb != table.atom_end(atom); ++nb) {
+      // Owned entries (transposed == 0) have atom == i(q) -> +dE/dd;
+      // mirror entries have atom == j(q) -> -dE/dd.  Skipped bonds hold
+      // exact zeros and drop out.
+      const Vec3& g = dedd_bond[nb->bond];
+      if (nb->transposed != 0) {
+        f -= g;
+      } else {
+        f += g;
+      }
+    }
+    forces[atom] = f;
+  }
+
+  if (virial != nullptr) {
+    Mat3 w{};
+    for (std::size_t i = 0; i < n; ++i) w += watom[i];
+    *virial += w;
+  }
   return forces;
 }
 
@@ -267,6 +303,55 @@ std::vector<Vec3> band_forces_sparse(const tb::TbModel& model,
 OrderNCalculator::OrderNCalculator(tb::TbModel model, OrderNOptions options)
     : model_(std::move(model)), options_(options) {}
 
+linalg::SpectralBounds OrderNCalculator::step_spectral_bounds() {
+  const std::uint64_t stamp = table_.topology_version();
+  const std::uint64_t fp = hamiltonian_.pattern_fingerprint();
+  const std::vector<double>& vals = hamiltonian_.values();
+  bool refresh = !bounds_valid_ || bounds_topology_ != stamp ||
+                 bounds_fingerprint_ != fp || h_ref_.size() != vals.size();
+  double drift = 0.0;
+  if (!refresh) {
+    // Frobenius norm of dH since the last exact refresh: no eigenvalue can
+    // have moved further than ||dH||_2 <= ||dH||_F, so widening the cached
+    // enclosure by the drift stays rigorous.  Fixed 256-way chunking with
+    // a serial sum in chunk order keeps the norm (and hence the seed)
+    // bit-identical at any thread count.
+    const std::size_t m = vals.size();
+    constexpr std::size_t kChunks = 256;
+    double partial[kChunks];
+#pragma omp parallel for schedule(static)
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      const std::size_t b0 = (m * c) / kChunks;
+      const std::size_t b1 = (m * (c + 1)) / kChunks;
+      double s = 0.0;
+      for (std::size_t q = b0; q < b1; ++q) {
+        const double d = vals[q] - h_ref_[q];
+        s += d * d;
+      }
+      partial[c] = s;
+    }
+    double s2 = 0.0;
+    for (std::size_t c = 0; c < kChunks; ++c) s2 += partial[c];
+    drift = std::sqrt(s2);
+    // Re-anchor once the drift-widened interval is materially looser than
+    // the exact one (an over-wide enclosure only flattens the purification
+    // seed, costing iterations, never correctness).
+    if (drift > 0.125 * std::max(cached_bounds_.width(), 1e-12)) {
+      refresh = true;
+    }
+  }
+  if (refresh) {
+    cached_bounds_ = hamiltonian_.gershgorin_bounds();
+    h_ref_ = vals;
+    bounds_topology_ = stamp;
+    bounds_fingerprint_ = fp;
+    bounds_valid_ = true;
+    ++bounds_refreshes_;
+    return cached_bounds_;
+  }
+  return {cached_bounds_.lo - drift, cached_bounds_.hi + drift};
+}
+
 ForceResult OrderNCalculator::compute(const System& system) {
   ForceResult result;
   const std::size_t n = system.size();
@@ -276,9 +361,43 @@ ForceResult OrderNCalculator::compute(const System& system) {
   TBMD_REQUIRE(electrons % 2 == 0,
                "OrderNCalculator: odd electron counts are not supported");
 
+  // Effective block-row domain count: auto mode shards only when a real
+  // thread team exists and the system is big enough for ~4 domains per
+  // thread to stay coarse; 1 thread or an explicit `domains = 1` keeps
+  // the engine on the exact pre-sharding code path.
+  std::size_t ndom = 1;
+  if (options_.domains == 0) {
+    const auto nthreads = static_cast<std::size_t>(par::max_threads());
+    if (nthreads > 1 && n >= 512) ndom = std::min(4 * nthreads, n / 64);
+  } else if (options_.domains > 1) {
+    ndom = std::min(static_cast<std::size_t>(options_.domains), n);
+  }
+
+  // Row partition: a spatial re-sort (applied through a permuted working
+  // copy of the system) when reorder_domains asks for compact domains,
+  // else contiguous equal-count chunks of the caller's row order.  Both
+  // are pure functions of the current positions.
+  const System* sys = &system;
+  bool permuted = false;
+  if (ndom > 1 && options_.reorder_domains) {
+    auto t = timers_.scope("partition");
+    part_ = par::spatial_domains(system.positions(), system.cell(), ndom);
+    if (!part_.identity) {
+      permuted = true;
+      perm_system_ = System(system.cell());
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t src = part_.order[k];
+        perm_system_.add_atom(system.species()[src], system.positions()[src]);
+      }
+      sys = &perm_system_;
+    }
+  } else {
+    part_ = par::even_domains(n, ndom);
+  }
+
   {
     auto t = timers_.scope("neighbors");
-    list_.ensure(system.positions(), system.cell(),
+    list_.ensure(sys->positions(), sys->cell(),
                  {model_.cutoff(), options_.skin});
   }
 
@@ -287,7 +406,7 @@ ForceResult OrderNCalculator::compute(const System& system) {
   // O(N) path no longer re-derives any Slater-Koster quantity.
   {
     auto t = timers_.scope("bondtable");
-    table_.build(model_, system, list_,
+    table_.build(model_, *sys, list_,
                  tb::BondTable::Mode::kBlocksAndDerivatives);
   }
 
@@ -305,21 +424,50 @@ ForceResult OrderNCalculator::compute(const System& system) {
   workspace_.patterns.set_topology(table_.topology_version());
   if (!options_.reuse_patterns) workspace_.patterns.invalidate();
 
+  // Publish the domain cuts to the shared BSR scratch: the H assembly and
+  // every purification SpMM then sweep domain-by-domain with stable
+  // thread ownership (scheduling only -- outputs are unchanged).
+  if (ndom > 1) {
+    workspace_.scratch.domains = part_.domain_ptr;
+  } else {
+    workspace_.scratch.domains.clear();
+  }
+
   {
     auto t = timers_.scope("hamiltonian");
-    build_block_hamiltonian(model_, system, table_, hamiltonian_,
+    build_block_hamiltonian(model_, *sys, table_, hamiltonian_,
                             workspace_.scratch);
+  }
+
+  domain_stats_ = DomainStats{};
+  domain_stats_.domains = ndom;
+  domain_stats_.reordered = permuted;
+  if (ndom > 1) {
+    const std::vector<std::uint8_t> halo =
+        par::halo_rows(part_, hamiltonian_.row_ptr(), hamiltonian_.cols());
+    for (const std::uint8_t h : halo) {
+      domain_stats_.halo += h;
+    }
+    domain_stats_.interior = n - domain_stats_.halo;
+  } else {
+    domain_stats_.interior = n;
   }
 
   {
     auto t = timers_.scope("purification");
+    PurificationOptions popts = options_.purification;
+    if (options_.cache_spectral_bounds) {
+      popts.bounds = step_spectral_bounds();
+      popts.have_bounds = true;
+      last_bounds_ = popts.bounds;
+    }
     // Recycle the previous step's density storage (the largest buffer of
     // the whole O(N) step) into the workspace before it is overwritten:
     // the loop's first combine_into then reuses its capacity instead of
     // regrowing ws.p from scratch.
     workspace_.p = std::move(last_.density);
-    last_ = palser_manolopoulos(hamiltonian_, electrons / 2,
-                                options_.purification, &workspace_);
+    last_ = palser_manolopoulos(hamiltonian_, electrons / 2, popts,
+                                &workspace_);
   }
 
   {
@@ -334,6 +482,15 @@ ForceResult OrderNCalculator::compute(const System& system) {
   }
 
   for (std::size_t i = 0; i < n; ++i) result.forces[i] += rep.forces[i];
+  if (permuted) {
+    // Back to the caller's atom order (energies and the virial are order-
+    // independent sums and need no unscrambling).
+    std::vector<Vec3> unperm(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      unperm[part_.order[k]] = result.forces[k];
+    }
+    result.forces = std::move(unperm);
+  }
   result.virial += rep.virial;
   result.band_energy = last_.band_energy;
   result.repulsive_energy = rep.energy;

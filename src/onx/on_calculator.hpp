@@ -11,6 +11,7 @@
 #include "src/onx/sparse.hpp"
 #include "src/tb/bond_table.hpp"
 #include "src/tb/tb_model.hpp"
+#include "src/util/partition.hpp"
 
 namespace tbmd::onx {
 
@@ -24,6 +25,40 @@ struct OrderNOptions {
   /// way (the cold and warm paths run the same numeric sweep); the switch
   /// exists for ablation and the bit-identity regression tests.
   bool reuse_patterns = true;
+
+  /// Contiguous block-row domains for the sharded SpMM / H-assembly
+  /// sweeps.  0 = auto: 4 domains per OpenMP thread when the team has more
+  /// than one thread and the system is large enough (>= 512 atoms), else
+  /// off.  1 = off; >= 2 = explicit count.  Without reorder_domains this
+  /// is purely a scheduling change (stable thread -> domain ownership for
+  /// cache/NUMA affinity): results stay bit-identical to the unsharded
+  /// path at any thread count, so the default is safe for the checkpoint
+  /// bit-identity guarantees.
+  int domains = 0;
+
+  /// Re-sort atoms by spatial grid cell into contiguous domains every step
+  /// before assembly, and scatter the forces back at the end.  The
+  /// permutation is a pure function of the current positions (checkpoint
+  /// kill-and-resume stays bit-reproducible *within* this mode), and each
+  /// domain's rows become spatially compact (fewer halo rows, better
+  /// locality for lattice-disordered systems).  Off by default: the
+  /// permuted build's floating-point summation orders differ from the
+  /// unpermuted one in the last ulp, so the two layouts are tolerance-
+  /// equivalent, not bit-equal.  Only takes effect when the effective
+  /// domain count is > 1.
+  bool reorder_domains = false;
+
+  /// Cache the Gershgorin spectral bounds across steps behind the bond
+  /// topology stamp: pattern hits widen the cached interval by the
+  /// Frobenius norm of dH (a rigorous enclosure, since no eigenvalue can
+  /// move further than ||dH||_2 <= ||dH||_F) and only recompute the exact
+  /// bounds when the accumulated drift exceeds a fraction of the spectral
+  /// width.  Saves an O(nnz(H)) Gershgorin pass per warm step.  Off by
+  /// default: the widened seed depends on the *history* of H since the
+  /// last refresh, so a checkpoint-resumed run (which starts from exact
+  /// bounds) would differ in the last ulp from an uninterrupted one.
+  /// Benches and long production trajectories should turn it on.
+  bool cache_spectral_bounds = false;
 };
 
 /// Assemble the tight-binding Hamiltonian directly in CSR form from a
@@ -117,9 +152,40 @@ class OrderNCalculator final : public Calculator {
     return workspace_.scratch.footprint_bytes();
   }
 
+  /// Domain-decomposition diagnostics of the most recent compute().
+  /// `halo` counts block rows whose Hamiltonian pattern crosses a domain
+  /// seam (they touch another domain's tiles during the SpMM);
+  /// `interior` rows are fully resolvable inside their own domain.
+  struct DomainStats {
+    std::size_t domains = 1;
+    std::size_t halo = 0;
+    std::size_t interior = 0;
+    bool reordered = false;  ///< a spatial permutation was applied
+  };
+  [[nodiscard]] const DomainStats& domain_stats() const {
+    return domain_stats_;
+  }
+
+  /// Exact Gershgorin recomputations performed by the cached-bounds mode
+  /// (cache_spectral_bounds): the hoist tests assert this stays at 1
+  /// across warm steps on an unchanged topology.
+  [[nodiscard]] std::size_t bounds_refreshes() const {
+    return bounds_refreshes_;
+  }
+
+  /// Spectral enclosure handed to the last purification run (exact or
+  /// drift-widened); meaningful only when cache_spectral_bounds is set.
+  [[nodiscard]] const linalg::SpectralBounds& last_spectral_bounds() const {
+    return last_bounds_;
+  }
+
   [[nodiscard]] const tb::TbModel& model() const { return model_; }
 
  private:
+  /// Spectral enclosure for this step's purification (exact on a
+  /// topology/pattern change or excessive drift, widened otherwise).
+  [[nodiscard]] linalg::SpectralBounds step_spectral_bounds();
+
   tb::TbModel model_;
   OrderNOptions options_;
   NeighborList list_;
@@ -135,6 +201,24 @@ class OrderNCalculator final : public Calculator {
   /// BsrWorkspace::shrink so the workspace footprint tracks the current
   /// system instead of the historical maximum.
   std::size_t last_atoms_ = 0;
+
+  /// Block-row domain partition of the current step (identity/single
+  /// domain when sharding is off) and the permuted working copy of the
+  /// caller's system when reorder_domains applies one.
+  par::DomainPartition part_;
+  System perm_system_;
+  DomainStats domain_stats_;
+
+  /// cache_spectral_bounds state: the exact enclosure at the last refresh,
+  /// the H values it was computed from (drift reference), and the pattern
+  /// fingerprint + topology stamp they belong to.
+  linalg::SpectralBounds cached_bounds_{};
+  linalg::SpectralBounds last_bounds_{};
+  std::vector<double> h_ref_;
+  std::uint64_t bounds_topology_ = 0;
+  std::uint64_t bounds_fingerprint_ = 0;
+  bool bounds_valid_ = false;
+  std::size_t bounds_refreshes_ = 0;
 };
 
 }  // namespace tbmd::onx

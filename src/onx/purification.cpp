@@ -47,7 +47,8 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
 
   const double theta =
       static_cast<double>(n_occupied) / static_cast<double>(n);
-  const linalg::SpectralBounds bounds = hh.gershgorin_bounds();
+  const linalg::SpectralBounds bounds =
+      options.have_bounds ? options.bounds : hh.gershgorin_bounds();
   const double mu = hh.trace() / static_cast<double>(n);
 
   // Initial guess P0 = lambda (mu I - H) + theta I with spectrum in [0,1]
@@ -168,7 +169,8 @@ PurificationResult purify_grand_canonical(const BlockSparseMatrix& h,
   // distance from mu to the Gershgorin enclosure, so every eigenvalue of X0
   // lands in [0, 1] with the occupied/empty split exactly at 1/2; the
   // trace-free McWeeny polynomial then sharpens the step without moving it.
-  const linalg::SpectralBounds bounds = hh.gershgorin_bounds();
+  const linalg::SpectralBounds bounds =
+      options.have_bounds ? options.bounds : hh.gershgorin_bounds();
   const double w = std::max({bounds.hi - mu, mu - bounds.lo, 1e-12});
   if (!ws.eye.symmetric() || !ws.eye.layout_matches(hh)) {
     ws.eye = BlockSparseMatrix::identity_like(hh);
@@ -229,18 +231,24 @@ PurificationResult purify_with_chemical_potential(
   // the Fermi level.  Accept when the count lands within a quarter state —
   // tighter than any truncation noise, loose enough that gapped systems
   // terminate in a handful of purification runs.
-  const linalg::SpectralBounds bounds =
-      h.symmetric() ? h.gershgorin_bounds()
-                    : h.to_symmetric_half().gershgorin_bounds();
-  double lo = bounds.lo;
-  double hi = bounds.hi;
+  // One Gershgorin pass serves the whole bisection: both the mu bracket
+  // and every grand-canonical run's seed below read the same enclosure
+  // (previously each of the up-to-48 runs re-derived it from H).
+  PurificationOptions opts = options;
+  if (!opts.have_bounds) {
+    opts.bounds = h.symmetric() ? h.gershgorin_bounds()
+                                : h.to_symmetric_half().gershgorin_bounds();
+    opts.have_bounds = true;
+  }
+  double lo = opts.bounds.lo;
+  double hi = opts.bounds.hi;
   const double target = static_cast<double>(n_occupied);
 
   PurificationResult best;
   double best_miss = 1e300;
   for (int step = 0; step < 48; ++step) {
     const double mu = 0.5 * (lo + hi);
-    PurificationResult r = purify_grand_canonical(h, mu, options, workspace);
+    PurificationResult r = purify_grand_canonical(h, mu, opts, workspace);
     const double count = r.density.trace();
     const double miss = std::fabs(count - target);
     if (miss < best_miss) {

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 
+#include "src/linalg/spectral_bounds.hpp"
 #include "src/onx/block_sparse.hpp"
 #include "src/onx/sparse.hpp"
 
@@ -52,6 +53,16 @@ struct PurificationOptions {
 
   /// Effective tile-drop threshold for (1-based) iteration `it`.
   [[nodiscard]] double drop_at(int it) const;
+
+  /// Optional caller-supplied spectral enclosure of H.  When `have_bounds`
+  /// is set the loops seed from `bounds` instead of running their own
+  /// Gershgorin pass -- callers that purify the same H repeatedly (the
+  /// chemical-potential bisection, OrderNCalculator's cached-bounds mode)
+  /// hoist the O(nnz) estimate out of the loop.  The interval must enclose
+  /// the true spectrum; a wider interval only flattens the initial seed's
+  /// slope, it never breaks correctness.
+  bool have_bounds = false;
+  linalg::SpectralBounds bounds{};
 };
 
 /// Result of a purification run.

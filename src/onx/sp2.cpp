@@ -40,7 +40,8 @@ PurificationResult sp2_purification(const BlockSparseMatrix& h,
   // X0 = (emax I - H) / (emax - emin): spectrum in [0, 1], with occupied
   // states mapped towards 1.  The bounds come from the shared Gershgorin
   // estimate (linalg::SpectralBounds) the dense eigensolvers also use.
-  const linalg::SpectralBounds bounds = hh.gershgorin_bounds();
+  const linalg::SpectralBounds bounds =
+      options.have_bounds ? options.bounds : hh.gershgorin_bounds();
   const double width = std::max(bounds.width(), 1e-12);
   if (!ws.eye.symmetric() || !ws.eye.layout_matches(hh)) {
     ws.eye = BlockSparseMatrix::identity_like(hh);

@@ -81,13 +81,19 @@ double SparseMatrix::trace() const {
 
 double SparseMatrix::trace_of_product(const SparseMatrix& b) const {
   TBMD_REQUIRE(n_ == b.n_, "trace_of_product: size mismatch");
-  double t = 0.0;
-#pragma omp parallel for reduction(+ : t) schedule(static) if (n_ > 256)
+  // Row partials + serial sum in row order: bit-identical at any thread
+  // count, unlike a reduction(+) whose grouping follows the team size.
+  std::vector<double> row_t(n_, 0.0);
+#pragma omp parallel for schedule(static) if (n_ > 256)
   for (std::size_t i = 0; i < n_; ++i) {
+    double tr = 0.0;
     for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      t += val_[k] * b.get(col_[k], i);
+      tr += val_[k] * b.get(col_[k], i);
     }
+    row_t[i] = tr;
   }
+  double t = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) t += row_t[i];
   return t;
 }
 

@@ -15,6 +15,7 @@
 #include "src/md/velocities.hpp"
 #include "src/svc/checkpoint.hpp"
 #include "src/util/error.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/random.hpp"
 #include "src/util/timer.hpp"
 
@@ -188,11 +189,18 @@ std::vector<JobResult> JobRunner::run() {
 
   const auto worker = [&]() {
     WorkerContext ctx;
+    // Ambient team size captured once per worker: omp_set_num_threads is
+    // a per-calling-thread ICV, so each worker thread pins its own jobs
+    // without racing the others.
+    const int ambient_threads =
+        options_.threads > 0 ? options_.threads : par::max_threads();
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= jobs_.size()) return;
       const JobSpec& spec = jobs_[i];
       JobResult& res = results[i];
+      par::set_num_threads(spec.calc.threads > 0 ? spec.calc.threads
+                                                 : ambient_threads);
       try {
         res = run_job(spec, ctx, options_, budget_ptr);
       } catch (const std::exception& e) {

@@ -42,6 +42,12 @@ struct SweepOptions {
   /// Total MD steps this invocation may execute across all jobs
   /// (< 0 = unlimited).  Used to force mid-sweep preemption.
   long step_budget = -1;
+  /// OpenMP threads each worker pins for jobs without their own `threads`
+  /// key (0 = the process-wide default).  Set explicitly rather than via
+  /// omp_set_num_threads() in the caller: that call only changes the
+  /// calling thread's ICV and would not reach the runner's std::thread
+  /// workers.
+  int threads = 0;
   /// Log per-job progress lines.
   bool verbose = true;
 };

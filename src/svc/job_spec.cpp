@@ -36,6 +36,11 @@ JobSpec JobSpec::from_config(const io::Config& cfg) {
 
   s.model = to_lower(cfg.get_string("model", ""));
   s.calc.skin = cfg.get_double("skin", s.calc.skin);
+  // Per-job thread pinning (any engine): the runner's workers set the
+  // OpenMP team size to this before running the job; 0 inherits the
+  // worker's ambient OMP_NUM_THREADS.
+  s.calc.threads = static_cast<int>(cfg.get_long("threads", 0));
+  TBMD_REQUIRE(s.calc.threads >= 0, "job spec: 'threads' must be >= 0");
   if (s.classical()) {
     if (s.model == "lj") {
       s.lj_epsilon = cfg.get_double("epsilon", 0.0);
@@ -49,6 +54,10 @@ JobSpec JobSpec::from_config(const io::Config& cfg) {
     s.calc.drop_tolerance =
         cfg.get_double("drop_tolerance", s.calc.drop_tolerance);
     s.calc.reuse_patterns = cfg.get_bool("reuse_patterns", true);
+    s.calc.domains = static_cast<int>(cfg.get_long("domains", 0));
+    TBMD_REQUIRE(s.calc.domains >= 0, "job spec: 'domains' must be >= 0");
+    s.calc.cache_spectral_bounds =
+        cfg.get_bool("cache_spectral_bounds", false);
   }
 
   s.dt = cfg.get_double("dt", s.dt);

@@ -2,7 +2,6 @@
 
 #include "src/tb/bond_table.hpp"
 #include "src/util/error.hpp"
-#include "src/util/parallel.hpp"
 
 namespace tbmd::tb {
 
@@ -17,24 +16,22 @@ std::vector<Vec3> band_forces(const BondTable& table, const linalg::Matrix& rho,
   std::vector<Vec3> forces(n, Vec3{});
   if (table.size() == 0) return forces;
 
-  // Per-thread force partials merged by a parallel tree reduction -- no
-  // critical section, and the merge itself scales with the thread count.
-  //
-  // The loop walks the per-atom adjacency (each bond once, from its i
-  // endpoint) rather than the flat bond list: the bond count depends on
-  // when the Verlet list was last rebuilt, so a bond-indexed partition
-  // would give a warm run and a checkpoint-resumed run different
-  // per-thread summation orders.  An atom-indexed static partition over
-  // neighbor-sorted rows makes the forces a pure function of positions.
-  par::ThreadPartials<Vec3> fpartial(n);
-  par::ThreadPartials<Mat3> wpartial(1);
+  // Two-pass contraction, bit-identical at any OMP_NUM_THREADS: pass 1
+  // computes each bond's dE/dd once (owned by its i endpoint in the
+  // neighbor-sorted adjacency) into a per-bond slot plus a per-atom virial
+  // partial, pass 2 gathers each atom's force over its full adjacency in
+  // sorted neighbor order, and the virial is summed serially in atom
+  // order.  Every slot has exactly one writer, so no summation order
+  // depends on the thread partition -- and the atom-indexed walk (rather
+  // than the flat bond list, whose count tracks the Verlet rebuild
+  // history) keeps forces a pure function of positions across checkpoint
+  // kill-and-resume.
+  std::vector<Vec3> dedd_bond(table.size(), Vec3{});
+  std::vector<Mat3> watom(virial != nullptr ? n : 0, Mat3{});
 
-#pragma omp parallel
-  {
-    Vec3* local = fpartial.local();
-    Mat3& wlocal = *wpartial.local();
-#pragma omp for schedule(static) nowait
-    for (std::size_t atom = 0; atom < n; ++atom)
+#pragma omp parallel for schedule(static)
+  for (std::size_t atom = 0; atom < n; ++atom) {
+    Mat3 wacc{};
     for (const BondTable::AtomBond* nb = table.atom_begin(atom);
          nb != table.atom_end(atom); ++nb) {
       if (nb->transposed != 0) continue;  // count each bond once
@@ -81,15 +78,33 @@ std::vector<Vec3> band_forces(const BondTable& table, const linalg::Matrix& rho,
       dedd.y = 2.0 * sy;
       dedd.z = 2.0 * sz;
 
-      // d = r_j - r_i  =>  F_j -= dE/dd, F_i += dE/dd.
-      local[table.j(p)] -= dedd;
-      local[table.i(p)] += dedd;
-      wlocal -= outer(table.bond(p), dedd);  // d (x) f_on_j
+      // d = r_j - r_i  =>  F_j -= dE/dd, F_i += dE/dd (applied in pass 2).
+      dedd_bond[p] = dedd;
+      if (virial != nullptr) wacc -= outer(table.bond(p), dedd);  // d (x) f_on_j
     }
+    if (virial != nullptr) watom[atom] = wacc;
   }
-  const Vec3* f = fpartial.reduce();
-  for (std::size_t i = 0; i < n; ++i) forces[i] = f[i];
-  if (virial != nullptr) *virial += *wpartial.reduce();
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t atom = 0; atom < n; ++atom) {
+    Vec3 f{};
+    for (const BondTable::AtomBond* nb = table.atom_begin(atom);
+         nb != table.atom_end(atom); ++nb) {
+      const Vec3& g = dedd_bond[nb->bond];
+      if (nb->transposed != 0) {
+        f -= g;
+      } else {
+        f += g;
+      }
+    }
+    forces[atom] = f;
+  }
+
+  if (virial != nullptr) {
+    Mat3 w{};
+    for (std::size_t i = 0; i < n; ++i) w += watom[i];
+    *virial += w;
+  }
   return forces;
 }
 

@@ -5,9 +5,37 @@
 #include "src/tb/bond_table.hpp"
 #include "src/tb/radial.hpp"
 #include "src/util/error.hpp"
-#include "src/util/parallel.hpp"
 
 namespace tbmd::tb {
+
+namespace {
+
+/// Pass 2 of the deterministic two-pass force scheme: gather each atom's
+/// force over its full neighbor-sorted adjacency from the per-bond slots
+/// written in pass 1.  Owned entries (transposed == 0) have atom == i(p)
+/// and add +f, mirror entries subtract it.  Every output slot has exactly
+/// one writer and a thread-count-independent summation order.
+void gather_bond_forces(const BondTable& table,
+                        const std::vector<Vec3>& fbond,
+                        std::vector<Vec3>& forces) {
+  const std::size_t n = table.atoms();
+#pragma omp parallel for schedule(static)
+  for (std::size_t atom = 0; atom < n; ++atom) {
+    Vec3 f{};
+    for (const BondTable::AtomBond* ab = table.atom_begin(atom);
+         ab != table.atom_end(atom); ++ab) {
+      const Vec3& g = fbond[ab->bond];
+      if (ab->transposed != 0) {
+        f -= g;
+      } else {
+        f += g;
+      }
+    }
+    forces[atom] = f;
+  }
+}
+
+}  // namespace
 
 RepulsiveResult repulsive_energy_forces(const TbModel& model,
                                         const BondTable& table) {
@@ -20,42 +48,45 @@ RepulsiveResult repulsive_energy_forces(const TbModel& model,
   const std::size_t nb = table.size();
   if (nb == 0) return out;
 
-  par::ThreadPartials<Vec3> fpartial(n);
-  par::ThreadPartials<Mat3> wpartial(1);
+  // Two-pass scheme (per-bond force slots in pass 1, per-atom adjacency
+  // gather in pass 2) instead of ThreadPartials scatters: every slot has
+  // one writer and a fixed summation order, so energies, forces and the
+  // virial are bit-identical at any OMP_NUM_THREADS -- and across
+  // checkpoint kill-and-resume, where the Verlet rebuild history would
+  // already rule out a flat bond-list partition.
+  std::vector<Vec3> fbond(nb, Vec3{});
+  std::vector<Mat3> watom(n, Mat3{});
 
-  // Both bond loops below walk the per-atom adjacency (each bond once,
-  // from its i endpoint) with a static schedule instead of partitioning
-  // the flat bond list: the bond count depends on the Verlet rebuild
-  // history, so a bond-indexed partition would give a warm run and a
-  // checkpoint-resumed run different per-thread summation orders.
   if (model.repulsion_kind == RepulsionKind::kPairSum) {
-    par::ThreadPartials<double> epartial(1);
-#pragma omp parallel
-    {
-      Vec3* local = fpartial.local();
-      Mat3& wlocal = *wpartial.local();
-      double elocal = 0.0;
-#pragma omp for schedule(static) nowait
-      for (std::size_t atom = 0; atom < n; ++atom)
+    std::vector<double> eatom(n, 0.0);
+#pragma omp parallel for schedule(static)
+    for (std::size_t atom = 0; atom < n; ++atom) {
+      double e = 0.0;
+      Mat3 w{};
       for (const BondTable::AtomBond* ab = table.atom_begin(atom);
            ab != table.atom_end(atom); ++ab) {
-        if (ab->transposed != 0) continue;  // count each bond once
+        if (ab->transposed != 0) continue;  // compute each bond once
         const std::size_t p = ab->bond;
         const double der = table.repulsive_derivative(p);
         const double val = table.repulsive_value(p);
         if (val == 0.0 && der == 0.0) continue;  // at/beyond repulsive cutoff
-        elocal += val;
+        e += val;
         const Vec3 f = (der / table.length(p)) * table.bond(p);
-        local[table.i(p)] += f;
-        local[table.j(p)] -= f;
-        wlocal -= outer(table.bond(p), f);  // d (x) f_on_j with f_on_j = -f
+        fbond[p] = f;
+        w -= outer(table.bond(p), f);  // d (x) f_on_j with f_on_j = -f
       }
-      *epartial.local() = elocal;
+      eatom[atom] = e;
+      watom[atom] = w;
     }
-    const Vec3* f = fpartial.reduce();
-    for (std::size_t i = 0; i < n; ++i) out.forces[i] = f[i];
-    out.energy = *epartial.reduce();
-    out.virial += *wpartial.reduce();
+    gather_bond_forces(table, fbond, out.forces);
+    double energy = 0.0;
+    Mat3 virial{};
+    for (std::size_t i = 0; i < n; ++i) {
+      energy += eatom[i];
+      virial += watom[i];
+    }
+    out.energy = energy;
+    out.virial += virial;
     return out;
   }
 
@@ -82,29 +113,27 @@ RepulsiveResult repulsive_energy_forces(const TbModel& model,
   }
 
   // dE/dr_j = sum over bonds (i,j): (f'(x_i) + f'(x_j)) phi'(r) u.
-#pragma omp parallel
-  {
-    Vec3* local = fpartial.local();
-    Mat3& wlocal = *wpartial.local();
-#pragma omp for schedule(static) nowait
-    for (std::size_t atom = 0; atom < n; ++atom)
+#pragma omp parallel for schedule(static)
+  for (std::size_t atom = 0; atom < n; ++atom) {
+    Mat3 w{};
     for (const BondTable::AtomBond* ab = table.atom_begin(atom);
          ab != table.atom_end(atom); ++ab) {
-      if (ab->transposed != 0) continue;  // count each bond once
+      if (ab->transposed != 0) continue;  // compute each bond once
       const std::size_t p = ab->bond;
       const double der = table.repulsive_derivative(p);
       if (der == 0.0 && table.repulsive_value(p) == 0.0) continue;
-      const double w =
+      const double s =
           (fprime[table.i(p)] + fprime[table.j(p)]) * der / table.length(p);
-      const Vec3 f = w * table.bond(p);
-      local[table.i(p)] += f;
-      local[table.j(p)] -= f;
-      wlocal -= outer(table.bond(p), f);
+      const Vec3 f = s * table.bond(p);
+      fbond[p] = f;
+      w -= outer(table.bond(p), f);
     }
+    watom[atom] = w;
   }
-  const Vec3* f = fpartial.reduce();
-  for (std::size_t i = 0; i < n; ++i) out.forces[i] = f[i];
-  out.virial += *wpartial.reduce();
+  gather_bond_forces(table, fbond, out.forces);
+  Mat3 virial{};
+  for (std::size_t i = 0; i < n; ++i) virial += watom[i];
+  out.virial += virial;
   out.energy = energy;
   return out;
 }

@@ -1,0 +1,431 @@
+// Tests for the parallel O(N) engine: the spatial domain partition
+// helper, thread-count invariance of the sharded purification pipeline
+// (energies and forces must be bit-identical at any OMP_NUM_THREADS, the
+// contract the checkpoint/restart guarantees rest on), layout equivalence
+// of the reorder_domains path, and the cached-spectral-bounds hoist.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/neighbor/neighbor_list.hpp"
+#include "src/onx/on_calculator.hpp"
+#include "src/structures/builders.hpp"
+#include "src/tb/bond_table.hpp"
+#include "src/tb/tb_model.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/partition.hpp"
+
+namespace tbmd::onx {
+namespace {
+
+/// Restores the ambient OpenMP team size on scope exit, so the
+/// thread-sweeping tests cannot leak a modified team into later tests.
+struct ThreadGuard {
+  int saved = par::max_threads();
+  ~ThreadGuard() { par::set_num_threads(saved); }
+};
+
+System perturbed_diamond(int cells, double amplitude = 0.03,
+                         std::uint64_t seed = 17) {
+  System s = structures::diamond(Element::C, 3.567, cells, cells, cells);
+  structures::perturb(s, amplitude, seed);
+  return s;
+}
+
+void expect_partition_valid(const par::DomainPartition& p, std::size_t n) {
+  ASSERT_EQ(p.order.size(), n);
+  ASSERT_EQ(p.rank.size(), n);
+  ASSERT_GE(p.domain_ptr.size(), 2u);
+  EXPECT_EQ(p.domain_ptr.front(), 0u);
+  EXPECT_EQ(p.domain_ptr.back(), n);
+  for (std::size_t d = 0; d + 1 < p.domain_ptr.size(); ++d) {
+    EXPECT_LT(p.domain_ptr[d], p.domain_ptr[d + 1]) << "empty domain " << d;
+  }
+  // order is a permutation and rank is its inverse.
+  std::vector<std::uint32_t> sorted(p.order);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(sorted[k], k);
+    EXPECT_EQ(p.rank[p.order[k]], k);
+  }
+}
+
+// --- partition helper ----------------------------------------------------
+
+TEST(Partition, EvenDomainsAreIdentityChunks) {
+  const par::DomainPartition p = par::even_domains(10, 3);
+  expect_partition_valid(p, 10);
+  EXPECT_TRUE(p.identity);
+  EXPECT_EQ(p.domains(), 3u);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_EQ(p.order[k], k);
+}
+
+TEST(Partition, SpatialDomainsAreADeterministicPermutation) {
+  const System s = perturbed_diamond(3);  // 216 atoms
+  const par::DomainPartition p =
+      par::spatial_domains(s.positions(), s.cell(), 4);
+  expect_partition_valid(p, s.size());
+  EXPECT_GE(p.domains(), 2u);
+
+  // Pure function of the inputs: a second call is equal field-for-field.
+  const par::DomainPartition q =
+      par::spatial_domains(s.positions(), s.cell(), 4);
+  EXPECT_EQ(p.order, q.order);
+  EXPECT_EQ(p.rank, q.rank);
+  EXPECT_EQ(p.domain_ptr, q.domain_ptr);
+  EXPECT_EQ(p.identity, q.identity);
+
+  // Domains are spatially coherent: the bounding box of one domain's
+  // atoms must be measurably smaller than the whole box (contiguous cuts
+  // of the grid-cell sweep group nearby cells).
+  const auto& pos = s.positions();
+  const auto bbox_volume = [&](std::size_t begin, std::size_t end,
+                               bool permuted) {
+    Vec3 lo{1e300, 1e300, 1e300};
+    Vec3 hi{-1e300, -1e300, -1e300};
+    for (std::size_t k = begin; k < end; ++k) {
+      const Vec3& r = pos[permuted ? p.order[k] : k];
+      lo.x = std::min(lo.x, r.x);
+      lo.y = std::min(lo.y, r.y);
+      lo.z = std::min(lo.z, r.z);
+      hi.x = std::max(hi.x, r.x);
+      hi.y = std::max(hi.y, r.y);
+      hi.z = std::max(hi.z, r.z);
+    }
+    return (hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z);
+  };
+  const double whole = bbox_volume(0, s.size(), false);
+  double mean_volume = 0.0;
+  for (std::size_t d = 0; d < p.domains(); ++d) {
+    mean_volume += bbox_volume(p.domain_ptr[d], p.domain_ptr[d + 1], true);
+  }
+  mean_volume /= static_cast<double>(p.domains());
+  EXPECT_LT(mean_volume, 0.75 * whole);
+}
+
+TEST(Partition, TinySystemsDegenerateToOneIdentityDomain) {
+  System s = structures::diamond(Element::C, 3.567, 1, 1, 1);  // 8 atoms
+  const par::DomainPartition p =
+      par::spatial_domains(s.positions(), s.cell(), 8);  // 8 < 2 * 8
+  expect_partition_valid(p, s.size());
+  EXPECT_TRUE(p.identity);
+  EXPECT_EQ(p.domains(), 1u);
+}
+
+TEST(Partition, HaloRowsFlagExactlyTheSeamCrossingRows) {
+  // Hand-built chain pattern on 6 rows, 2 domains [0,3) and [3,6).  The
+  // symmetric half stores j >= i: tile (2,3) is the only seam crosser, so
+  // rows 2 and 3 are halo (3 via the implicit mirror) and nothing else.
+  const par::DomainPartition part = par::even_domains(6, 2);
+  const std::vector<std::size_t> row_ptr = {0, 2, 4, 6, 8, 9, 10};
+  const std::vector<std::uint32_t> cols = {0, 1, 1, 2, 2, 3, 3, 4, 4, 5};
+  const std::vector<std::uint8_t> halo = par::halo_rows(part, row_ptr, cols);
+  ASSERT_EQ(halo.size(), 6u);
+  const std::vector<std::uint8_t> want = {0, 0, 1, 1, 0, 0};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(static_cast<int>(halo[i]), static_cast<int>(want[i]))
+        << "row " << i;
+  }
+}
+
+// --- thread-count invariance ---------------------------------------------
+
+struct StepRecord {
+  double cold_energy = 0.0;
+  double warm_energy = 0.0;
+  std::vector<Vec3> cold_forces;
+  std::vector<Vec3> warm_forces;
+};
+
+/// One cold + one warm step of a fresh calculator on `s` at `threads`.
+StepRecord run_steps(const System& s, int threads, const OrderNOptions& opt) {
+  par::set_num_threads(threads);
+  const tb::TbModel m = tb::xwch_carbon();
+  OrderNCalculator calc(m, opt);
+  StepRecord rec;
+  const ForceResult cold = calc.compute(s);
+  rec.cold_energy = cold.energy;
+  rec.cold_forces = cold.forces;
+  const ForceResult warm = calc.compute(s);
+  rec.warm_energy = warm.energy;
+  rec.warm_forces = warm.forces;
+  EXPECT_TRUE(calc.last_purification().converged);
+  return rec;
+}
+
+void expect_records_bit_identical(const StepRecord& a, const StepRecord& b,
+                                  const std::string& label) {
+  EXPECT_EQ(a.cold_energy, b.cold_energy) << label;
+  EXPECT_EQ(a.warm_energy, b.warm_energy) << label;
+  ASSERT_EQ(a.cold_forces.size(), b.cold_forces.size());
+  for (std::size_t i = 0; i < a.cold_forces.size(); ++i) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(a.cold_forces[i][c], b.cold_forces[i][c])
+          << label << " cold atom " << i << " component " << c;
+      EXPECT_EQ(a.warm_forces[i][c], b.warm_forces[i][c])
+          << label << " warm atom " << i << " component " << c;
+    }
+  }
+}
+
+TEST(ParallelOn, StepsAreBitIdenticalAcrossThreadCounts) {
+  // The hard invariant behind every checkpoint guarantee: the same binary
+  // must produce the same bits at OMP_NUM_THREADS = 1, 2, 4 (even
+  // oversubscribed on fewer cores).  Exercised on the default scheduling
+  // path; EXPECT_EQ on doubles is exact equality.
+  const ThreadGuard guard;
+  const System s = perturbed_diamond(3);  // 216 atoms
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-6;
+  const StepRecord ref = run_steps(s, 1, opt);
+  for (const int threads : {2, 4}) {
+    const StepRecord rec = run_steps(s, threads, opt);
+    expect_records_bit_identical(ref, rec,
+                                 "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelOn, ShardedStepsAreBitIdenticalAcrossThreadCounts) {
+  // Same invariant with the domain-sharded sweeps engaged (explicit
+  // domains = 4): sharding is a scheduling-level change, so the domain
+  // count must not leak into the numbers either.
+  const ThreadGuard guard;
+  const System s = perturbed_diamond(3);
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-6;
+  opt.domains = 4;
+  const StepRecord ref = run_steps(s, 1, opt);
+  for (const int threads : {2, 4}) {
+    const StepRecord rec = run_steps(s, threads, opt);
+    expect_records_bit_identical(
+        ref, rec, "sharded threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelOn, ShardedMatchesUnshardedBitwise) {
+  const ThreadGuard guard;
+  par::set_num_threads(2);
+  const System s = perturbed_diamond(3);
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-6;
+  opt.domains = 1;
+  const StepRecord plain = run_steps(s, 2, opt);
+  opt.domains = 4;
+  const StepRecord sharded = run_steps(s, 2, opt);
+  expect_records_bit_identical(plain, sharded, "domains=4 vs domains=1");
+
+  // And the calculator actually reports the sharded decomposition.
+  const tb::TbModel m = tb::xwch_carbon();
+  OrderNCalculator calc(m, opt);
+  (void)calc.compute(s);
+  EXPECT_EQ(calc.domain_stats().domains, 4u);
+  EXPECT_EQ(calc.domain_stats().halo + calc.domain_stats().interior, s.size());
+  EXPECT_FALSE(calc.domain_stats().reordered);
+}
+
+// --- spatial reordering --------------------------------------------------
+
+TEST(ParallelOn, PermutedAssemblyStoresTransposedTiles) {
+  // Reversing the atom order flips every stored bond (i < j becomes
+  // p(j) < p(i)), so the permuted Hamiltonian must hold the transpose of
+  // each original tile: the Slater-Koster block of -d is B(d)^T.  Bonds
+  // through a periodic image associate the image shift differently in the
+  // reversed frame and the radial scaling amplifies that last-ulp length
+  // difference, so the comparison is a tight absolute tolerance (~1e-12
+  // on O(1-10) eV entries), nine orders below the force-accuracy budget.
+  const tb::TbModel m = tb::xwch_carbon();
+  const System s = perturbed_diamond(2, 0.04, 91);  // 64 atoms
+  const std::size_t n = s.size();
+  System rev(s.cell());
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = n - 1 - k;
+    rev.add_atom(s.species()[src], s.positions()[src]);
+  }
+
+  const auto block_h = [&](const System& sys) {
+    NeighborList list;
+    list.build(sys.positions(), sys.cell(), {m.cutoff(), 0.5});
+    tb::BondTable table;
+    table.build(m, sys, list, tb::BondTable::Mode::kBlocks);
+    return build_block_hamiltonian(m, sys, table);
+  };
+  const BlockSparseMatrix h = block_h(s);
+  const BlockSparseMatrix hr = block_h(rev);
+  ASSERT_EQ(h.block_count(), hr.block_count());
+
+  const auto perm = [n](std::size_t i) { return n - 1 - i; };
+  for (std::size_t bi = 0; bi < n; ++bi) {
+    const std::size_t bs = h.row_dim(bi);
+    for (std::size_t k = h.row_ptr()[bi]; k < h.row_ptr()[bi + 1]; ++k) {
+      const std::size_t bj = h.cols()[k];
+      const double* tile = h.block(k);
+      if (bi == bj) {
+        const double* mirror = hr.find_block(perm(bi), perm(bi));
+        ASSERT_NE(mirror, nullptr);
+        for (std::size_t e = 0; e < bs * bs; ++e) {
+          EXPECT_NEAR(tile[e], mirror[e], 1e-12) << "diag tile " << bi;
+        }
+        continue;
+      }
+      // Off-diagonal (bi, bj) with bi < bj: reversal flips the ordering
+      // (perm(bj) < perm(bi)), so the reversed system stores this bond
+      // seen from the other end -- the exact transpose of the tile.
+      const double* mirror = hr.find_block(perm(bj), perm(bi));
+      ASSERT_NE(mirror, nullptr) << "tile (" << bi << "," << bj << ")";
+      for (std::size_t r = 0; r < bs; ++r) {
+        for (std::size_t c = 0; c < bs; ++c) {
+          EXPECT_NEAR(tile[r * bs + c], mirror[c * bs + r], 1e-12)
+              << "tile (" << bi << "," << bj << ") entry " << r << "," << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelOn, ReorderedDomainsMatchThePlainLayout) {
+  // reorder_domains permutes the working layout and scatters the forces
+  // back; the physics must be layout-independent.  The two layouts sum in
+  // different orders, so this is a tolerance check (far below the 1.5e-3
+  // eV/A force-accuracy budget), not a bitwise one.
+  const ThreadGuard guard;
+  par::set_num_threads(2);
+  const tb::TbModel m = tb::xwch_carbon();
+  const System s = perturbed_diamond(3);
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-7;
+  OrderNCalculator plain(m, opt);
+  const ForceResult a = plain.compute(s);
+
+  opt.domains = 4;
+  opt.reorder_domains = true;
+  OrderNCalculator reordered(m, opt);
+  const ForceResult b = reordered.compute(s);
+  EXPECT_TRUE(reordered.last_purification().converged);
+  EXPECT_EQ(reordered.domain_stats().domains, 4u);
+
+  EXPECT_NEAR(a.energy, b.energy, 1e-7 * static_cast<double>(s.size()));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    worst = std::max(worst, norm(a.forces[i] - b.forces[i]));
+  }
+  EXPECT_LT(worst, 1e-5);
+
+  // Deterministic within the mode: an identical second calculator
+  // reproduces the reordered run bit-for-bit (what checkpoint resume
+  // relies on).
+  OrderNCalculator again(m, opt);
+  const ForceResult c = again.compute(s);
+  EXPECT_EQ(b.energy, c.energy);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (int comp = 0; comp < 3; ++comp) {
+      EXPECT_EQ(b.forces[i][comp], c.forces[i][comp]) << "atom " << i;
+    }
+  }
+}
+
+TEST(ParallelOn, ReorderScattersForcesBackToCallerOrder) {
+  // Feed the calculator a scrambled copy of the system: forces must come
+  // back in the caller's atom order, not the internal domain order.
+  const ThreadGuard guard;
+  par::set_num_threads(2);
+  const tb::TbModel m = tb::xwch_carbon();
+  const System s = perturbed_diamond(3);
+  const std::size_t n = s.size();
+  System rev(s.cell());
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = n - 1 - k;
+    rev.add_atom(s.species()[src], s.positions()[src]);
+  }
+
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-7;
+  opt.domains = 4;
+  opt.reorder_domains = true;
+  OrderNCalculator calc(m, opt);
+  const ForceResult fr = calc.compute(rev);
+  EXPECT_TRUE(calc.domain_stats().reordered);
+
+  OrderNCalculator plain(m, OrderNOptions{});
+  const ForceResult ref = plain.compute(s);
+  double worst = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    worst = std::max(worst, norm(fr.forces[k] - ref.forces[n - 1 - k]));
+  }
+  EXPECT_LT(worst, 1e-5);
+}
+
+// --- cached spectral bounds ----------------------------------------------
+
+TEST(ParallelOn, CachedBoundsRefreshOnceAcrossWarmSteps) {
+  const tb::TbModel m = tb::xwch_carbon();
+  System s = perturbed_diamond(2, 0.03, 29);
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-7;
+  opt.cache_spectral_bounds = true;
+  OrderNCalculator calc(m, opt);
+
+  (void)calc.compute(s);
+  EXPECT_EQ(calc.bounds_refreshes(), 1u);
+
+  // Warm steps with small position drift ride the widened enclosure
+  // instead of re-running Gershgorin.
+  for (int step = 0; step < 3; ++step) {
+    for (Vec3& r : s.positions()) r.x += 1e-4;
+    const ForceResult fr = calc.compute(s);
+    EXPECT_TRUE(calc.last_purification().converged);
+    (void)fr;
+  }
+  EXPECT_EQ(calc.bounds_refreshes(), 1u);
+
+  // The widened interval must still enclose the exact Gershgorin bounds
+  // of the current Hamiltonian (the rigor condition: no eigenvalue moves
+  // farther than ||dH||_F).
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.5});
+  tb::BondTable table;
+  table.build(m, s, list, tb::BondTable::Mode::kBlocks);
+  const linalg::SpectralBounds exact =
+      build_block_hamiltonian(m, s, table).gershgorin_bounds();
+  const linalg::SpectralBounds& used = calc.last_spectral_bounds();
+  EXPECT_LE(used.lo, exact.lo);
+  EXPECT_GE(used.hi, exact.hi);
+
+  // And the accuracy is unaffected: a no-cache calculator on the same
+  // positions agrees to well below the force-accuracy budget.
+  OrderNOptions base = opt;
+  base.cache_spectral_bounds = false;
+  OrderNCalculator ref(m, base);
+  const ForceResult want = ref.compute(s);
+  const ForceResult got = calc.compute(s);
+  EXPECT_NEAR(want.energy, got.energy, 1e-7 * static_cast<double>(s.size()));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    worst = std::max(worst, norm(want.forces[i] - got.forces[i]));
+  }
+  EXPECT_LT(worst, 1e-5);
+}
+
+TEST(ParallelOn, CachedBoundsRefreshOnTopologyChange) {
+  const tb::TbModel m = tb::xwch_carbon();
+  System s = perturbed_diamond(2, 0.0, 1);
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-6;
+  opt.cache_spectral_bounds = true;
+  OrderNCalculator calc(m, opt);
+  (void)calc.compute(s);
+  (void)calc.compute(s);
+  EXPECT_EQ(calc.bounds_refreshes(), 1u);
+
+  s.positions()[3] += Vec3{0.9, 0.7, 0.5};  // crosses the cutoff shell
+  (void)calc.compute(s);
+  EXPECT_EQ(calc.bounds_refreshes(), 2u);
+}
+
+}  // namespace
+}  // namespace tbmd::onx
