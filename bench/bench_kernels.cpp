@@ -272,6 +272,34 @@ void BM_BsrSpMMSym(benchmark::State& state) {
 }
 BENCHMARK(BM_BsrSpMMSym)->Arg(64)->Arg(216)->Unit(benchmark::kMillisecond);
 
+void BM_BsrSpMMSym_f32(benchmark::State& state) {
+  // The fp32 twin of BM_BsrSpMMSym: the same warm symmetric-half H * H on
+  // fp32 tiles -- the SpMM the mixed-precision purification loop runs in
+  // its loose-early iterations.  Half the memory traffic plus twice the
+  // SIMD lanes where the numeric sweep is bandwidth-bound; the acceptance
+  // gate asks for >= 1.3x over BM_BsrSpMMSym at the same atom count.
+  // Arg = atom count.
+  System s = diamond_with_atoms(Element::C, 3.567, state.range(0));
+  const tb::TbModel m = tb::xwch_carbon();
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  tb::BondTable table;
+  table.build(m, s, list, tb::BondTable::Mode::kBlocks);
+  const onx::BlockSparseMatrix h = onx::build_block_hamiltonian(m, s, table)
+                                       .to_precision(onx::TilePrecision::kF32);
+  onx::BlockSparseMatrix out;
+  onx::BsrWorkspace ws;
+  onx::BsrPattern pattern;
+  h.multiply_sym_into(h, 1e-8, out, ws, &pattern);  // cold symbolic build
+  for (auto _ : state) {
+    h.multiply_sym_into(h, 1e-8, out, ws, &pattern);
+    benchmark::DoNotOptimize(out.nnz());
+  }
+  state.counters["blocks"] = static_cast<double>(h.block_count());
+  state.counters["symbolic"] = static_cast<double>(ws.stats.symbolic_builds);
+}
+BENCHMARK(BM_BsrSpMMSym_f32)->Arg(216)->Unit(benchmark::kMillisecond);
+
 void BM_BsrSpMMSym_spd(benchmark::State& state) {
   // Symmetric-half SpMM on a *mixed* block layout: fcc Au (9x9 spd tiles)
   // with every 4th site substituted by an s-only impurity, so the product

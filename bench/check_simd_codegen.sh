@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Asserts the fp32 tile micro-kernels actually compiled to packed
+# single-precision SIMD arithmetic.
+#
+# The kernels (src/linalg/blas.hpp) are built on GNU lane vectors precisely
+# because `#pragma omp simd` silently scalarized: GCC lowered the forced
+# 4-float loops to vfmadd*ss chains plus shuffle traffic, 3-5x slower per
+# call than the fp64 kernel, and nothing failed -- the code was merely
+# slow.  This check makes that failure mode loud: it disassembles the
+# object that inlines the hot SpMM sweep and requires a healthy count of
+# packed ps mul/add/fma instructions (SSE mulps/addps on baseline builds,
+# AVX vmulps/vfmadd*ps with -march=native), so a toolchain or flag change
+# that de-vectorizes the kernels fails CI instead of shipping a silent
+# 2x regression.
+#
+# Usage:  bench/check_simd_codegen.sh [build-dir]
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+OBJ="${BUILD_DIR}/CMakeFiles/tbmd.dir/src/onx/block_sparse.cpp.o"
+
+# The block-sparse TU inlines the header kernels into the fp32 numeric
+# sweep -- the production call site whose codegen matters.
+if [[ ! -f "${OBJ}" ]]; then
+  echo "error: ${OBJ} not found (build the tbmd target first)" >&2
+  exit 2
+fi
+
+# Packed single-precision arithmetic: legacy-SSE or VEX/EVEX mul, add and
+# fused-multiply-add forms.  Memory-operand forms disassemble with the same
+# mnemonics, so the pattern only keys on those.
+PACKED=$(objdump -d "${OBJ}" |
+  grep -cE '\b(v?mulps|v?addps|vfmadd(132|213|231)ps)\b' || true)
+
+# A single stray packed op (e.g. a vectorized fill loop) must not pass the
+# check; the inlined 4x4/9x9 kernels contribute dozens of packed ops.
+MIN=12
+echo "packed ps arithmetic instructions in $(basename "${OBJ}"): ${PACKED} (min ${MIN})"
+if (( PACKED < MIN )); then
+  echo "FAIL: fp32 micro-kernels appear scalarized" >&2
+  exit 1
+fi
+echo "ok: fp32 micro-kernels vectorized"

@@ -12,9 +12,14 @@
 ///      measured as max deviation from the initial total energy.
 ///
 /// Usage: on_nve_gate [--atoms 216] [--steps 20] [--dt 1.0] [--temp 300]
-///                    [--drop 1e-6] [--force-bound 2e-2]
+///                    [--drop 1e-6] [--precision fp64|mixed]
+///                    [--force-bound 2e-2]
 ///                    [--energy-bound 2e-3] [--drift-bound 2e-3]
 /// Writes on_nve_gate.csv (per-step energies) for the artifact upload.
+/// --precision mixed runs the O(N) engine on the mixed-precision
+/// purification loop (fp32 tiles early, fp64 promotion late); the same
+/// bounds apply, so the CI mixed job gates the fp32 phase's accuracy
+/// against exact diagonalization directly.
 
 #include <cmath>
 #include <cstdio>
@@ -42,6 +47,14 @@ double arg_or(int argc, char** argv, const char* name, double fallback) {
   return fallback;
 }
 
+std::string str_arg_or(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,13 +65,17 @@ int main(int argc, char** argv) {
   const double dt = arg_or(argc, argv, "--dt", 1.0);
   const double temp = arg_or(argc, argv, "--temp", 300.0);
   const double drop = arg_or(argc, argv, "--drop", 1e-6);
+  const PrecisionMode precision = NumericsSpec::precision_by_name(
+      str_arg_or(argc, argv, "--precision", "fp64"));
   const double force_bound = arg_or(argc, argv, "--force-bound", 2e-2);
   const double energy_bound = arg_or(argc, argv, "--energy-bound", 2e-3);
   const double drift_bound = arg_or(argc, argv, "--drift-bound", 2e-3);
 
   const int nx = static_cast<int>(std::lround(std::cbrt(atoms / 8.0)));
   std::printf("ON-NVE gate: %d atoms, %ld steps @ %.2f fs, T0 = %.0f K, "
-              "drop = %.1e\n\n", 8 * nx * nx * nx, steps, dt, temp, drop);
+              "drop = %.1e, precision = %s\n\n", 8 * nx * nx * nx, steps, dt,
+              temp, drop, precision == PrecisionMode::kMixed ? "mixed"
+                                                             : "fp64");
 
   const tb::TbModel model = tb::xwch_carbon();
   System s = structures::diamond(Element::C, 3.567, nx, nx, nx);
@@ -68,7 +85,9 @@ int main(int argc, char** argv) {
 
   // --- 1+2: O(N) forces and energy vs exact diagonalization -------------
   const auto exact = make_calculator(model, s, CalculatorSpec::exact());
-  const auto on_calc = make_calculator(model, s, CalculatorSpec::order_n(drop));
+  CalculatorSpec on_spec = CalculatorSpec::order_n(drop);
+  on_spec.numerics.precision = precision;
+  const auto on_calc = make_calculator(model, s, on_spec);
   auto& on = static_cast<onx::OrderNCalculator&>(*on_calc);
 
   WallTimer t_exact;
@@ -89,6 +108,12 @@ int main(int argc, char** argv) {
   std::printf("  O(N)  force call: %8.1f ms  (%d PM iterations, fill %.3f)\n",
               ms_on, on.last_purification().iterations,
               on.last_purification().fill_fraction);
+  if (precision == PrecisionMode::kMixed) {
+    const onx::NumericsStats& st = on.numerics_stats();
+    std::printf("  precision split : %d fp32 + %d fp64 iterations "
+                "(promoted at %d)\n",
+                st.fp32_iterations, st.fp64_iterations, st.promoted_at);
+  }
   std::printf("  max |dF|        : %10.3e eV/A   (bound %.1e)\n", worst_force,
               force_bound);
   std::printf("  |dE| / atom     : %10.3e eV     (bound %.1e)\n\n", energy_err,

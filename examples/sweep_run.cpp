@@ -3,7 +3,7 @@
 ///
 /// Usage:  ./sweep_run sweep.cfg [--workers N] [--output DIR]
 ///                     [--no-resume] [--step-budget N] [--threads N]
-///                     [--quiet]
+///                     [--precision fp64|mixed] [--quiet]
 ///
 /// Example sweep file:
 /// \code
@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s sweep.cfg [--workers N] [--output DIR] "
-                 "[--no-resume] [--step-budget N] [--threads N] [--quiet]\n",
+                 "[--no-resume] [--step-budget N] [--threads N] "
+                 "[--precision fp64|mixed] [--quiet]\n",
                  argv[0]);
     return 2;
   }
@@ -71,6 +72,15 @@ int main(int argc, char** argv) {
         opt.step_budget = parse_long(value(), flag);
       } else if (flag == "--threads") {
         ambient_threads = parse_long(value(), flag);
+      } else if (flag == "--precision") {
+        // Override the purification precision mode for every TB job in
+        // the sweep (a results-changing knob, unlike --threads: it lands
+        // on each job's NumericsSpec and hence in its fingerprint).
+        const PrecisionMode mode =
+            NumericsSpec::precision_by_name(to_lower(value()));
+        for (svc::JobSpec& job : sweep.jobs) {
+          if (!job.classical()) job.calc.numerics.precision = mode;
+        }
       } else if (flag == "--quiet") {
         opt.verbose = false;
       } else {

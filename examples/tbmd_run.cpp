@@ -98,7 +98,10 @@ std::unique_ptr<Calculator> build_calculator(const io::Config& cfg,
     spec.mode = CalculatorSpec::mode_by_name(kind);
     spec.skin = cfg.get_double("skin", spec.skin);
     spec.electronic_temperature = cfg.get_double("electronic_temperature", 0.0);
-    spec.drop_tolerance = cfg.get_double("drop_tolerance", spec.drop_tolerance);
+    spec.numerics.drop_tolerance =
+        cfg.get_double("drop_tolerance", spec.numerics.drop_tolerance);
+    spec.numerics.precision = NumericsSpec::precision_by_name(
+        to_lower(cfg.get_string("precision", spec.numerics.precision_name())));
     const std::string model_name =
         cfg.get_string("tb_model", std::string(element_symbol(elem)));
     return make_calculator(tb::model_by_name(model_name), system, spec);

@@ -35,9 +35,17 @@ std::string CalculatorSpec::fingerprint() const {
                : (spectrum == SpectrumPolicy::kFull ? "full" : "partial"))
        << ";eigenvalues=" << (report_eigenvalues ? 1 : 0);
   } else {
-    os << ";tol=" << drop_tolerance
+    os << ";tol=" << numerics.drop_tolerance
+       << ";loosen=" << numerics.schedule_loosening
+       << ";decay=" << numerics.schedule_decay
+       << ";prec=" << numerics.precision_name()
+       << ";promit=" << numerics.promote_iteration
+       << ";promthr=" << numerics.promote_threshold
+       << ";simd=" << (numerics.simd ? 1 : 0)
+       << ";subtile=" << numerics.sub_tile
        << ";reuse=" << (reuse_patterns ? 1 : 0) << ";domains=" << domains
-       << ";cachebounds=" << (cache_spectral_bounds ? 1 : 0);
+       << ";cachebounds=" << (cache_spectral_bounds ? 1 : 0)
+       << ";bondskin=" << bond_reuse_skin;
   }
   // `threads` is deliberately absent: it is an execution-resource hint
   // (see the field's doc), and two specs differing only there must share
@@ -72,10 +80,14 @@ std::unique_ptr<Calculator> make_calculator(const tb::TbModel& model,
                "use mode = exact for Fermi-Dirac smearing");
   onx::OrderNOptions opt;
   opt.skin = spec.skin;
-  opt.purification.drop_tolerance = spec.drop_tolerance;
+  // The whole numerics policy (drop tolerance + schedule, precision mode,
+  // promotion, SIMD) transfers in one slice assignment: PurificationOptions
+  // IS-A NumericsSpec.
+  static_cast<NumericsSpec&>(opt.purification) = spec.numerics;
   opt.reuse_patterns = spec.reuse_patterns;
   opt.domains = spec.domains;
   opt.cache_spectral_bounds = spec.cache_spectral_bounds;
+  opt.bond_reuse_skin = spec.bond_reuse_skin;
   return std::make_unique<onx::OrderNCalculator>(model, opt);
 }
 

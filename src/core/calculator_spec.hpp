@@ -16,6 +16,7 @@
 #include <string>
 
 #include "src/core/calculator.hpp"
+#include "src/core/numerics_spec.hpp"
 
 namespace tbmd {
 
@@ -50,8 +51,11 @@ struct CalculatorSpec {
   bool report_eigenvalues = true;
 
   // --- O(N) engine ---
-  /// Purification tile-drop tolerance.
-  double drop_tolerance = 1e-7;
+  /// Numerics policy of the purification loop: drop tolerance + schedule,
+  /// precision mode (fp64 / mixed), promotion policy, SIMD switch,
+  /// sub-tile truncation.  Every field changes results, so all of them are
+  /// fingerprint-relevant (unlike `threads` below).
+  NumericsSpec numerics;
   /// Reuse symbolic SpMM patterns across steps (ablation switch; results
   /// are bit-identical either way).
   bool reuse_patterns = true;
@@ -64,6 +68,12 @@ struct CalculatorSpec {
   /// purification seed history-dependent, so checkpoint kill-and-resume
   /// is no longer bit-reproducible with this on; default off.
   bool cache_spectral_bounds = false;
+  /// Verlet-skin-lifetime BondTable reuse (A): freeze Slater-Koster
+  /// blocks of bonds whose endpoints moved less than half this skin since
+  /// their last evaluation (see onx::OrderNOptions::bond_reuse_skin).
+  /// 0 = off (the default; like cache_spectral_bounds, reuse trades
+  /// checkpoint bit-reproducibility for throughput).
+  double bond_reuse_skin = 0.0;
 
   // --- execution (any engine) ---
   /// OpenMP threads to pin while this calculator's jobs run: 0 inherits
@@ -80,7 +90,16 @@ struct CalculatorSpec {
   [[nodiscard]] static CalculatorSpec order_n(double drop_tolerance = 1e-7) {
     CalculatorSpec s;
     s.mode = CalcMode::kOrderN;
-    s.drop_tolerance = drop_tolerance;
+    s.numerics.drop_tolerance = drop_tolerance;
+    return s;
+  }
+
+  /// O(N) engine with the mixed-precision purification loop (fp32 tiles
+  /// for the loose-early iterations, automatic fp64 promotion).
+  [[nodiscard]] static CalculatorSpec order_n_mixed(
+      double drop_tolerance = 1e-7) {
+    CalculatorSpec s = order_n(drop_tolerance);
+    s.numerics.precision = PrecisionMode::kMixed;
     return s;
   }
 

@@ -89,6 +89,237 @@ void gemm_micro_add_rect(std::size_t m, std::size_t k, std::size_t n,
 [[nodiscard]] double tile_norm2_rect(std::size_t m, std::size_t n,
                                      const double* a);
 
+// ---------------------------------------------------------------------------
+// fp32 tile kernel family (mixed-precision purification).
+//
+// The loose-early purification iterations run their SpMM on fp32 tiles --
+// half the memory traffic exactly where the numeric phase is
+// bandwidth-bound -- and the fp32 kernels mirror the fp64 family's
+// contracts: k-major accumulation per output element in every variant, so
+// warm/cold and cross-thread results stay bit-identical within a given
+// binary.  The square kernels are built on explicit lane vectors (GNU
+// vector extensions): lanes are independent output elements, so
+// vectorization never reorders any element's k-accumulation (the PR 6
+// codegen lesson), and unlike `#pragma omp simd` -- which GCC lowers to
+// scalarized fma chains for 4-float trip counts -- the lane type guarantees
+// packed ps arithmetic.  Defined inline so the SpMM sweep's per-product
+// call disappears: at ~7 ns per 4x4 tile product the call overhead is a
+// measurable fraction of the kernel itself.  The fp64 kernels above are
+// textually untouched so the pure-fp64 path's code (and its bit pattern)
+// cannot drift.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TBMD_F32_VEC_EXT 1
+/// Lane vectors for the fp32 micro-kernels.  `aligned(4)` keeps loads
+/// unaligned-safe for stack repack tiles; `may_alias` licenses viewing the
+/// tiles' float storage through the vector type.
+typedef float v4sf __attribute__((vector_size(16), aligned(4), may_alias));
+typedef float v8sf __attribute__((vector_size(32), aligned(4), may_alias));
+typedef double v4df __attribute__((vector_size(32), aligned(8), may_alias));
+#endif
+
+/// Compile-time-sized fp32 square tile product, k-major per output element,
+/// with B in row-major (k, j) layout so the j-lanes are unit stride.
+/// Portable fallback; specialized below for the lane-vector fast paths.
+template <std::size_t N>
+inline void micro_add_square_f32_nn(bool transpose_a, const float* a,
+                                    const float* b, float* c) {
+  for (std::size_t i = 0; i < N; ++i) {
+    float acc[N] = {};
+    for (std::size_t k = 0; k < N; ++k) {
+      const float aik = transpose_a ? a[N * k + i] : a[N * i + k];
+      const float* bk = b + N * k;
+      for (std::size_t j = 0; j < N; ++j) acc[j] += aik * bk[j];
+    }
+    float* ci = c + N * i;
+    for (std::size_t j = 0; j < N; ++j) ci[j] += acc[j];
+  }
+}
+
+#ifdef TBMD_F32_VEC_EXT
+
+/// 4x4 fp32 tile product: each C row is one 4-lane vector accumulator; the
+/// k-loop broadcasts A(i, k) and multiply-adds B's row k.  Per lane this is
+/// exactly the scalar k-major sum, so results are bit-identical to the
+/// reference stride walk.
+template <>
+inline void micro_add_square_f32_nn<4>(bool transpose_a, const float* a,
+                                       const float* b, float* c) {
+  v4sf brow[4];
+  __builtin_memcpy(&brow, b, sizeof brow);
+  for (std::size_t i = 0; i < 4; ++i) {
+    v4sf acc = {};
+    for (std::size_t k = 0; k < 4; ++k) {
+      const float aik = transpose_a ? a[4 * k + i] : a[4 * i + k];
+      acc += aik * brow[k];
+    }
+    float* ci = c + 4 * i;
+    v4sf cv;
+    __builtin_memcpy(&cv, ci, sizeof cv);
+    cv += acc;
+    __builtin_memcpy(ci, &cv, sizeof cv);
+  }
+}
+
+/// 9x9 fp32 tile product: an 8-lane vector accumulator plus one scalar tail
+/// lane per output row; every lane (and the tail) accumulates in k-major
+/// scalar order.
+template <>
+inline void micro_add_square_f32_nn<9>(bool transpose_a, const float* a,
+                                       const float* b, float* c) {
+  for (std::size_t i = 0; i < 9; ++i) {
+    v8sf acc = {};
+    float tail = 0.0f;
+    for (std::size_t k = 0; k < 9; ++k) {
+      const float aik = transpose_a ? a[9 * k + i] : a[9 * i + k];
+      const float* bk = b + 9 * k;
+      v8sf bv;
+      __builtin_memcpy(&bv, bk, sizeof bv);
+      acc += aik * bv;
+      tail += aik * bk[8];
+    }
+    float* ci = c + 9 * i;
+    v8sf cv;
+    __builtin_memcpy(&cv, ci, sizeof cv);
+    cv += acc;
+    __builtin_memcpy(ci, &cv, sizeof cv);
+    ci[8] += tail;
+  }
+}
+
+#endif  // TBMD_F32_VEC_EXT
+
+/// Transpose dispatch for the square fp32 kernel.  A transposed B is
+/// repacked into a contiguous stack tile first (N^2 moves against N^3
+/// multiplies) so the hot j-loop keeps unit-stride loads instead of the
+/// stride-N gathers a transpose-aware inner loop would force.  Repacking
+/// moves values, never reorders an element's k-accumulation: results are
+/// bit-identical to the strided walk.
+template <std::size_t N>
+inline void micro_add_square_f32(bool transpose_a, bool transpose_b,
+                                 const float* a, const float* b, float* c) {
+  if (!transpose_b) {
+    micro_add_square_f32_nn<N>(transpose_a, a, b, c);
+    return;
+  }
+  float bt[N * N];
+  for (std::size_t k = 0; k < N; ++k) {
+    for (std::size_t j = 0; j < N; ++j) bt[N * k + j] = b[N * j + k];
+  }
+  micro_add_square_f32_nn<N>(transpose_a, a, bt, c);
+}
+
+}  // namespace detail
+
+/// Generic-reference fp32 tile product: the plain triple loop with no
+/// unrolled dispatch, the `simd = off` arm of the NumericsSpec A/B switch.
+/// Per-element accumulation is k-major like every other kernel, so the
+/// switch never changes a bit of a fixed-precision result, only its speed.
+inline void gemm_micro_add_rect_f32_ref(std::size_t m, std::size_t k,
+                                        std::size_t n, bool transpose_a,
+                                        bool transpose_b, const float* a,
+                                        const float* b, float* c) {
+  const std::size_t a_row = transpose_a ? 1 : k;
+  const std::size_t a_col = transpose_a ? m : 1;
+  const std::size_t b_row = transpose_b ? 1 : n;
+  const std::size_t b_col = transpose_b ? k : 1;
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a + a_row * i;
+    float* ci = c + n * i;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = b + b_col * j;
+      float s = 0.0f;
+      for (std::size_t q = 0; q < k; ++q) {
+        s += ai[a_col * q] * bj[b_row * q];
+      }
+      ci[j] += s;
+    }
+  }
+}
+
+/// Transpose-flagged fp32 tile product C += op(A) * op(B) for bs x bs
+/// row-major tiles (bs in {1, 4, 9} on lane-vector fast paths, generic
+/// fallback otherwise).
+inline void gemm_micro_add_t_f32(std::size_t bs, bool transpose_a,
+                                 bool transpose_b, const float* a,
+                                 const float* b, float* c) {
+  if (bs == 4) {
+    detail::micro_add_square_f32<4>(transpose_a, transpose_b, a, b, c);
+    return;
+  }
+  if (bs == 1) {
+    c[0] += a[0] * b[0];  // a 1 x 1 tile is its own transpose
+    return;
+  }
+  if (bs == 9) {
+    detail::micro_add_square_f32<9>(transpose_a, transpose_b, a, b, c);
+    return;
+  }
+  gemm_micro_add_rect_f32_ref(bs, bs, bs, transpose_a, transpose_b, a, b, c);
+}
+
+/// C += A * B for bs x bs row-major fp32 tiles; exactly
+/// gemm_micro_add_t_f32(bs, false, false, ...).
+inline void gemm_micro_add_f32(std::size_t bs, const float* a, const float* b,
+                               float* c) {
+  gemm_micro_add_t_f32(bs, false, false, a, b, c);
+}
+
+/// Rectangular fp32 tile product for the variable-block SpMM (see
+/// gemm_micro_add_rect).
+inline void gemm_micro_add_rect_f32(std::size_t m, std::size_t k,
+                                    std::size_t n, bool transpose_a,
+                                    bool transpose_b, const float* a,
+                                    const float* b, float* c) {
+  if (m == k && k == n) {
+    gemm_micro_add_t_f32(m, transpose_a, transpose_b, a, b, c);
+    return;
+  }
+  gemm_micro_add_rect_f32_ref(m, k, n, transpose_a, transpose_b, a, b, c);
+}
+
+/// Squared Frobenius norm of an m x n fp32 tile, accumulated in double
+/// (truncation thresholds are fp64 quantities in both precision modes, and
+/// a float sum over a 9 x 9 tile already loses bits that matter near the
+/// keep/drop boundary).  The lane-vector variant accumulates four double
+/// lanes and reduces them in a fixed order: a different (but deterministic
+/// and thread-count-invariant) summation than the plain serial loop, chosen
+/// because the serial double chain is the gather phase's latency bottleneck.
+[[nodiscard]] inline double tile_norm2_rect_f32(std::size_t m, std::size_t n,
+                                                const float* a) {
+  const std::size_t sz = m * n;
+#ifdef TBMD_F32_VEC_EXT
+  detail::v4df acc = {};
+  std::size_t q = 0;
+  for (; q + 4 <= sz; q += 4) {
+    const detail::v4df x = {static_cast<double>(a[q]),
+                            static_cast<double>(a[q + 1]),
+                            static_cast<double>(a[q + 2]),
+                            static_cast<double>(a[q + 3])};
+    acc += x * x;
+  }
+  double s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  for (; q < sz; ++q) {
+    s += static_cast<double>(a[q]) * static_cast<double>(a[q]);
+  }
+  return s;
+#else
+  double s = 0.0;
+  for (std::size_t q = 0; q < sz; ++q) {
+    s += static_cast<double>(a[q]) * static_cast<double>(a[q]);
+  }
+  return s;
+#endif
+}
+
+/// Squared Frobenius norm of a bs x bs fp32 tile.
+[[nodiscard]] inline double tile_norm2_f32(std::size_t bs, const float* a) {
+  return tile_norm2_rect_f32(bs, bs, a);
+}
+
 /// y = A * x.
 [[nodiscard]] std::vector<double> matvec(const Matrix& a,
                                          const std::vector<double>& x);

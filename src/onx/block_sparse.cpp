@@ -230,6 +230,11 @@ BlockSparseMatrix BlockSparseMatrix::from_dense(
 }
 
 linalg::Matrix BlockSparseMatrix::to_dense() const {
+  // fp32 payloads densify through an exact fp64 conversion (diagnostics /
+  // test path; never on the hot loop).
+  if (prec_ == TilePrecision::kF32) {
+    return to_precision(TilePrecision::kF64).to_dense();
+  }
   if (!uniform_blocks()) {
     linalg::Matrix a(n_, n_, 0.0);
     for (std::size_t bi = 0; bi < nb_; ++bi) {
@@ -278,6 +283,8 @@ linalg::Matrix BlockSparseMatrix::to_dense() const {
 }
 
 BlockSparseMatrix BlockSparseMatrix::to_symmetric_half() const {
+  TBMD_REQUIRE(prec_ == TilePrecision::kF64,
+               "to_symmetric_half: convert fp32 payloads to fp64 first");
   if (sym_) return *this;
   if (!uniform_blocks()) {
     BlockSparseMatrix out(dims_, true);
@@ -311,6 +318,8 @@ BlockSparseMatrix BlockSparseMatrix::to_symmetric_half() const {
 }
 
 BlockSparseMatrix BlockSparseMatrix::to_full() const {
+  TBMD_REQUIRE(prec_ == TilePrecision::kF64,
+               "to_full: convert fp32 payloads to fp64 first");
   if (!sym_) return *this;
   if (!uniform_blocks()) {
     BlockSparseMatrix out(dims_, false);
@@ -472,7 +481,65 @@ const double* BlockSparseMatrix::find_block(std::size_t bi,
   return block(static_cast<std::size_t>(it - col_.begin()));
 }
 
+std::size_t BlockSparseMatrix::find_block_index(std::size_t bi,
+                                                std::size_t bj) const {
+  const auto begin = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[bi]);
+  const auto end = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[bi + 1]);
+  const auto it =
+      std::lower_bound(begin, end, static_cast<std::uint32_t>(bj));
+  if (it == end || *it != bj) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - col_.begin());
+}
+
+void BlockSparseMatrix::convert_precision(TilePrecision p) {
+  if (p == prec_) return;
+  if (p == TilePrecision::kF32) {
+    val32_.resize(val_.size());
+    for (std::size_t q = 0; q < val_.size(); ++q) {
+      val32_[q] = static_cast<float>(val_[q]);
+    }
+    val_.clear();  // capacity retained for the promotion back to fp64
+  } else {
+    val_.resize(val32_.size());
+    for (std::size_t q = 0; q < val32_.size(); ++q) {
+      val_[q] = static_cast<double>(val32_[q]);
+    }
+    val32_.clear();  // capacity retained for the next demotion
+  }
+  prec_ = p;
+}
+
+BlockSparseMatrix BlockSparseMatrix::to_precision(TilePrecision p) const {
+  BlockSparseMatrix out = *this;
+  out.convert_precision(p);
+  return out;
+}
+
 double BlockSparseMatrix::get(std::size_t i, std::size_t j) const {
+  if (prec_ == TilePrecision::kF32) {
+    std::size_t bi, bj, r, c;
+    if (uniform_blocks()) {
+      bi = i / bs_;
+      bj = j / bs_;
+      r = i % bs_;
+      c = j % bs_;
+    } else {
+      bi = block_index_of(i);
+      bj = block_index_of(j);
+      r = i - offs_[bi];
+      c = j - offs_[bj];
+    }
+    // Half storage: a lower-triangle query reads the stored mirror through
+    // the symmetry A[i][j] == A[j][i].
+    if (sym_ && bj < bi) {
+      std::swap(bi, bj);
+      std::swap(r, c);
+    }
+    const std::size_t k = find_block_index(bi, bj);
+    if (k == static_cast<std::size_t>(-1)) return 0.0;
+    const std::size_t dj = row_dim(bj);
+    return static_cast<double>(block_f32(k)[dj * r + c]);
+  }
   if (!uniform_blocks()) {
     std::size_t bi = block_index_of(i);
     std::size_t bj = block_index_of(j);
@@ -498,6 +565,23 @@ double BlockSparseMatrix::get(std::size_t i, std::size_t j) const {
 }
 
 double BlockSparseMatrix::trace() const {
+  if (prec_ == TilePrecision::kF32) {
+    // fp32 payloads, fp64 accumulation: the purification loop's trace-based
+    // coefficients and convergence tests stay fp64 quantities even while
+    // the tiles are demoted.  Serial over rows, so thread-count invariant
+    // trivially.
+    double t = 0.0;
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t k = find_block_index(bi, bi);
+      if (k == static_cast<std::size_t>(-1)) continue;
+      const float* tile = block_f32(k);
+      const std::size_t d = row_dim(bi);
+      for (std::size_t a = 0; a < d; ++a) {
+        t += static_cast<double>(tile[d * a + a]);
+      }
+    }
+    return t;
+  }
   double t = 0.0;
   for (std::size_t bi = 0; bi < nb_; ++bi) {
     const double* tile = find_block(bi, bi);
@@ -511,6 +595,10 @@ double BlockSparseMatrix::trace() const {
 double BlockSparseMatrix::trace_of_product(const BlockSparseMatrix& b) const {
   TBMD_REQUIRE(layout_matches(b), "trace_of_product: size/block mismatch");
   TBMD_REQUIRE(sym_ == b.sym_, "trace_of_product: storage-mode mismatch");
+  TBMD_REQUIRE(prec_ == TilePrecision::kF64 &&
+                   b.prec_ == TilePrecision::kF64,
+               "trace_of_product: fp64 operands only (the band-energy "
+               "contraction runs after the mixed loop promotes)");
   // Per-block-row partials are filled in parallel (each slot written by
   // exactly one row) and summed serially in row order, so the trace is
   // bit-identical at any OMP_NUM_THREADS.  A reduction(+) clause would
@@ -581,10 +669,13 @@ void bsr_assemble(std::size_t n, std::size_t bs, BsrWorkspace& ws,
   out.max_bs_ = bs;
   out.nb_ = n / bs;
   out.sym_ = symmetric_half;
-  // A reused output may carry a variable layout from a previous life.
+  // A reused output may carry a variable layout or fp32 payloads from a
+  // previous life.
   out.dims_.clear();
   out.offs_.clear();
   out.val_ptr_.clear();
+  out.val32_.clear();
+  out.prec_ = TilePrecision::kF64;
   const std::size_t nb = out.nb_;
   const std::size_t bs2 = bs * bs;
   TBMD_REQUIRE(ws.row_cols.size() >= nb && ws.row_vals.size() >= nb,
@@ -629,6 +720,8 @@ void bsr_assemble(const std::vector<std::uint32_t>& dims, BsrWorkspace& ws,
   out.max_bs_ = widest;
   out.nb_ = nb;
   out.sym_ = symmetric_half;
+  out.val32_.clear();
+  out.prec_ = TilePrecision::kF64;
   out.dims_ = dims;
   out.offs_.resize(nb + 1);
   out.offs_[0] = 0;
@@ -668,6 +761,107 @@ void bsr_assemble(const std::vector<std::uint32_t>& dims, BsrWorkspace& ws,
   out.refingerprint();
 }
 
+void BlockSparseMatrix::assemble_f32(std::size_t n, std::size_t bs,
+                                     BsrWorkspace& ws, BlockSparseMatrix& out,
+                                     bool symmetric_half) {
+  out.n_ = n;
+  out.bs_ = bs;
+  out.max_bs_ = bs;
+  out.nb_ = n / bs;
+  out.sym_ = symmetric_half;
+  // A reused output may carry a variable layout or fp64 payloads from a
+  // previous life.
+  out.dims_.clear();
+  out.offs_.clear();
+  out.val_ptr_.clear();
+  out.val_.clear();
+  out.prec_ = TilePrecision::kF32;
+  const std::size_t nb = out.nb_;
+  const std::size_t bs2 = bs * bs;
+  TBMD_REQUIRE(ws.row_cols.size() >= nb && ws.row_vals32.size() >= nb,
+               "assemble_f32: workspace rows missing");
+  out.row_ptr_.assign(nb + 1, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    out.row_ptr_[bi + 1] = out.row_ptr_[bi] + ws.row_cols[bi].size();
+  }
+  const std::size_t nblocks = out.row_ptr_[nb];
+  out.col_.resize(nblocks);
+  out.val32_.resize(nblocks * bs2);
+  [[maybe_unused]] const bool par = nb > 64;
+#pragma omp parallel for schedule(static) if (par)
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    const std::size_t at = out.row_ptr_[bi];
+    std::copy(ws.row_cols[bi].begin(), ws.row_cols[bi].end(),
+              out.col_.begin() + static_cast<std::ptrdiff_t>(at));
+    std::copy(ws.row_vals32[bi].begin(), ws.row_vals32[bi].end(),
+              out.val32_.begin() + static_cast<std::ptrdiff_t>(at * bs2));
+  }
+  out.refingerprint();
+}
+
+void BlockSparseMatrix::assemble_f32(const std::vector<std::uint32_t>& dims,
+                                     BsrWorkspace& ws, BlockSparseMatrix& out,
+                                     bool symmetric_half) {
+  TBMD_REQUIRE(!dims.empty(), "assemble_f32: empty block layout");
+  std::size_t n = 0;
+  std::uint32_t widest = 0;
+  for (const std::uint32_t d : dims) {
+    n += d;
+    widest = std::max(widest, d);
+  }
+  if (dims_uniform(dims)) {
+    assemble_f32(n, dims.front(), ws, out, symmetric_half);
+    return;
+  }
+  const std::size_t nb = dims.size();
+  TBMD_REQUIRE(ws.row_cols.size() >= nb && ws.row_vals32.size() >= nb,
+               "assemble_f32: workspace rows missing");
+  out.n_ = n;
+  out.bs_ = 0;
+  out.max_bs_ = widest;
+  out.nb_ = nb;
+  out.sym_ = symmetric_half;
+  out.val_.clear();
+  out.prec_ = TilePrecision::kF32;
+  out.dims_ = dims;
+  out.offs_.resize(nb + 1);
+  out.offs_[0] = 0;
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    out.offs_[bi + 1] = out.offs_[bi] + dims[bi];
+  }
+  out.row_ptr_.assign(nb + 1, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    out.row_ptr_[bi + 1] = out.row_ptr_[bi] + ws.row_cols[bi].size();
+  }
+  const std::size_t nblocks = out.row_ptr_[nb];
+  out.col_.resize(nblocks);
+  out.val_ptr_.assign(nblocks + 1, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    const std::size_t at = out.row_ptr_[bi];
+    std::copy(ws.row_cols[bi].begin(), ws.row_cols[bi].end(),
+              out.col_.begin() + static_cast<std::ptrdiff_t>(at));
+    for (std::size_t k = at; k < out.row_ptr_[bi + 1]; ++k) {
+      out.val_ptr_[k + 1] =
+          static_cast<std::size_t>(dims[bi]) * dims[out.col_[k]];
+    }
+  }
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    out.val_ptr_[k + 1] += out.val_ptr_[k];
+  }
+  out.val32_.resize(out.val_ptr_[nblocks]);
+  [[maybe_unused]] const bool par = nb > 64;
+#pragma omp parallel for schedule(static) if (par)
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    const std::size_t at = out.val_ptr_[out.row_ptr_[bi]];
+    TBMD_REQUIRE(ws.row_vals32[bi].size() ==
+                     out.val_ptr_[out.row_ptr_[bi + 1]] - at,
+                 "assemble_f32: staged row size does not match the layout");
+    std::copy(ws.row_vals32[bi].begin(), ws.row_vals32[bi].end(),
+              out.val32_.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+  out.refingerprint();
+}
+
 namespace {
 
 /// Grow-and-clear the staging rows without releasing their capacity.
@@ -677,6 +871,16 @@ void reset_workspace(BsrWorkspace& ws, std::size_t nb) {
   for (std::size_t bi = 0; bi < nb; ++bi) {
     ws.row_cols[bi].clear();
     ws.row_vals[bi].clear();
+  }
+}
+
+/// reset_workspace() for the kF32 sweeps (fp32 staging rows).
+void reset_workspace_f32(BsrWorkspace& ws, std::size_t nb) {
+  if (ws.row_cols.size() < nb) ws.row_cols.resize(nb);
+  if (ws.row_vals32.size() < nb) ws.row_vals32.resize(nb);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    ws.row_cols[bi].clear();
+    ws.row_vals32[bi].clear();
   }
 }
 
@@ -742,6 +946,7 @@ void BsrWorkspace::shrink(const BsrShrinkPolicy& policy) {
   const std::size_t bs2 = policy.block_size * policy.block_size;
   if (row_cols.size() > nb) row_cols.resize(nb);
   if (row_vals.size() > nb) row_vals.resize(nb);
+  if (row_vals32.size() > nb) row_vals32.resize(nb);
   for (auto& r : row_cols) {
     r.clear();
     r.shrink_to_fit();
@@ -750,9 +955,17 @@ void BsrWorkspace::shrink(const BsrShrinkPolicy& policy) {
     r.clear();
     r.shrink_to_fit();
   }
+  for (auto& r : row_vals32) {
+    r.clear();
+    r.shrink_to_fit();
+  }
   for (auto& a : acc) {
     // Sized nb * bs2 with an all-zero invariant between uses; shrinking
     // keeps the invariant (resize-to-smaller only drops zeros).
+    if (a.size() > nb * bs2) a.resize(nb * bs2);
+    a.shrink_to_fit();
+  }
+  for (auto& a : acc32) {
     if (a.size() > nb * bs2) a.resize(nb * bs2);
     a.shrink_to_fit();
   }
@@ -793,7 +1006,9 @@ std::size_t BsrWorkspace::footprint_bytes() const {
   };
   nested(row_cols);
   nested(row_vals);
+  nested(row_vals32);
   nested(acc);
+  nested(acc32);
   nested(hit);
   nested(touched);
   for (const auto* adj : {&adj_a, &adj_b}) {
@@ -809,12 +1024,17 @@ std::size_t BsrWorkspace::footprint_bytes() const {
 
 void BlockSparseMatrix::combine_into(double alpha, const BlockSparseMatrix& b,
                                      double beta, double drop_tolerance,
-                                     BlockSparseMatrix& out,
-                                     BsrWorkspace& ws) const {
+                                     BlockSparseMatrix& out, BsrWorkspace& ws,
+                                     double sub_tile_drop) const {
   TBMD_REQUIRE(layout_matches(b), "combine: size/block mismatch");
   TBMD_REQUIRE(sym_ == b.sym_, "combine: storage-mode mismatch");
+  TBMD_REQUIRE(prec_ == b.prec_, "combine: tile-precision mismatch");
   TBMD_REQUIRE(&out != this && &out != &b,
                "combine_into: output must not alias an operand");
+  if (prec_ == TilePrecision::kF32) {
+    combine_f32_into(alpha, b, beta, drop_tolerance, sub_tile_drop, out, ws);
+    return;
+  }
   if (!uniform_blocks()) {
     reset_workspace(ws, nb_);
 #pragma omp parallel for schedule(static) if (nb_ > 64)
@@ -849,6 +1069,13 @@ void BlockSparseMatrix::combine_into(double alpha, const BlockSparseMatrix& b,
           const double* tb = b.block(kb);
           for (std::size_t q = 0; q < sz; ++q) tile[q] = beta * tb[q];
           ++kb;
+        }
+        // Scalar-granular truncation (off at the 0.0 default): zero small
+        // entries inside the staged tile before the Frobenius test.
+        if (sub_tile_drop > 0.0) {
+          for (std::size_t q = 0; q < sz; ++q) {
+            if (std::fabs(tile[q]) <= sub_tile_drop) tile[q] = 0.0;
+          }
         }
         const double norm2 = linalg::tile_norm2_rect(di, dj, tile);
         if (keep_tile_rect(norm2, sz, drop_tolerance) ||
@@ -891,6 +1118,11 @@ void BlockSparseMatrix::combine_into(double alpha, const BlockSparseMatrix& b,
         for (std::size_t q = 0; q < bs2; ++q) tile[q] = beta * tb[q];
         ++kb;
       }
+      if (sub_tile_drop > 0.0) {
+        for (std::size_t q = 0; q < bs2; ++q) {
+          if (std::fabs(tile[q]) <= sub_tile_drop) tile[q] = 0.0;
+        }
+      }
       const double norm2 = linalg::tile_norm2(bs_, tile);
       if (keep_tile(norm2, bs_, drop_tolerance) || (bj == bi && norm2 > 0.0)) {
         cols.push_back(bj);
@@ -912,6 +1144,133 @@ BlockSparseMatrix BlockSparseMatrix::combine(double alpha,
   return out;
 }
 
+void BlockSparseMatrix::combine_f32_into(double alpha,
+                                         const BlockSparseMatrix& b,
+                                         double beta, double drop_tolerance,
+                                         double sub_tile_drop,
+                                         BlockSparseMatrix& out,
+                                         BsrWorkspace& ws) const {
+  // fp32 twin of combine_into (the mixed loop's iteration update).  Each
+  // output entry is combined in fp64 from the fp32 operand entries and
+  // rounded exactly once on store, so the update adds no accumulation
+  // error beyond the storage rounding itself.  Structure logic mirrors the
+  // fp64 sweep line for line.
+  if (!uniform_blocks()) {
+    reset_workspace_f32(ws, nb_);
+#pragma omp parallel for schedule(static) if (nb_ > 64)
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      const std::size_t di = dims_[bi];
+      auto& cols = ws.row_cols[bi];
+      auto& vals = ws.row_vals32[bi];
+      std::size_t ka = row_ptr_[bi], ea = row_ptr_[bi + 1];
+      std::size_t kb = b.row_ptr_[bi], eb = b.row_ptr_[bi + 1];
+      while (ka < ea || kb < eb) {
+        std::uint32_t bj;
+        if (ka < ea && (kb >= eb || col_[ka] <= b.col_[kb])) {
+          bj = col_[ka];
+        } else {
+          bj = b.col_[kb];
+        }
+        const std::size_t dj = dims_[bj];
+        const std::size_t sz = di * dj;
+        const std::size_t at = vals.size();
+        vals.resize(at + sz, 0.0f);
+        float* tile = vals.data() + at;
+        if (ka < ea && col_[ka] == bj) {
+          const float* ta = block_f32(ka);
+          if (kb < eb && b.col_[kb] == bj) {
+            const float* tb = b.block_f32(kb);
+            for (std::size_t q = 0; q < sz; ++q) {
+              tile[q] = static_cast<float>(
+                  alpha * static_cast<double>(ta[q]) +
+                  beta * static_cast<double>(tb[q]));
+            }
+            ++kb;
+          } else {
+            for (std::size_t q = 0; q < sz; ++q) {
+              tile[q] = static_cast<float>(alpha * static_cast<double>(ta[q]));
+            }
+          }
+          ++ka;
+        } else {
+          const float* tb = b.block_f32(kb);
+          for (std::size_t q = 0; q < sz; ++q) {
+            tile[q] = static_cast<float>(beta * static_cast<double>(tb[q]));
+          }
+          ++kb;
+        }
+        if (sub_tile_drop > 0.0) {
+          const float sub = static_cast<float>(sub_tile_drop);
+          for (std::size_t q = 0; q < sz; ++q) {
+            if (std::fabs(tile[q]) <= sub) tile[q] = 0.0f;
+          }
+        }
+        const double norm2 = linalg::tile_norm2_rect_f32(di, dj, tile);
+        if (keep_tile_rect(norm2, sz, drop_tolerance) ||
+            (bj == bi && norm2 > 0.0)) {
+          cols.push_back(bj);
+        } else {
+          vals.resize(at);  // rejected: roll the staged tile back
+        }
+      }
+    }
+    assemble_f32(dims_, ws, out, sym_);
+    return;
+  }
+  const std::size_t bs2 = bs_ * bs_;
+  reset_workspace_f32(ws, nb_);
+#pragma omp parallel for schedule(static) if (nb_ > 64)
+  for (std::size_t bi = 0; bi < nb_; ++bi) {
+    auto& cols = ws.row_cols[bi];
+    auto& vals = ws.row_vals32[bi];
+    std::size_t ka = row_ptr_[bi], ea = row_ptr_[bi + 1];
+    std::size_t kb = b.row_ptr_[bi], eb = b.row_ptr_[bi + 1];
+    while (ka < ea || kb < eb) {
+      std::uint32_t bj;
+      const std::size_t at = vals.size();
+      vals.resize(at + bs2, 0.0f);
+      float* tile = vals.data() + at;
+      if (ka < ea && (kb >= eb || col_[ka] <= b.col_[kb])) {
+        bj = col_[ka];
+        const float* ta = block_f32(ka);
+        if (kb < eb && b.col_[kb] == bj) {
+          const float* tb = b.block_f32(kb);
+          for (std::size_t q = 0; q < bs2; ++q) {
+            tile[q] = static_cast<float>(alpha * static_cast<double>(ta[q]) +
+                                         beta * static_cast<double>(tb[q]));
+          }
+          ++kb;
+        } else {
+          for (std::size_t q = 0; q < bs2; ++q) {
+            tile[q] = static_cast<float>(alpha * static_cast<double>(ta[q]));
+          }
+        }
+        ++ka;
+      } else {
+        bj = b.col_[kb];
+        const float* tb = b.block_f32(kb);
+        for (std::size_t q = 0; q < bs2; ++q) {
+          tile[q] = static_cast<float>(beta * static_cast<double>(tb[q]));
+        }
+        ++kb;
+      }
+      if (sub_tile_drop > 0.0) {
+        const float sub = static_cast<float>(sub_tile_drop);
+        for (std::size_t q = 0; q < bs2; ++q) {
+          if (std::fabs(tile[q]) <= sub) tile[q] = 0.0f;
+        }
+      }
+      const double norm2 = linalg::tile_norm2_f32(bs_, tile);
+      if (keep_tile(norm2, bs_, drop_tolerance) || (bj == bi && norm2 > 0.0)) {
+        cols.push_back(bj);
+      } else {
+        vals.resize(at);  // rejected: roll the staged tile back
+      }
+    }
+  }
+  assemble_f32(n_, bs_, ws, out, sym_);
+}
+
 void BlockSparseMatrix::multiply_into(const BlockSparseMatrix& b,
                                       double drop_tolerance,
                                       BlockSparseMatrix& out,
@@ -922,6 +1281,10 @@ void BlockSparseMatrix::multiply_into(const BlockSparseMatrix& b,
     return;
   }
   TBMD_REQUIRE(layout_matches(b), "multiply: size/block mismatch");
+  TBMD_REQUIRE(prec_ == TilePrecision::kF64 &&
+                   b.prec_ == TilePrecision::kF64,
+               "multiply_into: full-storage products are fp64-only (the "
+               "mixed loop runs on symmetric-half operands)");
   TBMD_REQUIRE(&out != this && &out != &b,
                "multiply_into: output must not alias an operand");
   const std::size_t bs2 = max_bs_ * max_bs_;  // accumulator tile stride
@@ -1013,12 +1376,20 @@ void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
                                           double drop_tolerance,
                                           BlockSparseMatrix& out,
                                           BsrWorkspace& ws,
-                                          BsrPattern* pattern) const {
+                                          BsrPattern* pattern,
+                                          double sub_tile_drop,
+                                          bool simd) const {
   TBMD_REQUIRE(layout_matches(b), "multiply_sym: size/block mismatch");
   TBMD_REQUIRE(sym_ && b.sym_,
                "multiply_sym: operands must be symmetric-half");
+  TBMD_REQUIRE(prec_ == b.prec_, "multiply_sym: tile-precision mismatch");
   TBMD_REQUIRE(&out != this && &out != &b,
                "multiply_sym_into: output must not alias an operand");
+  if (prec_ == TilePrecision::kF32) {
+    multiply_sym_f32_into(b, drop_tolerance, sub_tile_drop, simd, out, ws,
+                          pattern);
+    return;
+  }
   const std::size_t bs2 = max_bs_ * max_bs_;  // accumulator tile stride
   const bool var = !uniform_blocks();
 
@@ -1155,6 +1526,14 @@ void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
     for (std::size_t pp = pat.row_ptr[bi]; pp < pe; ++pp) {
       const std::uint32_t bj = pat.cols[pp];
       double* tile = acc.data() + bs2 * bj;
+      // Scalar-granular truncation (off at the 0.0 default, so the
+      // historical fp64 gather is byte-for-byte unchanged when unused).
+      if (sub_tile_drop > 0.0) {
+        const std::size_t sz = di * (var ? dims_[bj] : bs_);
+        for (std::size_t q = 0; q < sz; ++q) {
+          if (std::fabs(tile[q]) <= sub_tile_drop) tile[q] = 0.0;
+        }
+      }
       if (var) {
         const std::size_t dj = dims_[bj];
         const std::size_t sz = di * dj;
@@ -1206,6 +1585,217 @@ void BlockSparseMatrix::multiply_sym_into(const BlockSparseMatrix& b,
   }
 }
 
+void BlockSparseMatrix::multiply_sym_f32_into(const BlockSparseMatrix& b,
+                                              double drop_tolerance,
+                                              double sub_tile_drop, bool simd,
+                                              BlockSparseMatrix& out,
+                                              BsrWorkspace& ws,
+                                              BsrPattern* pattern) const {
+  // fp32 twin of the symmetric-half SpMM (preconditions checked by the
+  // dispatching multiply_sym_into).  The sweep structure mirrors the fp64
+  // kernel line for line -- same adjacency walk, same frozen-pattern
+  // gather, same per-row determinism (per-tile products are sequential
+  // within a row, so results are bit-identical at any thread count for a
+  // given binary) -- but tiles, accumulators and staging are fp32: half
+  // the memory traffic exactly where the numeric phase is
+  // bandwidth-bound.  `simd` routes tile products through the lane-vector
+  // f32 kernels (default) or the generic reference loop (the NumericsSpec
+  // A/B switch).
+  const std::size_t bs2 = max_bs_ * max_bs_;  // accumulator tile stride
+  const bool var = !uniform_blocks();
+
+  build_sym_adjacency(*this, ws.adj_a);
+  const BsrWorkspace::SymAdjacency& adj_a = ws.adj_a;
+  if (&b != this) build_sym_adjacency(b, ws.adj_b);
+  const BsrWorkspace::SymAdjacency& adj_b = (&b == this) ? ws.adj_a : ws.adj_b;
+
+  BsrPattern local;
+  BsrPattern& pat = pattern != nullptr ? *pattern : local;
+  const bool warm = pat.valid && pat.a_fingerprint == pattern_fingerprint_ &&
+                    pat.b_fingerprint == b.pattern_fingerprint_;
+
+  const auto nthreads = static_cast<std::size_t>(par::max_threads());
+  if (ws.acc32.size() < nthreads) ws.acc32.resize(nthreads);
+  if (ws.hit.size() < nthreads) {
+    ws.hit.resize(nthreads);
+    ws.touched.resize(nthreads);
+  }
+
+  const std::vector<std::size_t>& dom = ws.domains;
+  const bool sharded =
+      dom.size() > 2 && dom.front() == 0 && dom.back() == nb_;
+
+  if (!warm) {
+    // Symbolic phase: identical to the fp64 kernel's (patterns are
+    // structure-only, so a pattern discovered by either precision warms
+    // the other).
+    ++ws.stats.symbolic_builds;
+    reset_workspace_f32(ws, nb_);
+#pragma omp parallel
+    {
+      const auto tid = static_cast<std::size_t>(par::thread_id());
+      std::vector<std::uint8_t>& hit = ws.hit[tid];
+      std::vector<std::uint32_t>& touched = ws.touched[tid];
+      if (hit.size() < nb_) hit.assign(nb_, 0);
+      touched.reserve(256);
+      const auto symbolic_row = [&](std::size_t bi)
+          __attribute__((always_inline)) {
+        touched.clear();
+        for (std::size_t ua = adj_a.ptr[bi]; ua < adj_a.ptr[bi + 1]; ++ua) {
+          const std::size_t bk = adj_a.col[ua];
+          for (std::size_t ub = adj_lower_bound(adj_b, bk, bi);
+               ub < adj_b.ptr[bk + 1]; ++ub) {
+            const std::uint32_t bj = adj_b.col[ub];
+            if (hit[bj] == 0) {
+              hit[bj] = 1;
+              touched.push_back(bj);
+            }
+          }
+        }
+        std::sort(touched.begin(), touched.end());
+        ws.row_cols[bi].assign(touched.begin(), touched.end());
+        for (const std::uint32_t bj : touched) hit[bj] = 0;
+      };
+      if (sharded) {
+#pragma omp for schedule(static, 1)
+        for (std::size_t d = 0; d < dom.size() - 1; ++d) {
+          for (std::size_t bi = dom[d]; bi < dom[d + 1]; ++bi) {
+            symbolic_row(bi);
+          }
+        }
+      } else {
+#pragma omp for schedule(dynamic, 8)
+        for (std::size_t bi = 0; bi < nb_; ++bi) symbolic_row(bi);
+      }
+    }
+    pat.row_ptr.assign(nb_ + 1, 0);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      pat.row_ptr[bi + 1] = pat.row_ptr[bi] + ws.row_cols[bi].size();
+    }
+    pat.cols.resize(pat.row_ptr[nb_]);
+    for (std::size_t bi = 0; bi < nb_; ++bi) {
+      std::copy(ws.row_cols[bi].begin(), ws.row_cols[bi].end(),
+                pat.cols.begin() +
+                    static_cast<std::ptrdiff_t>(pat.row_ptr[bi]));
+    }
+    pat.a_fingerprint = pattern_fingerprint_;
+    pat.b_fingerprint = b.pattern_fingerprint_;
+    pat.valid = true;
+  } else {
+    ++ws.stats.numeric_reuses;
+  }
+
+  // Numeric phase on the (frozen or just-built) pattern, fp32 throughout;
+  // truncation thresholds stay fp64 quantities.
+  reset_workspace_f32(ws, nb_);
+  const float sub = static_cast<float>(sub_tile_drop);
+  const auto numeric_row = [&](std::size_t bi, std::vector<float>& acc)
+      __attribute__((always_inline)) {
+    const std::size_t di = row_dim(bi);
+    if (simd && !var && bs_ == 4) {
+      // Dedicated sp-block sweep: the three-way kernel dispatch is hoisted
+      // out of the product loop, and a transposed A tile is repacked once
+      // per adjacency entry instead of strided-read once per product.
+      // Repacking moves values without reordering any output element's
+      // k-accumulation, so results stay bit-identical to the generic walk.
+      for (std::size_t ua = adj_a.ptr[bi]; ua < adj_a.ptr[bi + 1]; ++ua) {
+        const std::size_t bk = adj_a.col[ua];
+        const float* ta = block_f32(adj_a.tile[ua]);
+        float at[16];
+        if (adj_a.trans[ua] != 0) {
+          for (std::size_t r = 0; r < 4; ++r) {
+            for (std::size_t q = 0; q < 4; ++q) at[4 * r + q] = ta[4 * q + r];
+          }
+          ta = at;
+        }
+        for (std::size_t ub = adj_lower_bound(adj_b, bk, bi);
+             ub < adj_b.ptr[bk + 1]; ++ub) {
+          const std::uint32_t bj = adj_b.col[ub];
+          linalg::detail::micro_add_square_f32<4>(
+              false, adj_b.trans[ub] != 0, ta, b.block_f32(adj_b.tile[ub]),
+              acc.data() + 16 * bj);
+        }
+      }
+    } else {
+      for (std::size_t ua = adj_a.ptr[bi]; ua < adj_a.ptr[bi + 1]; ++ua) {
+        const std::size_t bk = adj_a.col[ua];
+        const std::size_t dk = row_dim(bk);
+        const float* ta = block_f32(adj_a.tile[ua]);
+        const bool trans_a = adj_a.trans[ua] != 0;
+        for (std::size_t ub = adj_lower_bound(adj_b, bk, bi);
+             ub < adj_b.ptr[bk + 1]; ++ub) {
+          const std::uint32_t bj = adj_b.col[ub];
+          if (!simd) {
+            linalg::gemm_micro_add_rect_f32_ref(
+                di, dk, row_dim(bj), trans_a, adj_b.trans[ub] != 0, ta,
+                b.block_f32(adj_b.tile[ub]), acc.data() + bs2 * bj);
+          } else if (var) {
+            linalg::gemm_micro_add_rect_f32(di, dk, row_dim(bj), trans_a,
+                                            adj_b.trans[ub] != 0, ta,
+                                            b.block_f32(adj_b.tile[ub]),
+                                            acc.data() + bs2 * bj);
+          } else {
+            linalg::gemm_micro_add_t_f32(bs_, trans_a, adj_b.trans[ub] != 0,
+                                         ta, b.block_f32(adj_b.tile[ub]),
+                                         acc.data() + bs2 * bj);
+          }
+        }
+      }
+    }
+    auto& cols = ws.row_cols[bi];
+    auto& vals = ws.row_vals32[bi];
+    const std::size_t pe = pat.row_ptr[bi + 1];
+    cols.reserve(pe - pat.row_ptr[bi]);
+    for (std::size_t pp = pat.row_ptr[bi]; pp < pe; ++pp) {
+      const std::uint32_t bj = pat.cols[pp];
+      float* tile = acc.data() + bs2 * bj;
+      const std::size_t dj = var ? dims_[bj] : bs_;
+      const std::size_t sz = di * dj;
+      if (sub_tile_drop > 0.0) {
+        for (std::size_t q = 0; q < sz; ++q) {
+          if (std::fabs(tile[q]) <= sub) tile[q] = 0.0f;
+        }
+      }
+      const double norm2 = linalg::tile_norm2_rect_f32(di, dj, tile);
+      const bool keep = var ? keep_tile_rect(norm2, sz, drop_tolerance)
+                            : keep_tile(norm2, bs_, drop_tolerance);
+      if (keep || (bj == bi && norm2 > 0.0)) {
+        cols.push_back(bj);
+        vals.insert(vals.end(), tile, tile + sz);
+      }
+      std::fill(tile, tile + sz, 0.0f);
+    }
+  };
+  if (sharded) {
+#pragma omp parallel
+    {
+      const auto tid = static_cast<std::size_t>(par::thread_id());
+      std::vector<float>& acc = ws.acc32[tid];
+      if (acc.size() < nb_ * bs2) acc.assign(nb_ * bs2, 0.0f);
+#pragma omp for schedule(static, 1)
+      for (std::size_t d = 0; d < dom.size() - 1; ++d) {
+        for (std::size_t bi = dom[d]; bi < dom[d + 1]; ++bi) {
+          numeric_row(bi, acc);
+        }
+      }
+    }
+  } else {
+#pragma omp parallel
+    {
+      const auto tid = static_cast<std::size_t>(par::thread_id());
+      std::vector<float>& acc = ws.acc32[tid];
+      if (acc.size() < nb_ * bs2) acc.assign(nb_ * bs2, 0.0f);
+#pragma omp for schedule(dynamic, 8)
+      for (std::size_t bi = 0; bi < nb_; ++bi) numeric_row(bi, acc);
+    }
+  }
+  if (var) {
+    assemble_f32(dims_, ws, out, true);
+  } else {
+    assemble_f32(n_, bs_, ws, out, true);
+  }
+}
+
 BlockSparseMatrix BlockSparseMatrix::multiply(const BlockSparseMatrix& b,
                                               double drop_tolerance) const {
   BlockSparseMatrix out;
@@ -1215,6 +1805,8 @@ BlockSparseMatrix BlockSparseMatrix::multiply(const BlockSparseMatrix& b,
 }
 
 linalg::SpectralBounds BlockSparseMatrix::gershgorin_bounds() const {
+  TBMD_REQUIRE(prec_ == TilePrecision::kF64,
+               "gershgorin_bounds: fp64 payloads only (H is never demoted)");
   if (sym_) {
     // Upper-half pass: an off-diagonal tile (I, J) contributes its row
     // sums to the radii of block row I and -- through the implicit mirror

@@ -72,6 +72,16 @@ namespace tbmd::onx {
 
 class BlockSparseMatrix;
 
+/// Scalar type of a BlockSparseMatrix's tile payloads.  kF64 is the
+/// default and the only mode most operations accept; kF32 is the
+/// mixed-precision purification substrate -- half the memory traffic in
+/// the bandwidth-bound SpMM numeric phase -- and supports exactly the
+/// operations the purification loop's fp32 phase needs (multiply_sym_into,
+/// combine_into, trace, get, to_dense via conversion).  The structure
+/// (pattern, dims, fingerprints) is precision-independent, so the
+/// symbolic-pattern cache works unchanged across a promotion.
+enum class TilePrecision : std::uint8_t { kF64, kF32 };
+
 /// Cached symbolic SpMM result for multiply_sym_into(): the frozen output
 /// block pattern of C = A * B, keyed on fingerprints of both operand
 /// patterns.  A call whose operands still carry the recorded fingerprints
@@ -102,10 +112,15 @@ struct BsrShrinkPolicy {
 struct BsrWorkspace {
   std::vector<std::vector<std::uint32_t>> row_cols;
   std::vector<std::vector<double>> row_vals;
+  /// fp32 staging rows (the kF32 sweeps stage here; empty in fp64 runs).
+  std::vector<std::vector<float>> row_vals32;
   // Per-thread SpMM scratch (indexed by omp thread id).  The row sweep
   // restores acc/hit to all-zeroes after every block row, so these only
   // need zero-filling when they grow.
   std::vector<std::vector<double>> acc;
+  /// fp32 twin of `acc` for the kF32 numeric sweeps (same all-zero
+  /// invariant between uses).
+  std::vector<std::vector<float>> acc32;
   std::vector<std::vector<std::uint8_t>> hit;
   std::vector<std::vector<std::uint32_t>> touched;
 
@@ -253,9 +268,26 @@ class BlockSparseMatrix {
   /// Logical tiles: stored tiles plus the implicit mirrors in half mode.
   [[nodiscard]] std::size_t logical_block_count() const;
 
+  /// Scalar type of the tile payloads (kF64 unless this matrix was
+  /// converted or assembled by a kF32 sweep).
+  [[nodiscard]] TilePrecision precision() const { return prec_; }
+
+  /// Convert the tile payloads in place (structure and fingerprint are
+  /// untouched).  kF64 -> kF32 rounds to nearest (lossy by design: the
+  /// mixed-precision loop runs it only where the drop schedule already
+  /// tolerates ~1e-4 error); kF32 -> kF64 is exact.  Both directions keep
+  /// the retired payload vector's capacity, so a steady-state mixed
+  /// purification loop converts without allocating.
+  void convert_precision(TilePrecision p);
+
+  /// Copying variant of convert_precision.
+  [[nodiscard]] BlockSparseMatrix to_precision(TilePrecision p) const;
+
   /// Stored scalar entries (tiles are dense; block_count * bs^2 in uniform
   /// mode, the sum of the per-tile areas otherwise).
-  [[nodiscard]] std::size_t nnz() const { return val_.size(); }
+  [[nodiscard]] std::size_t nnz() const {
+    return prec_ == TilePrecision::kF32 ? val32_.size() : val_.size();
+  }
 
   /// Logical scalar entries: stored tile areas plus the implicit mirrors
   /// in half mode.
@@ -306,10 +338,16 @@ class BlockSparseMatrix {
                                           double beta,
                                           double drop_tolerance = 0.0) const;
 
-  /// combine() writing into `out`, reusing its storage and `ws`.
+  /// combine() writing into `out`, reusing its storage and `ws`.  Operands
+  /// must share the tile precision; the result inherits it (kF32 stages
+  /// and rounds each combined tile once, after the fp64 accumulation).
+  /// `sub_tile_drop` > 0 additionally zeroes scalar entries of magnitude
+  /// <= sub_tile_drop inside kept tiles before the Frobenius test
+  /// (scalar-granular truncation; 0 keeps the historical tile-only rule,
+  /// and the default keeps the pure-fp64 path bit-identical).
   void combine_into(double alpha, const BlockSparseMatrix& b, double beta,
                     double drop_tolerance, BlockSparseMatrix& out,
-                    BsrWorkspace& ws) const;
+                    BsrWorkspace& ws, double sub_tile_drop = 0.0) const;
 
   /// Block-sparse product this * b with tile-level Frobenius truncation.
   /// Gustavson row-merge over block rows, OpenMP-parallel; tile products
@@ -332,9 +370,22 @@ class BlockSparseMatrix {
   /// phase is skipped whenever the operands still match the recorded
   /// fingerprints (ws.stats counts both outcomes); the numeric sweep is
   /// identical either way, so warm results are bit-identical to cold ones.
+  ///
+  /// Precision: operands must share the tile precision and the result
+  /// inherits it.  The kF32 sweep shares the symbolic phase (patterns are
+  /// structure-only) and runs the numeric phase on the fp32 kernel family;
+  /// `simd` selects the unrolled `omp simd` kernels (true, the default)
+  /// or the generic reference loop (the NumericsSpec A/B switch -- fixed
+  /// precision results are bit-identical either way, only speed changes).
+  /// `sub_tile_drop` > 0 zeroes scalar entries of magnitude
+  /// <= sub_tile_drop inside kept tiles before the Frobenius test; in half
+  /// storage the implicit mirror keeps the truncation exactly symmetric.
+  /// Both knobs default to the historical behavior, so the pure-fp64 path
+  /// is untouched.
   void multiply_sym_into(const BlockSparseMatrix& b, double drop_tolerance,
                          BlockSparseMatrix& out, BsrWorkspace& ws,
-                         BsrPattern* pattern = nullptr) const;
+                         BsrPattern* pattern = nullptr,
+                         double sub_tile_drop = 0.0, bool simd = true) const;
 
   /// Gershgorin enclosure of the spectrum (shared linalg interval type).
   [[nodiscard]] linalg::SpectralBounds gershgorin_bounds() const;
@@ -347,9 +398,17 @@ class BlockSparseMatrix {
   [[nodiscard]] const std::vector<double>& values() const { return val_; }
 
   /// Tile payload of the k-th stored block (row-major; row_dim(I) x
-  /// row_dim(J) doubles for a tile in block row I, column J).
+  /// row_dim(J) doubles for a tile in block row I, column J).  kF64 only.
   [[nodiscard]] const double* block(std::size_t k) const {
     return val_.data() + (dims_.empty() ? bs_ * bs_ * k : val_ptr_[k]);
+  }
+
+  /// fp32 payload vector (empty unless precision() == kF32).
+  [[nodiscard]] const std::vector<float>& values_f32() const { return val32_; }
+
+  /// fp32 tile payload of the k-th stored block (kF32 matrices only).
+  [[nodiscard]] const float* block_f32(std::size_t k) const {
+    return val32_.data() + (dims_.empty() ? bs_ * bs_ * k : val_ptr_[k]);
   }
 
  private:
@@ -367,6 +426,29 @@ class BlockSparseMatrix {
   /// Block row containing scalar row `i` (variable mode only).
   [[nodiscard]] std::size_t block_index_of(std::size_t i) const;
 
+  /// Stored-tile index of tile (bi, bj), or npos if absent (the
+  /// precision-agnostic core of find_block; fp32 readers pair it with
+  /// block_f32).
+  [[nodiscard]] std::size_t find_block_index(std::size_t bi,
+                                             std::size_t bj) const;
+
+  /// kF32 twins of combine_into / multiply_sym_into (separate functions so
+  /// the fp64 sweeps' codegen cannot drift -- the PR 6 lesson).
+  void combine_f32_into(double alpha, const BlockSparseMatrix& b, double beta,
+                        double drop_tolerance, double sub_tile_drop,
+                        BlockSparseMatrix& out, BsrWorkspace& ws) const;
+  void multiply_sym_f32_into(const BlockSparseMatrix& b, double drop_tolerance,
+                             double sub_tile_drop, bool simd,
+                             BlockSparseMatrix& out, BsrWorkspace& ws,
+                             BsrPattern* pattern) const;
+
+  /// bsr_assemble twins reading ws.row_vals32 into val32_.
+  static void assemble_f32(std::size_t n, std::size_t bs, BsrWorkspace& ws,
+                           BlockSparseMatrix& out, bool symmetric_half);
+  static void assemble_f32(const std::vector<std::uint32_t>& dims,
+                           BsrWorkspace& ws, BlockSparseMatrix& out,
+                           bool symmetric_half);
+
   std::size_t n_ = 0;       ///< scalar dimension
   std::size_t bs_ = 1;      ///< uniform tile edge (0: variable mode)
   std::size_t max_bs_ = 1;  ///< widest tile edge (== bs_ when uniform)
@@ -375,6 +457,8 @@ class BlockSparseMatrix {
   std::vector<std::size_t> row_ptr_;   ///< nb + 1 block-row offsets
   std::vector<std::uint32_t> col_;     ///< block-column index per tile
   std::vector<double> val_;            ///< dense row-major tile payloads
+  std::vector<float> val32_;           ///< fp32 payloads (kF32 mode)
+  TilePrecision prec_ = TilePrecision::kF64;
   std::vector<std::uint32_t> dims_;    ///< per-row tile dims (empty: uniform)
   std::vector<std::size_t> offs_;      ///< nb + 1 scalar row offsets (var)
   std::vector<std::size_t> val_ptr_;   ///< per-tile value offsets (var)

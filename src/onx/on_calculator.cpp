@@ -407,7 +407,8 @@ ForceResult OrderNCalculator::compute(const System& system) {
   {
     auto t = timers_.scope("bondtable");
     table_.build(model_, *sys, list_,
-                 tb::BondTable::Mode::kBlocksAndDerivatives);
+                 tb::BondTable::Mode::kBlocksAndDerivatives,
+                 options_.bond_reuse_skin);
   }
 
   // An atom-count shrink would otherwise leave the workspace staging rows

@@ -59,6 +59,17 @@ struct OrderNOptions {
   /// bounds) would differ in the last ulp from an uninterrupted one.
   /// Benches and long production trajectories should turn it on.
   bool cache_spectral_bounds = false;
+
+  /// Verlet-skin-lifetime BondTable reuse (A): > 0 freezes the
+  /// Slater-Koster block, derivative and repulsive radial of every bond
+  /// whose endpoints each moved less than half this skin since their last
+  /// evaluation (see tb::BondTable::build).  Saves the
+  /// transcendental-heavy SK pass for the quiescent bulk between
+  /// neighbor-list rebuilds.  Off by default for the same reason as
+  /// cache_spectral_bounds: frozen bonds make forces a function of the
+  /// position history, so checkpoint kill-and-resume is no longer
+  /// bit-reproducible with this on.
+  double bond_reuse_skin = 0.0;
 };
 
 /// Assemble the tight-binding Hamiltonian directly in CSR form from a
@@ -132,11 +143,26 @@ class OrderNCalculator final : public Calculator {
     return last_;
   }
 
+  /// Precision accounting of the most recent purification: iterations run
+  /// on fp32 vs fp64 tiles and what triggered the promotion (all-fp64
+  /// split with trigger kNone when options.purification.precision is
+  /// PrecisionMode::kF64).
+  [[nodiscard]] const NumericsStats& numerics_stats() const {
+    return last_.numerics;
+  }
+
   /// Symbolic-vs-numeric SpMM accounting (cumulative across steps): the
   /// pattern-reuse tests assert that a steady-state step adds only
   /// numeric_reuses.
   [[nodiscard]] const BsrWorkspace::SpmmStats& spmm_stats() const {
     return workspace_.scratch.stats;
+  }
+
+  /// Bond-evaluation accounting of the Verlet-skin BondTable reuse
+  /// (cumulative across steps; `reused` stays 0 with the default
+  /// bond_reuse_skin = 0).
+  [[nodiscard]] const tb::BondTable::ReuseStats& bond_reuse_stats() const {
+    return table_.reuse_stats();
   }
 
   /// Topology stamp of the current bond table (what the pattern cache is

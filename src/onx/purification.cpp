@@ -7,12 +7,6 @@
 
 namespace tbmd::onx {
 
-double PurificationOptions::drop_at(int it) const {
-  const double loosening =
-      schedule_loosening * std::pow(schedule_decay, it - 1);
-  return drop_tolerance * std::max(1.0, loosening);
-}
-
 std::size_t natural_block_size(std::size_t n) { return n % 4 == 0 ? 4 : 1; }
 
 PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
@@ -72,12 +66,23 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
       std::max(options.idempotency_tolerance, options.drop_tolerance);
   double prev_idem = 1e300;
 
+  // Mixed mode: the loose-early iterations run their SpMMs on fp32 tiles
+  // (traces and truncation thresholds stay fp64), promoted back to fp64
+  // tiles for the tight-late iterations.  Convergence is never declared on
+  // fp32 tiles -- any criterion that fires there triggers promotion
+  // instead, and the fp64 iterations re-assess it from scratch.
+  if (options.precision == PrecisionMode::kMixed) {
+    ws.p.convert_precision(TilePrecision::kF32);
+  }
+
   ws.patterns.begin_run();
   for (int it = 1; it <= options.max_iterations; ++it) {
     const double drop = options.drop_at(it);
-    ws.p.multiply_sym_into(ws.p, drop, ws.p2, ws.scratch, ws.patterns.next());
+    ws.p.multiply_sym_into(ws.p, drop, ws.p2, ws.scratch, ws.patterns.next(),
+                           options.sub_tile * drop, options.simd);
     ws.p2.multiply_sym_into(ws.p, drop, ws.p3, ws.scratch,
-                            ws.patterns.next());
+                            ws.patterns.next(), options.sub_tile * drop,
+                            options.simd);
 
     const double tr_p = ws.p.trace();
     const double tr_p2 = ws.p2.trace();
@@ -86,6 +91,50 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
 
     out.iterations = it;
     out.idempotency_error = idem;
+
+    if (ws.p.precision() == TilePrecision::kF32) {
+      ++out.numerics.fp32_iterations;
+      const double per_state = std::fabs(idem) / static_cast<double>(n);
+      const double c = (tr_p2 - tr_p3) / idem;
+      PromotionTrigger trig = PromotionTrigger::kNone;
+      if (per_state < effective_tol ||
+          (std::fabs(idem) >= 0.5 * prev_idem &&
+           per_state < 50.0 * options.drop_tolerance) ||
+          !std::isfinite(c)) {
+        trig = PromotionTrigger::kStagnation;
+      } else if (per_state < options.promote_threshold) {
+        trig = PromotionTrigger::kThreshold;
+      } else if (options.promote_iteration > 0 &&
+                 it >= options.promote_iteration) {
+        trig = PromotionTrigger::kIteration;
+      }
+      // Apply the trace-conserving update on the fp32 tiles unless the
+      // iteration stalled (near-idempotent P makes c ill-conditioned);
+      // a threshold/iteration-cap promotion still takes this step's
+      // update with it.
+      if (std::isfinite(c) && trig != PromotionTrigger::kStagnation) {
+        if (c >= 0.5) {
+          ws.p2.combine_into((1.0 + c) / c, ws.p3, -1.0 / c, drop, ws.p,
+                             ws.scratch);
+        } else {
+          ws.p.combine_into((1.0 - 2.0 * c) / (1.0 - c), ws.p2,
+                            (1.0 + c) / (1.0 - c), drop, ws.tmp, ws.scratch);
+          ws.tmp.combine_into(1.0, ws.p3, -1.0 / (1.0 - c), drop, ws.p,
+                              ws.scratch);
+        }
+      }
+      if (trig != PromotionTrigger::kNone) {
+        ws.p.convert_precision(TilePrecision::kF64);
+        out.numerics.promoted_at = it;
+        out.numerics.trigger = trig;
+        // The fp64 phase re-assesses stagnation with a fresh history.
+        prev_idem = 1e300;
+      } else {
+        prev_idem = std::fabs(idem);
+      }
+      continue;
+    }
+    ++out.numerics.fp64_iterations;
     if (std::fabs(idem) / static_cast<double>(n) < effective_tol) {
       out.converged = true;
       // Final McWeeny polish at the tight tolerance.
@@ -117,6 +166,13 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
       ws.tmp.combine_into(1.0, ws.p3, -1.0 / (1.0 - c), drop, ws.p,
                           ws.scratch);
     }
+  }
+
+  // An fp32 phase that exhausted max_iterations hands back fp64 anyway:
+  // the density matrix, band energy and force contractions are fp64
+  // artifacts in every mode.
+  if (ws.p.precision() == TilePrecision::kF32) {
+    ws.p.convert_precision(TilePrecision::kF64);
   }
 
   // Band energy through the symmetric-half trace_of_product specialization
@@ -182,21 +238,56 @@ PurificationResult purify_grand_canonical(const BlockSparseMatrix& h,
       std::max(options.idempotency_tolerance, options.drop_tolerance);
   double prev_idem = 1e300;
 
+  // Mixed mode mirrors the canonical loop: fp32 SpMMs while far from the
+  // step function, promotion (never convergence) when a criterion fires
+  // on fp32 tiles.
+  if (options.precision == PrecisionMode::kMixed) {
+    ws.p.convert_precision(TilePrecision::kF32);
+  }
+
   ws.patterns.begin_run();
   for (int it = 1; it <= options.max_iterations; ++it) {
     const double drop = options.drop_at(it);
-    ws.p.multiply_sym_into(ws.p, drop, ws.p2, ws.scratch, ws.patterns.next());
+    ws.p.multiply_sym_into(ws.p, drop, ws.p2, ws.scratch, ws.patterns.next(),
+                           options.sub_tile * drop, options.simd);
     ws.p2.multiply_sym_into(ws.p, drop, ws.p3, ws.scratch,
-                            ws.patterns.next());
+                            ws.patterns.next(), options.sub_tile * drop,
+                            options.simd);
 
     const double idem = ws.p.trace() - ws.p2.trace();
     out.iterations = it;
     out.idempotency_error = idem;
-    const bool at_floor = std::fabs(idem) >= 0.5 * prev_idem &&
-                          std::fabs(idem) / static_cast<double>(n) <
-                              50.0 * options.drop_tolerance;
-    if (std::fabs(idem) / static_cast<double>(n) < effective_tol ||
-        at_floor) {
+    const double per_state = std::fabs(idem) / static_cast<double>(n);
+    const bool at_floor =
+        std::fabs(idem) >= 0.5 * prev_idem &&
+        per_state < 50.0 * options.drop_tolerance;
+
+    if (ws.p.precision() == TilePrecision::kF32) {
+      ++out.numerics.fp32_iterations;
+      PromotionTrigger trig = PromotionTrigger::kNone;
+      if (per_state < effective_tol || at_floor) {
+        trig = PromotionTrigger::kStagnation;
+      } else if (per_state < options.promote_threshold) {
+        trig = PromotionTrigger::kThreshold;
+      } else if (options.promote_iteration > 0 &&
+                 it >= options.promote_iteration) {
+        trig = PromotionTrigger::kIteration;
+      }
+      // The McWeeny step is unconditionally contractive, so promotion
+      // always takes this iteration's update with it.
+      ws.p2.combine_into(3.0, ws.p3, -2.0, drop, ws.p, ws.scratch);
+      if (trig != PromotionTrigger::kNone) {
+        ws.p.convert_precision(TilePrecision::kF64);
+        out.numerics.promoted_at = it;
+        out.numerics.trigger = trig;
+        prev_idem = 1e300;
+      } else {
+        prev_idem = std::fabs(idem);
+      }
+      continue;
+    }
+    ++out.numerics.fp64_iterations;
+    if (per_state < effective_tol || at_floor) {
       out.converged = true;
     }
     prev_idem = std::fabs(idem);
@@ -206,6 +297,10 @@ PurificationResult purify_grand_canonical(const BlockSparseMatrix& h,
                        out.converged ? options.drop_tolerance : drop, ws.p,
                        ws.scratch);
     if (out.converged) break;
+  }
+
+  if (ws.p.precision() == TilePrecision::kF32) {
+    ws.p.convert_precision(TilePrecision::kF64);
   }
 
   out.band_energy = 2.0 * ws.p.trace_of_product(hh);

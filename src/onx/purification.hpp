@@ -25,34 +25,24 @@
 
 #include <cstdint>
 
+#include "src/core/numerics_spec.hpp"
 #include "src/linalg/spectral_bounds.hpp"
 #include "src/onx/block_sparse.hpp"
 #include "src/onx/sparse.hpp"
 
 namespace tbmd::onx {
 
-/// Options for the purification loop.
-struct PurificationOptions {
-  /// Magnitude below which matrix entries (tiles, by Frobenius norm, on the
-  /// blocked path) are dropped after each product.  0 keeps everything
-  /// (exact arithmetic up to roundoff).
-  double drop_tolerance = 1e-7;
+/// Options for the purification loop.  The numerics policy (drop
+/// tolerance, truncation schedule, precision mode, SIMD switch) is the
+/// inherited NumericsSpec -- shared verbatim with CalculatorSpec and the
+/// JobSpec/CLI layers, and spelled the historical way
+/// (`options.drop_tolerance`, `options.drop_at(it)`) at every existing
+/// call site.  The fields below are loop controls that only the
+/// purification routines themselves consume.
+struct PurificationOptions : NumericsSpec {
   /// Converged when tr(P - P^2) / N falls below this.
   double idempotency_tolerance = 1e-10;
   int max_iterations = 100;
-
-  /// Per-iteration drop-threshold schedule: iteration `it` (1-based)
-  /// truncates at drop_tolerance * max(1, loosening * decay^(it-1)).
-  /// Early iterations are far from idempotency, so aggressive truncation
-  /// there costs no final accuracy but keeps the fill (and hence the SpMM
-  /// cost) down while the polynomial still reshapes the whole spectrum;
-  /// late iterations and the final polish run at the tight tolerance.
-  /// schedule_loosening = 1 disables the schedule.
-  double schedule_loosening = 8.0;
-  double schedule_decay = 0.5;
-
-  /// Effective tile-drop threshold for (1-based) iteration `it`.
-  [[nodiscard]] double drop_at(int it) const;
 
   /// Optional caller-supplied spectral enclosure of H.  When `have_bounds`
   /// is set the loops seed from `bounds` instead of running their own
@@ -63,6 +53,27 @@ struct PurificationOptions {
   /// slope, it never breaks correctness.
   bool have_bounds = false;
   linalg::SpectralBounds bounds{};
+};
+
+/// What flipped a mixed-precision run from fp32 to fp64 tiles.
+enum class PromotionTrigger : std::uint8_t {
+  kNone,       ///< ran fp64 throughout (fp64 mode, or promote_iteration=1)
+  kThreshold,  ///< idempotency error per state fell below promote_threshold
+  kIteration,  ///< promote_iteration cap reached
+  kStagnation, ///< a convergence/stagnation criterion fired on fp32 tiles
+               ///< (promotion instead of convergence: fp32 never converges)
+};
+
+/// Per-run precision accounting of the mixed-precision loop (reported via
+/// OrderNCalculator::numerics_stats()).
+struct NumericsStats {
+  int fp32_iterations = 0;  ///< iterations whose SpMMs ran on fp32 tiles
+  int fp64_iterations = 0;  ///< iterations whose SpMMs ran on fp64 tiles
+  /// 1-based iteration whose end promoted the density matrix to fp64
+  /// (0 = no promotion happened: pure-fp64 run, or fp32 exhausted
+  /// max_iterations).
+  int promoted_at = 0;
+  PromotionTrigger trigger = PromotionTrigger::kNone;
 };
 
 /// Result of a purification run.
@@ -79,6 +90,9 @@ struct PurificationResult {
   /// Chemical potential used (grand-canonical runs only; the canonical
   /// Palser-Manolopoulos iteration never forms an explicit mu).
   double mu = 0.0;
+  /// fp32/fp64 iteration split and promotion trigger (mixed mode; all
+  /// zeros in fp64 mode except fp64_iterations).
+  NumericsStats numerics;
 };
 
 /// Cross-step cache of the SpMM symbolic phases of a purification run,

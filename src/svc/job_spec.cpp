@@ -51,13 +51,33 @@ JobSpec JobSpec::from_config(const io::Config& cfg) {
     s.calc.mode = CalculatorSpec::mode_by_name(cfg.get_string("mode", "exact"));
     s.calc.electronic_temperature =
         cfg.get_double("electronic_temperature", 0.0);
-    s.calc.drop_tolerance =
-        cfg.get_double("drop_tolerance", s.calc.drop_tolerance);
+    // Numerics policy (O(N) engine): every key lands on the shared
+    // NumericsSpec and is fingerprint-relevant.
+    NumericsSpec& num = s.calc.numerics;
+    num.drop_tolerance = cfg.get_double("drop_tolerance", num.drop_tolerance);
+    num.schedule_loosening =
+        cfg.get_double("schedule_loosening", num.schedule_loosening);
+    num.schedule_decay = cfg.get_double("schedule_decay", num.schedule_decay);
+    num.precision = NumericsSpec::precision_by_name(
+        to_lower(cfg.get_string("precision", num.precision_name())));
+    num.promote_iteration = static_cast<int>(
+        cfg.get_long("promote_iteration", num.promote_iteration));
+    TBMD_REQUIRE(num.promote_iteration >= 0,
+                 "job spec: 'promote_iteration' must be >= 0");
+    num.promote_threshold =
+        cfg.get_double("promote_threshold", num.promote_threshold);
+    num.simd = cfg.get_bool("simd", num.simd);
+    num.sub_tile = cfg.get_double("sub_tile", num.sub_tile);
+    TBMD_REQUIRE(num.sub_tile >= 0.0, "job spec: 'sub_tile' must be >= 0");
     s.calc.reuse_patterns = cfg.get_bool("reuse_patterns", true);
     s.calc.domains = static_cast<int>(cfg.get_long("domains", 0));
     TBMD_REQUIRE(s.calc.domains >= 0, "job spec: 'domains' must be >= 0");
     s.calc.cache_spectral_bounds =
         cfg.get_bool("cache_spectral_bounds", false);
+    s.calc.bond_reuse_skin =
+        cfg.get_double("bond_reuse_skin", s.calc.bond_reuse_skin);
+    TBMD_REQUIRE(s.calc.bond_reuse_skin >= 0.0,
+                 "job spec: 'bond_reuse_skin' must be >= 0");
   }
 
   s.dt = cfg.get_double("dt", s.dt);

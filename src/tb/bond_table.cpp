@@ -11,7 +11,8 @@
 namespace tbmd::tb {
 
 void BondTable::build(const TbModel& model, const System& system,
-                      const NeighborList& list, Mode mode) {
+                      const NeighborList& list, Mode mode,
+                      double reuse_skin) {
   check_species(model, system);
   const auto& pairs = list.half_pairs();
   const auto& pos = system.positions();
@@ -80,12 +81,50 @@ void BondTable::build(const TbModel& model, const System& system,
   rep_val_.resize(rep ? nbonds_ : 0);
   rep_der_.resize(rep ? nbonds_ : 0);
 
+  // Verlet-skin bond reuse (see the header doc): mark atoms that moved at
+  // least reuse_skin / 2 from the positions their bonds were last
+  // evaluated at, and re-anchor exactly those.  Reuse requires the
+  // previous build to have filled the same arrays for the same bond list
+  // (same shape, same mode); everything else falls back to a full
+  // evaluation pass and re-anchors every atom.
+  const bool want_reuse = reuse_skin > 0.0;
+  const bool reuse_ok = want_reuse && same_shape && mode == last_mode_ &&
+                        eval_pos_.size() == natoms_;
+  if (want_reuse) {
+    moved_.resize(natoms_);
+    if (!reuse_ok) {
+      eval_pos_.assign(pos.begin(), pos.end());
+      std::fill(moved_.begin(), moved_.end(), std::uint8_t{1});
+    } else {
+      const double thr2 = 0.25 * reuse_skin * reuse_skin;
+      for (std::size_t a = 0; a < natoms_; ++a) {
+        const Vec3 d = pos[a] - eval_pos_[a];
+        moved_[a] = dot(d, d) >= thr2 ? 1 : 0;
+        if (moved_[a] != 0) eval_pos_[a] = pos[a];
+      }
+    }
+  } else {
+    eval_pos_.clear();
+  }
+  last_mode_ = mode;
+  std::size_t reused = 0;
+
   // The batched pass: geometry, hopping block (+ derivative) and repulsive
   // radial per bond, each written straight into the SoA arrays.  Pairs are
   // independent, so a static schedule keeps every thread streaming.
-#pragma omp parallel for schedule(static) reduction(| : topo_changed)
+#pragma omp parallel for schedule(static) reduction(| : topo_changed) \
+    reduction(+ : reused)
   for (std::size_t p = 0; p < nbonds_; ++p) {
     const NeighborPair& pr = pairs[p];
+    if (reuse_ok && moved_[pr.i] == 0 && moved_[pr.j] == 0 &&
+        i_[p] == static_cast<std::uint32_t>(pr.i) &&
+        j_[p] == static_cast<std::uint32_t>(pr.j)) {
+      // Both endpoints inside the half-skin of their anchors and the bond
+      // identity unchanged: every stored quantity (including hop_zero_,
+      // since the frozen length is the stored one) stays valid.
+      ++reused;
+      continue;
+    }
     const Vec3 b = pos[pr.j] + pr.shift - pos[pr.i];
     const double r = norm(b);
     const PairParams* pp = nullptr;
@@ -125,6 +164,8 @@ void BondTable::build(const TbModel& model, const System& system,
     }
   }
   if (topo_changed != 0 || topology_version_ == 0) ++topology_version_;
+  reuse_stats_.reused += reused;
+  reuse_stats_.evaluated += nbonds_ - reused;
 
   // Per-atom CSR adjacency (counting sort over both bond endpoints), each
   // atom's segment sorted by neighbor index so CSR-building consumers can

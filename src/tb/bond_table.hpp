@@ -69,8 +69,35 @@ class BondTable {
   /// Evaluate the table for the current positions.  Reuses storage across
   /// calls, so a persistent BondTable member costs one allocation per
   /// neighbor-list resize rather than one per MD step.
+  ///
+  /// `reuse_skin` > 0 enables Verlet-skin-lifetime bond reuse: a bond
+  /// whose two endpoints have each moved less than reuse_skin / 2 since
+  /// the positions its entries were last evaluated at keeps every stored
+  /// quantity (geometry, hopping block, derivative, repulsive radial)
+  /// untouched -- by the triangle inequality its length has changed by
+  /// less than reuse_skin, so the frozen values sit within the same
+  /// tolerance envelope a Verlet neighbor skin grants the pair list.
+  /// Atoms that crossed the half-skin re-evaluate every incident bond at
+  /// the true current positions and re-anchor.  Reuse is skipped entirely
+  /// (and the anchors reset) whenever the table shape, the evaluation
+  /// mode, or a bond's endpoints changed, so it can never serve values
+  /// for a different topology -- the same `topology_version()` stamp
+  /// consumers already key their caches on.  Like the calculator-level
+  /// cached-bounds mode, frozen bonds make the table a function of the
+  /// position *history* rather than the current positions alone; the
+  /// default 0 keeps the historical one-build-per-step behavior exactly.
   void build(const TbModel& model, const System& system,
-             const NeighborList& list, Mode mode = Mode::kBlocksAndDerivatives);
+             const NeighborList& list, Mode mode = Mode::kBlocksAndDerivatives,
+             double reuse_skin = 0.0);
+
+  /// Cumulative bond-evaluation accounting across build() calls:
+  /// `evaluated` counts bonds whose Slater-Koster/repulsive entries were
+  /// (re-)computed, `reused` those served frozen under `reuse_skin`.
+  struct ReuseStats {
+    std::size_t evaluated = 0;
+    std::size_t reused = 0;
+  };
+  [[nodiscard]] const ReuseStats& reuse_stats() const { return reuse_stats_; }
 
   /// Monotonic stamp of the bond *topology*: bumped by build() whenever
   /// the pair list (endpoints), the atom count or any hopping_zero flag
@@ -181,6 +208,15 @@ class BondTable {
   std::vector<std::size_t> atom_orb_off_;   ///< prefix sums, natoms + 1
   std::vector<std::size_t> hoff_;  ///< per-bond block offsets (variable)
   std::vector<int> spi_;           ///< per-atom species index (variable)
+
+  /// Verlet-skin bond reuse state: the positions each atom's incident
+  /// bonds were last evaluated at, the per-build moved flags, and the
+  /// mode of the previous build (a mode change invalidates reuse -- the
+  /// previous build may not have filled the arrays this one reads).
+  std::vector<Vec3> eval_pos_;
+  std::vector<std::uint8_t> moved_;
+  Mode last_mode_ = Mode::kBlocksAndDerivatives;
+  ReuseStats reuse_stats_;
 };
 
 }  // namespace tbmd::tb

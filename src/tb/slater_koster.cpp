@@ -37,9 +37,14 @@ void sk_block_into(const TbModel& model, const Vec3& bond, double r, double* h,
   const double u[3] = {bond.x / r, bond.y / r, bond.z / r};
   double ang[4][4];
   fill_angular(model.bonds, u, ang);
-  for (int a = 0; a < 4; ++a) {
-    for (int b = 0; b < 4; ++b) h[4 * a + b] = s.value * ang[a][b];
-  }
+  // The radial-scaling sweeps below are elementwise over the flat 16-entry
+  // tile -- independent output lanes, one multiply(-pair) each -- so
+  // `omp simd` vectorizes them without touching any element's own
+  // arithmetic (the same j-lane argument as the block-sparse micro
+  // kernels; fp64 bit pattern unchanged).
+  const double* af = &ang[0][0];
+#pragma omp simd
+  for (int q = 0; q < 16; ++q) h[q] = s.value * af[q];
   if (d == nullptr) return;
 
   // dB/dd_g = s'(r) u_g A + s(r) dA/dd_g, with
@@ -49,9 +54,9 @@ void sk_block_into(const TbModel& model, const Vec3& bond, double r, double* h,
   for (int g = 0; g < 3; ++g) {
     double* dg = d + 16 * g;
     // Radial part.
-    for (int a = 0; a < 4; ++a) {
-      for (int b = 0; b < 4; ++b) dg[4 * a + b] = s.derivative * u[g] * ang[a][b];
-    }
+    const double sg = s.derivative * u[g];
+#pragma omp simd
+    for (int q = 0; q < 16; ++q) dg[q] = sg * af[q];
     // Angular part.
     auto du = [&](int a) { return ((a == g ? 1.0 : 0.0) - u[a] * u[g]) / r; };
     for (int b = 0; b < 3; ++b) {

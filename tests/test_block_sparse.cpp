@@ -451,6 +451,121 @@ TEST(BlockSparseSym, WorkspaceShrinkReleasesStagingMemory) {
             1e-11);
 }
 
+// --- mixed precision ------------------------------------------------------
+
+TEST(BlockSparseSym, PrecisionConversionRoundTripsExactly) {
+  const linalg::Matrix a = random_symmetric(24, 77);
+  const BlockSparseMatrix h =
+      BlockSparseMatrix::from_dense(a, 4).to_symmetric_half();
+
+  // Copying conversion: the fp32 twin shares the structure bit-for-bit
+  // (patterns are structure-only, so the fingerprint must not move).
+  const BlockSparseMatrix h32 = h.to_precision(TilePrecision::kF32);
+  EXPECT_EQ(h32.precision(), TilePrecision::kF32);
+  EXPECT_EQ(h.precision(), TilePrecision::kF64);
+  EXPECT_EQ(h32.block_count(), h.block_count());
+  EXPECT_EQ(h32.cols(), h.cols());
+  EXPECT_EQ(h32.pattern_fingerprint(), h.pattern_fingerprint());
+  ASSERT_EQ(h32.values_f32().size(), h.values().size());
+  for (std::size_t q = 0; q < h.values().size(); ++q) {
+    EXPECT_EQ(h32.values_f32()[q], static_cast<float>(h.values()[q])) << q;
+  }
+
+  // f32 -> f64 is exact: the round trip lands on the rounded-to-nearest
+  // values, not some second approximation.
+  const BlockSparseMatrix back = h32.to_precision(TilePrecision::kF64);
+  EXPECT_EQ(back.precision(), TilePrecision::kF64);
+  ASSERT_EQ(back.values().size(), h.values().size());
+  for (std::size_t q = 0; q < h.values().size(); ++q) {
+    EXPECT_EQ(back.values()[q],
+              static_cast<double>(static_cast<float>(h.values()[q])));
+  }
+
+  // In-place conversion agrees with the copying one, and the fp64 readers
+  // (trace, get, to_dense) see the fp32 payloads directly.
+  BlockSparseMatrix m = h;
+  m.convert_precision(TilePrecision::kF32);
+  EXPECT_EQ(m.precision(), TilePrecision::kF32);
+  EXPECT_EQ(m.values_f32(), h32.values_f32());
+  EXPECT_NEAR(m.trace(), h.trace(), 1e-5);
+  EXPECT_EQ(m.get(3, 7), static_cast<double>(static_cast<float>(h.get(3, 7))));
+  EXPECT_LT(linalg::max_abs(m.to_dense() - a), 1e-6);
+  m.convert_precision(TilePrecision::kF64);
+  EXPECT_EQ(m.precision(), TilePrecision::kF64);
+  EXPECT_EQ(m.values(), back.values());
+}
+
+TEST(BlockSparseSym, Fp32MultiplyTracksFp64AndReusesPatterns) {
+  const linalg::Matrix a = random_symmetric(48, 83);
+  const BlockSparseMatrix h =
+      BlockSparseMatrix::from_dense(a, 4).to_symmetric_half();
+  BsrWorkspace ws;
+  BlockSparseMatrix ref;
+  h.multiply_sym_into(h, 1e-8, ref, ws);
+  EXPECT_EQ(ref.precision(), TilePrecision::kF64);
+
+  // The fp32 sweep inherits the operand precision and stays single-
+  // precision close to the fp64 product (O(1) entries, 48-column rows).
+  const BlockSparseMatrix h32 = h.to_precision(TilePrecision::kF32);
+  BsrPattern pat;
+  BlockSparseMatrix cold, warm;
+  h32.multiply_sym_into(h32, 1e-8, cold, ws, &pat);
+  EXPECT_EQ(cold.precision(), TilePrecision::kF32);
+  EXPECT_LT(linalg::max_abs(cold.to_dense() - ref.to_dense()), 1e-4);
+
+  // Pattern reuse covers the fp32 sweep too (patterns are structure-only
+  // and shared across precisions), and warm == cold bit-for-bit.
+  const std::size_t builds = ws.stats.symbolic_builds;
+  h32.multiply_sym_into(h32, 1e-8, warm, ws, &pat);
+  EXPECT_EQ(ws.stats.symbolic_builds, builds);
+  ASSERT_EQ(warm.block_count(), cold.block_count());
+  EXPECT_EQ(warm.cols(), cold.cols());
+  EXPECT_EQ(warm.values_f32(), cold.values_f32());
+
+  // simd = false swaps in the reference kernels: identical numbers (the
+  // A/B switch changes speed, never results at a fixed precision).
+  BlockSparseMatrix refk;
+  h32.multiply_sym_into(h32, 1e-8, refk, ws, nullptr, 0.0, false);
+  ASSERT_EQ(refk.block_count(), cold.block_count());
+  EXPECT_EQ(refk.values_f32(), cold.values_f32());
+}
+
+TEST(BlockSparseSym, SubTileTruncationZeroesEntriesSymmetrically) {
+  const linalg::Matrix a = random_symmetric(48, 29);
+  const BlockSparseMatrix h =
+      BlockSparseMatrix::from_dense(a, 4).to_symmetric_half();
+  BsrWorkspace ws;
+  BlockSparseMatrix plain, cut;
+  h.multiply_sym_into(h, 1e-8, plain, ws);
+  const double sub = 0.05;
+  h.multiply_sym_into(h, 1e-8, cut, ws, nullptr, sub);
+
+  // Scalar-granular truncation: entries at or below the threshold are
+  // zeroed, everything above survives byte-identical to the legacy sweep,
+  // and the implicit mirror keeps the result exactly symmetric.
+  const linalg::Matrix dp = plain.to_dense();
+  const linalg::Matrix dc = cut.to_dense();
+  std::size_t zeroed = 0;
+  for (std::size_t i = 0; i < dc.rows(); ++i) {
+    for (std::size_t j = 0; j < dc.rows(); ++j) {
+      EXPECT_EQ(dc(i, j), dc(j, i));
+      if (std::fabs(dp(i, j)) <= sub) {
+        EXPECT_EQ(dc(i, j), 0.0) << i << "," << j;
+        if (dp(i, j) != 0.0) ++zeroed;
+      } else {
+        EXPECT_EQ(dc(i, j), dp(i, j)) << i << "," << j;
+      }
+    }
+  }
+  EXPECT_GT(zeroed, 0u);  // the knob actually engaged
+
+  // sub_tile_drop = 0 is byte-identical to the historical tile-only rule
+  // (the fp64 bit-identity guarantee rests on this default).
+  BlockSparseMatrix legacy;
+  h.multiply_sym_into(h, 1e-8, legacy, ws, nullptr, 0.0);
+  EXPECT_EQ(legacy.values(), plain.values());
+}
+
 // --- SP2 on the blocked substrate ----------------------------------------
 
 class Sp2OnBsr : public ::testing::TestWithParam<double> {};

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -172,6 +173,75 @@ TEST(BondTable, TopologyVersionTracksPatternChangesOnly) {
   GasSetup gas = random_setup(m, 12, 3);
   table.build(m, gas.system, gas.list, BondTable::Mode::kBlocks);
   EXPECT_GT(table.topology_version(), v2);
+}
+
+TEST(BondTable, SkinReuseFreezesQuiescentBondsAndTracksMovers) {
+  const TbModel m = xwch_carbon();
+  GasSetup s = random_setup(m, 40, 57);
+  const double skin = 0.1;
+
+  BondTable table;
+  table.build(m, s.system, s.list, BondTable::Mode::kBlocksAndDerivatives,
+              skin);
+  const std::size_t nb = table.size();
+  ASSERT_GT(nb, 0u);
+  // The first build primes the anchors: everything evaluated, no reuse.
+  EXPECT_EQ(table.reuse_stats().evaluated, nb);
+  EXPECT_EQ(table.reuse_stats().reused, 0u);
+  std::vector<std::vector<double>> before(nb);
+  for (std::size_t p = 0; p < nb; ++p) {
+    before[p].assign(table.block(p), table.block(p) + 16);
+  }
+  const std::uint64_t v1 = table.topology_version();
+
+  // Rebuild at identical positions: every bond frozen at its stored
+  // values, the evaluated count does not move, the stamp does not move.
+  table.build(m, s.system, s.list, BondTable::Mode::kBlocksAndDerivatives,
+              skin);
+  EXPECT_EQ(table.reuse_stats().reused, nb);
+  EXPECT_EQ(table.reuse_stats().evaluated, nb);
+  EXPECT_EQ(table.topology_version(), v1);
+
+  // Jiggle every atom below the half-skin and kick atom 0 past it:
+  // exactly the bonds touching atom 0 re-evaluate -- to the same bits a
+  // reuse-free build produces -- while the quiescent bulk stays frozen at
+  // the anchor-position values despite the changed geometry.
+  System moved = s.system;
+  structures::perturb(moved, 0.01, 5);          // < skin / 2 = 0.05 A
+  moved.positions()[0] += Vec3{0.2, 0.0, 0.0};  // crosses the half-skin
+  table.build(m, moved, s.list, BondTable::Mode::kBlocksAndDerivatives, skin);
+
+  BondTable fresh;
+  fresh.build(m, moved, s.list, BondTable::Mode::kBlocksAndDerivatives);
+  std::size_t reeval = 0;
+  double frozen_drift = 0.0;
+  for (std::size_t p = 0; p < nb; ++p) {
+    const double* got = table.block(p);
+    if (table.i(p) == 0 || table.j(p) == 0) {
+      ++reeval;
+      for (int e = 0; e < 16; ++e) {
+        EXPECT_EQ(got[e], fresh.block(p)[e]) << "bond " << p;
+      }
+    } else {
+      for (int e = 0; e < 16; ++e) {
+        EXPECT_EQ(got[e], before[p][e]) << "bond " << p;
+        frozen_drift =
+            std::max(frozen_drift, std::fabs(got[e] - fresh.block(p)[e]));
+      }
+    }
+  }
+  EXPECT_GT(reeval, 0u);
+  EXPECT_EQ(table.reuse_stats().reused, nb + (nb - reeval));
+  EXPECT_EQ(table.reuse_stats().evaluated, nb + reeval);
+  // The jiggle really changed the geometry: the frozen values are an
+  // approximation (bounded by the skin), not accidentally exact.
+  EXPECT_GT(frozen_drift, 0.0);
+
+  // A mode change invalidates the anchors (the previous build may not
+  // have filled every array): nothing reuses on that build.
+  const std::size_t reused_before = table.reuse_stats().reused;
+  table.build(m, moved, s.list, BondTable::Mode::kBlocks, skin);
+  EXPECT_EQ(table.reuse_stats().reused, reused_before);
 }
 
 TEST(BondTable, HamiltonianFromTableMatchesDirectAssembly) {

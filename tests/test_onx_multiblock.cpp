@@ -282,5 +282,41 @@ TEST(GrandCanonical, ChemicalPotentialSearchFindsTheGap) {
   EXPECT_NEAR(r.band_energy, occ.band_energy, 1e-3);
 }
 
+TEST(GrandCanonical, ChemicalPotentialSearchUnderMixedPrecision) {
+  // The mu-bisection drives purification runs whose loose-early
+  // iterations live on fp32 tiles: the located Fermi level must still
+  // land in the gap and the band energy must stay inside the force-
+  // accuracy budget, with the density handed back as an fp64 artifact.
+  const tb::TbModel m = tb::xwch_carbon();
+  System s = structures::diamond(Element::C, 3.567, 2, 2, 2);  // C64
+  NeighborList list;
+  list.build(s.positions(), s.cell(), {m.cutoff(), 0.3});
+  const linalg::Matrix hd = tb::build_hamiltonian(m, s, list);
+  const auto eig = linalg::eigh(hd);
+  const int nocc = s.total_valence_electrons() / 2;
+
+  const SparseMatrix hs = SparseMatrix::from_dense(hd);
+  const BlockSparseMatrix hb =
+      hs.to_block(tb::orbital_block_dims(m, s)).to_symmetric_half();
+
+  PurificationOptions opt;
+  opt.drop_tolerance = 1e-7;
+  opt.precision = PrecisionMode::kMixed;
+  PurificationWorkspace ws;
+  const PurificationResult r =
+      purify_with_chemical_potential(hb, nocc, opt, &ws);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.mu, eig.values[nocc - 1]);
+  EXPECT_LT(r.mu, eig.values[nocc]);
+  EXPECT_NEAR(r.density.trace(), static_cast<double>(nocc), 0.25);
+  const auto occ = tb::occupy(eig.values, s.total_valence_electrons(), 0.0);
+  EXPECT_NEAR(r.band_energy, occ.band_energy, 2e-3);
+
+  // The winning run spent iterations on fp32 tiles, and promotion always
+  // happened before convergence was declared (fp64 density out).
+  EXPECT_GT(r.numerics.fp32_iterations, 0);
+  EXPECT_EQ(r.density.precision(), TilePrecision::kF64);
+}
+
 }  // namespace
 }  // namespace tbmd::onx

@@ -427,5 +427,74 @@ TEST(ParallelOn, CachedBoundsRefreshOnTopologyChange) {
   EXPECT_EQ(calc.bounds_refreshes(), 2u);
 }
 
+// --- mixed precision ------------------------------------------------------
+
+TEST(ParallelOn, MixedPrecisionTracksFp64WithinForceBudget) {
+  // The mixed loop runs the loose-early iterations on fp32 tiles and
+  // promotes to fp64 for the tight-late ones: at tol 1e-6 on the 216-atom
+  // slice the drift against the pure-fp64 engine must stay far inside the
+  // 1.5e-3 eV/A force budget the MD accuracy gates are written against.
+  const ThreadGuard guard;
+  const System s = perturbed_diamond(3);  // 216 atoms
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-6;
+  const StepRecord ref = run_steps(s, 2, opt);
+  opt.purification.precision = PrecisionMode::kMixed;
+  const StepRecord mix = run_steps(s, 2, opt);
+
+  const double n = static_cast<double>(s.size());
+  EXPECT_LT(std::fabs(mix.cold_energy - ref.cold_energy) / n, 1e-5);
+  EXPECT_LT(std::fabs(mix.warm_energy - ref.warm_energy) / n, 1e-5);
+  ASSERT_EQ(mix.cold_forces.size(), ref.cold_forces.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ref.cold_forces.size(); ++i) {
+    for (int c = 0; c < 3; ++c) {
+      worst = std::max(
+          worst, std::fabs(mix.cold_forces[i][c] - ref.cold_forces[i][c]));
+      worst = std::max(
+          worst, std::fabs(mix.warm_forces[i][c] - ref.warm_forces[i][c]));
+    }
+  }
+  EXPECT_LT(worst, 1.5e-3);
+
+  // The calculator accounts for the precision split: a healthy mixed run
+  // spends iterations on both sides of the promotion.
+  const tb::TbModel m = tb::xwch_carbon();
+  OrderNCalculator calc(m, opt);
+  (void)calc.compute(s);
+  const NumericsStats& st = calc.numerics_stats();
+  EXPECT_GT(st.fp32_iterations, 0);
+  EXPECT_GT(st.fp64_iterations, 0);
+  EXPECT_NE(st.trigger, PromotionTrigger::kNone);
+  EXPECT_EQ(st.promoted_at, st.fp32_iterations);
+
+  // ... and the pure-fp64 engine reports an all-fp64 split.
+  OrderNOptions pure;
+  pure.purification.drop_tolerance = 1e-6;
+  OrderNCalculator calc64(m, pure);
+  (void)calc64.compute(s);
+  EXPECT_EQ(calc64.numerics_stats().fp32_iterations, 0);
+  EXPECT_GT(calc64.numerics_stats().fp64_iterations, 0);
+  EXPECT_EQ(calc64.numerics_stats().trigger, PromotionTrigger::kNone);
+}
+
+TEST(ParallelOn, MixedPrecisionStepsAreBitIdenticalAcrossThreadCounts) {
+  // The fp32 sweeps follow the same per-row serial-accumulation design as
+  // the fp64 ones, so the thread-count invariance contract extends to the
+  // mixed loop (and to sub-tile truncation) unchanged.
+  const ThreadGuard guard;
+  const System s = perturbed_diamond(3);
+  OrderNOptions opt;
+  opt.purification.drop_tolerance = 1e-6;
+  opt.purification.precision = PrecisionMode::kMixed;
+  opt.purification.sub_tile = 0.5;
+  const StepRecord ref = run_steps(s, 1, opt);
+  for (const int threads : {2, 4}) {
+    const StepRecord rec = run_steps(s, threads, opt);
+    expect_records_bit_identical(ref, rec,
+                                 "mixed threads=" + std::to_string(threads));
+  }
+}
+
 }  // namespace
 }  // namespace tbmd::onx

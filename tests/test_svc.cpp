@@ -410,6 +410,49 @@ TEST(JobSpec, CalculatorKeysSeparateEngines) {
   EXPECT_EQ(exact.calculator_key(), exact2.calculator_key());
 }
 
+TEST(JobSpec, ParsesNumericsKeysIntoTheSharedSpec) {
+  const io::Config cfg = io::Config::parse_string(
+      "name = numx\nstructure = diamond\nelement = C\nmode = on\n"
+      "steps = 4\ndt = 1.0\n"
+      "drop_tolerance = 1e-6\nschedule_loosening = 4\nschedule_decay = 0.25\n"
+      "precision = mixed\npromote_iteration = 3\npromote_threshold = 5e-4\n"
+      "simd = false\nsub_tile = 0.5\nbond_reuse_skin = 0.05\n");
+  const JobSpec s = JobSpec::from_config(cfg);
+  const NumericsSpec& num = s.calc.numerics;
+  EXPECT_EQ(num.drop_tolerance, 1e-6);
+  EXPECT_EQ(num.schedule_loosening, 4.0);
+  EXPECT_EQ(num.schedule_decay, 0.25);
+  EXPECT_EQ(num.precision, PrecisionMode::kMixed);
+  EXPECT_EQ(num.promote_iteration, 3);
+  EXPECT_EQ(num.promote_threshold, 5e-4);
+  EXPECT_FALSE(num.simd);
+  EXPECT_EQ(num.sub_tile, 0.5);
+  EXPECT_EQ(s.calc.bond_reuse_skin, 0.05);
+
+  // Unknown precision spellings are config errors, not silent defaults.
+  EXPECT_THROW((void)NumericsSpec::precision_by_name("quad"), Error);
+
+  // Every numerics knob is part of the calculator identity: jobs that
+  // differ there must not share a cached calculator...
+  const JobSpec base = tb_job("a", CalcMode::kOrderN, 5);
+  JobSpec mixed = base;
+  mixed.calc.numerics.precision = PrecisionMode::kMixed;
+  EXPECT_NE(base.calculator_key(), mixed.calculator_key());
+  JobSpec subtile = base;
+  subtile.calc.numerics.sub_tile = 0.25;
+  EXPECT_NE(base.calculator_key(), subtile.calculator_key());
+  JobSpec nosimd = base;
+  nosimd.calc.numerics.simd = false;
+  EXPECT_NE(base.calculator_key(), nosimd.calculator_key());
+  JobSpec skin = base;
+  skin.calc.bond_reuse_skin = 0.05;
+  EXPECT_NE(base.calculator_key(), skin.calculator_key());
+  // ... while the execution-resource hint stays excluded.
+  JobSpec threads = base;
+  threads.calc.threads = 7;
+  EXPECT_EQ(base.calculator_key(), threads.calculator_key());
+}
+
 TEST(JobRunner, FailedJobDoesNotPoisonTheSweep) {
   ScratchDir dir("isolation");
   JobSpec bad = lj_job("bad", 10);
