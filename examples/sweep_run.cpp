@@ -3,7 +3,8 @@
 ///
 /// Usage:  ./sweep_run sweep.cfg [--workers N] [--output DIR]
 ///                     [--no-resume] [--step-budget N] [--threads N]
-///                     [--precision fp64|mixed] [--quiet]
+///                     [--precision fp64|mixed] [--retries N]
+///                     [--watchdog S] [--faults SPEC] [--quiet]
 ///
 /// Example sweep file:
 /// \code
@@ -20,6 +21,11 @@
 ///
 /// Exit status: 0 = all jobs completed, 2 = budget ran out (re-run to
 /// continue), 1 = at least one job failed.
+///
+/// Chaos knobs: --faults (or the TBMD_FAULTS env var) arms the
+/// deterministic fault-injection registry (see src/util/fault_point.hpp
+/// for the site grammar); --retries and --watchdog map to the sweep
+/// file's max_job_retries / step_watchdog keys.
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +35,7 @@
 #include "src/io/logger.hpp"
 #include "src/svc/job_runner.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fault_point.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/string_util.hpp"
 
@@ -38,7 +45,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s sweep.cfg [--workers N] [--output DIR] "
                  "[--no-resume] [--step-budget N] [--threads N] "
-                 "[--precision fp64|mixed] [--quiet]\n",
+                 "[--precision fp64|mixed] [--retries N] [--watchdog S] "
+                 "[--faults SPEC] [--quiet]\n",
                  argv[0]);
     return 2;
   }
@@ -48,12 +56,19 @@ int main(int argc, char** argv) {
     opt.workers = sweep.workers;
     opt.output_dir = sweep.output_dir;
     opt.resume = sweep.resume;
+    opt.max_job_retries = sweep.max_job_retries;
+    opt.retry_backoff_s = sweep.retry_backoff_s;
+    opt.step_watchdog_s = sweep.step_watchdog_s;
 
     // Ambient team size for all jobs without a per-job `threads` key:
     // TBMD_THREADS env var, overridden by --threads below.
     long ambient_threads = 0;
     if (const char* env = std::getenv("TBMD_THREADS")) {
       ambient_threads = parse_long(env, "TBMD_THREADS");
+    }
+    // Chaos plan from the environment (overridden/extended by --faults).
+    if (const char* env = std::getenv("TBMD_FAULTS")) {
+      fault::arm_from_spec(env);
     }
 
     for (int i = 2; i < argc; ++i) {
@@ -81,6 +96,12 @@ int main(int argc, char** argv) {
         for (svc::JobSpec& job : sweep.jobs) {
           if (!job.classical()) job.calc.numerics.precision = mode;
         }
+      } else if (flag == "--retries") {
+        opt.max_job_retries = static_cast<int>(parse_long(value(), flag));
+      } else if (flag == "--watchdog") {
+        opt.step_watchdog_s = parse_double(value(), flag);
+      } else if (flag == "--faults") {
+        fault::arm_from_spec(value());
       } else if (flag == "--quiet") {
         opt.verbose = false;
       } else {

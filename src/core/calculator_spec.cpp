@@ -46,6 +46,19 @@ std::string CalculatorSpec::fingerprint() const {
        << ";reuse=" << (reuse_patterns ? 1 : 0) << ";domains=" << domains
        << ";cachebounds=" << (cache_spectral_bounds ? 1 : 0)
        << ";bondskin=" << bond_reuse_skin;
+    // A disabled HealthSpec never changes results, so only the enabled
+    // form contributes to the identity (and a triggered retry rung does
+    // change results -- the ladder knobs are all relevant then).
+    if (health.enabled) {
+      os << ";health=1;hfin=" << (health.check_finite ? 1 : 0)
+         << ";hconv=" << (health.check_convergence ? 1 : 0)
+         << ";hmaxf=" << health.max_force
+         << ";hmaxe=" << health.max_energy_per_atom
+         << ";hfp64=" << (health.fp64_retry ? 1 : 0)
+         << ";htight=" << (health.tighten_retry ? 1 : 0)
+         << ";htf=" << health.tighten_factor
+         << ";hexact=" << (health.exact_fallback ? 1 : 0);
+    }
   }
   // `threads` is deliberately absent: it is an execution-resource hint
   // (see the field's doc), and two specs differing only there must share
@@ -88,6 +101,7 @@ std::unique_ptr<Calculator> make_calculator(const tb::TbModel& model,
   opt.domains = spec.domains;
   opt.cache_spectral_bounds = spec.cache_spectral_bounds;
   opt.bond_reuse_skin = spec.bond_reuse_skin;
+  opt.health = spec.health;
   return std::make_unique<onx::OrderNCalculator>(model, opt);
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "src/core/calculator.hpp"
+#include "src/core/health_spec.hpp"
 #include "src/core/numerics_spec.hpp"
 
 namespace tbmd {
@@ -74,6 +75,11 @@ struct CalculatorSpec {
   /// 0 = off (the default; like cache_spectral_bounds, reuse trades
   /// checkpoint bit-reproducibility for throughput).
   double bond_reuse_skin = 0.0;
+  /// Numerics guardrails + recovery ladder of the O(N) engine (see
+  /// core/health_spec.hpp).  Off by default; when enabled it can change
+  /// results (a triggered retry reruns the step under different numerics),
+  /// so the enabled spec is fingerprint-relevant.
+  HealthSpec health;
 
   // --- execution (any engine) ---
   /// OpenMP threads to pin while this calculator's jobs run: 0 inherits

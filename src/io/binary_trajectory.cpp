@@ -5,7 +5,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/io/logger.hpp"
 #include "src/io/xyz.hpp"
+#include "src/util/crc32.hpp"
 #include "src/util/error.hpp"
 
 namespace tbmd::io {
@@ -13,7 +15,10 @@ namespace tbmd::io {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'B', 'T', 'J'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+/// Sanity cap on the frame payload length field: a corrupt length must not
+/// drive a multi-GB allocation before the CRC check can reject the frame.
+constexpr std::uint32_t kMaxFramePayload = 1u << 30;
 constexpr std::uint32_t kFlagVelocities = 1u << 0;
 constexpr std::uint32_t kFlagLossless = 1u << 1;
 constexpr std::uint8_t kFrameMarker = 0xF5;
@@ -51,11 +56,21 @@ std::int64_t quantize(double x, double quantum) {
   return std::llround(x / quantum);
 }
 
+/// Byte cursor over either a stream (header scans) or an in-memory buffer
+/// (frame payloads, which are slurped and CRC-verified before decoding).
 class ByteSource {
  public:
   explicit ByteSource(std::istream& is) : is_(&is) {}
+  ByteSource(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
 
   bool read_exact(void* out, std::size_t n) {
+    if (is_ == nullptr) {
+      if (pos_ + n > size_) return false;
+      std::memcpy(out, data_ + pos_, n);
+      pos_ += n;
+      return true;
+    }
     is_->read(static_cast<char*>(out), static_cast<std::streamsize>(n));
     return is_->gcount() == static_cast<std::streamsize>(n);
   }
@@ -81,8 +96,49 @@ class ByteSource {
   }
 
  private:
-  std::istream* is_;
+  std::istream* is_ = nullptr;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
 };
+
+/// One v2 frame as raw bytes: step + declared payload, CRC already
+/// verified.  `ok` is false at clean EOF; corruption throws.
+struct RawFrame {
+  bool ok = false;
+  std::int64_t step = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Read and CRC-check the next frame envelope from `is`.  Returns
+/// ok=false on clean end-of-file (no marker byte); any partial or
+/// corrupt frame throws tbmd::Error.
+RawFrame read_raw_frame(std::istream& is) {
+  RawFrame f;
+  ByteSource src(is);
+  std::uint8_t marker;
+  if (!src.read_exact(&marker, 1)) return f;  // clean EOF
+  TBMD_REQUIRE(marker == kFrameMarker,
+               "binary trajectory: corrupt frame marker");
+  // step + payload_len, kept as raw bytes so the CRC chain covers them.
+  std::uint8_t head[12];
+  TBMD_REQUIRE(src.read_exact(head, sizeof(head)),
+               "binary trajectory: truncated frame header");
+  std::uint32_t payload_len;
+  std::memcpy(&f.step, head, 8);
+  std::memcpy(&payload_len, head + 8, 4);
+  TBMD_REQUIRE(payload_len < kMaxFramePayload,
+               "binary trajectory: implausible frame length");
+  f.payload.resize(payload_len);
+  TBMD_REQUIRE(payload_len == 0 || src.read_exact(f.payload.data(), payload_len),
+               "binary trajectory: truncated frame payload");
+  const auto stored_crc = src.get<std::uint32_t>();
+  std::uint32_t crc = crc32_update(0, head, sizeof(head));
+  crc = crc32_update(crc, f.payload.data(), f.payload.size());
+  TBMD_REQUIRE(crc == stored_crc, "binary trajectory: frame CRC mismatch");
+  f.ok = true;
+  return f;
+}
 
 struct Header {
   std::uint32_t flags = 0;
@@ -212,6 +268,9 @@ struct BinaryTrajectoryWriter::Impl {
   /// velocities when enabled) -- the delta predictor.
   std::vector<std::int64_t> prev;
   std::vector<std::uint8_t> buf;
+  /// Frame payload staging (coordinates only; the envelope -- marker,
+  /// step, length, CRC -- is assembled around it in `buf`).
+  std::vector<std::uint8_t> payload;
 };
 
 BinaryTrajectoryWriter::BinaryTrajectoryWriter(std::unique_ptr<Impl> impl)
@@ -266,18 +325,30 @@ BinaryTrajectoryWriter BinaryTrajectoryWriter::resume(
     }
     keep_bytes = static_cast<std::uintmax_t>(in.tellg());
     std::vector<Vec3> scratch;
+    std::vector<std::int64_t> prev_good;
     for (;;) {
-      std::uint8_t marker;
-      if (!src.read_exact(&marker, 1)) break;  // clean end of file
-      TBMD_REQUIRE(marker == kFrameMarker,
-                   "BinaryTrajectoryWriter::resume: corrupt frame marker");
-      const auto step = src.get<std::int64_t>();
-      if (step > upto_step) break;
-      decode_block(src, scratch, hd.natoms, hd.lossless(), hd.pos_quantum,
-                   impl->prev, 0);
-      if (hd.velocities()) {
-        decode_block(src, scratch, hd.natoms, hd.lossless(), hd.vel_quantum,
-                     impl->prev, 3 * hd.natoms);
+      // Tolerant scan: a torn/corrupt tail (truncated frame, bad marker,
+      // CRC mismatch, garbled payload) ends the scan at the last good
+      // frame instead of aborting the resume -- that tail was written
+      // after the checkpoint being resumed from and is dead weight anyway.
+      prev_good = impl->prev;
+      RawFrame f;
+      try {
+        f = read_raw_frame(in);
+        if (!f.ok) break;  // clean end of file
+        if (f.step > upto_step) break;
+        ByteSource payload(f.payload.data(), f.payload.size());
+        decode_block(payload, scratch, hd.natoms, hd.lossless(),
+                     hd.pos_quantum, impl->prev, 0);
+        if (hd.velocities()) {
+          decode_block(payload, scratch, hd.natoms, hd.lossless(),
+                       hd.vel_quantum, impl->prev, 3 * hd.natoms);
+        }
+      } catch (const Error& e) {
+        impl->prev = prev_good;
+        log_warn("BinaryTrajectoryWriter::resume: dropping corrupt tail of '",
+                 path, "' after ", keep_frames, " frame(s): ", e.what());
+        break;
       }
       keep_bytes = static_cast<std::uintmax_t>(in.tellg());
       ++keep_frames;
@@ -301,15 +372,21 @@ void BinaryTrajectoryWriter::add_frame(const System& system, long step) {
   Impl& im = *impl_;
   TBMD_REQUIRE(system.size() == im.natoms,
                "BinaryTrajectoryWriter: atom count changed mid-trajectory");
-  im.buf.clear();
-  put<std::uint8_t>(im.buf, kFrameMarker);
-  put<std::int64_t>(im.buf, step);
-  encode_block(im.buf, system.positions(), im.options.lossless,
+  im.payload.clear();
+  encode_block(im.payload, system.positions(), im.options.lossless,
                im.options.position_quantum, im.prev, 0);
   if (im.options.velocities) {
-    encode_block(im.buf, system.velocities(), im.options.lossless,
+    encode_block(im.payload, system.velocities(), im.options.lossless,
                  im.options.velocity_quantum, im.prev, 3 * im.natoms);
   }
+  im.buf.clear();
+  put<std::uint8_t>(im.buf, kFrameMarker);
+  put<std::int64_t>(im.buf, static_cast<std::int64_t>(step));
+  put<std::uint32_t>(im.buf, static_cast<std::uint32_t>(im.payload.size()));
+  im.buf.insert(im.buf.end(), im.payload.begin(), im.payload.end());
+  // CRC over everything after the marker (step, length, payload).
+  const std::uint32_t crc = crc32(im.buf.data() + 1, im.buf.size() - 1);
+  put<std::uint32_t>(im.buf, crc);
   im.stream.write(reinterpret_cast<const char*>(im.buf.data()),
                   static_cast<std::streamsize>(im.buf.size()));
   TBMD_REQUIRE(im.stream.good(), "BinaryTrajectoryWriter: write failed");
@@ -366,12 +443,10 @@ double BinaryTrajectoryReader::position_quantum() const {
 
 bool BinaryTrajectoryReader::next(TrajectoryFrame& frame) {
   Impl& im = *impl_;
-  ByteSource src(im.stream);
-  std::uint8_t marker;
-  if (!src.read_exact(&marker, 1)) return false;
-  TBMD_REQUIRE(marker == kFrameMarker,
-               "binary trajectory: corrupt frame marker");
-  frame.step = static_cast<long>(src.get<std::int64_t>());
+  const RawFrame f = read_raw_frame(im.stream);
+  if (!f.ok) return false;
+  frame.step = static_cast<long>(f.step);
+  ByteSource src(f.payload.data(), f.payload.size());
   decode_block(src, frame.positions, im.header.natoms, im.header.lossless(),
                im.header.pos_quantum, im.prev, 0);
   if (im.header.velocities()) {

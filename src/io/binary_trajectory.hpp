@@ -21,10 +21,17 @@
 ///            | f64 pos_quantum | f64 vel_quantum
 ///            | 9 x f64 cell rows | 3 x u8 pbc | u8 pad
 ///            | natoms x u8 species (atomic numbers)
-///   frame:   u8 0xF5 | i64 step
-///            | positions  (3N zigzag-varint deltas, or 3N f64 lossless)
+///   frame:   u8 0xF5 | i64 step | u32 payload_len
+///            | payload | u32 crc32(step..payload)
+///   payload: positions  (3N zigzag-varint deltas, or 3N f64 lossless)
 ///            | velocities (same encoding; only when flags bit 0 is set)
 /// Flags: bit 0 = frames carry velocities, bit 1 = lossless f64 coords.
+///
+/// Since v2 every frame is framed by an explicit length and a CRC-32 over
+/// step + length + payload: Reader::next() rejects torn or bit-flipped
+/// frames (throws), while Writer::resume() treats a corrupt tail as the
+/// debris of the crash being recovered from -- it truncates the file at
+/// the last intact frame and appends from there.
 
 #include <cstdint>
 #include <memory>

@@ -1,5 +1,6 @@
 #include "src/io/config.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -7,6 +8,22 @@
 #include "src/util/string_util.hpp"
 
 namespace tbmd::io {
+
+namespace {
+
+/// Numeric config values must be finite: a literal "nan"/"inf" (which
+/// parse_double happily accepts) would otherwise poison a simulation
+/// silently -- every NaN comparison is false, so range checks downstream
+/// cannot catch it.
+double require_finite(double v, const std::string& raw,
+                      const std::string& context) {
+  if (!std::isfinite(v)) {
+    throw Error(context + " must be finite, got '" + raw + "'");
+  }
+  return v;
+}
+
+}  // namespace
 
 Config Config::parse_string(const std::string& text,
                             const std::string& source) {
@@ -88,12 +105,14 @@ std::string Config::require_string(const std::string& key) const {
 double Config::get_double(const std::string& key, double fallback) const {
   const Entry* e = find(key);
   if (e == nullptr) return fallback;
-  return parse_double(e->value, context(key, *e));
+  return require_finite(parse_double(e->value, context(key, *e)), e->value,
+                        context(key, *e));
 }
 
 double Config::require_double(const std::string& key) const {
   const Entry& e = require(key);
-  return parse_double(e.value, context(key, e));
+  return require_finite(parse_double(e.value, context(key, e)), e.value,
+                        context(key, e));
 }
 
 long Config::get_long(const std::string& key, long fallback) const {
@@ -156,7 +175,8 @@ std::vector<double> Config::get_doubles(const std::string& key,
   if (e == nullptr) return fallback;
   std::vector<double> out;
   for (const std::string& tok : split_whitespace(e->value)) {
-    out.push_back(parse_double(tok, context(key, *e)));
+    out.push_back(require_finite(parse_double(tok, context(key, *e)), tok,
+                                 context(key, *e)));
   }
   return out;
 }

@@ -397,6 +397,11 @@ class BlockSparseMatrix {
   [[nodiscard]] const std::vector<std::uint32_t>& cols() const { return col_; }
   [[nodiscard]] const std::vector<double>& values() const { return val_; }
 
+  /// Mutable tile payloads (kF64 storage).  For in-place value edits that
+  /// keep the structure -- the fault-injection hooks poison single entries
+  /// through this; the pattern, fingerprint and precision are untouched.
+  [[nodiscard]] std::vector<double>& values_mutable() { return val_; }
+
   /// Tile payload of the k-th stored block (row-major; row_dim(I) x
   /// row_dim(J) doubles for a tile in block row I, column J).  kF64 only.
   [[nodiscard]] const double* block(std::size_t k) const {

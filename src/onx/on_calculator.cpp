@@ -1,9 +1,14 @@
 #include "src/onx/on_calculator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <utility>
 
+#include "src/io/logger.hpp"
+#include "src/linalg/eigen_sym.hpp"
 #include "src/tb/bond_table.hpp"
+#include "src/tb/density_matrix.hpp"
 #include "src/tb/hamiltonian.hpp"
 #include "src/tb/repulsive.hpp"
 #include "src/util/error.hpp"
@@ -454,32 +459,165 @@ ForceResult OrderNCalculator::compute(const System& system) {
     domain_stats_.interior = n;
   }
 
-  {
-    auto t = timers_.scope("purification");
-    PurificationOptions popts = options_.purification;
-    if (options_.cache_spectral_bounds) {
-      popts.bounds = step_spectral_bounds();
-      popts.have_bounds = true;
-      last_bounds_ = popts.bounds;
-    }
-    // Recycle the previous step's density storage (the largest buffer of
-    // the whole O(N) step) into the workspace before it is overwritten:
-    // the loop's first combine_into then reuses its capacity instead of
-    // regrowing ws.p from scratch.
-    workspace_.p = std::move(last_.density);
-    last_ = palser_manolopoulos(hamiltonian_, electrons / 2, popts,
-                                &workspace_);
-  }
-
-  {
-    auto t = timers_.scope("forces");
-    result.forces = band_forces_sparse(table_, last_.density, &result.virial);
-  }
-
+  // Repulsive term first: it is a pure function of the bond table (no
+  // density involved), so the guarded attempt loop below never needs to
+  // recompute it, and the total-force/energy sanity bounds can see it.
   tb::RepulsiveResult rep;
   {
     auto t = timers_.scope("repulsive");
     rep = tb::repulsive_energy_forces(model_, table_);
+  }
+
+  const HealthSpec& health = options_.health;
+  PurificationOptions popts = options_.purification;
+  if (options_.cache_spectral_bounds) {
+    popts.bounds = step_spectral_bounds();
+    popts.have_bounds = true;
+    last_bounds_ = popts.bounds;
+  }
+
+  // Guarded step: purify + contract band forces, classify the outcome,
+  // and walk the recovery ladder on a failure (health on) -- see
+  // core/health_spec.hpp for the rung order.  With health off this loop
+  // body runs exactly once with the caller's options: the single-attempt
+  // path is bit-identical to the unguarded engine (the scans below only
+  // read results, and the satellite non-convergence check costs one flag).
+  int rung = 0;  // 0 = primary attempt, then ladder rungs a/b/c
+  for (;;) {
+    result.virial = Mat3{};
+    {
+      auto t = timers_.scope("purification");
+      if (rung < 3) {
+        // Recycle the previous density storage (the largest buffer of the
+        // whole O(N) step) into the workspace before it is overwritten:
+        // the first combine_into reuses its capacity instead of regrowing
+        // ws.p from scratch.
+        workspace_.p = std::move(last_.density);
+        last_ = palser_manolopoulos(hamiltonian_, electrons / 2, popts,
+                                    &workspace_);
+      } else {
+        last_ = exact_step_density(*sys, electrons / 2);
+      }
+    }
+    {
+      auto t = timers_.scope("forces");
+      result.forces = band_forces_sparse(table_, last_.density, &result.virial);
+    }
+
+    if (!health.enabled) {
+      if (!last_.converged) {
+        // Satellite guardrail-off path: an unconverged density is still
+        // used (historical behavior) but never silently -- it is counted
+        // and logged so long sweeps can audit how often it happened.
+        ++recovery_stats_.unconverged_steps;
+        recovery_stats_.last_failure = last_.mu_miss
+                                           ? FailureClass::kMuBisectionMiss
+                                           : FailureClass::kNonConvergence;
+        io::log_warn("OrderNCalculator: purification did not converge (",
+                     last_.iterations, " iterations, idempotency error ",
+                     last_.idempotency_error,
+                     "); using the unconverged density (health checks off)");
+      }
+      break;
+    }
+
+    // --- classify this attempt -----------------------------------------
+    FailureClass fail = FailureClass::kNone;
+    if (health.check_finite) {
+      if (!std::isfinite(last_.band_energy) ||
+          !std::isfinite(rep.energy)) {
+        fail = FailureClass::kNonFinite;
+      }
+      if (fail == FailureClass::kNone) {
+        for (const double v : last_.density.values()) {
+          if (!std::isfinite(v)) {
+            fail = FailureClass::kNonFinite;
+            break;
+          }
+        }
+      }
+    }
+    if (fail == FailureClass::kNone && health.check_convergence &&
+        !last_.converged) {
+      fail = last_.mu_miss ? FailureClass::kMuBisectionMiss
+                           : FailureClass::kNonConvergence;
+    }
+    if (fail == FailureClass::kNone) {
+      // Bounds on the *total* per-atom forces and energy (band +
+      // repulsive), checked in the working (possibly permuted) frame --
+      // magnitudes are permutation-invariant.
+      const double e_per_atom =
+          std::fabs(last_.band_energy + rep.energy) / static_cast<double>(n);
+      if (health.max_energy_per_atom > 0.0 &&
+          e_per_atom > health.max_energy_per_atom) {
+        fail = FailureClass::kEnergyBound;
+      }
+      for (std::size_t i = 0; fail == FailureClass::kNone && i < n; ++i) {
+        const Vec3 f = result.forces[i] + rep.forces[i];
+        if (health.check_finite && (!std::isfinite(f.x) ||
+                                    !std::isfinite(f.y) ||
+                                    !std::isfinite(f.z))) {
+          fail = FailureClass::kNonFinite;
+        } else if (health.max_force > 0.0 &&
+                   (std::fabs(f.x) > health.max_force ||
+                    std::fabs(f.y) > health.max_force ||
+                    std::fabs(f.z) > health.max_force)) {
+          fail = FailureClass::kForceBound;
+        }
+      }
+    }
+    if (fail == FailureClass::kNone) break;
+
+    // --- escalate to the next applicable rung ---------------------------
+    recovery_stats_.last_failure = fail;
+    bool advanced = false;
+    while (!advanced && rung < 3) {
+      ++rung;
+      if (rung == 1 && health.fp64_retry &&
+          popts.precision == PrecisionMode::kMixed) {
+        popts.precision = PrecisionMode::kF64;
+        ++recovery_stats_.fp64_retries;
+        advanced = true;
+      } else if (rung == 2 && health.tighten_retry) {
+        popts.drop_tolerance *= health.tighten_factor;
+        popts.schedule_loosening = 1.0;
+        popts.sub_tile = 0.0;
+        // Cold cache rebuild: a corrupted or stalled run may have been fed
+        // by a stale symbolic pattern or a drift-widened spectral seed.
+        workspace_.patterns.invalidate();
+        bounds_valid_ = false;
+        if (options_.cache_spectral_bounds) {
+          popts.bounds = step_spectral_bounds();
+          last_bounds_ = popts.bounds;
+        }
+        ++recovery_stats_.tighten_retries;
+        advanced = true;
+      } else if (rung == 3 && health.exact_fallback) {
+        ++recovery_stats_.exact_fallbacks;
+        advanced = true;
+      }
+    }
+    if (!advanced) {
+      ++recovery_stats_.failures;
+      std::ostringstream os;
+      os.precision(17);
+      os << "OrderNCalculator: step failed ["
+         << failure_class_name(fail) << "] after "
+         << (recovery_stats_.fp64_retries + recovery_stats_.tighten_retries +
+             recovery_stats_.exact_fallbacks)
+         << " cumulative recovery attempts; purification: iterations="
+         << last_.iterations << " converged=" << last_.converged
+         << " idempotency_error=" << last_.idempotency_error
+         << " band_energy=" << last_.band_energy
+         << " fill=" << last_.fill_fraction;
+      throw NumericsError(fail, os.str());
+    }
+    io::log_warn("OrderNCalculator: step failed [", failure_class_name(fail),
+                 "]; retrying on recovery rung ", rung,
+                 rung == 1 ? " (fp64-only)"
+                 : rung == 2
+                     ? " (tightened tolerance + cold cache rebuild)"
+                     : " (exact-diagonalization fallback)");
   }
 
   for (std::size_t i = 0; i < n; ++i) result.forces[i] += rep.forces[i];
@@ -497,6 +635,36 @@ ForceResult OrderNCalculator::compute(const System& system) {
   result.repulsive_energy = rep.energy;
   result.energy = last_.band_energy + rep.energy;
   return result;
+}
+
+PurificationResult OrderNCalculator::exact_step_density(const System& system,
+                                                        int n_occupied) const {
+  // O(N^3) for one step: densify the already-assembled blocked H,
+  // diagonalize, and occupy the lowest n_occupied states (T = 0 aufbau,
+  // the same filling the canonical purification targets).  The density
+  // goes back onto the blocked substrate with no truncation so the
+  // existing sparse force contraction serves this rung unchanged.
+  const linalg::Matrix hd = hamiltonian_.to_full().to_dense();
+  const linalg::SymmetricEigenSolution eig = linalg::eigh(hd);
+  std::vector<double> weights(eig.values.size(), 0.0);
+  double band = 0.0;
+  for (int k = 0; k < n_occupied; ++k) {
+    weights[static_cast<std::size_t>(k)] = 1.0;  // spinless P; spin in 2 tr(PH)
+    band += eig.values[static_cast<std::size_t>(k)];
+  }
+  const linalg::Matrix p = tb::density_matrix(eig.vectors, weights);
+
+  PurificationResult out;
+  out.density =
+      BlockSparseMatrix::from_dense(p, tb::orbital_block_dims(model_, system),
+                                    0.0)
+          .to_symmetric_half();
+  out.band_energy = 2.0 * band;
+  out.converged = true;
+  out.iterations = 0;
+  out.idempotency_error = 0.0;
+  out.fill_fraction = out.density.fill_fraction();
+  return out;
 }
 
 }  // namespace tbmd::onx

@@ -5,6 +5,7 @@
 /// purification instead of O(N^3) diagonalization.
 
 #include "src/core/calculator.hpp"
+#include "src/core/health_spec.hpp"
 #include "src/neighbor/neighbor_list.hpp"
 #include "src/onx/block_sparse.hpp"
 #include "src/onx/purification.hpp"
@@ -70,6 +71,12 @@ struct OrderNOptions {
   /// position history, so checkpoint kill-and-resume is no longer
   /// bit-reproducible with this on.
   double bond_reuse_skin = 0.0;
+
+  /// Numerics guardrails + recovery ladder (see core/health_spec.hpp).
+  /// Disabled by default: no scans, no retries, and an unconverged
+  /// purification is only counted (recovery_stats().unconverged_steps)
+  /// and logged -- results stay bit-identical to the unguarded engine.
+  HealthSpec health;
 };
 
 /// Assemble the tight-binding Hamiltonian directly in CSR form from a
@@ -192,6 +199,24 @@ class OrderNCalculator final : public Calculator {
     return domain_stats_;
   }
 
+  /// Guardrail/recovery accounting, cumulative across compute() calls.
+  /// With health off only `unconverged_steps` and `last_failure` move (the
+  /// satellite counter for silently-unconverged densities); with health on
+  /// the per-rung counters record which ladder steps ran.
+  struct RecoveryStats {
+    /// Health off: steps whose purification reported converged = false and
+    /// whose density was used anyway (counted + logged, never silent).
+    std::size_t unconverged_steps = 0;
+    std::size_t fp64_retries = 0;      ///< rung (a) attempts
+    std::size_t tighten_retries = 0;   ///< rung (b) attempts
+    std::size_t exact_fallbacks = 0;   ///< rung (c) attempts
+    std::size_t failures = 0;          ///< rung (d): NumericsError thrown
+    FailureClass last_failure = FailureClass::kNone;
+  };
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+
   /// Exact Gershgorin recomputations performed by the cached-bounds mode
   /// (cache_spectral_bounds): the hoist tests assert this stays at 1
   /// across warm steps on an unchanged topology.
@@ -211,6 +236,12 @@ class OrderNCalculator final : public Calculator {
   /// Spectral enclosure for this step's purification (exact on a
   /// topology/pattern change or excessive drift, widened otherwise).
   [[nodiscard]] linalg::SpectralBounds step_spectral_bounds();
+
+  /// Rung (c): exact-diagonalization density for the current Hamiltonian,
+  /// packaged as a PurificationResult so the force contraction and energy
+  /// bookkeeping downstream are rung-agnostic.
+  [[nodiscard]] PurificationResult exact_step_density(const System& system,
+                                                      int n_occupied) const;
 
   tb::TbModel model_;
   OrderNOptions options_;
@@ -234,6 +265,7 @@ class OrderNCalculator final : public Calculator {
   par::DomainPartition part_;
   System perm_system_;
   DomainStats domain_stats_;
+  RecoveryStats recovery_stats_;
 
   /// cache_spectral_bounds state: the exact enclosure at the last refresh,
   /// the H values it was computed from (drift reference), and the pattern

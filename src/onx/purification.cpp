@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/util/error.hpp"
+#include "src/util/fault_point.hpp"
 
 namespace tbmd::onx {
 
@@ -28,6 +30,13 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
 
   PurificationWorkspace local;
   PurificationWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  // Fault sites (inert unless armed; see util/fault_point.hpp): a forced
+  // stall reports converged = false with an otherwise ordinary density --
+  // the ladder's non-convergence drill -- and the NaN injection below
+  // corrupts one seed entry, which two multiplies spread over the whole
+  // density matrix (the non-finite drill).
+  const bool inject_stall = fault::fire(fault::kOnxNoConverge);
 
   // The loop runs entirely in symmetric-half storage; a full-stored
   // operand (convenience callers) is halved on entry.
@@ -58,6 +67,10 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
   // P = -lambda H + (lambda mu + theta) I
   hh.combine_into(-lambda, ws.eye, lambda * mu + theta,
                   options.drop_tolerance, ws.p, ws.scratch);
+
+  if (fault::fire(fault::kOnxNanTile) && !ws.p.values().empty()) {
+    ws.p.values_mutable()[0] = std::numeric_limits<double>::quiet_NaN();
+  }
 
   // Truncation sets a noise floor below which idempotency cannot improve:
   // converge when tr(P - P^2)/N reaches whichever is larger, the requested
@@ -181,6 +194,7 @@ PurificationResult palser_manolopoulos(const BlockSparseMatrix& h,
   out.fill_fraction = ws.p.fill_fraction();
   out.density = std::move(ws.p);
   ws.p = BlockSparseMatrix::zeros_like(hh);
+  if (inject_stall) out.converged = false;
   return out;
 }
 
@@ -361,8 +375,12 @@ PurificationResult purify_with_chemical_potential(
     }
   }
   // A count that never matched (mu trapped inside a band at T = 0) is a
-  // metallic failure mode: report the closest run, unconverged.
-  if (best_miss > 0.25) best.converged = false;
+  // metallic failure mode: report the closest run, unconverged, and marked
+  // so the guardrails classify it as a mu miss rather than a plain stall.
+  if (best_miss > 0.25) {
+    best.converged = false;
+    best.mu_miss = true;
+  }
   return best;
 }
 

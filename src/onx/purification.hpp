@@ -85,6 +85,11 @@ struct PurificationResult {
   double band_energy = 0.0;      ///< 2 tr(P H)  (spin degeneracy)
   int iterations = 0;
   bool converged = false;
+  /// Set (with converged = false) when purify_with_chemical_potential's
+  /// bisection never matched the electron count -- the metallic failure
+  /// mode, distinguished from a plain stall so the guardrails can classify
+  /// it as FailureClass::kMuBisectionMiss.
+  bool mu_miss = false;
   double idempotency_error = 0.0;  ///< final tr(P - P^2)
   double fill_fraction = 0.0;      ///< logical nnz(P) / N^2
   /// Chemical potential used (grand-canonical runs only; the canonical

@@ -14,7 +14,12 @@
 /// small and independent of the engine in use.
 ///
 /// Writes are atomic (temp file + rename), so a kill during checkpointing
-/// leaves the previous checkpoint intact.
+/// leaves the previous checkpoint intact.  Since v2 the payload carries a
+/// trailing CRC-32, and each successful write first rotates the previous
+/// good checkpoint to `path`.prev (by copy, so `path` never disappears):
+/// a torn or bit-flipped checkpoint is detected on read and resume falls
+/// back one save interval instead of aborting the job (see
+/// read_checkpoint_with_fallback).
 
 #include <cstdint>
 #include <string>
@@ -49,8 +54,15 @@ struct Checkpoint {
 /// Throws tbmd::Error on I/O failure.
 void write_checkpoint(const std::string& path, const Checkpoint& checkpoint);
 
-/// Deserialize; throws tbmd::Error on missing/corrupt/mismatched files.
+/// Deserialize; throws tbmd::Error on missing/corrupt/mismatched files
+/// (including CRC mismatch on a torn write).
 [[nodiscard]] Checkpoint read_checkpoint(const std::string& path);
+
+/// read_checkpoint(path), falling back to `path`.prev when the primary is
+/// missing or corrupt (logs a warning; sets *used_prev when non-null).
+/// Throws only when neither file yields a valid checkpoint.
+[[nodiscard]] Checkpoint read_checkpoint_with_fallback(
+    const std::string& path, bool* used_prev = nullptr);
 
 /// True when `path` exists and starts with the checkpoint magic.
 [[nodiscard]] bool is_checkpoint_file(const std::string& path);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -9,12 +11,14 @@
 #include <mutex>
 #include <thread>
 
+#include "src/core/health_spec.hpp"
 #include "src/io/binary_trajectory.hpp"
 #include "src/io/logger.hpp"
 #include "src/md/md_driver.hpp"
 #include "src/md/velocities.hpp"
 #include "src/svc/checkpoint.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fault_point.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/random.hpp"
 #include "src/util/timer.hpp"
@@ -66,7 +70,9 @@ JobResult run_job(const JobSpec& spec, WorkerContext& ctx,
   std::vector<double> thermo_state;
 
   if (options.resume && fs::exists(ckpt_path)) {
-    Checkpoint ck = read_checkpoint(ckpt_path);
+    bool used_prev = false;
+    Checkpoint ck = read_checkpoint_with_fallback(ckpt_path, &used_prev);
+    res.resumed_from_prev = used_prev;
     TBMD_REQUIRE(ck.total_steps == spec.steps,
                  "job '" + spec.name + "': checkpoint expects " +
                      std::to_string(ck.total_steps) +
@@ -132,6 +138,13 @@ JobResult run_job(const JobSpec& spec, WorkerContext& ctx,
     if (md::Thermostat* t = driver.thermostat()) {
       t->set_target(spec.target_at(step));
     }
+    WallTimer step_timer;
+    if (fault::fire(fault::kSvcStall)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (fault::fire(fault::kSvcWorkerThrow)) {
+      throw Error("job '" + spec.name + "': injected worker failure");
+    }
     driver.step();
     step = driver.step_count();
     res.steps_run += 1;
@@ -140,6 +153,17 @@ JobResult run_job(const JobSpec& spec, WorkerContext& ctx,
     if (final_step || (spec.checkpoint_every > 0 &&
                        step % spec.checkpoint_every == 0)) {
       save(step);
+    }
+    if (!final_step && options.step_watchdog_s > 0.0 &&
+        step_timer.seconds() > options.step_watchdog_s) {
+      // A step blew its wall-clock budget: park the job at a fresh
+      // checkpoint instead of letting it hog the worker.  (An in-flight
+      // step cannot be interrupted from its own thread, so the watchdog
+      // trips as soon as the offending step returns.)
+      save(step);
+      res.status = JobStatus::kPreempted;
+      res.failure_class = "watchdog";
+      break;
     }
   }
 
@@ -180,6 +204,13 @@ std::vector<JobResult> JobRunner::run() {
   namespace fs = std::filesystem;
   fs::create_directories(options_.output_dir);
 
+  // Arm requested fault plans up front (the registry is process-global, so
+  // one plan covers every worker).  The runner never disarms: tests and
+  // chaos drivers own the registry's lifetime via fault::disarm_all().
+  for (const JobSpec& spec : jobs_) {
+    if (!spec.faults.empty()) fault::arm_from_spec(spec.faults);
+  }
+
   std::vector<JobResult> results(jobs_.size());
   std::atomic<std::size_t> next{0};
   std::atomic<long> budget{options_.step_budget};
@@ -201,20 +232,53 @@ std::vector<JobResult> JobRunner::run() {
       JobResult& res = results[i];
       par::set_num_threads(spec.calc.threads > 0 ? spec.calc.threads
                                                  : ambient_threads);
-      try {
-        res = run_job(spec, ctx, options_, budget_ptr);
-      } catch (const std::exception& e) {
-        res = JobResult{};
-        res.name = spec.name;
-        res.status = JobStatus::kFailed;
-        res.error = e.what();
+      // Bounded per-job retry: attempt 1 runs with the caller's options;
+      // retried attempts force resume so they continue from the last good
+      // checkpoint instead of redoing completed work.
+      SweepOptions opts = options_;
+      int attempt = 0;
+      for (;;) {
+        ++attempt;
+        try {
+          res = run_job(spec, ctx, opts, budget_ptr);
+          res.attempts = attempt;
+          break;
+        } catch (const std::exception& e) {
+          res = JobResult{};
+          res.name = spec.name;
+          res.status = JobStatus::kFailed;
+          res.error = e.what();
+          res.attempts = attempt;
+          const auto* numerics = dynamic_cast<const NumericsError*>(&e);
+          res.failure_class =
+              numerics != nullptr
+                  ? failure_class_name(numerics->failure_class())
+                  : "error";
+        }
+        if (attempt > options_.max_job_retries) break;
+        const double backoff =
+            std::min(options_.retry_backoff_s *
+                         std::pow(2.0, static_cast<double>(attempt - 1)),
+                     options_.retry_backoff_max_s);
+        {
+          const std::lock_guard<std::mutex> lock(log_mutex);
+          io::log_warn("job '", res.name, "': attempt ", attempt,
+                       " failed (", res.failure_class, ": ", res.error,
+                       "); retrying in ", backoff, " s");
+        }
+        if (backoff > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(backoff));
+        }
+        opts.resume = true;
       }
       if (options_.verbose) {
         const std::lock_guard<std::mutex> lock(log_mutex);
         io::log_info("job '", res.name, "': ", job_status_name(res.status),
                      " at step ", res.steps_done, "/", spec.steps, " (",
-                     res.steps_run, " steps this run, ", res.wall_seconds,
-                     " s)", res.error.empty() ? "" : " -- ", res.error);
+                     res.steps_run, " steps this run, ", res.attempts,
+                     " attempt(s), ", res.wall_seconds, " s)",
+                     res.error.empty() ? "" : " -- ", res.error);
       }
     }
   };
@@ -240,13 +304,14 @@ void JobRunner::write_summary(const std::string& path,
   std::ofstream os(path, std::ios::trunc);
   TBMD_REQUIRE(os.good(), "write_summary: cannot open '" + path + "'");
   os << "name,status,resumed,steps_done,steps_run,final_energy_eV,"
-        "final_temperature_K,wall_s,error\n";
+        "final_temperature_K,wall_s,failure_class,attempts,error\n";
   os.precision(17);
   for (const JobResult& r : results) {
     os << csv_safe(r.name) << ',' << job_status_name(r.status) << ','
        << (r.resumed ? 1 : 0) << ',' << r.steps_done << ',' << r.steps_run
        << ',' << r.final_energy << ',' << r.final_temperature << ','
-       << r.wall_seconds << ',' << csv_safe(r.error) << '\n';
+       << r.wall_seconds << ',' << csv_safe(r.failure_class) << ','
+       << r.attempts << ',' << csv_safe(r.error) << '\n';
   }
   TBMD_REQUIRE(os.good(), "write_summary: write failed for '" + path + "'");
 }

@@ -15,9 +15,16 @@
 ///     binary trajectory is reopened with frames past the checkpoint
 ///     truncated -- the continued run is bit-identical to an uninterrupted
 ///     one (tested at %.17g on energies and every force component);
-///   * a throwing job is recorded as failed with its message and the
-///     worker moves to the next job -- one bad trajectory cannot take down
-///     a sweep.
+///   * a throwing job is recorded as failed with its message and failure
+///     class and the worker moves to the next job -- one bad trajectory
+///     cannot take down a sweep.  With `max_job_retries` > 0 a failed job
+///     is first retried (capped exponential backoff, resume forced on) up
+///     to that many extra attempts, which composes with the calculator's
+///     own recovery ladder: the in-step ladder exhausts first, then the
+///     job-level retry resumes from the last good checkpoint;
+///   * a positive `step_watchdog_s` bounds the wall-clock of a single MD
+///     step: a step that exceeds it checkpoints and reports kPreempted
+///     with failure class "watchdog" instead of hogging the worker.
 ///
 /// Preemption: a non-negative `step_budget` bounds the MD steps the whole
 /// sweep may take in this invocation.  When the budget runs out every job
@@ -50,6 +57,16 @@ struct SweepOptions {
   int threads = 0;
   /// Log per-job progress lines.
   bool verbose = true;
+  /// Extra attempts for a failed job (0 = fail fast).  Retried attempts
+  /// force resume, so they continue from the last good checkpoint.
+  int max_job_retries = 0;
+  /// Base of the capped exponential backoff between retry attempts (s).
+  double retry_backoff_s = 0.05;
+  /// Backoff cap (s).
+  double retry_backoff_max_s = 2.0;
+  /// Wall-clock budget for one MD step (s); a step exceeding it preempts
+  /// the job to its (just-written) checkpoint.  0 = no watchdog.
+  double step_watchdog_s = 0.0;
 };
 
 enum class JobStatus {
@@ -63,8 +80,19 @@ struct JobResult {
   std::string name;
   JobStatus status = JobStatus::kCompleted;
   std::string error;
+  /// Failure classification for the summary CSV: a
+  /// tbmd::failure_class_name() when the job died on a guardrail
+  /// violation, "watchdog" on a step-watchdog preemption, "error" on any
+  /// other exception, "" on success.
+  std::string failure_class;
+  /// Attempts consumed (1 = first try succeeded; > 1 means job-level
+  /// retries fired).
+  int attempts = 1;
   /// True when the job started from an existing checkpoint.
   bool resumed = false;
+  /// True when the primary checkpoint was corrupt and the job resumed
+  /// from the rotated `.ckpt.prev` instead.
+  bool resumed_from_prev = false;
   /// Trajectory position (steps) when the job exited.
   long steps_done = 0;
   /// Steps actually integrated in this invocation.

@@ -26,9 +26,14 @@ JobSpec JobSpec::from_config(const io::Config& cfg) {
   s.element = element_from_symbol(
       cfg.get_string("element", s.structure == "fcc" ? "Ar" : "Si"));
   s.lattice = cfg.get_double("lattice", 0.0);
+  TBMD_REQUIRE(s.lattice >= 0.0, "job spec: 'lattice' must be >= 0");
   s.bond = cfg.get_double("bond", 0.0);
+  TBMD_REQUIRE(s.bond >= 0.0, "job spec: 'bond' must be >= 0");
   s.cells = cfg.get_longs("cells", s.cells);
   TBMD_REQUIRE(s.cells.size() == 3, "job spec: 'cells' needs three integers");
+  for (const long n : s.cells) {
+    TBMD_REQUIRE(n >= 1, "job spec: each 'cells' entry must be >= 1");
+  }
   s.indices = cfg.get_longs("indices", s.indices);
   TBMD_REQUIRE(s.indices.size() == 2, "job spec: 'indices' needs n and m");
   s.periodic = cfg.get_bool("periodic", true);
@@ -36,6 +41,7 @@ JobSpec JobSpec::from_config(const io::Config& cfg) {
 
   s.model = to_lower(cfg.get_string("model", ""));
   s.calc.skin = cfg.get_double("skin", s.calc.skin);
+  TBMD_REQUIRE(s.calc.skin >= 0.0, "job spec: 'skin' must be >= 0");
   // Per-job thread pinning (any engine): the runner's workers set the
   // OpenMP team size to this before running the job; 0 inherits the
   // worker's ambient OMP_NUM_THREADS.
@@ -51,13 +57,21 @@ JobSpec JobSpec::from_config(const io::Config& cfg) {
     s.calc.mode = CalculatorSpec::mode_by_name(cfg.get_string("mode", "exact"));
     s.calc.electronic_temperature =
         cfg.get_double("electronic_temperature", 0.0);
+    TBMD_REQUIRE(s.calc.electronic_temperature >= 0.0,
+                 "job spec: 'electronic_temperature' must be >= 0");
     // Numerics policy (O(N) engine): every key lands on the shared
     // NumericsSpec and is fingerprint-relevant.
     NumericsSpec& num = s.calc.numerics;
     num.drop_tolerance = cfg.get_double("drop_tolerance", num.drop_tolerance);
+    TBMD_REQUIRE(num.drop_tolerance >= 0.0,
+                 "job spec: 'drop_tolerance' must be >= 0");
     num.schedule_loosening =
         cfg.get_double("schedule_loosening", num.schedule_loosening);
+    TBMD_REQUIRE(num.schedule_loosening > 0.0,
+                 "job spec: 'schedule_loosening' must be positive");
     num.schedule_decay = cfg.get_double("schedule_decay", num.schedule_decay);
+    TBMD_REQUIRE(num.schedule_decay > 0.0 && num.schedule_decay <= 1.0,
+                 "job spec: 'schedule_decay' must be in (0, 1]");
     num.precision = NumericsSpec::precision_by_name(
         to_lower(cfg.get_string("precision", num.precision_name())));
     num.promote_iteration = static_cast<int>(
@@ -66,6 +80,8 @@ JobSpec JobSpec::from_config(const io::Config& cfg) {
                  "job spec: 'promote_iteration' must be >= 0");
     num.promote_threshold =
         cfg.get_double("promote_threshold", num.promote_threshold);
+    TBMD_REQUIRE(num.promote_threshold >= 0.0,
+                 "job spec: 'promote_threshold' must be >= 0");
     num.simd = cfg.get_bool("simd", num.simd);
     num.sub_tile = cfg.get_double("sub_tile", num.sub_tile);
     TBMD_REQUIRE(num.sub_tile >= 0.0, "job spec: 'sub_tile' must be >= 0");
@@ -78,6 +94,25 @@ JobSpec JobSpec::from_config(const io::Config& cfg) {
         cfg.get_double("bond_reuse_skin", s.calc.bond_reuse_skin);
     TBMD_REQUIRE(s.calc.bond_reuse_skin >= 0.0,
                  "job spec: 'bond_reuse_skin' must be >= 0");
+    // Numerics guardrails + recovery ladder (O(N) engine).
+    HealthSpec& health = s.calc.health;
+    health.enabled = cfg.get_bool("health", health.enabled);
+    health.max_force = cfg.get_double("max_force", health.max_force);
+    TBMD_REQUIRE(health.max_force >= 0.0,
+                 "job spec: 'max_force' must be >= 0");
+    health.max_energy_per_atom =
+        cfg.get_double("max_energy_per_atom", health.max_energy_per_atom);
+    TBMD_REQUIRE(health.max_energy_per_atom >= 0.0,
+                 "job spec: 'max_energy_per_atom' must be >= 0");
+    health.fp64_retry = cfg.get_bool("health_fp64_retry", health.fp64_retry);
+    health.tighten_retry =
+        cfg.get_bool("health_tighten_retry", health.tighten_retry);
+    health.tighten_factor =
+        cfg.get_double("health_tighten_factor", health.tighten_factor);
+    TBMD_REQUIRE(health.tighten_factor > 0.0 && health.tighten_factor < 1.0,
+                 "job spec: 'health_tighten_factor' must be in (0, 1)");
+    health.exact_fallback =
+        cfg.get_bool("health_exact_fallback", health.exact_fallback);
   }
 
   s.dt = cfg.get_double("dt", s.dt);
@@ -85,26 +120,41 @@ JobSpec JobSpec::from_config(const io::Config& cfg) {
   s.steps = cfg.require_long("steps");
   TBMD_REQUIRE(s.steps > 0, "job spec: 'steps' must be positive");
   s.temperature = cfg.get_double("temperature", s.temperature);
-  s.seed = static_cast<std::uint64_t>(cfg.get_long("seed", 42));
+  TBMD_REQUIRE(s.temperature >= 0.0, "job spec: 'temperature' must be >= 0");
+  const long seed = cfg.get_long("seed", 42);
+  TBMD_REQUIRE(seed >= 0, "job spec: 'seed' must be >= 0");
+  s.seed = static_cast<std::uint64_t>(seed);
 
   s.thermostat = md::ThermostatSpec::by_name(
       cfg.get_string("thermostat", "none"), s.temperature);
   if (s.thermostat.active()) {
     s.thermostat.tau_fs = cfg.get_double("thermostat_tau", s.thermostat.tau_fs);
+    TBMD_REQUIRE(s.thermostat.tau_fs > 0.0,
+                 "job spec: 'thermostat_tau' must be positive");
     s.thermostat.interval =
         static_cast<int>(cfg.get_long("thermostat_interval", 1));
+    TBMD_REQUIRE(s.thermostat.interval >= 1,
+                 "job spec: 'thermostat_interval' must be >= 1");
     s.thermostat.chain_length =
         static_cast<int>(cfg.get_long("chain_length", 2));
+    TBMD_REQUIRE(s.thermostat.chain_length >= 1,
+                 "job spec: 'chain_length' must be >= 1");
   }
   s.ramp_to = cfg.get_double("ramp_to", 0.0);
+  TBMD_REQUIRE(s.ramp_to >= 0.0, "job spec: 'ramp_to' must be >= 0");
   s.ramp_steps = cfg.get_long("ramp_steps", 0);
+  TBMD_REQUIRE(s.ramp_steps >= 0, "job spec: 'ramp_steps' must be >= 0");
   TBMD_REQUIRE(s.ramp_steps == 0 || s.thermostat.active(),
                "job spec: a temperature ramp needs a thermostat");
 
   s.sample_every = cfg.get_long("sample_every", s.sample_every);
+  TBMD_REQUIRE(s.sample_every >= 0, "job spec: 'sample_every' must be >= 0");
   s.checkpoint_every = cfg.get_long("checkpoint_every", 0);
+  TBMD_REQUIRE(s.checkpoint_every >= 0,
+               "job spec: 'checkpoint_every' must be >= 0");
   s.traj_velocities = cfg.get_bool("traj_velocities", false);
   s.traj_lossless = cfg.get_bool("traj_lossless", false);
+  s.faults = cfg.get_string("faults", "");
 
   cfg.require_all_used("job spec '" + s.name + "'");
   return s;
@@ -205,6 +255,16 @@ Sweep load_sweep(const std::string& path) {
   sw.workers = static_cast<int>(cfg.get_long("workers", 1));
   TBMD_REQUIRE(sw.workers >= 1, "sweep: 'workers' must be >= 1");
   sw.resume = cfg.get_bool("resume", true);
+  sw.max_job_retries =
+      static_cast<int>(cfg.get_long("max_job_retries", sw.max_job_retries));
+  TBMD_REQUIRE(sw.max_job_retries >= 0,
+               "sweep: 'max_job_retries' must be >= 0");
+  sw.retry_backoff_s = cfg.get_double("retry_backoff", sw.retry_backoff_s);
+  TBMD_REQUIRE(sw.retry_backoff_s >= 0.0,
+               "sweep: 'retry_backoff' must be >= 0");
+  sw.step_watchdog_s = cfg.get_double("step_watchdog", sw.step_watchdog_s);
+  TBMD_REQUIRE(sw.step_watchdog_s >= 0.0,
+               "sweep: 'step_watchdog' must be >= 0");
   const long replicas = cfg.get_long("replicas", 1);
   TBMD_REQUIRE(replicas >= 1, "sweep: 'replicas' must be >= 1");
   const std::vector<std::string> job_files =

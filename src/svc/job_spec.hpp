@@ -79,6 +79,12 @@ struct JobSpec {
   bool traj_velocities = false;
   bool traj_lossless = false;
 
+  // --- chaos -----------------------------------------------------------
+  /// Fault-injection spec armed before the job runs (see
+  /// util/fault_point.hpp for the grammar); "" = nothing armed.  A
+  /// test/chaos-run knob -- never a production default.
+  std::string faults;
+
   /// Parse from a config; every key must be consumed (typos throw).
   [[nodiscard]] static JobSpec from_config(const io::Config& cfg);
 
@@ -111,13 +117,23 @@ struct JobSpec {
 /// A sweep file: runner options plus one JobSpec per job.
 ///
 /// Sweep config keys: `jobs` (whitespace-separated spec paths, resolved
-/// relative to the sweep file), `output_dir`, `workers`, `resume`, and
-/// `replicas` (expands every job K-fold as `<name>-r<k>` with seed + k).
+/// relative to the sweep file), `output_dir`, `workers`, `resume`,
+/// `replicas` (expands every job K-fold as `<name>-r<k>` with seed + k),
+/// plus the robustness knobs `max_job_retries`, `retry_backoff` (s) and
+/// `step_watchdog` (s).
 struct Sweep {
   std::vector<JobSpec> jobs;
   std::string output_dir = "sweep_out";
   int workers = 1;
   bool resume = true;
+  /// Failed jobs are retried up to this many extra attempts (see
+  /// SweepOptions::max_job_retries).
+  int max_job_retries = 0;
+  /// Base/backoff cap (s) between retry attempts.
+  double retry_backoff_s = 0.05;
+  /// Wall-clock budget (s) for one MD step before the watchdog preempts
+  /// the job back to its last checkpoint (0 = no watchdog).
+  double step_watchdog_s = 0.0;
 };
 
 [[nodiscard]] Sweep load_sweep(const std::string& path);

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file crc32.hpp
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+///
+/// Used as the integrity check of the binary persistence formats (.ckpt
+/// payloads, .tbt frames): a torn write or bit flip that still passes the
+/// magic/version check is caught before garbage is resumed.  The
+/// implementation is the standard table-driven byte-at-a-time loop -- the
+/// checksummed payloads are KBs to low MBs per checkpoint/frame, far off
+/// any hot path -- and has no dependencies, so both src/io and src/svc can
+/// use it.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tbmd {
+
+/// Extend a running CRC-32 with `size` bytes.  Pass the previous call's
+/// return value as `crc` to checksum discontiguous buffers as one stream;
+/// start a fresh stream with crc = 0.
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                         std::size_t size);
+
+/// CRC-32 of one contiguous buffer (crc32("123456789", 9) == 0xCBF43926).
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_update(0, data, size);
+}
+
+}  // namespace tbmd

@@ -1,0 +1,136 @@
+#include "src/util/fault_point.hpp"
+
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/string_util.hpp"
+
+namespace tbmd::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+struct Site {
+  std::string name;
+  long at_hit = 1;  ///< first firing hit (1-based); <= 0 = every hit
+  long count = 1;   ///< width of the firing window
+  long hits = 0;
+  long fired = 0;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<Site>& registry() {
+  static std::vector<Site> sites;
+  return sites;
+}
+
+Site* find_locked(const std::string& name) {
+  for (Site& s : registry()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+bool known_site(const std::string& name) {
+  static constexpr const char* kSites[] = {
+      kCkptTornWrite, kCkptCrashBeforeRename, kOnxNanTile,
+      kOnxNoConverge, kSvcWorkerThrow,        kSvcStall,
+  };
+  for (const char* s : kSites) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool fire_slow(const char* site) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  Site* s = find_locked(site);
+  if (s == nullptr) return false;
+  ++s->hits;
+  const bool go =
+      s->at_hit <= 0 || (s->hits >= s->at_hit && s->hits < s->at_hit + s->count);
+  if (go) ++s->fired;
+  return go;
+}
+
+}  // namespace detail
+
+void arm(const std::string& site, long at_hit, long count) {
+  TBMD_REQUIRE(known_site(site), "fault: unknown site '" + site + "'");
+  TBMD_REQUIRE(count >= 1, "fault: window count must be >= 1");
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  Site* s = find_locked(site);
+  if (s == nullptr) {
+    registry().push_back(Site{});
+    s = &registry().back();
+    s->name = site;
+  }
+  s->at_hit = at_hit;
+  s->count = count;
+  s->hits = 0;
+  s->fired = 0;
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void arm_from_spec(const std::string& spec) {
+  std::string normalized = spec;
+  for (char& c : normalized) {
+    if (c == ',') c = ' ';
+  }
+  for (const std::string& token : split_whitespace(normalized)) {
+    std::string site = token;
+    long at_hit = 1;
+    long count = 1;
+    const std::size_t at = token.find('@');
+    if (at != std::string::npos) {
+      site = token.substr(0, at);
+      std::string window = token.substr(at + 1);
+      const std::size_t colon = window.find(':');
+      if (colon != std::string::npos) {
+        count = parse_long(window.substr(colon + 1),
+                           "fault spec '" + token + "' window count");
+        window.erase(colon);
+      }
+      at_hit = parse_long(window, "fault spec '" + token + "' hit index");
+    }
+    TBMD_REQUIRE(!site.empty(), "fault spec: empty site name in '" + spec + "'");
+    arm(site, at_hit, count);
+  }
+}
+
+void disarm_all() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool any_armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+long hits(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const Site* s = find_locked(site);
+  return s == nullptr ? 0 : s->hits;
+}
+
+long fired(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const Site* s = find_locked(site);
+  return s == nullptr ? 0 : s->fired;
+}
+
+}  // namespace tbmd::fault

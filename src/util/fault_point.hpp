@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file fault_point.hpp
+/// \brief Deterministic fault-injection registry.
+///
+/// A fault point is a named site in production code -- a torn checkpoint
+/// write, a NaN poked into a purification tile, a worker throw -- that can
+/// be armed to fire on an exact hit count.  The sites are compiled into
+/// the release binary but inert by default: fire() is a single relaxed
+/// atomic load when nothing is armed (no counting, no locking, no state),
+/// so the default fp64 path stays bit-identical and effectively free with
+/// fault points present.  Once any site is armed, every fire() takes a
+/// mutex -- arming is a test/chaos-run mode, never a production default.
+///
+/// Determinism: a site fires on its k-th *hit* (1-based, process-global),
+/// not on a timer or RNG, so a chaos test that arms "onx.nan_tile@3"
+/// corrupts exactly the third purification run every time.  Arm via code
+/// (tests), a JobSpec `faults` key, or the TBMD_FAULTS environment
+/// variable; the spec grammar is a comma/whitespace-separated list of
+///
+///   site            fire on the first hit
+///   site@k          fire on hit k only
+///   site@k:c        fire on hits k .. k+c-1
+///   site@0          fire on every hit
+///
+/// The registry is process-global (workers share it), which is exactly
+/// what the chaos tests want: one armed plan, one deterministic failure.
+
+#include <atomic>
+#include <string>
+
+namespace tbmd::fault {
+
+// Canonical site names (keep in sync with README "Failure semantics").
+inline constexpr const char* kCkptTornWrite = "ckpt.torn_write";
+inline constexpr const char* kCkptCrashBeforeRename = "ckpt.crash_before_rename";
+inline constexpr const char* kOnxNanTile = "onx.nan_tile";
+inline constexpr const char* kOnxNoConverge = "onx.force_nonconverge";
+inline constexpr const char* kSvcWorkerThrow = "svc.worker_throw";
+inline constexpr const char* kSvcStall = "svc.stall";
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+[[nodiscard]] bool fire_slow(const char* site);
+}  // namespace detail
+
+/// Hit `site` once; true when the site is armed and this hit is within its
+/// firing window.  The caller then performs its injected failure.  With
+/// nothing armed this is one relaxed atomic load -- hits are not even
+/// counted, so the disarmed binary is bit-identical to one without fault
+/// points.
+[[nodiscard]] inline bool fire(const char* site) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return false;
+  return detail::fire_slow(site);
+}
+
+/// Arm `site` to fire on hits [at_hit, at_hit + count) (1-based).
+/// at_hit <= 0 fires on every hit.  Re-arming a site resets its counter.
+void arm(const std::string& site, long at_hit = 1, long count = 1);
+
+/// Arm every site in a spec string (see file docs for the grammar).
+/// Throws tbmd::Error on malformed entries or unknown site names.
+void arm_from_spec(const std::string& spec);
+
+/// Drop every armed site and return fire() to the inert fast path.
+void disarm_all();
+
+/// Any site currently armed?
+[[nodiscard]] bool any_armed();
+
+/// Hits recorded for an armed site (0 when not armed; disarmed sites do
+/// not count hits by design).
+[[nodiscard]] long hits(const std::string& site);
+
+/// Times an armed site actually fired.
+[[nodiscard]] long fired(const std::string& site);
+
+}  // namespace tbmd::fault

@@ -1,0 +1,534 @@
+// Tests for the numerics guardrails + recovery ladder: CRC32, the
+// deterministic fault-point registry, config/job-spec input hardening,
+// checkpoint CRC + .prev rotation, trajectory frame CRC, and every rung of
+// the OrderNCalculator recovery ladder under injected faults.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/calculator_spec.hpp"
+#include "src/core/health_spec.hpp"
+#include "src/io/binary_trajectory.hpp"
+#include "src/io/config.hpp"
+#include "src/onx/on_calculator.hpp"
+#include "src/structures/builders.hpp"
+#include "src/svc/checkpoint.hpp"
+#include "src/svc/job_spec.hpp"
+#include "src/tb/tb_model.hpp"
+#include "src/util/crc32.hpp"
+#include "src/util/error.hpp"
+#include "src/util/fault_point.hpp"
+
+namespace tbmd {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory under the system temp dir.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("tbmd_rob_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (fs::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+/// The fault registry is process-global: every test that arms it must
+/// disarm on exit, pass or fail.
+struct FaultGuard {
+  FaultGuard() { fault::disarm_all(); }
+  ~FaultGuard() { fault::disarm_all(); }
+};
+
+// --- CRC32 ------------------------------------------------------------------
+
+TEST(Crc32, KnownVector) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(Crc32, UpdateChainsAcrossBuffers) {
+  const std::uint32_t whole = crc32("123456789", 9);
+  std::uint32_t chained = crc32_update(0, "1234", 4);
+  chained = crc32_update(chained, "56789", 5);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> buf(257);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 31u);
+  }
+  const std::uint32_t clean = crc32(buf.data(), buf.size());
+  buf[100] ^= 0x08;
+  EXPECT_NE(crc32(buf.data(), buf.size()), clean);
+}
+
+// --- fault-point registry ---------------------------------------------------
+
+TEST(FaultPoint, DisarmedFireIsInertAndCountsNothing) {
+  const FaultGuard guard;
+  EXPECT_FALSE(fault::any_armed());
+  EXPECT_FALSE(fault::fire(fault::kOnxNanTile));
+  EXPECT_FALSE(fault::fire(fault::kOnxNanTile));
+  // Disarmed hits are deliberately not counted (the fast path is one
+  // relaxed load, no registry access).
+  EXPECT_EQ(fault::hits(fault::kOnxNanTile), 0);
+}
+
+TEST(FaultPoint, FiresOnExactHitWindow) {
+  const FaultGuard guard;
+  fault::arm(fault::kOnxNanTile, 2, 2);  // fire on hits 2 and 3
+  EXPECT_TRUE(fault::any_armed());
+  EXPECT_FALSE(fault::fire(fault::kOnxNanTile));  // hit 1
+  EXPECT_TRUE(fault::fire(fault::kOnxNanTile));   // hit 2
+  EXPECT_TRUE(fault::fire(fault::kOnxNanTile));   // hit 3
+  EXPECT_FALSE(fault::fire(fault::kOnxNanTile));  // hit 4
+  EXPECT_EQ(fault::hits(fault::kOnxNanTile), 4);
+  EXPECT_EQ(fault::fired(fault::kOnxNanTile), 2);
+  // An armed site never perturbs other sites.
+  EXPECT_FALSE(fault::fire(fault::kSvcStall));
+  fault::disarm_all();
+  EXPECT_FALSE(fault::any_armed());
+  EXPECT_FALSE(fault::fire(fault::kOnxNanTile));
+}
+
+TEST(FaultPoint, AtHitZeroFiresEveryTime) {
+  const FaultGuard guard;
+  fault::arm(fault::kSvcStall, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fault::fire(fault::kSvcStall));
+  EXPECT_EQ(fault::fired(fault::kSvcStall), 5);
+}
+
+TEST(FaultPoint, SpecGrammar) {
+  const FaultGuard guard;
+  fault::arm_from_spec("onx.nan_tile@2:3, svc.stall ckpt.torn_write@0");
+  EXPECT_FALSE(fault::fire(fault::kOnxNanTile));  // hit 1
+  EXPECT_TRUE(fault::fire(fault::kOnxNanTile));   // hit 2
+  EXPECT_TRUE(fault::fire(fault::kSvcStall));     // bare name = first hit
+  EXPECT_FALSE(fault::fire(fault::kSvcStall));
+  EXPECT_TRUE(fault::fire(fault::kCkptTornWrite));
+  EXPECT_TRUE(fault::fire(fault::kCkptTornWrite));
+  // Empty spec is a no-op, malformed or unknown entries throw.
+  fault::disarm_all();
+  fault::arm_from_spec("");
+  EXPECT_FALSE(fault::any_armed());
+  EXPECT_THROW(fault::arm_from_spec("no.such.site"), Error);
+  EXPECT_THROW(fault::arm_from_spec("svc.stall@bogus"), Error);
+}
+
+// --- config hardening -------------------------------------------------------
+
+TEST(ConfigHardening, RejectsNonFiniteDoubles) {
+  const io::Config cfg = io::Config::parse_string(
+      "a = nan\nb = inf\nc = -inf\nd = 1.5\nlist = 1.0 nan\n", "h.cfg");
+  EXPECT_THROW((void)cfg.get_double("a", 0.0), Error);
+  EXPECT_THROW((void)cfg.require_double("b"), Error);
+  EXPECT_THROW((void)cfg.get_double("c", 0.0), Error);
+  EXPECT_DOUBLE_EQ(cfg.get_double("d", 0.0), 1.5);
+  EXPECT_THROW((void)cfg.get_doubles("list", {}), Error);
+  // The error carries source:line so a sweep author can find the key.
+  try {
+    (void)cfg.get_double("a", 0.0);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("h.cfg:1"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos);
+  }
+}
+
+using svc::JobSpec;
+
+JobSpec spec_from(const std::string& text) {
+  return svc::JobSpec::from_config(io::Config::parse_string(text, "job.cfg"));
+}
+
+TEST(JobSpecHardening, RejectsOutOfRangeValues) {
+  EXPECT_NO_THROW(spec_from("steps = 5\n"));
+  EXPECT_THROW(spec_from("steps = 5\ndt = 0\n"), Error);
+  EXPECT_THROW(spec_from("steps = 5\ndt = -1\n"), Error);
+  EXPECT_THROW(spec_from("steps = 0\n"), Error);
+  EXPECT_THROW(spec_from("steps = 5\ntemperature = -10\n"), Error);
+  EXPECT_THROW(spec_from("steps = 5\nlattice = -1\n"), Error);
+  EXPECT_THROW(spec_from("steps = 5\ncells = 2 0 2\n"), Error);
+  EXPECT_THROW(spec_from("steps = 5\nseed = -3\n"), Error);
+  EXPECT_THROW(spec_from("steps = 5\nskin = -0.1\n"), Error);
+  EXPECT_THROW(spec_from("steps = 5\nsample_every = -1\n"), Error);
+  EXPECT_THROW(spec_from("steps = 5\ncheckpoint_every = -1\n"), Error);
+  EXPECT_THROW(spec_from("steps = 5\nmode = on\ndrop_tolerance = -1e-7\n"),
+               Error);
+  EXPECT_THROW(spec_from("steps = 5\nmode = on\nschedule_decay = 1.5\n"),
+               Error);
+  EXPECT_THROW(spec_from("steps = 5\nmode = on\nschedule_loosening = 0\n"),
+               Error);
+  EXPECT_THROW(
+      spec_from("steps = 5\nthermostat = berendsen\nthermostat_tau = 0\n"),
+      Error);
+  EXPECT_THROW(spec_from("steps = 5\ndt = nan\n"), Error);
+}
+
+TEST(JobSpecHardening, HealthAndFaultKeys) {
+  const JobSpec s = spec_from(
+      "steps = 5\nmode = on\nhealth = true\nmax_force = 50\n"
+      "max_energy_per_atom = 100\nhealth_fp64_retry = false\n"
+      "health_tighten_factor = 0.25\nfaults = svc.stall@3\n");
+  EXPECT_TRUE(s.calc.health.enabled);
+  EXPECT_DOUBLE_EQ(s.calc.health.max_force, 50.0);
+  EXPECT_DOUBLE_EQ(s.calc.health.max_energy_per_atom, 100.0);
+  EXPECT_FALSE(s.calc.health.fp64_retry);
+  EXPECT_DOUBLE_EQ(s.calc.health.tighten_factor, 0.25);
+  EXPECT_EQ(s.faults, "svc.stall@3");
+
+  EXPECT_THROW(spec_from("steps = 5\nmode = on\nmax_force = -1\n"), Error);
+  EXPECT_THROW(
+      spec_from("steps = 5\nmode = on\nhealth_tighten_factor = 1.5\n"), Error);
+}
+
+TEST(CalculatorSpecFingerprint, HealthRelevantOnlyWhenEnabled) {
+  CalculatorSpec base = CalculatorSpec::order_n();
+  CalculatorSpec tweaked = base;
+  tweaked.health.max_force = 123.0;  // disabled spec: not identity-relevant
+  EXPECT_EQ(base.fingerprint(), tweaked.fingerprint());
+  tweaked.health.enabled = true;
+  EXPECT_NE(base.fingerprint(), tweaked.fingerprint());
+  CalculatorSpec other = tweaked;
+  other.health.max_force = 456.0;
+  EXPECT_NE(tweaked.fingerprint(), other.fingerprint());
+}
+
+// --- checkpoint CRC + rotation ----------------------------------------------
+
+svc::Checkpoint small_checkpoint(long step) {
+  svc::Checkpoint ck;
+  ck.step = step;
+  ck.total_steps = 10;
+  System sys;
+  sys.add_atom(Element::Si, {0.1, 0.2, 0.3}, {1.0, -2.0, 3.0});
+  sys.add_atom(Element::C, {1.5, 0.0, static_cast<double>(step)},
+               {0.0, 0.5, 0.0});
+  ck.system = std::move(sys);
+  ck.thermostat_target = 300.0;
+  ck.thermostat_state = {0.25, -0.125};
+  Rng rng(static_cast<std::uint64_t>(77 + step));
+  ck.rng = rng.state();
+  return ck;
+}
+
+void expect_same_checkpoint(const svc::Checkpoint& a,
+                            const svc::Checkpoint& b) {
+  EXPECT_EQ(a.step, b.step);
+  ASSERT_EQ(a.system.size(), b.system.size());
+  for (std::size_t i = 0; i < a.system.size(); ++i) {
+    EXPECT_EQ(a.system.positions()[i], b.system.positions()[i]);
+    EXPECT_EQ(a.system.velocities()[i], b.system.velocities()[i]);
+  }
+  EXPECT_EQ(a.thermostat_state, b.thermostat_state);
+  for (int k = 0; k < 4; ++k) EXPECT_EQ(a.rng.s[k], b.rng.s[k]);
+}
+
+TEST(CheckpointCrc, RoundTrips) {
+  ScratchDir dir("ck_round");
+  const std::string path = dir.file("a.ckpt");
+  const svc::Checkpoint ck = small_checkpoint(3);
+  svc::write_checkpoint(path, ck);
+  EXPECT_TRUE(svc::is_checkpoint_file(path));
+  expect_same_checkpoint(svc::read_checkpoint(path), ck);
+}
+
+TEST(CheckpointCrc, DetectsCorruptionAndFallsBackToPrev) {
+  ScratchDir dir("ck_corrupt");
+  const std::string path = dir.file("a.ckpt");
+  svc::write_checkpoint(path, small_checkpoint(2));
+  svc::write_checkpoint(path, small_checkpoint(4));  // rotates step 2 -> .prev
+  ASSERT_TRUE(fs::exists(path + ".prev"));
+
+  // Flip one payload byte of the primary: read must reject it, fallback
+  // must recover the rotated step-2 state.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40);
+    char b;
+    f.seekg(40);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(40);
+    f.write(&b, 1);
+  }
+  EXPECT_THROW(svc::read_checkpoint(path), Error);
+  bool used_prev = false;
+  const svc::Checkpoint ck =
+      svc::read_checkpoint_with_fallback(path, &used_prev);
+  EXPECT_TRUE(used_prev);
+  expect_same_checkpoint(ck, small_checkpoint(2));
+}
+
+TEST(CheckpointCrc, FallbackThrowsWhenBothCorrupt) {
+  ScratchDir dir("ck_both");
+  const std::string path = dir.file("a.ckpt");
+  std::ofstream(path) << "garbage";
+  std::ofstream(path + ".prev") << "also garbage";
+  EXPECT_THROW(svc::read_checkpoint_with_fallback(path), Error);
+}
+
+TEST(CheckpointCrc, InjectedTornWriteLeavesRecoverablePrev) {
+  const FaultGuard guard;
+  ScratchDir dir("ck_torn");
+  const std::string path = dir.file("a.ckpt");
+  svc::write_checkpoint(path, small_checkpoint(2));
+  fault::arm(fault::kCkptTornWrite, 1);
+  // The torn write simulates a kill after a partial payload hit the disk:
+  // it throws, the final file fails its CRC, and .prev holds step 2.
+  EXPECT_THROW(svc::write_checkpoint(path, small_checkpoint(4)), Error);
+  EXPECT_THROW(svc::read_checkpoint(path), Error);
+  bool used_prev = false;
+  expect_same_checkpoint(svc::read_checkpoint_with_fallback(path, &used_prev),
+                         small_checkpoint(2));
+  EXPECT_TRUE(used_prev);
+}
+
+TEST(CheckpointCrc, InjectedCrashBeforeRenameKeepsPrimary) {
+  const FaultGuard guard;
+  ScratchDir dir("ck_crash");
+  const std::string path = dir.file("a.ckpt");
+  svc::write_checkpoint(path, small_checkpoint(2));
+  fault::arm(fault::kCkptCrashBeforeRename, 1);
+  EXPECT_THROW(svc::write_checkpoint(path, small_checkpoint(4)), Error);
+  // The crash happened before the rename: the primary still holds step 2
+  // and passes its CRC -- no fallback needed.
+  bool used_prev = true;
+  expect_same_checkpoint(svc::read_checkpoint_with_fallback(path, &used_prev),
+                         small_checkpoint(2));
+  EXPECT_FALSE(used_prev);
+}
+
+// --- trajectory frame CRC ---------------------------------------------------
+
+System two_atom_system() {
+  System sys;
+  sys.add_atom(Element::C, {0.0, 0.0, 0.0}, {0.01, 0.0, 0.0});
+  sys.add_atom(Element::C, {1.4, 0.0, 0.0}, {0.0, -0.01, 0.0});
+  return sys;
+}
+
+TEST(TrajectoryCrc, StrictReaderRejectsBitFlip) {
+  ScratchDir dir("tbt_flip");
+  const std::string path = dir.file("t.tbt");
+  System sys = two_atom_system();
+  {
+    io::BinaryTrajectoryWriter w(path, sys);
+    for (long s = 0; s <= 3; ++s) {
+      sys.positions()[0].x += 0.01;
+      w.add_frame(sys, s);
+    }
+  }
+  // Clean file reads all four frames.
+  {
+    io::BinaryTrajectoryReader r(path);
+    io::TrajectoryFrame f;
+    int frames = 0;
+    while (r.next(f)) ++frames;
+    EXPECT_EQ(frames, 4);
+  }
+  // Flip one byte near the end (inside the last frame).
+  const auto size = fs::file_size(path);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(size) - 7);
+    char b;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x10);
+    f.seekp(static_cast<std::streamoff>(size) - 7);
+    f.write(&b, 1);
+  }
+  io::BinaryTrajectoryReader r(path);
+  io::TrajectoryFrame f;
+  EXPECT_TRUE(r.next(f));
+  EXPECT_TRUE(r.next(f));
+  EXPECT_TRUE(r.next(f));
+  EXPECT_THROW(r.next(f), Error);
+}
+
+TEST(TrajectoryCrc, ResumeDropsTornTail) {
+  ScratchDir dir("tbt_torn");
+  const std::string path = dir.file("t.tbt");
+  System sys = two_atom_system();
+  {
+    io::BinaryTrajectoryWriter w(path, sys);
+    for (long s = 0; s <= 3; ++s) {
+      sys.positions()[0].x += 0.01;
+      w.add_frame(sys, s);
+    }
+  }
+  // Tear the file mid-way through the last frame (as a kill mid-write
+  // would): the tolerant resume scan must keep the intact frames and
+  // truncate the debris, then append cleanly.
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - 5);
+  System resume_sys = two_atom_system();
+  resume_sys.positions()[0].x += 4 * 0.01;
+  {
+    io::BinaryTrajectoryWriter w =
+        io::BinaryTrajectoryWriter::resume(path, resume_sys, 10);
+    EXPECT_EQ(w.frames_written(), 3u);
+    w.add_frame(resume_sys, 4);
+  }
+  io::BinaryTrajectoryReader r(path);
+  io::TrajectoryFrame f;
+  std::vector<long> steps;
+  while (r.next(f)) steps.push_back(f.step);
+  EXPECT_EQ(steps, (std::vector<long>{0, 1, 2, 4}));
+}
+
+// --- recovery ladder --------------------------------------------------------
+
+onx::OrderNOptions guarded_options() {
+  onx::OrderNOptions opt;
+  opt.health.enabled = true;
+  return opt;
+}
+
+System diamond64() { return structures::diamond(Element::C, 3.567, 2, 2, 2); }
+
+TEST(RecoveryLadder, Fp64RetryRecoversMixedRun) {
+  const FaultGuard guard;
+  onx::OrderNOptions opt = guarded_options();
+  opt.purification.precision = PrecisionMode::kMixed;
+  onx::OrderNCalculator calc(tb::xwch_carbon(), opt);
+  const System sys = diamond64();
+  fault::arm(fault::kOnxNoConverge, 1);  // stall only the first run
+  const ForceResult res = calc.compute(sys);
+  EXPECT_TRUE(std::isfinite(res.energy));
+  EXPECT_TRUE(calc.last_purification().converged);
+  EXPECT_EQ(calc.recovery_stats().fp64_retries, 1u);
+  EXPECT_EQ(calc.recovery_stats().tighten_retries, 0u);
+  EXPECT_EQ(calc.recovery_stats().exact_fallbacks, 0u);
+  EXPECT_EQ(calc.recovery_stats().last_failure,
+            FailureClass::kNonConvergence);
+}
+
+TEST(RecoveryLadder, TightenRetryRecoversFp64Run) {
+  const FaultGuard guard;
+  onx::OrderNCalculator calc(tb::xwch_carbon(), guarded_options());
+  const System sys = diamond64();
+  fault::arm(fault::kOnxNoConverge, 1);
+  const ForceResult res = calc.compute(sys);
+  EXPECT_TRUE(std::isfinite(res.energy));
+  // Rung (a) is inapplicable to an fp64 run, so the ladder lands on (b).
+  EXPECT_EQ(calc.recovery_stats().fp64_retries, 0u);
+  EXPECT_EQ(calc.recovery_stats().tighten_retries, 1u);
+  EXPECT_EQ(calc.recovery_stats().exact_fallbacks, 0u);
+}
+
+TEST(RecoveryLadder, NanTileRecoversViaTightenRung) {
+  const FaultGuard guard;
+  onx::OrderNCalculator calc(tb::xwch_carbon(), guarded_options());
+  const System sys = diamond64();
+  fault::arm(fault::kOnxNanTile, 1);
+  const ForceResult res = calc.compute(sys);
+  EXPECT_TRUE(std::isfinite(res.energy));
+  for (const Vec3& f : res.forces) {
+    EXPECT_TRUE(std::isfinite(f.x) && std::isfinite(f.y) &&
+                std::isfinite(f.z));
+  }
+  EXPECT_EQ(calc.recovery_stats().tighten_retries, 1u);
+  EXPECT_EQ(calc.recovery_stats().last_failure, FailureClass::kNonFinite);
+}
+
+TEST(RecoveryLadder, ExactFallbackWhenPurificationKeepsFailing) {
+  const FaultGuard guard;
+  const System sys = diamond64();
+  // Clean reference for the energy cross-check.
+  onx::OrderNCalculator clean(tb::xwch_carbon(), guarded_options());
+  const double e_ref = clean.compute(sys).energy;
+
+  onx::OrderNCalculator calc(tb::xwch_carbon(), guarded_options());
+  fault::arm(fault::kOnxNoConverge, 0);  // every purification run stalls
+  const ForceResult res = calc.compute(sys);
+  EXPECT_EQ(calc.recovery_stats().tighten_retries, 1u);
+  EXPECT_EQ(calc.recovery_stats().exact_fallbacks, 1u);
+  EXPECT_EQ(calc.recovery_stats().failures, 0u);
+  // The exact-diagonalization rung solves the same Hamiltonian, so the
+  // energy must agree with the clean purification to its truncation level.
+  EXPECT_NEAR(res.energy, e_ref, 1e-2);
+}
+
+TEST(RecoveryLadder, ThrowsTypedErrorWhenLadderExhausted) {
+  const FaultGuard guard;
+  onx::OrderNOptions opt = guarded_options();
+  opt.health.exact_fallback = false;
+  onx::OrderNCalculator calc(tb::xwch_carbon(), opt);
+  const System sys = diamond64();
+  fault::arm(fault::kOnxNoConverge, 0);
+  try {
+    (void)calc.compute(sys);
+    FAIL() << "expected NumericsError";
+  } catch (const NumericsError& e) {
+    EXPECT_EQ(e.failure_class(), FailureClass::kNonConvergence);
+    EXPECT_NE(std::string(e.what()).find("non-convergence"),
+              std::string::npos);
+  }
+  EXPECT_EQ(calc.recovery_stats().failures, 1u);
+}
+
+TEST(RecoveryLadder, HealthOffCountsUnconvergedInsteadOfRetrying) {
+  const FaultGuard guard;
+  onx::OrderNCalculator calc(tb::xwch_carbon(), onx::OrderNOptions{});
+  const System sys = diamond64();
+  fault::arm(fault::kOnxNoConverge, 1);
+  const ForceResult res = calc.compute(sys);
+  // Historical behavior preserved: the unconverged density is used, but
+  // the step is counted and classified rather than passing silently.
+  EXPECT_TRUE(std::isfinite(res.energy));
+  EXPECT_FALSE(calc.last_purification().converged);
+  EXPECT_EQ(calc.recovery_stats().unconverged_steps, 1u);
+  EXPECT_EQ(calc.recovery_stats().fp64_retries, 0u);
+  EXPECT_EQ(calc.recovery_stats().last_failure,
+            FailureClass::kNonConvergence);
+  // The next (fault-free) step is healthy and leaves the counter alone.
+  (void)calc.compute(sys);
+  EXPECT_EQ(calc.recovery_stats().unconverged_steps, 1u);
+}
+
+TEST(RecoveryLadder, HealthOnIsBitIdenticalWhenNothingFails) {
+  // Acceptance: with no faults armed, the guarded path must be
+  // bit-identical to the unguarded engine -- the scans only read results.
+  const System sys = diamond64();
+  onx::OrderNCalculator off(tb::xwch_carbon(), onx::OrderNOptions{});
+  onx::OrderNCalculator on(tb::xwch_carbon(), guarded_options());
+  const ForceResult a = off.compute(sys);
+  const ForceResult b = on.compute(sys);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.band_energy, b.band_energy);
+  ASSERT_EQ(a.forces.size(), b.forces.size());
+  for (std::size_t i = 0; i < a.forces.size(); ++i) {
+    EXPECT_EQ(a.forces[i].x, b.forces[i].x) << "atom " << i;
+    EXPECT_EQ(a.forces[i].y, b.forces[i].y) << "atom " << i;
+    EXPECT_EQ(a.forces[i].z, b.forces[i].z) << "atom " << i;
+  }
+  EXPECT_EQ(on.recovery_stats().fp64_retries, 0u);
+  EXPECT_EQ(on.recovery_stats().tighten_retries, 0u);
+  EXPECT_EQ(on.recovery_stats().exact_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace tbmd
